@@ -1,0 +1,254 @@
+//! Compile-time constant evaluation of integer expressions.
+//!
+//! Used to fold allocation sizes (`malloc(sizeof(struct S) * 8)`), which in
+//! turn lets the expansion pass prove that every object a pointer may
+//! reference has the same static size — eliminating span bookkeeping
+//! (paper Section 3.4: "by constant propagation and copy propagation, p and
+//! q may be found to always point to the same-sized data structure").
+
+use dse_lang::ast::*;
+use dse_lang::types::TypeTable;
+use std::collections::HashMap;
+
+/// Folds `e` to an integer constant if possible. Handles literals,
+/// `sizeof`, unary minus/complement, and `+ - * / % << >> & | ^` over
+/// constant operands.
+pub fn const_eval(e: &Expr, types: &TypeTable) -> Option<i64> {
+    match &e.kind {
+        ExprKind::IntLit(v) => Some(*v),
+        ExprKind::SizeofType(t) => Some(types.size_of(t) as i64),
+        ExprKind::SizeofExpr(inner) => {
+            Some(types.size_of(inner.ty.as_ref()?) as i64)
+        }
+        ExprKind::Unary(op, a) => {
+            let v = const_eval(a, types)?;
+            match op {
+                UnOp::Neg => Some(v.wrapping_neg()),
+                UnOp::BitNot => Some(!v),
+                UnOp::Not => Some((v == 0) as i64),
+            }
+        }
+        ExprKind::Cast(t, a) if t.is_integer() => {
+            let v = const_eval(a, types)?;
+            let w = types.size_of(t) as u32;
+            if w >= 8 {
+                Some(v)
+            } else {
+                let shift = 64 - w * 8;
+                Some((v << shift) >> shift)
+            }
+        }
+        ExprKind::Binary(op, l, r) => {
+            let a = const_eval(l, types)?;
+            let b = const_eval(r, types)?;
+            match op {
+                BinOp::Add => Some(a.wrapping_add(b)),
+                BinOp::Sub => Some(a.wrapping_sub(b)),
+                BinOp::Mul => Some(a.wrapping_mul(b)),
+                BinOp::Div => a.checked_div(b),
+                BinOp::Rem => a.checked_rem(b),
+                BinOp::Shl => Some(a.wrapping_shl(b as u32 & 63)),
+                BinOp::Shr => Some(a.wrapping_shr(b as u32 & 63)),
+                BinOp::And => Some(a & b),
+                BinOp::Or => Some(a | b),
+                BinOp::Xor => Some(a ^ b),
+                _ => None,
+            }
+        }
+        ExprKind::Cond(c, t, f) => {
+            let cv = const_eval(c, types)?;
+            if cv != 0 {
+                const_eval(t, types)
+            } else {
+                const_eval(f, types)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// True when `ty` transitively contains a pointer, so `sizeof(ty)` may
+/// change under pointer promotion (fat pointers grow memory cells).
+pub fn type_contains_pointer(ty: &dse_lang::types::Type, types: &TypeTable) -> bool {
+    use dse_lang::types::Type;
+    match ty {
+        Type::Pointer(_) => true,
+        Type::Array(elem, _) => type_contains_pointer(elem, types),
+        Type::Struct(id) => types
+            .struct_def(*id)
+            .fields
+            .iter()
+            .any(|f| type_contains_pointer(&f.ty, types)),
+        _ => false,
+    }
+}
+
+/// Constant-size information about one allocation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSizeInfo {
+    /// Folded byte size, when constant.
+    pub const_size: Option<u64>,
+    /// True when the size expression mentions `sizeof` of a type whose
+    /// layout may change under pointer promotion — such sizes cannot be
+    /// used as compile-time spans.
+    pub promotion_sensitive: bool,
+}
+
+fn expr_promotion_sensitive(e: &Expr, types: &TypeTable) -> bool {
+    let mut sensitive = false;
+    let mut probe = e.clone();
+    visit_exprs(&mut probe, &mut |x| match &x.kind {
+        ExprKind::SizeofType(t) => sensitive |= type_contains_pointer(t, types),
+        ExprKind::SizeofExpr(inner) => {
+            if let Some(t) = &inner.ty {
+                sensitive |= type_contains_pointer(t, types);
+            }
+        }
+        _ => {}
+    });
+    sensitive
+}
+
+/// Like [`alloc_const_sizes`], with promotion sensitivity per site.
+pub fn alloc_size_infos(program: &Program) -> HashMap<u32, AllocSizeInfo> {
+    let mut out = HashMap::new();
+    let types = &program.types;
+    let mut prog = program.clone();
+    for f in &mut prog.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if let ExprKind::Call { name, args } = &e.kind {
+                let (size, sensitive) = match name.as_str() {
+                    "malloc" => (
+                        args.first().and_then(|a| const_eval(a, types)),
+                        args.first().is_some_and(|a| expr_promotion_sensitive(a, types)),
+                    ),
+                    "realloc" => (
+                        args.get(1).and_then(|a| const_eval(a, types)),
+                        args.get(1).is_some_and(|a| expr_promotion_sensitive(a, types)),
+                    ),
+                    "calloc" => {
+                        let n = args.first().and_then(|a| const_eval(a, types));
+                        let m = args.get(1).and_then(|a| const_eval(a, types));
+                        let s = match (n, m) {
+                            (Some(n), Some(m)) => n.checked_mul(m),
+                            _ => None,
+                        };
+                        (
+                            s,
+                            args.iter().any(|a| expr_promotion_sensitive(a, types)),
+                        )
+                    }
+                    _ => return,
+                };
+                out.insert(
+                    e.eid,
+                    AllocSizeInfo {
+                        const_size: size.and_then(|s| u64::try_from(s).ok()),
+                        promotion_sensitive: sensitive,
+                    },
+                );
+            }
+        });
+    }
+    out
+}
+
+/// For every allocation call in the program (`malloc`/`calloc`/`realloc`),
+/// maps the call expression's id to its statically known size in bytes
+/// (`None` when the size is not a compile-time constant).
+pub fn alloc_const_sizes(program: &Program) -> HashMap<u32, Option<u64>> {
+    let mut out = HashMap::new();
+    let types = &program.types;
+    let mut prog = program.clone();
+    for f in &mut prog.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if let ExprKind::Call { name, args } = &e.kind {
+                let size = match name.as_str() {
+                    "malloc" => args.first().and_then(|a| const_eval(a, types)),
+                    "realloc" => args.get(1).and_then(|a| const_eval(a, types)),
+                    "calloc" => {
+                        let n = args.first().and_then(|a| const_eval(a, types));
+                        let m = args.get(1).and_then(|a| const_eval(a, types));
+                        match (n, m) {
+                            (Some(n), Some(m)) => n.checked_mul(m),
+                            _ => None,
+                        }
+                    }
+                    _ => return,
+                };
+                out.insert(e.eid, size.and_then(|s| u64::try_from(s).ok()));
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_lang::compile_to_ast;
+
+    fn eval_ret(src_expr: &str) -> Option<i64> {
+        let src = format!(
+            "struct S {{ char c; long l; }}; int main() {{ return (int)({src_expr}); }}"
+        );
+        let p = compile_to_ast(&src).unwrap();
+        let StmtKind::Return(Some(e)) = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Cast(_, inner) = &e.kind else { panic!() };
+        const_eval(inner, &p.types)
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(eval_ret("2 + 3 * 4"), Some(14));
+        assert_eq!(eval_ret("(1 << 10) - 24"), Some(1000));
+        assert_eq!(eval_ret("100 / 7"), Some(14));
+        assert_eq!(eval_ret("-5 + ~0"), Some(-6));
+    }
+
+    #[test]
+    fn folds_sizeof() {
+        assert_eq!(eval_ret("sizeof(struct S)"), Some(16));
+        assert_eq!(eval_ret("sizeof(int) * 10"), Some(40));
+    }
+
+    #[test]
+    fn division_by_zero_is_not_constant() {
+        assert_eq!(eval_ret("1 / 0"), None);
+    }
+
+    #[test]
+    fn variables_are_not_constant() {
+        let p = compile_to_ast("int main() { int n; n = 4; return n + 1; }").unwrap();
+        let StmtKind::Return(Some(e)) = &p.functions[0].body.stmts[2].kind else {
+            panic!()
+        };
+        assert_eq!(const_eval(e, &p.types), None);
+    }
+
+    #[test]
+    fn folds_constant_ternary() {
+        assert_eq!(eval_ret("1 ? 7 : 9"), Some(7));
+        assert_eq!(eval_ret("0 ? 7 : 9"), Some(9));
+    }
+
+    #[test]
+    fn alloc_sizes_collected() {
+        let p = compile_to_ast(
+            "int main() { int n; n = in_len() > 0 ? 8 : 4;
+               int *a; a = malloc(10 * sizeof(int));
+               int *b; b = malloc((long)n * sizeof(int));
+               long *c; c = calloc(4, sizeof(long));
+               a = realloc(a, 80);
+               free(a); free(b); free(c); return 0; }",
+        )
+        .unwrap();
+        let sizes = alloc_const_sizes(&p);
+        let mut vals: Vec<Option<u64>> = sizes.values().copied().collect();
+        vals.sort();
+        assert_eq!(sizes.len(), 4);
+        assert_eq!(vals, vec![None, Some(32), Some(40), Some(80)]);
+    }
+}

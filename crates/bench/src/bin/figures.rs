@@ -1,0 +1,362 @@
+//! Regenerates the paper's tables and figures on the workload models.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--scale profile|bench] [--repeats N] [--workload NAME]...
+//!         [table4 table5 fig8 fig9 fig10 fig11 fig12 fig13 fig14 | all]
+//! ```
+//!
+//! Run with `--release`; wall-clock experiments on a debug interpreter are
+//! meaningless. Default scale is `bench`.
+
+use dse_bench::*;
+use dse_core::OptLevel;
+use dse_workloads::{Scale, Workload};
+
+struct Args {
+    scale: Scale,
+    repeats: u32,
+    /// Use wall-clock timing for the speedup figures instead of the
+    /// schedule simulator (needs >= 8 physical cores).
+    wall: bool,
+    workloads: Vec<Workload>,
+    what: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut scale = Scale::Bench;
+    let mut repeats = 3;
+    let mut names: Vec<String> = Vec::new();
+    let mut what: Vec<String> = Vec::new();
+    let mut wall = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match args.next().as_deref() {
+                    Some("profile") => Scale::Profile,
+                    Some("bench") => Scale::Bench,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--repeats needs a number");
+                        std::process::exit(2);
+                    })
+            }
+            "--workload" => {
+                names.push(args.next().unwrap_or_else(|| {
+                    eprintln!("--workload needs a name");
+                    std::process::exit(2);
+                }))
+            }
+            "--wall" => wall = true,
+            other => what.push(other.to_string()),
+        }
+    }
+    if what.is_empty() || what.iter().any(|w| w == "all") {
+        what = [
+            "table4", "table5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "ablation-chunk", "ablation-sync", "ablation-layout",
+        ]
+        .map(String::from)
+        .to_vec();
+    }
+    let workloads = if names.is_empty() {
+        dse_workloads::all()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                dse_workloads::by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown workload `{n}`");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+    Args { scale, repeats, wall, workloads, what }
+}
+
+fn main() {
+    let args = parse_args();
+    for what in &args.what {
+        match what.as_str() {
+            "table4" => print_table4(&args),
+            "table5" => print_table5(&args),
+            "fig8" => print_fig8(&args),
+            "fig9" => print_fig9(&args),
+            "fig10" => print_fig10(&args),
+            "fig11" => print_fig11(&args),
+            "fig12" => print_fig12(&args),
+            "fig13" => print_fig13(&args),
+            "fig14" => print_fig14(&args),
+            "ablation-chunk" => print_ablation_chunk(&args),
+            "ablation-sync" => print_ablation_sync(&args),
+            "ablation-layout" => print_ablation_layout(&args),
+            other => {
+                eprintln!("unknown artifact `{other}`");
+                std::process::exit(2);
+            }
+        }
+        println!();
+    }
+}
+
+fn print_table4(args: &Args) {
+    println!("== Table 4: benchmark characteristics ==");
+    println!(
+        "{:<10} {:<14} {:>9} {:>10} {:>6} {:>9} {:>8} {:>10}  function",
+        "benchmark", "suite", "model-LOC", "paper-LOC", "level", "par", "%time", "paper%"
+    );
+    for r in table4(&args.workloads) {
+        println!(
+            "{:<10} {:<14} {:>9} {:>10} {:>6} {:>9} {:>7.1}% {:>9.1}%  {}",
+            r.name,
+            r.suite,
+            r.model_loc,
+            r.paper_loc,
+            r.level,
+            r.parallelism,
+            r.time_pct,
+            r.paper_time_pct,
+            r.function
+        );
+    }
+}
+
+fn print_table5(args: &Args) {
+    println!("== Table 5: dynamic data structures privatized ==");
+    println!(
+        "{:<10} {:>11} {:>7} {:>6}",
+        "benchmark", "#privatized", "paper", "+scalars"
+    );
+    for r in table5(&args.workloads) {
+        println!(
+            "{:<10} {:>11} {:>7} {:>6}",
+            r.name, r.privatized, r.paper_privatized, r.scalars
+        );
+    }
+}
+
+fn print_fig8(args: &Args) {
+    println!("== Figure 8: breakdown of dynamic memory accesses ==");
+    println!(
+        "{:<10} {:>16} {:>12} {:>16}",
+        "benchmark", "free-of-carried", "expandable", "with-carried"
+    );
+    for r in fig8(&args.workloads) {
+        println!(
+            "{:<10} {:>15.1}% {:>11.1}% {:>15.1}%",
+            r.name,
+            100.0 * r.free_of_carried,
+            100.0 * r.expandable,
+            100.0 * r.with_carried
+        );
+    }
+}
+
+fn print_fig9(args: &Args) {
+    for (fig, opt) in [("9a (no optimizations)", OptLevel::None), ("9b (optimized)", OptLevel::Full)] {
+        println!("== Figure {fig}: sequential slowdown of expanded code ==");
+        println!(
+            "{:<10} {:>13} {:>10}",
+            "benchmark", "instructions", "wall-time"
+        );
+        let rows = fig9(&args.workloads, opt, args.scale);
+        for r in &rows {
+            println!(
+                "{:<10} {:>12.3}x {:>9.3}x",
+                r.name, r.slowdown_instructions, r.slowdown_time
+            );
+        }
+        println!(
+            "{:<10} {:>12.3}x {:>9.3}x   (harmonic mean; paper: {})",
+            "h-mean",
+            harmonic_mean(rows.iter().map(|r| r.slowdown_instructions)),
+            harmonic_mean(rows.iter().map(|r| r.slowdown_time)),
+            if matches!(opt, OptLevel::None) { "1.8x" } else { "<1.05x" },
+        );
+        println!();
+    }
+}
+
+fn print_fig10(args: &Args) {
+    println!("== Figure 10: expansion vs runtime privatization (sequential overhead) ==");
+    println!("{:<10} {:>10} {:>13}", "benchmark", "expansion", "runtime-priv");
+    for r in fig10(&args.workloads, args.scale) {
+        println!(
+            "{:<10} {:>9.3}x {:>12.3}x",
+            r.name, r.expansion, r.runtime_priv
+        );
+    }
+}
+
+fn print_speedups(rows: &[SpeedupRow], loop_label: &str, total_label: &str) {
+    println!(
+        "{:<10} {}",
+        "benchmark",
+        CORE_COUNTS
+            .iter()
+            .map(|n| format!("{n:>7}c"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    println!("-- {loop_label} --");
+    for r in rows {
+        println!(
+            "{:<10} {}",
+            r.name,
+            r.loop_only
+                .iter()
+                .map(|s| format!("{s:>7.2}x"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!("-- {total_label} --");
+    for r in rows {
+        println!(
+            "{:<10} {}",
+            r.name,
+            r.total
+                .iter()
+                .map(|s| format!("{s:>7.2}x"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    let hms: Vec<String> = (0..CORE_COUNTS.len())
+        .map(|i| format!("{:>7.2}x", harmonic_mean(rows.iter().map(|r| r.total[i]))))
+        .collect();
+    println!("{:<10} {}   (total, harmonic mean)", "h-mean", hms.join(" "));
+}
+
+fn print_fig11(args: &Args) {
+    if args.wall {
+        println!("== Figure 11: speedups (wall clock; needs >= 8 cores) ==");
+        let rows = fig11(&args.workloads, args.scale, args.repeats);
+        print_speedups(&rows, "11a: loop speedup", "11b: total speedup");
+    } else {
+        println!("== Figure 11: speedups (schedule simulator) ==");
+        let rows = fig11_sim(&args.workloads, args.scale);
+        print_speedups(&rows, "11a: loop speedup", "11b: total speedup");
+    }
+    println!("(paper: harmonic mean total speedup 1.93x @4 cores, 2.24x @8 cores)");
+}
+
+fn print_fig12(args: &Args) {
+    println!("== Figure 12: dynamic cost breakdown at 8 cores ==");
+    println!(
+        "{:<10} {:>7} {:>17} {:>10}",
+        "benchmark", "work", "wait(do_wait/relax)", "sync-ops"
+    );
+    let rows = if args.wall {
+        fig12(&args.workloads, args.scale)
+    } else {
+        fig12_sim(&args.workloads, args.scale)
+    };
+    for r in rows {
+        println!(
+            "{:<10} {:>6.1}% {:>16.1}% {:>9.1}%",
+            r.name,
+            100.0 * r.work,
+            100.0 * r.wait,
+            100.0 * r.sync
+        );
+    }
+}
+
+fn print_fig13(args: &Args) {
+    println!("== Figure 13: loop speedup under runtime privatization ==");
+    let rows = if args.wall {
+        fig13(&args.workloads, args.scale, args.repeats)
+    } else {
+        fig13_sim(&args.workloads, args.scale)
+    };
+    println!(
+        "{:<10} {}",
+        "benchmark",
+        CORE_COUNTS
+            .iter()
+            .map(|n| format!("{n:>7}c"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {}",
+            r.name,
+            r.total
+                .iter()
+                .map(|s| format!("{s:>7.2}x"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    println!("(paper: nearly no speedup for most benchmarks)");
+}
+
+fn print_fig14(args: &Args) {
+    println!("== Figure 14: peak memory as a multiple of the original ==");
+    println!(
+        "{:<10} {:>24} {:>24}",
+        "benchmark", "expansion (2/4/8c)", "runtime-priv (2/4/8c)"
+    );
+    for r in fig14(&args.workloads, args.scale) {
+        let e: Vec<String> = r.expansion.iter().map(|x| format!("{x:.2}")).collect();
+        let p: Vec<String> = r.runtime_priv.iter().map(|x| format!("{x:.2}")).collect();
+        println!("{:<10} {:>24} {:>24}", r.name, e.join("/"), p.join("/"));
+    }
+}
+
+fn print_ablation_chunk(args: &Args) {
+    println!("== Ablation: DOACROSS claim size (paper uses 1) ==");
+    println!("simulated loop speedup at 8 cores");
+    let rows = ablation_chunk(&args.workloads, args.scale);
+    for r in rows {
+        let cells: Vec<String> = r
+            .speedups
+            .iter()
+            .map(|(c, s)| format!("chunk{c}={s:.2}x"))
+            .collect();
+        println!("{:<10} {}", r.name, cells.join("  "));
+    }
+}
+
+fn print_ablation_layout(args: &Args) {
+    println!("== Ablation: bonded vs interleaved layout (Section 3.1, Fig. 2) ==");
+    println!("sequential instruction overhead vs the original program");
+    for r in ablation_layout(&args.workloads, args.scale) {
+        match (r.interleaved, r.blocker) {
+            (Some(i), _) => println!(
+                "{:<10} bonded {:.3}x   interleaved {:.3}x",
+                r.name, r.bonded, i
+            ),
+            (None, Some(b)) => {
+                println!("{:<10} bonded {:.3}x   interleaved: IMPOSSIBLE", r.name, r.bonded);
+                println!("{:<10}   ({})", "", b);
+            }
+            (None, None) => unreachable!("either a number or a blocker"),
+        }
+    }
+}
+
+fn print_ablation_sync(args: &Args) {
+    println!("== Ablation: DOACROSS synchronization placement ==");
+    println!("simulated 8-core loop speedup: computed window vs whole-body ordering");
+    for r in ablation_sync(&args.workloads, args.scale) {
+        println!(
+            "{:<10} window={:.2}x   whole-body={:.2}x",
+            r.name, r.with_window, r.without_window
+        );
+    }
+}

@@ -1,0 +1,806 @@
+//! # dse-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's Section 4 over the
+//! eight workload models:
+//!
+//! | artifact | runner | paper reference |
+//! |---|---|---|
+//! | Table 4 | [`table4`] | benchmark characteristics |
+//! | Table 5 | [`table5`] | privatized structure counts |
+//! | Figure 8 | [`fig8`] | dynamic-access breakdown |
+//! | Figure 9a/9b | [`fig9`] | expansion overhead without/with opts |
+//! | Figure 10 | [`fig10`] | expansion vs runtime privatization overhead |
+//! | Figure 11a/11b | [`fig11`] | loop and total speedups vs cores |
+//! | Figure 12 | [`fig12`] | instruction breakdown on 8 cores |
+//! | Figure 13 | [`fig13`] | runtime-privatization speedup |
+//! | Figure 14 | [`fig14`] | memory use multiple |
+//!
+//! Wall-clock numbers come from the VM running on real OS threads; run the
+//! `figures` binary with `--release`. Absolute times are
+//! interpreter-scale — EXPERIMENTS.md compares *shapes* against the paper.
+
+pub mod sim;
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::{Counters, Vm};
+use dse_workloads::{Scale, Workload};
+use std::time::{Duration, Instant};
+
+/// Thread counts used by the speedup experiments (the paper's X axis).
+pub const CORE_COUNTS: [u32; 4] = [1, 2, 4, 8];
+
+/// A VM configuration for *timing* runs: bench-scale inputs with a lean
+/// memory arena, so the measured time is the program, not `Vm::new`
+/// zeroing a large default arena.
+pub fn timing_vm_config(w: &Workload, scale: Scale) -> dse_runtime::VmConfig {
+    let mut cfg = w.vm_config(scale);
+    cfg.mem_bytes = 16 << 20;
+    cfg.stack_bytes = 256 << 10;
+    cfg
+}
+
+/// Builds the analysis (profile + classification) for a workload.
+///
+/// # Panics
+///
+/// Panics when the pipeline fails on a bundled workload (a bug).
+pub fn analyze(w: &Workload) -> Analysis {
+    Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+fn timed_run(
+    compiled: &dse_ir::bytecode::CompiledProgram,
+    w: &Workload,
+    scale: Scale,
+    nthreads: u32,
+) -> (Duration, dse_runtime::RunReport, Vec<i64>) {
+    let mut cfg = w.vm_config(scale);
+    cfg.nthreads = nthreads;
+    let mut vm = Vm::new(compiled.clone(), cfg).expect("vm");
+    let t0 = Instant::now();
+    let report = vm.run().unwrap_or_else(|e| panic!("{} run: {e}", w.name));
+    (t0.elapsed(), report, vm.outputs_int())
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — benchmark characteristics
+// ---------------------------------------------------------------------------
+
+/// One row of Table 4.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    pub name: &'static str,
+    pub suite: &'static str,
+    /// LOC of our Cee model (the paper's column is the original C size,
+    /// reported alongside).
+    pub model_loc: usize,
+    pub paper_loc: u32,
+    pub function: &'static str,
+    pub level: u32,
+    /// Parallelism as classified by the pass (must match the paper).
+    pub parallelism: String,
+    /// Measured candidate-loop share of execution (instructions).
+    pub time_pct: f64,
+    pub paper_time_pct: f64,
+}
+
+/// Regenerates Table 4 for the given workloads.
+pub fn table4(workloads: &[Workload]) -> Vec<Table4Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, report, _) = timed_run(&analysis.serial, w, Scale::Profile, 1);
+            let in_loops: u64 =
+                analysis.profile.loops.iter().map(|l| l.instructions).sum();
+            let mode = analysis.classifications[0].mode;
+            Table4Row {
+                name: w.name,
+                suite: w.paper.suite,
+                model_loc: w.model_loc(),
+                paper_loc: w.paper.loc,
+                function: w.paper.function,
+                level: w.paper.level,
+                parallelism: mode.to_string(),
+                time_pct: 100.0 * in_loops as f64 / report.counters.work as f64,
+                paper_time_pct: w.paper.time_pct,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — privatized structures
+// ---------------------------------------------------------------------------
+
+/// One row of Table 5.
+#[derive(Debug, Clone)]
+pub struct Table5Row {
+    pub name: &'static str,
+    /// Data structures privatized by our pass (alloc sites + globals +
+    /// aggregate locals).
+    pub privatized: usize,
+    /// Expanded scalars (classic scalar expansion, reported separately).
+    pub scalars: usize,
+    pub paper_privatized: u32,
+}
+
+/// Regenerates Table 5.
+pub fn table5(workloads: &[Workload]) -> Vec<Table5Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let t = analysis.transform(OptLevel::Full, 4).expect("transform");
+            Table5Row {
+                name: w.name,
+                privatized: t.report.privatized_structures(),
+                scalars: t.report.expanded_scalar_locals,
+                paper_privatized: w.paper.privatized,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — dynamic access breakdown
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 8 (fractions sum to 1).
+#[derive(Debug, Clone)]
+pub struct Fig8Row {
+    pub name: &'static str,
+    pub free_of_carried: f64,
+    pub expandable: f64,
+    pub with_carried: f64,
+}
+
+/// Regenerates Figure 8: the breakdown of each loop's dynamic accesses
+/// into "free of loop-carried dep", "expandable" and "with loop-carried
+/// dep" (summed over a program's candidate loops).
+pub fn fig8(workloads: &[Workload]) -> Vec<Fig8Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let mut total = dse_core::AccessBreakdown::default();
+            for (ddg, cls) in analysis.profile.loops.iter().zip(&analysis.classifications)
+            {
+                let b = cls.access_breakdown(ddg);
+                total.free += b.free;
+                total.expandable += b.expandable;
+                total.carried += b.carried;
+            }
+            let (f, e, c) = total.fractions();
+            Fig8Row {
+                name: w.name,
+                free_of_carried: f,
+                expandable: e,
+                with_carried: c,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 — expansion overhead (sequential)
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 9a or 9b.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    pub name: &'static str,
+    /// Transformed-over-original instruction ratio (sequential run).
+    pub slowdown_instructions: f64,
+    /// Transformed-over-original wall-time ratio.
+    pub slowdown_time: f64,
+}
+
+/// Regenerates Figure 9: sequential slowdown of the transformed program at
+/// the given optimization level ([`OptLevel::None`] → Figure 9a,
+/// [`OptLevel::Full`] → Figure 9b).
+pub fn fig9(workloads: &[Workload], opt: OptLevel, scale: Scale) -> Vec<Fig9Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (tb, rb, ob) = timed_run(&analysis.serial, w, scale, 1);
+            let t = analysis.transform(opt, 1).expect("transform");
+            let (tt, rt, ot) = timed_run(&t.parallel, w, scale, 1);
+            assert_eq!(ob, ot, "{}: transformed output differs", w.name);
+            Fig9Row {
+                name: w.name,
+                slowdown_instructions: rt.counters.work as f64 / rb.counters.work as f64,
+                slowdown_time: tt.as_secs_f64() / tb.as_secs_f64(),
+            }
+        })
+        .collect()
+}
+
+/// Harmonic mean of a positive series (the paper's average of choice).
+pub fn harmonic_mean(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let (mut n, mut s) = (0usize, 0.0);
+    for x in xs {
+        n += 1;
+        s += 1.0 / x;
+    }
+    n as f64 / s
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — expansion vs runtime privatization overhead
+// ---------------------------------------------------------------------------
+
+/// One pair of bars of Figure 10.
+#[derive(Debug, Clone)]
+pub struct Fig10Row {
+    pub name: &'static str,
+    /// Sequential slowdown of the expanded program (instructions).
+    pub expansion: f64,
+    /// Sequential slowdown of the runtime-privatization program.
+    pub runtime_priv: f64,
+}
+
+/// Regenerates Figure 10: static expansion vs dynamic privatization
+/// overhead, both run sequentially.
+pub fn fig10(workloads: &[Workload], scale: Scale) -> Vec<Fig10Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, rb, _) = timed_run(&analysis.serial, w, scale, 1);
+            let t = analysis.transform(OptLevel::Full, 1).expect("transform");
+            let (_, rt, _) = timed_run(&t.parallel, w, scale, 1);
+            let b = analysis.baseline_parallel(1).expect("baseline");
+            let (_, rp, _) = timed_run(&b.parallel, w, scale, 1);
+            // The baseline's cost model: every monitored private access
+            // (heap translations and statically privatized accesses alike,
+            // per SpiceC's all-accesses monitoring) costs a runtime lookup
+            // (≈ 20 native instructions), plus the bytes copied in/out.
+            let base = rb.counters.work as f64;
+            let priv_cost = rp.counters.work as f64
+                + 20.0
+                    * (rp.counters.localize_calls + rp.counters.private_direct) as f64
+                + 0.25 * rp.counters.localize_copied_bytes as f64;
+            Fig10Row {
+                name: w.name,
+                expansion: rt.counters.work as f64 / base,
+                runtime_priv: priv_cost / base,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11 — speedups
+// ---------------------------------------------------------------------------
+
+/// One workload's speedup series (indexed like [`CORE_COUNTS`]).
+#[derive(Debug, Clone)]
+pub struct SpeedupRow {
+    pub name: &'static str,
+    /// Whole-program speedup per core count.
+    pub total: Vec<f64>,
+    /// Candidate-loop speedup per core count (derived from the measured
+    /// serial loop share).
+    pub loop_only: Vec<f64>,
+}
+
+/// Per-loop iteration-cost traces: one cost vector per dynamic loop entry.
+pub type LoopTraces = std::collections::HashMap<u32, Vec<Vec<dse_runtime::vm::IterCost>>>;
+/// Scheduling mode per loop id.
+pub type LoopModes = std::collections::HashMap<u32, dse_ir::loops::ParMode>;
+
+/// Runs a program serially with iteration-cost recording, returning the
+/// instruction total, per-loop traces, and per-loop modes.
+fn record_traces(
+    compiled: &dse_ir::bytecode::CompiledProgram,
+    w: &Workload,
+    scale: Scale,
+) -> (u64, LoopTraces, LoopModes, Counters) {
+    let mut cfg = w.vm_config(scale);
+    cfg.nthreads = 1;
+    cfg.record_iteration_costs = true;
+    let mut vm = Vm::new(compiled.clone(), cfg).expect("vm");
+    let report = vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let modes = compiled
+        .loops
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i as u32, l.mode.unwrap_or(dse_ir::loops::ParMode::DoAll)))
+        .collect();
+    (
+        report.counters.work,
+        vm.iteration_costs(),
+        modes,
+        report.counters,
+    )
+}
+
+/// Regenerates Figure 11 through the multicore **schedule simulator** (see
+/// [`sim`]): per-iteration costs are measured in the VM, then replayed
+/// under the executor's DOALL/DOACROSS policies at each core count. This
+/// is the default on hosts without 8 physical cores.
+pub fn fig11_sim(workloads: &[Workload], scale: Scale) -> Vec<SpeedupRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, rb, _) = timed_run(&analysis.serial, w, scale, 1);
+            let serial_ref = rb.counters.work as f64;
+            let mut total = Vec::new();
+            let mut loop_only = Vec::new();
+            for &n in &CORE_COUNTS {
+                let t = analysis.transform(OptLevel::Full, n).expect("transform");
+                let (tot, traces, modes, _) = record_traces(&t.parallel, w, scale);
+                let ps = sim::simulate_program(tot, &traces, &modes, n, false);
+                total.push(serial_ref / ps.total_time);
+                loop_only.push(ps.loop_serial / ps.loop_time.max(1e-9));
+            }
+            SpeedupRow { name: w.name, total, loop_only }
+        })
+        .collect()
+}
+
+/// Regenerates Figure 13 through the schedule simulator, charging each
+/// `Localize` call its modeled runtime cost.
+pub fn fig13_sim(workloads: &[Workload], scale: Scale) -> Vec<SpeedupRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, rb, _) = timed_run(&analysis.serial, w, scale, 1);
+            let serial_ref = rb.counters.work as f64;
+            let mut total = Vec::new();
+            let mut loop_only = Vec::new();
+            for &n in &CORE_COUNTS {
+                let b = analysis.baseline_parallel(n).expect("baseline");
+                let (tot, traces, modes, c) = record_traces(&b.parallel, w, scale);
+                // Charge out-of-loop localize cost too (rare).
+                let _ = c;
+                let ps = sim::simulate_program(tot, &traces, &modes, n, true);
+                total.push(serial_ref / ps.total_time);
+                loop_only.push(ps.loop_serial / ps.loop_time.max(1e-9));
+            }
+            SpeedupRow { name: w.name, total, loop_only }
+        })
+        .collect()
+}
+
+/// Regenerates Figure 12 from the schedule simulation at 8 cores: how the
+/// workers' cycles split between useful work, waiting (the paper's
+/// `do_wait`/`cpu_relax`), and synchronization calls.
+pub fn fig12_sim(workloads: &[Workload], scale: Scale) -> Vec<Fig12Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let t = analysis.transform(OptLevel::Full, 8).expect("transform");
+            let (tot, traces, modes, counters) = record_traces(&t.parallel, w, scale);
+            let ps = sim::simulate_program(tot, &traces, &modes, 8, false);
+            let outside = (tot as f64
+                - traces
+                    .values()
+                    .flatten()
+                    .flatten()
+                    .map(|c| (c.pre + c.window + c.post) as f64)
+                    .sum::<f64>())
+            .max(0.0);
+            let sync = counters.sync_ops as f64;
+            let work = outside + ps.busy - sync;
+            let total = work + ps.idle + sync;
+            Fig12Row {
+                name: w.name,
+                work: work / total,
+                wait: ps.idle / total,
+                sync: sync / total,
+            }
+        })
+        .collect()
+}
+
+/// Regenerates Figure 11 by wall-clock timing (requires a host with as
+/// many physical cores as the largest core count; see [`fig11_sim`]).
+pub fn fig11(workloads: &[Workload], scale: Scale, repeats: u32) -> Vec<SpeedupRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let serial = best_time(&analysis.serial, w, scale, 1, repeats);
+            // Measured loop share of the serial program (instructions).
+            let (_, rb, _) = timed_run(&analysis.serial, w, Scale::Profile, 1);
+            let in_loops: u64 =
+                analysis.profile.loops.iter().map(|l| l.instructions).sum();
+            let loop_frac =
+                (in_loops as f64 / rb.counters.work as f64).clamp(0.0, 1.0);
+            let mut total = Vec::new();
+            let mut loop_only = Vec::new();
+            for &n in &CORE_COUNTS {
+                let t = analysis.transform(OptLevel::Full, n).expect("transform");
+                let par = best_time(&t.parallel, w, scale, n, repeats);
+                let sp_total = serial.as_secs_f64() / par.as_secs_f64();
+                total.push(sp_total);
+                // T_par = T_serial*(1-frac) + T_loop_serial/sp_loop
+                let serial_rest = serial.as_secs_f64() * (1.0 - loop_frac);
+                let loop_par = (par.as_secs_f64() - serial_rest).max(1e-9);
+                loop_only.push(serial.as_secs_f64() * loop_frac / loop_par);
+            }
+            SpeedupRow { name: w.name, total, loop_only }
+        })
+        .collect()
+}
+
+fn best_time(
+    compiled: &dse_ir::bytecode::CompiledProgram,
+    w: &Workload,
+    scale: Scale,
+    nthreads: u32,
+    repeats: u32,
+) -> Duration {
+    (0..repeats.max(1))
+        .map(|_| timed_run(compiled, w, scale, nthreads).0)
+        .min()
+        .expect("at least one repeat")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12 — instruction breakdown at 8 cores
+// ---------------------------------------------------------------------------
+
+/// One bar of Figure 12 (fractions of total dynamic cost).
+#[derive(Debug, Clone)]
+pub struct Fig12Row {
+    pub name: &'static str,
+    /// Useful instructions.
+    pub work: f64,
+    /// Spin iterations waiting on cross-iteration ordering (the paper's
+    /// `do_wait` / `cpu_relax` share).
+    pub wait: f64,
+    /// Post/wait synchronization operations.
+    pub sync: f64,
+}
+
+/// Regenerates Figure 12: where the cycles go on 8 cores.
+pub fn fig12(workloads: &[Workload], scale: Scale) -> Vec<Fig12Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let t = analysis.transform(OptLevel::Full, 8).expect("transform");
+            let (_, report, _) = timed_run(&t.parallel, w, scale, 8);
+            let c: Counters = report.counters;
+            let total = (c.work + c.wait_spins + c.sync_ops) as f64;
+            Fig12Row {
+                name: w.name,
+                work: c.work as f64 / total,
+                wait: c.wait_spins as f64 / total,
+                sync: c.sync_ops as f64 / total,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 — runtime-privatization speedup
+// ---------------------------------------------------------------------------
+
+/// Regenerates Figure 13: loop/total speedup when the runtime
+/// privatization baseline is used instead of expansion. The VM charges
+/// each `Localize` call its abstract runtime cost (see [`fig10`]) by
+/// padding the wall-time with the modeled overhead ratio.
+pub fn fig13(workloads: &[Workload], scale: Scale, repeats: u32) -> Vec<SpeedupRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let serial = best_time(&analysis.serial, w, scale, 1, repeats);
+            let mut total = Vec::new();
+            for &n in &CORE_COUNTS {
+                let b = analysis.baseline_parallel(n).expect("baseline");
+                let mut cfg = w.vm_config(scale);
+                cfg.nthreads = n;
+                let mut vm = Vm::new(b.parallel.clone(), cfg).expect("vm");
+                let t0 = Instant::now();
+                let report = vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+                let elapsed = t0.elapsed().as_secs_f64();
+                // Scale elapsed time by the modeled per-call runtime cost
+                // that the interpreter's Localize undercharges.
+                let c = report.counters;
+                let work = c.work.max(1) as f64;
+                let factor = (work
+                    + 20.0 * c.localize_calls as f64
+                    + 0.25 * c.localize_copied_bytes as f64)
+                    / work;
+                total.push(serial.as_secs_f64() / (elapsed * factor));
+            }
+            SpeedupRow { name: w.name, loop_only: total.clone(), total }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — memory use
+// ---------------------------------------------------------------------------
+
+/// One group of Figure 14 bars.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    pub name: &'static str,
+    /// Peak heap multiple of the expanded program at 2/4/8 threads.
+    pub expansion: Vec<f64>,
+    /// Peak heap multiple of the runtime-privatization baseline.
+    pub runtime_priv: Vec<f64>,
+}
+
+/// Regenerates Figure 14: peak memory as a multiple of the original
+/// program's, for 2/4/8 threads.
+pub fn fig14(workloads: &[Workload], scale: Scale) -> Vec<Fig14Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, rb, _) = timed_run(&analysis.serial, w, scale, 1);
+            let base = rb.peak_heap_bytes.max(1) as f64;
+            let mut expansion = Vec::new();
+            let mut runtime_priv = Vec::new();
+            for n in [2u32, 4, 8] {
+                let t = analysis.transform(OptLevel::Full, n).expect("transform");
+                let (_, rt, _) = timed_run(&t.parallel, w, scale, n);
+                expansion.push(rt.peak_heap_bytes as f64 / base);
+                let b = analysis.baseline_parallel(n).expect("baseline");
+                let (_, rp, _) = timed_run(&b.parallel, w, scale, n);
+                runtime_priv.push(rp.peak_heap_bytes as f64 / base);
+            }
+            Fig14Row { name: w.name, expansion, runtime_priv }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+// ---------------------------------------------------------------------------
+
+/// One row of the DOACROSS chunk-size ablation: simulated loop speedup at
+/// 8 cores for each chunk size.
+#[derive(Debug, Clone)]
+pub struct ChunkAblationRow {
+    pub name: &'static str,
+    /// (chunk size, loop speedup at 8 cores).
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// Sweeps the DOACROSS claim size (the paper fixes it at 1, Section 4.3)
+/// for the DOACROSS workloads.
+pub fn ablation_chunk(workloads: &[Workload], scale: Scale) -> Vec<ChunkAblationRow> {
+    workloads
+        .iter()
+        .filter(|w| w.paper.parallelism == dse_ir::loops::ParMode::DoAcross)
+        .map(|w| {
+            let analysis = analyze(w);
+            let t = analysis.transform(OptLevel::Full, 8).expect("transform");
+            let (_, traces, modes, _) = record_traces(&t.parallel, w, scale);
+            let mut speedups = Vec::new();
+            for chunk in [1usize, 2, 4, 8, 16] {
+                let mut serial = 0.0;
+                let mut time = 0.0;
+                for (loop_id, entries) in &traces {
+                    let mode = modes[loop_id];
+                    for entry in entries {
+                        let iters: Vec<sim::SimIter> =
+                            entry.iter().map(|c| sim::to_sim_iter(c, false)).collect();
+                        serial += iters.iter().map(sim::SimIter::total).sum::<f64>();
+                        time += sim::simulate_entry_chunked(mode, &iters, 8, chunk).time;
+                    }
+                }
+                speedups.push((chunk, serial / time.max(1e-9)));
+            }
+            ChunkAblationRow { name: w.name, speedups }
+        })
+        .collect()
+}
+
+/// One row of the sync-placement ablation.
+#[derive(Debug, Clone)]
+pub struct SyncAblationRow {
+    pub name: &'static str,
+    /// Simulated 8-core loop speedup with the computed Wait/Post window.
+    pub with_window: f64,
+    /// Simulated 8-core loop speedup with no window (the executor's
+    /// fallback: every iteration posts only when it finishes, i.e. the
+    /// whole body is the ordered section).
+    pub without_window: f64,
+}
+
+/// Quantifies the DOACROSS synchronization *placement* (Section 4.3: "we
+/// also place necessary inter-thread synchronization"): the computed
+/// window around the shared carried accesses vs the trivial placement
+/// that orders whole iterations.
+pub fn ablation_sync(workloads: &[Workload], scale: Scale) -> Vec<SyncAblationRow> {
+    workloads
+        .iter()
+        .filter(|w| w.paper.parallelism == dse_ir::loops::ParMode::DoAcross)
+        .map(|w| {
+            let analysis = analyze(w);
+            let t = analysis.transform(OptLevel::Full, 8).expect("transform");
+            let (_, traces, modes, _) = record_traces(&t.parallel, w, scale);
+            let speedup = |widen: bool| {
+                let mut serial = 0.0;
+                let mut time = 0.0;
+                for (loop_id, entries) in &traces {
+                    let mode = modes[loop_id];
+                    for entry in entries {
+                        let iters: Vec<sim::SimIter> = entry
+                            .iter()
+                            .map(|c| {
+                                let mut it = sim::to_sim_iter(c, false);
+                                if widen {
+                                    // No window: the whole iteration is
+                                    // ordered (auto-post at iteration end).
+                                    it.window += it.pre + it.post;
+                                    it.pre = 0.0;
+                                    it.post = 0.0;
+                                }
+                                it
+                            })
+                            .collect();
+                        serial += iters.iter().map(sim::SimIter::total).sum::<f64>();
+                        time += sim::simulate_entry(mode, &iters, 8).time;
+                    }
+                }
+                serial / time.max(1e-9)
+            };
+            SyncAblationRow {
+                name: w.name,
+                with_window: speedup(false),
+                without_window: speedup(true),
+            }
+        })
+        .collect()
+}
+
+/// One row of the bonded-vs-interleaved layout ablation.
+#[derive(Debug, Clone)]
+pub struct LayoutAblationRow {
+    pub name: &'static str,
+    /// Sequential instruction overhead of bonded expansion (vs original).
+    pub bonded: f64,
+    /// Sequential overhead of interleaved expansion, when it is possible.
+    pub interleaved: Option<f64>,
+    /// Why interleaving is impossible, when it is.
+    pub blocker: Option<String>,
+}
+
+/// Runs the Section 3.1 layout comparison: both layouts where interleaving
+/// is structurally possible, and the paper's bonded-only argument (untyped
+/// heap blocks, recasts, interior pointers) where it is not.
+pub fn ablation_layout(workloads: &[Workload], scale: Scale) -> Vec<LayoutAblationRow> {
+    use dse_core::LayoutMode;
+    workloads
+        .iter()
+        .map(|w| {
+            let analysis = analyze(w);
+            let (_, rb, _) = timed_run(&analysis.serial, w, scale, 1);
+            let base = rb.counters.work as f64;
+            let overhead = |t: &dse_core::Transformed| {
+                let mut cfg = w.vm_config(scale);
+                cfg.nthreads = 1;
+                let mut vm = Vm::new(t.parallel.clone(), cfg).expect("vm");
+                vm.run().expect("run").counters.work as f64 / base
+            };
+            let bonded = overhead(
+                &analysis
+                    .transform_with_layout(OptLevel::Full, 1, LayoutMode::Bonded)
+                    .expect("bonded transform"),
+            );
+            let (interleaved, blocker) = match analysis.transform_with_layout(
+                OptLevel::Full,
+                1,
+                LayoutMode::Interleaved,
+            ) {
+                Ok(t) => (Some(overhead(&t)), None),
+                Err(e) => (None, Some(e.to_string())),
+            };
+            LayoutAblationRow { name: w.name, bonded, interleaved, blocker }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_workloads::by_name;
+
+    fn small() -> Vec<Workload> {
+        vec![by_name("md5").unwrap(), by_name("hmmer").unwrap()]
+    }
+
+    #[test]
+    fn table4_rows_are_complete() {
+        let rows = table4(&small());
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(r.time_pct > 0.0 && r.time_pct <= 100.0);
+            assert!(!r.parallelism.is_empty());
+            assert!(r.model_loc > 20);
+        }
+    }
+
+    #[test]
+    fn table5_counts_positive() {
+        for r in table5(&small()) {
+            assert!(r.privatized >= 1, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn fig8_fractions_sum_to_one() {
+        for r in fig8(&small()) {
+            let s = r.free_of_carried + r.expandable + r.with_carried;
+            assert!((s - 1.0).abs() < 1e-9, "{}: {s}", r.name);
+            assert!(r.expandable > 0.0, "{}: nothing expandable", r.name);
+        }
+    }
+
+    #[test]
+    fn fig9_full_cheaper_than_none() {
+        let ws = small();
+        let none = fig9(&ws, OptLevel::None, Scale::Profile);
+        let full = fig9(&ws, OptLevel::Full, Scale::Profile);
+        for (n, f) in none.iter().zip(&full) {
+            assert!(
+                f.slowdown_instructions < n.slowdown_instructions,
+                "{}",
+                n.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig10_runtime_priv_costlier_for_hot_privatization() {
+        // hmmer localizes its DP matrix on every access: runtime
+        // privatization must cost more than expansion. (md5, whose scratch
+        // is a global and therefore statically privatized even in the
+        // baseline, is one of the paper's "cheap for runtime
+        // privatization" cases.)
+        let ws = vec![by_name("hmmer").unwrap()];
+        let rows = fig10(&ws, Scale::Profile);
+        assert!(
+            rows[0].runtime_priv > rows[0].expansion,
+            "priv={} exp={}",
+            rows[0].runtime_priv,
+            rows[0].expansion
+        );
+    }
+
+    #[test]
+    fn fig12_fractions_valid() {
+        for r in fig12(&small(), Scale::Profile) {
+            assert!(r.work > 0.0 && r.work <= 1.0);
+            assert!((r.work + r.wait + r.sync - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig14_expansion_memory_grows() {
+        let ws = vec![by_name("md5").unwrap()];
+        let rows = fig14(&ws, Scale::Profile);
+        // More threads, more copies.
+        assert!(rows[0].expansion[2] >= rows[0].expansion[0]);
+    }
+
+    #[test]
+    fn ablation_sync_window_never_worse() {
+        let ws = vec![by_name("hmmer").unwrap()];
+        let rows = ablation_sync(&ws, Scale::Profile);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].with_window + 1e-9 >= rows[0].without_window);
+        assert!(rows[0].without_window > 0.0);
+    }
+
+    #[test]
+    fn harmonic_mean_matches_definition() {
+        let hm = harmonic_mean([1.0, 2.0, 4.0]);
+        assert!((hm - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+    }
+}

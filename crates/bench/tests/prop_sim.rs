@@ -1,0 +1,77 @@
+//! Property-based bounds on the schedule simulator: whatever the
+//! iteration costs, simulated times respect the work and critical-path
+//! laws of the scheduling policies.
+
+use dse_bench::sim::{simulate_entry, simulate_entry_chunked, SimIter};
+use dse_ir::loops::ParMode;
+use proptest::prelude::*;
+
+fn iter_strategy() -> impl Strategy<Value = SimIter> {
+    (0u32..500, 0u32..500, 0u32..500).prop_map(|(pre, window, post)| SimIter {
+        pre: pre as f64,
+        window: window as f64,
+        post: post as f64,
+    })
+}
+
+proptest! {
+    /// Work law and single-core identity: busy/n <= time(n) <= time(1),
+    /// and time(1) equals the serial sum.
+    #[test]
+    fn work_and_serial_bounds(
+        iters in prop::collection::vec(iter_strategy(), 1..40),
+        n in 1u32..16,
+        mode in prop_oneof![Just(ParMode::DoAll), Just(ParMode::DoAcross)],
+    ) {
+        let serial: f64 = iters.iter().map(SimIter::total).sum();
+        let s1 = simulate_entry(mode, &iters, 1);
+        prop_assert!((s1.time - serial).abs() < 1e-6);
+        let sn = simulate_entry(mode, &iters, n);
+        prop_assert!(sn.time <= s1.time + 1e-6, "{} > {}", sn.time, s1.time);
+        prop_assert!(
+            sn.time * n as f64 + 1e-6 >= serial,
+            "work law violated: {} * {} < {}",
+            sn.time, n, serial
+        );
+        // Idle accounting is exact.
+        prop_assert!((sn.busy - serial).abs() < 1e-6);
+        prop_assert!((sn.idle - (n as f64 * sn.time - serial)).abs() < 1e-3);
+    }
+
+    /// DOACROSS critical path: the ordered windows execute in series, so
+    /// the loop can never be faster than their sum, nor faster than any
+    /// single iteration.
+    #[test]
+    fn doacross_window_law(
+        iters in prop::collection::vec(iter_strategy(), 1..40),
+        n in 1u32..16,
+    ) {
+        let s = simulate_entry(ParMode::DoAcross, &iters, n);
+        let windows: f64 = iters.iter().map(|i| i.window).sum();
+        prop_assert!(s.time + 1e-6 >= windows);
+        let longest = iters.iter().map(SimIter::total).fold(0.0f64, f64::max);
+        prop_assert!(s.time + 1e-6 >= longest);
+    }
+
+    /// DOALL critical path: exact for one iteration per worker.
+    #[test]
+    fn doall_chunk_law(iters in prop::collection::vec(iter_strategy(), 1..32)) {
+        let n = iters.len() as u32;
+        let s = simulate_entry(ParMode::DoAll, &iters, n);
+        let longest = iters.iter().map(SimIter::total).fold(0.0f64, f64::max);
+        prop_assert!((s.time - longest).abs() < 1e-6, "one iteration per worker");
+    }
+
+    /// Chunked DOACROSS degrades gracefully: chunk = m is fully serial.
+    #[test]
+    fn chunked_extremes(
+        iters in prop::collection::vec(iter_strategy(), 1..32),
+        n in 2u32..8,
+    ) {
+        let serial: f64 = iters.iter().map(SimIter::total).sum();
+        let all = simulate_entry_chunked(ParMode::DoAcross, &iters, n, iters.len());
+        prop_assert!((all.time - serial).abs() < 1e-6, "one chunk = serial");
+        let c1 = simulate_entry_chunked(ParMode::DoAcross, &iters, n, 1);
+        prop_assert!(c1.time <= all.time + 1e-6);
+    }
+}

@@ -1,0 +1,19 @@
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::Vm;
+use dse_workloads::{all, Scale};
+
+fn main() {
+    for w in all() {
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap();
+        let cfg = w.vm_config(Scale::Profile);
+        let base = { let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap(); vm.run().unwrap().counters.work };
+        let mut line = format!("{:10} base={base:9}", w.name);
+        for opt in [OptLevel::Full, OptLevel::NoConstSpan, OptLevel::None] {
+            let t = analysis.transform(opt, 1).unwrap();
+            let mut vm = Vm::new(t.parallel, cfg.clone()).unwrap();
+            let work = vm.run().unwrap().counters.work;
+            line += &format!("  {opt:?}={:.3}", work as f64 / base as f64);
+        }
+        println!("{line}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Access-chain decomposition shared by planning and transformation.
+//!
+//! A memory-access expression (`v`, `a[i]`, `s.f`, `*p`, `p->f`, and
+//! compositions) has exactly one *root*: either a named variable reached
+//! through fields/array indices, or a *pointer boundary* — the pointer
+//! value that is dereferenced. Redirection (Table 2) happens at the root:
+//! direct accesses index the variable's replicated copies; indirect
+//! accesses add `tid * span / sizeof(*p)` to the boundary pointer.
+
+use dse_lang::ast::*;
+use dse_lang::types::Type;
+
+/// The root of an access chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessRoot<'a> {
+    /// The chain bottoms out at a named variable.
+    Direct(VarBinding),
+    /// The chain dereferences this pointer-valued expression.
+    Indirect(&'a Expr),
+}
+
+/// Finds the root of the access expression `e` (which must be typed).
+/// Returns `None` for expressions that are not accesses.
+pub fn access_root(e: &Expr) -> Option<AccessRoot<'_>> {
+    match &e.kind {
+        ExprKind::Var { binding, .. } => Some(AccessRoot::Direct(binding.expect("typed AST"))),
+        ExprKind::Field { base, .. } => access_root(base),
+        ExprKind::Index { base, .. } => {
+            if matches!(base.ty(), Type::Array(..)) {
+                access_root(base)
+            } else {
+                Some(AccessRoot::Indirect(base))
+            }
+        }
+        ExprKind::Deref(p) => Some(AccessRoot::Indirect(p)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dse_lang::compile_to_ast;
+
+    /// The lhs of the *last* assignment in the program (the access under
+    /// test in these sources).
+    fn first_assign_lhs(src: &str) -> (Program, Expr) {
+        let p = compile_to_ast(src).unwrap();
+        let mut found = None;
+        let mut prog = p.clone();
+        for f in &mut prog.functions {
+            visit_exprs_in_block(&mut f.body, &mut |e| {
+                if let ExprKind::Assign { lhs, .. } = &e.kind {
+                    found = Some((**lhs).clone());
+                }
+            });
+        }
+        (p, found.unwrap())
+    }
+
+    #[test]
+    fn direct_roots() {
+        let (_, lhs) = first_assign_lhs("int g; int main() { g = 1; return 0; }");
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Direct(_))));
+
+        let (_, lhs) =
+            first_assign_lhs("int a[4]; int main() { a[2] = 1; return 0; }");
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Direct(_))));
+
+        let (_, lhs) = first_assign_lhs(
+            "struct S { int x[3]; }; struct S s; int main() { s.x[1] = 1; return 0; }",
+        );
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Direct(_))));
+    }
+
+    #[test]
+    fn indirect_roots() {
+        let (_, lhs) = first_assign_lhs(
+            "int main() { int *p; p = malloc(8); *p = 1; free(p); return 0; }",
+        );
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Indirect(_))));
+
+        let (_, lhs) = first_assign_lhs(
+            "int main() { int *p; p = malloc(8); p[1] = 1; free(p); return 0; }",
+        );
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Indirect(_))));
+
+        let (_, lhs) = first_assign_lhs(
+            "struct N { int v; }; int main() { struct N *p; p = malloc(8); p->v = 1;
+               free(p); return 0; }",
+        );
+        assert!(matches!(access_root(&lhs), Some(AccessRoot::Indirect(_))));
+    }
+
+    #[test]
+    fn non_access_is_none() {
+        let p = compile_to_ast("int main() { return 1 + 2; }").unwrap();
+        let StmtKind::Return(Some(e)) = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert_eq!(access_root(e), None);
+    }
+}

@@ -1,0 +1,202 @@
+//! `dsec` — the data-structure-expansion compiler driver.
+//!
+//! ```text
+//! dsec <program.cee> [--threads N] [--opt none|noconst|full] [--baseline]
+//!      [--emit source|report|ddg|bytecode] [--run] [--serial]
+//!      [--in <ints,comma,separated>]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! dsec prog.cee --emit report                 # what would be privatized
+//! dsec prog.cee --emit source --threads 4     # the transformed program
+//! dsec prog.cee --run --threads 8             # transform and execute
+//! dsec prog.cee --run --serial                # reference run
+//! ```
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::{Vm, VmConfig};
+use std::process::ExitCode;
+
+struct Opts {
+    path: String,
+    threads: u32,
+    opt: OptLevel,
+    baseline: bool,
+    emit: Vec<String>,
+    run: bool,
+    serial: bool,
+    inputs: Vec<i64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
+         [--baseline] [--emit source|report|ddg|bytecode] [--run] [--serial] [--in 1,2,3]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        path: String::new(),
+        threads: 4,
+        opt: OptLevel::Full,
+        baseline: false,
+        emit: Vec::new(),
+        run: false,
+        serial: false,
+        inputs: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                o.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--opt" => {
+                o.opt = match args.next().as_deref() {
+                    Some("none") => OptLevel::None,
+                    Some("noconst") => OptLevel::NoConstSpan,
+                    Some("full") => OptLevel::Full,
+                    _ => usage(),
+                }
+            }
+            "--baseline" => o.baseline = true,
+            "--emit" => {
+                let what = args.next().unwrap_or_else(|| usage());
+                if !matches!(what.as_str(), "source" | "report" | "ddg" | "bytecode") {
+                    eprintln!("dsec: unknown --emit `{what}`");
+                    std::process::exit(2);
+                }
+                o.emit.push(what);
+            }
+            "--run" => o.run = true,
+            "--serial" => o.serial = true,
+            "--in" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                o.inputs = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--help" | "-h" => usage(),
+            other if o.path.is_empty() && !other.starts_with('-') => {
+                o.path = other.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if o.path.is_empty() {
+        usage();
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let o = parse_opts();
+    match drive(&o) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("dsec: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(&o.path)
+        .map_err(|e| format!("{}: {e}", o.path))?;
+    let cfg = VmConfig { inputs_int: o.inputs.clone(), ..Default::default() };
+    let analysis = Analysis::from_source(&source, cfg.clone())?;
+
+    for emit in &o.emit {
+        match emit.as_str() {
+            "ddg" => {
+                for (ddg, cls) in
+                    analysis.profile.loops.iter().zip(&analysis.classifications)
+                {
+                    println!(
+                        "loop `{}`: {} iterations, {} sites, {} edges, mode {:?}",
+                        ddg.label,
+                        ddg.iterations,
+                        ddg.site_counts.len(),
+                        ddg.edges.len(),
+                        cls.mode
+                    );
+                    let b = cls.access_breakdown(ddg);
+                    let (f, e, c) = b.fractions();
+                    println!(
+                        "  accesses: {:.1}% free, {:.1}% expandable, {:.1}% carried",
+                        100.0 * f,
+                        100.0 * e,
+                        100.0 * c
+                    );
+                }
+            }
+            "report" => {
+                let t = analysis.transform(o.opt, o.threads)?;
+                let r = &t.report;
+                println!("expansion report (N = {}, {:?}):", o.threads, o.opt);
+                println!("  privatized data structures: {}", r.privatized_structures());
+                println!("    heap allocation sites:    {}", r.expanded_allocs);
+                println!("    globals:                  {}", r.expanded_globals);
+                println!("    aggregate locals:         {}", r.expanded_locals);
+                println!("  expanded scalars:           {}", r.expanded_scalar_locals);
+                println!("  fat pointer types:          {}", r.fat_pointer_types);
+                println!("  span-carrying integers:     {}", r.fat_int_vars);
+                println!(
+                    "  span stores inserted:       {} ({} elided)",
+                    r.span_stores_emitted, r.span_stores_elided
+                );
+                println!("  private accesses redirected: {}", r.private_accesses_redirected);
+                for (label, mode) in &t.modes {
+                    println!("  loop `{label}` scheduled {mode:?}");
+                }
+            }
+            "source" => {
+                let t = analysis.transform(o.opt, o.threads)?;
+                print!("{}", dse_lang::printer::print_program(&t.program));
+            }
+            "bytecode" => {
+                let t = analysis.transform(o.opt, o.threads)?;
+                print!("{}", dse_ir::disasm::disassemble(&t.parallel));
+            }
+            other => unreachable!("--emit values validated in parse_opts: {other}"),
+        }
+    }
+
+    if o.run {
+        let (compiled, n) = if o.serial {
+            (analysis.serial.clone(), 1)
+        } else if o.baseline {
+            (analysis.baseline_parallel(o.threads)?.parallel, o.threads)
+        } else {
+            (analysis.transform(o.opt, o.threads)?.parallel, o.threads)
+        };
+        let mut vm = Vm::new(
+            compiled,
+            VmConfig { nthreads: n, inputs_int: o.inputs.clone(), ..Default::default() },
+        )?;
+        let report = vm.run()?;
+        print!("{}", vm.console());
+        let outs = vm.outputs_int();
+        if !outs.is_empty() {
+            println!("out_long: {outs:?}");
+        }
+        let fouts = vm.outputs_float();
+        if !fouts.is_empty() {
+            println!("out_float: {fouts:?}");
+        }
+        eprintln!(
+            "[{} instructions, peak heap {} bytes]",
+            report.counters.work, report.peak_heap_bytes
+        );
+        if let Some(dse_runtime::Value::I(code)) = report.return_value {
+            return Ok(ExitCode::from((code & 0xff) as u8));
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,394 @@
+//! # dse-core — General Data Structure Expansion for Multi-threading
+//!
+//! The paper's primary contribution (Yu, Ko, Li — PLDI 2013), implemented
+//! over the `dse-lang`/`dse-ir`/`dse-runtime` substrate:
+//!
+//! * [`classify`] — access classes over loop-independent dependences
+//!   (Definition 4) and the thread-private test (Definition 5).
+//! * [`plan`] — expansion/promotion decisions, including the Section 3.4
+//!   overhead reductions (alias-based pruning, constant spans).
+//! * [`xform`] — the transformation itself: type expansion (Table 1),
+//!   pointer promotion with span maintenance (Figures 5/6, Table 3), and
+//!   access redirection (Table 2).
+//! * [`Analysis`] — the end-to-end driver: profile a program's candidate
+//!   loops, classify them, and produce the executables the paper
+//!   evaluates: the transformed parallel program (run on N threads, or on
+//!   one thread for the Figure 9 overhead study) and the SpiceC-style
+//!   runtime-privatization baseline (Figures 10/13).
+//!
+//! ```
+//! use dse_core::{Analysis, OptLevel};
+//! use dse_runtime::{Vm, VmConfig};
+//!
+//! # fn main() -> Result<(), dse_core::DseError> {
+//! let src = "
+//!     int main() {
+//!       int *out; out = malloc(100 * sizeof(int));
+//!       int *scratch; scratch = malloc(16 * sizeof(int));
+//!       #pragma candidate hot
+//!       for (int i = 0; i < 100; i++) {
+//!         for (int k = 0; k < 16; k++) { scratch[k] = i + k; }
+//!         int s; s = 0;
+//!         for (int k = 0; k < 16; k++) { s += scratch[k]; }
+//!         out[i] = s;
+//!       }
+//!       long total; total = 0;
+//!       for (int i = 0; i < 100; i++) { total += out[i]; }
+//!       out_long(total);
+//!       free(out); free(scratch);
+//!       return 0;
+//!     }";
+//! let analysis = Analysis::from_source(src, VmConfig::default())?;
+//! // `scratch` is reused every iteration: expansion privatizes it.
+//! let t = analysis.transform(OptLevel::Full, 4)?;
+//! assert!(t.report.privatized_structures() >= 1);
+//! let mut vm = Vm::new(t.parallel, VmConfig { nthreads: 4, ..Default::default() })?;
+//! vm.run()?;
+//! assert_eq!(vm.outputs_int().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod access;
+pub mod classify;
+pub mod plan;
+pub mod xform;
+
+pub use classify::{classify_loop, AccessBreakdown, LoopClassification, SiteClass};
+pub use plan::{build_plan, ExpansionPlan, LayoutMode, OptLevel, PlanError, PlanInputs};
+pub use xform::{expand_program, ExpansionReport, XformError, XformResult};
+
+use dse_depprof::ProfileResult;
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::loops::ParMode;
+use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
+use dse_lang::ast::Program;
+use dse_runtime::VmConfig;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Any failure in the end-to-end pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DseError(pub String);
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DseError {}
+
+macro_rules! from_err {
+    ($t:ty) => {
+        impl From<$t> for DseError {
+            fn from(e: $t) -> Self {
+                DseError(e.to_string())
+            }
+        }
+    };
+}
+from_err!(dse_lang::LangError);
+from_err!(dse_ir::lower::LowerError);
+from_err!(dse_ir::loops::CandidateError);
+from_err!(dse_runtime::VmError);
+from_err!(PlanError);
+from_err!(XformError);
+
+/// The profiled-and-classified state of one program: everything needed to
+/// produce transformed executables at any optimization level and thread
+/// count.
+pub struct Analysis {
+    /// The original typed program.
+    pub program: Program,
+    /// Serial lowering (with profiler loop marks).
+    pub serial: CompiledProgram,
+    /// Per-candidate-loop dependence graphs from the profiling run.
+    pub profile: ProfileResult,
+    /// Per-candidate-loop classifications, parallel to `profile.loops`.
+    pub classifications: Vec<LoopClassification>,
+    /// Points-to results.
+    pub pt: dse_analysis::PointsTo,
+    /// Allocation-size facts.
+    pub alloc_sizes: HashMap<u32, dse_analysis::consteval::AllocSizeInfo>,
+}
+
+/// A transformed program ready to execute.
+#[derive(Debug)]
+pub struct Transformed {
+    /// The transformed AST (inspectable).
+    pub program: Program,
+    /// Parallel lowering: candidate loops scheduled per their
+    /// classification (DOALL / DOACROSS with sync windows).
+    pub parallel: CompiledProgram,
+    /// Expansion accounting (Table 5's privatized-structure counts).
+    pub report: ExpansionReport,
+    /// Chosen mode per loop label.
+    pub modes: HashMap<String, ParMode>,
+}
+
+impl Analysis {
+    /// Compiles `source`, profiles it under `profile_config` (which supplies
+    /// the profiling inputs), and classifies every candidate loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, lowering and VM errors.
+    pub fn from_source(source: &str, profile_config: VmConfig) -> Result<Analysis, DseError> {
+        let program = dse_lang::compile_to_ast(source)?;
+        let serial = dse_ir::lower_program(&program, &LowerOptions::default())?;
+        let (profile, _vm) = dse_depprof::profile_program(serial.clone(), profile_config)?;
+        let classifications = profile.loops.iter().map(classify_loop).collect();
+        let pt = dse_analysis::analyze(&program);
+        let alloc_sizes = dse_analysis::consteval::alloc_size_infos(&program);
+        Ok(Analysis { program, serial, profile, classifications, pt, alloc_sizes })
+    }
+
+    /// The classification for a loop label.
+    pub fn classification(&self, label: &str) -> Option<&LoopClassification> {
+        self.classifications.iter().find(|c| c.label == label)
+    }
+
+    /// Builds the expansion plan at the given optimization level and
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    pub fn plan(&self, opt: OptLevel, nthreads: u32) -> Result<ExpansionPlan, DseError> {
+        self.plan_with_layout(opt, nthreads, LayoutMode::Bonded)
+    }
+
+    /// Like [`Analysis::plan`] with an explicit replica layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures — in particular, the interleaved
+    /// layout's structural limitations (paper Section 3.1).
+    pub fn plan_with_layout(
+        &self,
+        opt: OptLevel,
+        nthreads: u32,
+        layout: LayoutMode,
+    ) -> Result<ExpansionPlan, DseError> {
+        let loops: Vec<_> = self
+            .profile
+            .loops
+            .iter()
+            .zip(&self.classifications)
+            .collect();
+        Ok(build_plan(&PlanInputs {
+            program: &self.program,
+            sites: &self.serial.sites,
+            loops,
+            pt: &self.pt,
+            alloc_sizes: &self.alloc_sizes,
+            opt,
+            nthreads,
+            heap_localize: false,
+            layout,
+        })?)
+    }
+
+    /// Builds the runtime-privatization baseline plan: named variables are
+    /// privatized statically (like the expansion), heap accesses are routed
+    /// through the `__localize` runtime (SpiceC's copy-in/commit scheme).
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning failures.
+    pub fn baseline_plan(&self, nthreads: u32) -> Result<ExpansionPlan, DseError> {
+        let loops: Vec<_> = self
+            .profile
+            .loops
+            .iter()
+            .zip(&self.classifications)
+            .collect();
+        Ok(build_plan(&PlanInputs {
+            program: &self.program,
+            sites: &self.serial.sites,
+            loops,
+            pt: &self.pt,
+            alloc_sizes: &self.alloc_sizes,
+            opt: OptLevel::Full,
+            nthreads,
+            heap_localize: true,
+            layout: LayoutMode::Bonded,
+        })?)
+    }
+
+    /// Transforms the program (expansion + promotion + redirection) and
+    /// lowers it with parallel scheduling for `nthreads` workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, transformation and lowering failures.
+    pub fn transform(&self, opt: OptLevel, nthreads: u32) -> Result<Transformed, DseError> {
+        self.transform_with_layout(opt, nthreads, LayoutMode::Bonded)
+    }
+
+    /// Like [`Analysis::transform`] with an explicit replica layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, transformation and lowering failures.
+    pub fn transform_with_layout(
+        &self,
+        opt: OptLevel,
+        nthreads: u32,
+        layout: LayoutMode,
+    ) -> Result<Transformed, DseError> {
+        let plan = self.plan_with_layout(opt, nthreads, layout)?;
+        let sync_eids = self.shared_carried_eids();
+        let result = expand_program(&self.program, &plan, &sync_eids)?;
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            // "Without optimizations" (Figure 9a) also means naive
+            // redirection codegen: no strength-reduced addressing.
+            naive_redirection: opt == OptLevel::None,
+            ..Default::default()
+        };
+        let mut modes = HashMap::new();
+        for cls in &self.classifications {
+            let window = result.sync_windows.get(&cls.label).copied().flatten();
+            opts.par.insert(
+                cls.label.clone(),
+                ParLoopSpec { mode: cls.mode, sync_window: window },
+            );
+            modes.insert(cls.label.clone(), cls.mode);
+        }
+        let parallel = dse_ir::lower_program(&result.program, &opts)?;
+        Ok(Transformed {
+            program: result.program,
+            parallel,
+            report: result.report,
+            modes,
+        })
+    }
+
+    /// Produces the runtime-privatization baseline executable (the
+    /// SpiceC-style scheme of Section 4.2.1): named private variables are
+    /// privatized statically, private heap accesses call into the
+    /// `__localize` runtime (copy-in on first touch, address translation
+    /// per access, commit at loop end). Candidate loops are scheduled like
+    /// the transformed program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, transformation and lowering failures.
+    pub fn baseline_parallel(&self, nthreads: u32) -> Result<Transformed, DseError> {
+        let plan = self.baseline_plan(nthreads)?;
+        let sync_eids = self.shared_carried_eids();
+        let result = expand_program(&self.program, &plan, &sync_eids)?;
+        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut modes = HashMap::new();
+        for cls in &self.classifications {
+            let window = result.sync_windows.get(&cls.label).copied().flatten();
+            opts.par.insert(
+                cls.label.clone(),
+                ParLoopSpec { mode: cls.mode, sync_window: window },
+            );
+            modes.insert(cls.label.clone(), cls.mode);
+        }
+        let parallel = dse_ir::lower_program(&result.program, &opts)?;
+        Ok(Transformed {
+            program: result.program,
+            parallel,
+            report: result.report,
+            modes,
+        })
+    }
+
+    /// Per loop label: eids of shared accesses involved in loop-carried
+    /// dependences (the ordered section for DOACROSS).
+    pub fn shared_carried_eids(&self) -> HashMap<String, HashSet<u32>> {
+        let mut out = HashMap::new();
+        for cls in &self.classifications {
+            let eids: HashSet<u32> = cls
+                .shared_carried_sites
+                .iter()
+                .map(|s| self.serial.sites.info(*s).eid)
+                .filter(|&e| e != dse_lang::ast::NO_EID)
+                .collect();
+            out.insert(cls.label.clone(), eids);
+        }
+        out
+    }
+}
+
+/// Computes DOACROSS sync windows over the *original* program's candidate
+/// bodies (used by the runtime-privatization baseline, which does not
+/// restructure statements).
+pub fn original_sync_windows(
+    program: &Program,
+    sync_eids: &HashMap<String, HashSet<u32>>,
+) -> HashMap<String, Option<(usize, usize)>> {
+    use dse_lang::ast::*;
+    fn scan(
+        block: &Block,
+        fn_name: &str,
+        ordinal: &mut usize,
+        sync_eids: &HashMap<String, HashSet<u32>>,
+        out: &mut HashMap<String, Option<(usize, usize)>>,
+    ) {
+        for s in &block.stmts {
+            match &s.kind {
+                StmtKind::For { body, mark, .. } => {
+                    if mark.candidate {
+                        let this = *ordinal;
+                        *ordinal += 1;
+                        let label = mark
+                            .label
+                            .clone()
+                            .unwrap_or_else(|| format!("{fn_name}#{this}"));
+                        if let Some(set) = sync_eids.get(&label) {
+                            let mut first = None;
+                            let mut last = None;
+                            for (i, st) in body.stmts.iter().enumerate() {
+                                let mut found = false;
+                                let mut probe = st.clone();
+                                visit_exprs_in_stmt(&mut probe, &mut |e| {
+                                    if set.contains(&e.eid) {
+                                        found = true;
+                                    }
+                                });
+                                if found {
+                                    if first.is_none() {
+                                        first = Some(i);
+                                    }
+                                    last = Some(i);
+                                }
+                            }
+                            let window = match (first, last) {
+                                (Some(f), Some(l)) => Some((f, l)),
+                                _ if !set.is_empty() && !body.stmts.is_empty() => {
+                                    Some((0, body.stmts.len() - 1))
+                                }
+                                _ => None,
+                            };
+                            out.insert(label, window);
+                        }
+                    }
+                    scan(body, fn_name, ordinal, sync_eids, out);
+                }
+                StmtKind::If { then, els, .. } => {
+                    scan(then, fn_name, ordinal, sync_eids, out);
+                    if let Some(b) = els {
+                        scan(b, fn_name, ordinal, sync_eids, out);
+                    }
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    scan(body, fn_name, ordinal, sync_eids, out)
+                }
+                StmtKind::Block(b) => scan(b, fn_name, ordinal, sync_eids, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    let mut ordinal = 0usize;
+    for f in &program.functions {
+        scan(&f.body, &f.name, &mut ordinal, sync_eids, &mut out);
+    }
+    out
+}

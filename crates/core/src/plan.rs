@@ -1,0 +1,799 @@
+//! Expansion planning: given the DDG classifications, the points-to
+//! results and the optimization level, decide
+//!
+//! * which data structures to **expand** (Table 1),
+//! * which pointer types to **promote** to fat `{pointer, span}` records
+//!   (Section 3.3.1), and
+//! * which private indirect accesses can use a **constant span** instead
+//!   (the Section 3.4 constant/copy-propagation optimization).
+//!
+//! With [`OptLevel::None`] everything is expanded and every pointer type is
+//! promoted — the configuration measured in the paper's Figure 9a. With
+//! [`OptLevel::Full`] only structures referenced by private accesses are
+//! expanded, pointers whose referents all share one static size keep their
+//! raw representation, and span bookkeeping is pruned (Figure 9b).
+
+use crate::classify::LoopClassification;
+use crate::access::{access_root, AccessRoot};
+use dse_analysis::consteval::{type_contains_pointer, AllocSizeInfo};
+use dse_analysis::{PointsTo, PtObj, VarId};
+use dse_depprof::LoopDdg;
+use dse_ir::sites::SiteTable;
+use dse_lang::ast::*;
+use dse_lang::types::Type;
+use std::collections::{HashMap, HashSet};
+
+/// Replica placement for expanded structures (paper Section 3.1, Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LayoutMode {
+    /// Whole-structure replicas adjacent (the paper's default and the only
+    /// mode that supports untyped heap blocks, recasts and interior
+    /// pointers).
+    #[default]
+    Bonded,
+    /// Per-element replication for *named arrays*: copies of each element
+    /// adjacent (`T v[n]` becomes `T v[n][N]`). Fails — with the paper's
+    /// own argument — whenever an expanded structure is an untyped heap
+    /// block or is reached through a pointer.
+    Interleaved,
+}
+
+/// How aggressively Section 3.4's overhead reductions are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OptLevel {
+    /// No optimizations: expand every structure, promote every pointer
+    /// type, keep every span store (paper Figure 9a).
+    None,
+    /// Alias-based pruning of expansion and promotion, but no constant-span
+    /// discovery (ablation point between the paper's two configurations).
+    NoConstSpan,
+    /// All optimizations (paper Figure 9b).
+    #[default]
+    Full,
+}
+
+/// The per-site classification outcome, merged across parallelized loops
+/// and keyed by AST expression id.
+#[derive(Debug, Clone, Default)]
+pub struct MergedClassification {
+    /// Eids whose accesses are thread-private (either kind).
+    pub private_eids: HashSet<u32>,
+    /// Eids observed in any profiled loop (shared or private).
+    pub seen_eids: HashSet<u32>,
+}
+
+/// A planning failure with explanation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError(pub String);
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expansion planning error: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The complete expansion plan consumed by the transformation.
+#[derive(Debug, Clone, Default)]
+pub struct ExpansionPlan {
+    /// Expansion factor N (thread count the program is transformed for).
+    pub nthreads: u32,
+    /// Objects to expand.
+    pub expanded: HashSet<PtObj>,
+    /// Pointer types (the full `Type::Pointer`) promoted to fat records.
+    pub fat_types: HashSet<Type>,
+    /// Integer variables promoted to carry spans (pointer-difference
+    /// bookkeeping, Table 3 rules "Pointer arithmetic 2/3").
+    pub fat_ints: HashSet<VarId>,
+    /// Private access eids (redirected to the thread's copy).
+    pub private_eids: HashSet<u32>,
+    /// Per private indirect eid: the constant span in bytes, when all its
+    /// referents share one statically known size.
+    pub const_span: HashMap<u32, u64>,
+    /// Whether the `p = p + 1` dead-span-store elimination is on.
+    pub elide_same_pointer_span_stores: bool,
+    /// Runtime-privatization baseline mode (Section 4.2.1): heap structures
+    /// are NOT expanded; private indirect accesses are routed through the
+    /// `__localize` runtime instead. Named variables are still expanded
+    /// ("access control of global or stack variables \[is\] performed
+    /// statically" — SpiceC).
+    pub heap_localize: bool,
+    /// Replica placement (Section 3.1).
+    pub layout: LayoutMode,
+}
+
+impl ExpansionPlan {
+    /// True if the named variable is expanded.
+    pub fn var_expanded(&self, v: VarId) -> bool {
+        self.expanded.contains(&PtObj::Var(v))
+    }
+
+    /// True if the allocation site (call eid) is expanded.
+    pub fn alloc_expanded(&self, eid: u32) -> bool {
+        self.expanded.contains(&PtObj::Alloc(eid))
+    }
+
+    /// True if the given pointer type is fat.
+    pub fn is_fat(&self, ptr_ty: &Type) -> bool {
+        self.fat_types.contains(ptr_ty)
+    }
+}
+
+/// Merges per-loop classifications into eid-keyed sets.
+///
+/// # Errors
+///
+/// Fails if a site is private in one parallelized loop but shared in
+/// another (the transform could not satisfy both).
+pub fn merge_classifications(
+    sites: &SiteTable,
+    parts: &[(&LoopDdg, &LoopClassification)],
+) -> Result<MergedClassification, PlanError> {
+    let mut private = HashSet::new();
+    let mut shared = HashSet::new();
+    let mut seen = HashSet::new();
+    for (_, cls) in parts {
+        for (site, class) in &cls.site_class {
+            let info = sites.info(*site);
+            if info.eid == dse_lang::ast::NO_EID {
+                continue;
+            }
+            seen.insert(info.eid);
+            match class {
+                crate::classify::SiteClass::Private => private.insert(info.eid),
+                crate::classify::SiteClass::Shared => shared.insert(info.eid),
+            };
+        }
+    }
+    if let Some(conflict) = private.intersection(&shared).next() {
+        return Err(PlanError(format!(
+            "access (eid {conflict}) is private in one parallelized loop but shared in another"
+        )));
+    }
+    Ok(MergedClassification { private_eids: private, seen_eids: seen })
+}
+
+/// All distinct pointer types appearing in declarations or expressions.
+fn all_pointer_types(program: &Program) -> HashSet<Type> {
+    let mut out = HashSet::new();
+    let mut add_ty = |ty: &Type| {
+        let mut t = ty;
+        loop {
+            match t {
+                Type::Pointer(inner) => {
+                    out.insert(t.clone());
+                    t = inner;
+                }
+                Type::Array(inner, _) => t = inner,
+                _ => break,
+            }
+        }
+    };
+    for g in &program.globals {
+        add_ty(&g.ty);
+    }
+    for f in &program.functions {
+        add_ty(&f.ret_ty);
+        for l in &f.locals {
+            add_ty(&l.ty);
+        }
+    }
+    let mut prog = program.clone();
+    for f in &mut prog.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if let Some(t) = &e.ty {
+                add_ty(t);
+            }
+            if let ExprKind::Cast(t, _) = &e.kind {
+                add_ty(t);
+            }
+        });
+    }
+    for s in program.types.structs() {
+        for fld in &s.fields {
+            add_ty(&fld.ty);
+        }
+    }
+    out
+}
+
+/// Collects "span flow" edges between pointer types: for every
+/// assignment-like `dst = src` where `src` is not a span terminal (an
+/// allocation call, an address-of, or a null literal), a fat `dst` type
+/// forces `src`'s type fat. Also returns pointer-difference facts for
+/// integer promotion.
+struct SpanFlow {
+    /// (dst pointer type, src pointer type) pairs.
+    edges: Vec<(Type, Type)>,
+    /// `dst = q ± i` facts: (dst pointer type, int var).
+    arith_int_uses: Vec<(Type, VarId)>,
+}
+
+fn is_span_terminal(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Call { name, .. } => {
+            matches!(name.as_str(), "malloc" | "calloc" | "realloc")
+        }
+        ExprKind::AddrOf(_) => true,
+        ExprKind::IntLit(_) => true,
+        ExprKind::Var { .. } => false,
+        ExprKind::Cast(_, inner) => is_span_terminal(inner),
+        // Array decay names an object whose size is static.
+        _ => matches!(e.ty.as_ref(), Some(Type::Array(..))),
+    }
+}
+
+/// The source expression whose span would be copied for `src` (skipping
+/// pointer arithmetic and casts).
+fn span_root(e: &Expr) -> &Expr {
+    match &e.kind {
+        ExprKind::Cast(_, inner) => span_root(inner),
+        ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) => {
+            if l.ty.as_ref().is_some_and(|t| t.decayed().is_pointer()) {
+                span_root(l)
+            } else {
+                span_root(r)
+            }
+        }
+        _ => e,
+    }
+}
+
+fn int_var_of(e: &Expr, func: usize) -> Option<VarId> {
+    match &e.kind {
+        ExprKind::Var { binding: Some(b), .. }
+            if e.ty.as_ref().is_some_and(|t| t.is_integer()) =>
+        {
+            Some(match b {
+                VarBinding::Global(g) => VarId::Global(*g),
+                VarBinding::Local(s) => VarId::Local(func, *s),
+            })
+        }
+        _ => None,
+    }
+}
+
+fn collect_span_flow(program: &Program) -> SpanFlow {
+    let mut sf = SpanFlow { edges: Vec::new(), arith_int_uses: Vec::new() };
+    let mut prog = program.clone();
+    let sigs: Vec<(String, Vec<Type>, Type)> = program
+        .functions
+        .iter()
+        .map(|f| {
+            (
+                f.name.clone(),
+                f.params.iter().map(|p| p.ty.clone()).collect(),
+                f.ret_ty.clone(),
+            )
+        })
+        .collect();
+    for (fi, f) in prog.functions.iter_mut().enumerate() {
+        let ret_ty = f.ret_ty.clone();
+        // Returns: the function's return type receives the expr's span.
+        collect_returns(&f.body, &mut |e: &Expr| {
+            record_flow(&mut sf, fi, &ret_ty, e);
+        });
+        visit_exprs_in_block(&mut f.body, &mut |e| match &e.kind {
+            ExprKind::Assign { op: AssignOp::Set, lhs, rhs } => {
+                if let Some(lt) = &lhs.ty {
+                    record_flow(&mut sf, fi, lt, rhs);
+                }
+            }
+            ExprKind::Call { name, args } => {
+                if let Some((_, params, _)) = sigs.iter().find(|(n, _, _)| n == name) {
+                    for (a, pt) in args.iter().zip(params) {
+                        record_flow(&mut sf, fi, pt, a);
+                    }
+                }
+            }
+            _ => {}
+        });
+        for s in collect_decl_inits(&f.body) {
+            let (ty, init) = s;
+            record_flow(&mut sf, fi, &ty, &init);
+        }
+    }
+    sf
+}
+
+fn record_flow(sf: &mut SpanFlow, func: usize, dst_ty: &Type, src: &Expr) {
+    let dst_ty = dst_ty.decayed();
+    if !dst_ty.is_pointer() {
+        // Pointer difference: i = p - q.
+        if dst_ty.is_integer() {
+            if let ExprKind::Binary(BinOp::Sub, l, r) = &src.kind {
+                if l.ty.as_ref().is_some_and(|t| t.decayed().is_pointer())
+                    && r.ty.as_ref().is_some_and(|t| t.decayed().is_pointer())
+                {
+                    // The destination must be a plain int variable for
+                    // promotion; the transform validates this later.
+                    // Record under both operand types.
+                    // The int var is unknown here (dst is a type only); the
+                    // caller of record_flow for assignments knows the lhs —
+                    // handled in collect via diff_defs in the Assign arm.
+                }
+            }
+        }
+        return;
+    }
+    let root = span_root(src);
+    if is_span_terminal(root) {
+        return;
+    }
+    if let Some(st) = root.ty.as_ref() {
+        let st = st.decayed();
+        if st.is_pointer() {
+            sf.edges.push((dst_ty.clone(), st));
+        }
+    }
+    // dst = q ± i with a variable i: i may need a span.
+    if let ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) = &src.kind {
+        let (ptr_side, int_side) =
+            if l.ty.as_ref().is_some_and(|t| t.decayed().is_pointer()) {
+                (l, r)
+            } else {
+                (r, l)
+            };
+        let _ = ptr_side;
+        if let Some(v) = int_var_of(int_side, func) {
+            sf.arith_int_uses.push((dst_ty.clone(), v));
+        }
+    }
+}
+
+fn collect_returns(block: &Block, f: &mut impl FnMut(&Expr)) {
+    for s in &block.stmts {
+        match &s.kind {
+            StmtKind::Return(Some(e)) => f(e),
+            StmtKind::If { then, els, .. } => {
+                collect_returns(then, f);
+                if let Some(b) = els {
+                    collect_returns(b, f);
+                }
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                collect_returns(body, f)
+            }
+            StmtKind::For { body, .. } => collect_returns(body, f),
+            StmtKind::Block(b) => collect_returns(b, f),
+            _ => {}
+        }
+    }
+}
+
+fn collect_decl_inits(block: &Block) -> Vec<(Type, Expr)> {
+    let mut out = Vec::new();
+    fn go(block: &Block, out: &mut Vec<(Type, Expr)>) {
+        for s in &block.stmts {
+            match &s.kind {
+                StmtKind::Decl { ty, init: Some(e), .. } => {
+                    out.push((ty.clone(), e.clone()))
+                }
+                StmtKind::If { then, els, .. } => {
+                    go(then, out);
+                    if let Some(b) = els {
+                        go(b, out);
+                    }
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    go(body, out)
+                }
+                StmtKind::For { init, body, .. } => {
+                    if let Some(i) = init {
+                        if let StmtKind::Decl { ty, init: Some(e), .. } = &i.kind {
+                            out.push((ty.clone(), e.clone()));
+                        }
+                    }
+                    go(body, out);
+                }
+                StmtKind::Block(b) => go(b, out),
+                _ => {}
+            }
+        }
+    }
+    go(block, &mut out);
+    out
+}
+
+/// Pointer-difference definitions `i = p - q` (assignments and
+/// declaration initializers), as (int var, pointee pointer type) pairs.
+fn collect_diff_defs(program: &Program) -> Vec<(VarId, Type)> {
+    fn diff_operand_types(rhs: &Expr) -> Option<(Type, Type)> {
+        let ExprKind::Binary(BinOp::Sub, l, r) = &rhs.kind else { return None };
+        let lt = l.ty.as_ref()?.decayed();
+        let rt = r.ty.as_ref()?.decayed();
+        (lt.is_pointer() && rt.is_pointer()).then_some((lt, rt))
+    }
+    fn scan_block(block: &Block, fi: usize, out: &mut Vec<(VarId, Type)>) {
+        for s in &block.stmts {
+            match &s.kind {
+                StmtKind::Decl { init: Some(e), slot: Some(slot), ty, .. }
+                    if ty.is_integer() =>
+                {
+                    if let Some((lt, _)) = diff_operand_types(e) {
+                        out.push((VarId::Local(fi, *slot), lt));
+                    }
+                }
+                StmtKind::If { then, els, .. } => {
+                    scan_block(then, fi, out);
+                    if let Some(b) = els {
+                        scan_block(b, fi, out);
+                    }
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    scan_block(body, fi, out)
+                }
+                StmtKind::For { init, body, .. } => {
+                    if let Some(i) = init {
+                        if let StmtKind::Decl { init: Some(e), slot: Some(slot), ty, .. } =
+                            &i.kind
+                        {
+                            if ty.is_integer() {
+                                if let Some((lt, _)) = diff_operand_types(e) {
+                                    out.push((VarId::Local(fi, *slot), lt));
+                                }
+                            }
+                        }
+                    }
+                    scan_block(body, fi, out);
+                }
+                StmtKind::Block(b) => scan_block(b, fi, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut prog = program.clone();
+    for (fi, f) in prog.functions.iter_mut().enumerate() {
+        scan_block(&f.body, fi, &mut out);
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if let ExprKind::Assign { op: AssignOp::Set, lhs, rhs } = &e.kind {
+                if diff_operand_types(rhs).is_some() {
+                    if let Some(v) = int_var_of(lhs, fi) {
+                        if let ExprKind::Binary(BinOp::Sub, l, _) = &rhs.kind {
+                            if let Some(t) = l.ty.as_ref() {
+                                out.push((v, t.decayed()));
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Inputs to [`build_plan`].
+pub struct PlanInputs<'a> {
+    /// The original typed program.
+    pub program: &'a Program,
+    /// Serial-lowering site table (maps sites to eids).
+    pub sites: &'a SiteTable,
+    /// The DDG + classification of every loop being parallelized.
+    pub loops: Vec<(&'a LoopDdg, &'a LoopClassification)>,
+    /// Points-to results.
+    pub pt: &'a PointsTo,
+    /// Allocation-size facts (from [`dse_analysis::consteval::alloc_size_infos`]).
+    pub alloc_sizes: &'a HashMap<u32, AllocSizeInfo>,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Expansion factor N.
+    pub nthreads: u32,
+    /// Build the runtime-privatization baseline plan instead (see
+    /// [`ExpansionPlan::heap_localize`]).
+    pub heap_localize: bool,
+    /// Replica placement (Section 3.1).
+    pub layout: LayoutMode,
+}
+
+/// Builds the expansion plan.
+///
+/// # Errors
+///
+/// Fails on classification conflicts or unsupported shapes (e.g. a function
+/// parameter that would need expansion).
+pub fn build_plan(inp: &PlanInputs<'_>) -> Result<ExpansionPlan, PlanError> {
+    let merged = merge_classifications(inp.sites, &inp.loops)?;
+    let program = inp.program;
+
+    // Induction variables of candidate loops must never be expanded.
+    let mut excluded_vars: HashSet<VarId> = HashSet::new();
+    let cands = dse_ir::loops::find_candidate_loops(program)
+        .map_err(|e| PlanError(e.to_string()))?;
+    for c in &cands {
+        excluded_vars.insert(VarId::Local(c.func as usize, c.induction_slot));
+    }
+
+    // ---- expansion set ----------------------------------------------------
+    let mut expanded: HashSet<PtObj> = HashSet::new();
+    match inp.opt {
+        OptLevel::None => {
+            // Expand everything: all named variables (except parameters and
+            // induction variables) and all allocation sites.
+            for (gi, _) in program.globals.iter().enumerate() {
+                expanded.insert(PtObj::Var(VarId::Global(gi)));
+            }
+            for (fi, f) in program.functions.iter().enumerate() {
+                for (slot, l) in f.locals.iter().enumerate() {
+                    if !l.is_param {
+                        expanded.insert(PtObj::Var(VarId::Local(fi, slot)));
+                    }
+                }
+            }
+            for eid in inp.alloc_sizes.keys() {
+                expanded.insert(PtObj::Alloc(*eid));
+            }
+        }
+        OptLevel::NoConstSpan | OptLevel::Full => {
+            // Only structures referenced by private accesses (Section 3.4).
+            for &eid in &merged.private_eids {
+                if inp.heap_localize {
+                    // Baseline: only named variables reached directly are
+                    // privatized at compile time; heap accesses go through
+                    // the runtime. Pointer-reached variables cannot be
+                    // handled by either side.
+                    if inp.pt.site_is_indirect(eid) {
+                        for obj in inp.pt.objects_of_site(eid) {
+                            if let PtObj::Var(v) = obj {
+                                return Err(PlanError(format!(
+                                    "runtime privatization cannot handle private \
+                                     pointer accesses to the address-taken variable \
+                                     {v:?} (eid {eid})"
+                                )));
+                            }
+                        }
+                        continue;
+                    }
+                }
+                for obj in inp.pt.objects_of_site(eid) {
+                    expanded.insert(obj);
+                }
+            }
+        }
+    }
+    if inp.heap_localize {
+        expanded.retain(|o| matches!(o, PtObj::Var(_)));
+    }
+    for v in &excluded_vars {
+        expanded.remove(&PtObj::Var(*v));
+    }
+    // Parameters cannot be expanded (they are caller-initialized scalars).
+    for obj in &expanded {
+        if let PtObj::Var(VarId::Local(fi, slot)) = obj {
+            if program.functions[*fi].locals[*slot].is_param {
+                return Err(PlanError(format!(
+                    "parameter `{}` of `{}` would need expansion; pass a pointer instead",
+                    program.functions[*fi].locals[*slot].name,
+                    program.functions[*fi].name
+                )));
+            }
+        }
+    }
+
+    // ---- constant spans per private indirect site ---------------------------
+    // Interleaved layout (Fig. 2b): only named variables whose accesses
+    // are all direct can interleave — the paper's own limitation.
+    if inp.layout == LayoutMode::Interleaved {
+        for obj in &expanded {
+            match obj {
+                PtObj::Alloc(eid) => {
+                    return Err(PlanError(format!(
+                        "interleaved layout: heap allocation site (eid {eid}) has no \
+                         static element type to interleave by (paper §3.1)"
+                    )));
+                }
+                PtObj::Var(v) => {
+                    let ty = match v {
+                        VarId::Global(g) => &program.globals[*g].ty,
+                        VarId::Local(f, s) => &program.functions[*f].locals[*s].ty,
+                    };
+                    if matches!(ty, Type::Struct(_)) {
+                        return Err(PlanError(format!(
+                            "interleaved layout: per-field interleaving of struct \
+                             variable {v:?} is not supported"
+                        )));
+                    }
+                }
+            }
+        }
+        for &eid in &merged.private_eids {
+            if inp.pt.site_is_indirect(eid)
+                && inp
+                    .pt
+                    .objects_of_site(eid)
+                    .iter()
+                    .any(|o| expanded.contains(o))
+            {
+                return Err(PlanError(format!(
+                    "interleaved layout: access (eid {eid}) reaches an expanded \
+                     structure through a pointer; per-element replicas are not \
+                     contiguous, so span redirection is impossible (paper §3.1)"
+                )));
+            }
+        }
+    }
+
+    // A span may be treated as a compile-time constant only when it cannot
+    // change under pointer promotion (fat pointers grow memory layouts).
+    let object_const_size = |obj: &PtObj| -> Option<u64> {
+        match obj {
+            PtObj::Alloc(eid) => {
+                let info = inp.alloc_sizes.get(eid)?;
+                if info.promotion_sensitive {
+                    None
+                } else {
+                    info.const_size
+                }
+            }
+            PtObj::Var(v) => {
+                let ty = match v {
+                    VarId::Global(g) => &program.globals[*g].ty,
+                    VarId::Local(f, s) => &program.functions[*f].locals[*s].ty,
+                };
+                if type_contains_pointer(ty, &program.types) {
+                    None
+                } else {
+                    Some(program.types.size_of(ty))
+                }
+            }
+        }
+    };
+
+    let mut const_span: HashMap<u32, u64> = HashMap::new();
+    let mut dynamic_span_eids: HashSet<u32> = HashSet::new();
+    if inp.heap_localize {
+        // No spans needed: private indirect accesses use the runtime.
+        return finish(
+            inp,
+            expanded,
+            HashSet::new(),
+            HashSet::new(),
+            merged,
+            const_span,
+        );
+    }
+    for &eid in &merged.private_eids {
+        if !inp.pt.site_is_indirect(eid) {
+            continue;
+        }
+        let objs = inp.pt.objects_of_site(eid);
+        let touches_expanded = objs.iter().any(|o| expanded.contains(o));
+        if !touches_expanded {
+            continue;
+        }
+        let sizes: Vec<Option<u64>> = objs.iter().map(object_const_size).collect();
+        let all_same_const = inp.opt == OptLevel::Full
+            && !sizes.is_empty()
+            && sizes.iter().all(|s| s.is_some() && *s == sizes[0]);
+        if all_same_const {
+            const_span.insert(eid, sizes[0].expect("checked above"));
+        } else {
+            dynamic_span_eids.insert(eid);
+        }
+    }
+
+    // ---- fat pointer types -------------------------------------------------
+    let mut fat_types: HashSet<Type> = HashSet::new();
+    match inp.opt {
+        OptLevel::None => {
+            fat_types = all_pointer_types(program);
+        }
+        OptLevel::NoConstSpan | OptLevel::Full => {
+            // Seed with the base-pointer types of dynamic-span sites.
+            // The base type is the site expression's addressing pointer: we
+            // recover it from the AST by eid.
+            let base_tys = base_pointer_types_of_sites(program, &dynamic_span_eids);
+            fat_types.extend(base_tys);
+            // `realloc` of an expanded structure must move each thread's
+            // copy, which requires the old per-copy span at run time: the
+            // pointer being reallocated must be promoted.
+            fat_types.extend(expanded_realloc_arg_types(program, &expanded));
+            // Close over span flow.
+            let sf = collect_span_flow(program);
+            let diffs = collect_diff_defs(program);
+            let mut fat_ints: HashSet<VarId> = HashSet::new();
+            loop {
+                let before = (fat_types.len(), fat_ints.len());
+                for (dst, src) in &sf.edges {
+                    if fat_types.contains(dst) {
+                        fat_types.insert(src.clone());
+                    }
+                }
+                for (dst_ty, iv) in &sf.arith_int_uses {
+                    if fat_types.contains(dst_ty)
+                        && diffs.iter().any(|(v, _)| v == iv)
+                    {
+                        fat_ints.insert(*iv);
+                    }
+                }
+                for (iv, pty) in &diffs {
+                    if fat_ints.contains(iv) {
+                        fat_types.insert(pty.clone());
+                    }
+                }
+                if (fat_types.len(), fat_ints.len()) == before {
+                    return finish(inp, expanded, fat_types, fat_ints, merged, const_span);
+                }
+            }
+        }
+    }
+    let sf = collect_span_flow(program);
+    let diffs = collect_diff_defs(program);
+    // With OptLevel::None every pointer is already fat; promote every
+    // difference integer too.
+    let fat_ints: HashSet<VarId> = diffs.iter().map(|(v, _)| *v).collect();
+    let _ = sf;
+    finish(inp, expanded, fat_types, fat_ints, merged, const_span)
+}
+
+fn finish(
+    inp: &PlanInputs<'_>,
+    expanded: HashSet<PtObj>,
+    fat_types: HashSet<Type>,
+    fat_ints: HashSet<VarId>,
+    merged: MergedClassification,
+    const_span: HashMap<u32, u64>,
+) -> Result<ExpansionPlan, PlanError> {
+    Ok(ExpansionPlan {
+        nthreads: inp.nthreads,
+        expanded,
+        fat_types,
+        fat_ints,
+        private_eids: merged.private_eids,
+        const_span,
+        elide_same_pointer_span_stores: inp.opt != OptLevel::None,
+        heap_localize: inp.heap_localize,
+        layout: inp.layout,
+    })
+}
+
+/// The decayed types of pointers passed to `realloc` calls whose
+/// allocation site is expanded.
+fn expanded_realloc_arg_types(
+    program: &Program,
+    expanded: &HashSet<PtObj>,
+) -> HashSet<Type> {
+    let mut out = HashSet::new();
+    let mut prog = program.clone();
+    for f in &mut prog.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if let ExprKind::Call { name, args } = &e.kind {
+                if name == "realloc" && expanded.contains(&PtObj::Alloc(e.eid)) {
+                    if let Some(t) = args.first().and_then(|a| a.ty.as_ref()) {
+                        let t = t.decayed();
+                        if t.is_pointer() {
+                            out.insert(t);
+                        }
+                    }
+                }
+            }
+        });
+    }
+    out
+}
+
+/// The pointer types through which the given access eids dereference.
+fn base_pointer_types_of_sites(program: &Program, eids: &HashSet<u32>) -> HashSet<Type> {
+    let mut out = HashSet::new();
+    if eids.is_empty() {
+        return out;
+    }
+    let mut prog = program.clone();
+    for f in &mut prog.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| {
+            if !eids.contains(&e.eid) {
+                return;
+            }
+            if let Some(AccessRoot::Indirect(base)) = access_root(e) {
+                if let Some(t) = &base.ty {
+                    let t = t.decayed();
+                    if t.is_pointer() {
+                        out.insert(t);
+                    }
+                }
+            }
+        });
+    }
+    out
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the access-class construction (Definition 4)
+//! and the thread-private test (Definition 5) over randomly generated
+//! dependence graphs.
+
+use dse_core::classify::{classify_loop, SiteClass};
+use dse_depprof::{DepEdge, DepKind, LoopDdg};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const NSITES: u32 = 12;
+
+fn edge_strategy() -> impl Strategy<Value = DepEdge> {
+    (
+        0..NSITES,
+        0..NSITES,
+        prop_oneof![Just(DepKind::Flow), Just(DepKind::Anti), Just(DepKind::Output)],
+        any::<bool>(),
+    )
+        .prop_map(|(src, dst, kind, carried)| DepEdge { src, dst, kind, carried })
+}
+
+fn ddg_strategy() -> impl Strategy<Value = LoopDdg> {
+    (
+        prop::collection::hash_set(edge_strategy(), 0..24),
+        prop::collection::hash_set(0..NSITES, 0..4),
+        prop::collection::hash_set(0..NSITES, 0..4),
+    )
+        .prop_map(|(edges, up, down)| LoopDdg {
+            label: "prop".into(),
+            edges,
+            upward_exposed: up,
+            downward_exposed: down,
+            site_counts: (0..NSITES).map(|s| (s, 1)).collect(),
+            ..Default::default()
+        })
+}
+
+/// Reference partition: connected components over loop-independent edges,
+/// computed by naive fixpoint (independent of the union-find code).
+fn reference_components(ddg: &LoopDdg) -> HashMap<u32, u32> {
+    let mut comp: HashMap<u32, u32> = (0..NSITES).map(|s| (s, s)).collect();
+    loop {
+        let mut changed = false;
+        for e in &ddg.edges {
+            if e.carried {
+                continue;
+            }
+            let a = comp[&e.src];
+            let b = comp[&e.dst];
+            if a != b {
+                let m = a.min(b);
+                for v in comp.values_mut() {
+                    if *v == a || *v == b {
+                        *v = m;
+                    }
+                }
+                changed = true;
+            }
+        }
+        if !changed {
+            return comp;
+        }
+    }
+}
+
+proptest! {
+    /// The union-find partition equals naive connected components over
+    /// loop-independent dependences (Definition 4).
+    #[test]
+    fn classes_are_connected_components(ddg in ddg_strategy()) {
+        let cls = classify_loop(&ddg);
+        let reference = reference_components(&ddg);
+        for a in 0..NSITES {
+            for b in 0..NSITES {
+                let same_ref = reference[&a] == reference[&b];
+                let same_cls = cls.class_of[&a] == cls.class_of[&b];
+                prop_assert_eq!(same_ref, same_cls, "sites {} {}", a, b);
+            }
+        }
+    }
+
+    /// Definition 5, checked per site against the raw graph:
+    /// a private site's whole class has no exposed member and no carried
+    /// flow member, and some member carries an anti/output dependence;
+    /// a shared site's class violates one of the three.
+    #[test]
+    fn definition5_holds(ddg in ddg_strategy()) {
+        let cls = classify_loop(&ddg);
+        let carried_flow = ddg.sites_in_carried(&[DepKind::Flow]);
+        let carried_ao = ddg.sites_in_carried(&[DepKind::Anti, DepKind::Output]);
+        // Group sites by class.
+        let mut classes: HashMap<u32, Vec<u32>> = HashMap::new();
+        for s in 0..NSITES {
+            classes.entry(cls.class_of[&s]).or_default().push(s);
+        }
+        for members in classes.values() {
+            let exposed = members.iter().any(|s| {
+                ddg.upward_exposed.contains(s) || ddg.downward_exposed.contains(s)
+            });
+            let has_cf = members.iter().any(|s| carried_flow.contains(s));
+            let has_cao = members.iter().any(|s| carried_ao.contains(s));
+            let should_be_private = !exposed && !has_cf && has_cao;
+            for s in members {
+                prop_assert_eq!(
+                    cls.site_class[s] == SiteClass::Private,
+                    should_be_private,
+                    "site {} in class {:?}", s, members
+                );
+            }
+        }
+    }
+
+    /// Mode selection: DOACROSS exactly when some shared site carries a
+    /// dependence; and every site the classifier calls shared-carried
+    /// really is shared and really carries.
+    #[test]
+    fn mode_matches_shared_carried(ddg in ddg_strategy()) {
+        let cls = classify_loop(&ddg);
+        let carried: HashSet<u32> = ddg
+            .sites_in_carried(&[DepKind::Flow, DepKind::Anti, DepKind::Output]);
+        let expect_doacross = carried
+            .iter()
+            .any(|s| cls.site_class[s] == SiteClass::Shared);
+        prop_assert_eq!(
+            cls.mode == dse_ir::loops::ParMode::DoAcross,
+            expect_doacross
+        );
+        for s in &cls.shared_carried_sites {
+            prop_assert!(carried.contains(s));
+            prop_assert_eq!(cls.site_class[s], SiteClass::Shared);
+        }
+    }
+
+    /// The Figure-8 breakdown partitions the dynamic accesses exactly.
+    #[test]
+    fn breakdown_partitions_counts(ddg in ddg_strategy()) {
+        let cls = classify_loop(&ddg);
+        let b = cls.access_breakdown(&ddg);
+        let total: u64 = ddg.site_counts.values().sum();
+        prop_assert_eq!(b.total(), total);
+    }
+}

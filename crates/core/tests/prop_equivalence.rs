@@ -1,0 +1,254 @@
+//! Property-based soundness fuzzing of the expansion pass.
+//!
+//! Random candidate-loop bodies are generated from a small statement
+//! grammar over scalars, a local scratch array, a heap scratch buffer, a
+//! global, and an accumulator. The property is the transformation's
+//! soundness contract: **whatever the dependence structure turns out to be
+//! — privatizable, accumulating, upward-exposed, anything — the profiled
+//! classification plus expansion must preserve the program's observable
+//! results on every thread count**. Non-privatizable patterns must come
+//! out shared/DOACROSS-ordered, not broken.
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::{Vm, VmConfig};
+use proptest::prelude::*;
+
+/// A generated integer expression over the loop's names.
+#[derive(Debug, Clone)]
+enum GExpr {
+    Lit(i8),
+    I,
+    A,
+    B,
+    Glob,
+    Acc,
+    Loc(Box<GExpr>),
+    Heap(Box<GExpr>),
+    Add(Box<GExpr>, Box<GExpr>),
+    Mul(Box<GExpr>, Box<GExpr>),
+    Xor(Box<GExpr>, Box<GExpr>),
+}
+
+impl GExpr {
+    fn render(&self) -> String {
+        match self {
+            GExpr::Lit(v) => format!("{v}"),
+            GExpr::I => "i".into(),
+            GExpr::A => "a".into(),
+            GExpr::B => "b".into(),
+            GExpr::Glob => "gv".into(),
+            GExpr::Acc => "(int)acc".into(),
+            GExpr::Loc(ix) => format!("locbuf[({}) & 7]", ix.render()),
+            GExpr::Heap(ix) => format!("heapbuf[({}) & 15]", ix.render()),
+            GExpr::Add(l, r) => format!("({} + {})", l.render(), r.render()),
+            GExpr::Mul(l, r) => format!("({} * {})", l.render(), r.render()),
+            GExpr::Xor(l, r) => format!("({} ^ {})", l.render(), r.render()),
+        }
+    }
+}
+
+/// A generated statement.
+#[derive(Debug, Clone)]
+enum GStmt {
+    /// `a = e;` / `b = e;` / `gv = e;`
+    SetScalar(u8, GExpr),
+    /// `locbuf[ix & 7] = e;`
+    SetLoc(GExpr, GExpr),
+    /// `heapbuf[ix & 15] = e;`
+    SetHeap(GExpr, GExpr),
+    /// `acc += e;`
+    BumpAcc(GExpr),
+    /// `if (e) { s } else { s }`
+    If(GExpr, Box<GStmt>, Box<GStmt>),
+    /// `for (int k = 0; k < 4; k++) { s }` with `k` available via `a`.
+    Loop(Box<GStmt>),
+}
+
+impl GStmt {
+    fn render(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 2);
+        match self {
+            GStmt::SetScalar(which, e) => {
+                let name = match which % 3 {
+                    0 => "a",
+                    1 => "b",
+                    _ => "gv",
+                };
+                out.push_str(&format!("{pad}{name} = {};\n", e.render()));
+            }
+            GStmt::SetLoc(ix, e) => {
+                out.push_str(&format!(
+                    "{pad}locbuf[({}) & 7] = {};\n",
+                    ix.render(),
+                    e.render()
+                ));
+            }
+            GStmt::SetHeap(ix, e) => {
+                out.push_str(&format!(
+                    "{pad}heapbuf[({}) & 15] = {};\n",
+                    ix.render(),
+                    e.render()
+                ));
+            }
+            GStmt::BumpAcc(e) => {
+                out.push_str(&format!("{pad}acc += {};\n", e.render()));
+            }
+            GStmt::If(c, t, f) => {
+                out.push_str(&format!("{pad}if ({}) {{\n", c.render()));
+                t.render(out, depth + 1);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                f.render(out, depth + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GStmt::Loop(body) => {
+                out.push_str(&format!("{pad}for (int k = 0; k < 4; k++) {{\n"));
+                out.push_str(&format!("{pad}  a = a + k;\n"));
+                body.render(out, depth + 1);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+        }
+    }
+}
+
+fn expr_strategy() -> impl Strategy<Value = GExpr> {
+    let leaf = prop_oneof![
+        any::<i8>().prop_map(GExpr::Lit),
+        Just(GExpr::I),
+        Just(GExpr::A),
+        Just(GExpr::B),
+        Just(GExpr::Glob),
+        Just(GExpr::Acc),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| GExpr::Loc(Box::new(e))),
+            inner.clone().prop_map(|e| GExpr::Heap(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| GExpr::Add(Box::new(l), Box::new(r))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(l, r)| GExpr::Mul(Box::new(l), Box::new(r))),
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| GExpr::Xor(Box::new(l), Box::new(r))),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = GStmt> {
+    let simple = prop_oneof![
+        (any::<u8>(), expr_strategy()).prop_map(|(w, e)| GStmt::SetScalar(w, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GStmt::SetLoc(i, e)),
+        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GStmt::SetHeap(i, e)),
+        expr_strategy().prop_map(GStmt::BumpAcc),
+    ];
+    simple.prop_recursive(2, 12, 2, |inner| {
+        prop_oneof![
+            (expr_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| GStmt::If(c, Box::new(t), Box::new(f))),
+            inner.prop_map(|b| GStmt::Loop(Box::new(b))),
+        ]
+    })
+}
+
+fn render_program(stmts: &[GStmt]) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        s.render(&mut body, 0);
+    }
+    format!(
+        "int gv;
+int main() {{
+  int *heapbuf; heapbuf = malloc(16 * sizeof(int));
+  int *outv; outv = malloc(20 * sizeof(int));
+  long acc; acc = 0;
+  #pragma candidate fuzz
+  for (int i = 0; i < 20; i++) {{
+    int a; a = i;
+    int b; b = 7;
+    int locbuf[8];
+    for (int z = 0; z < 8; z++) {{ locbuf[z] = 0; }}
+{body}
+    outv[i] = a ^ b ^ locbuf[i & 7] ^ heapbuf[i & 15];
+  }}
+  long h; h = acc;
+  for (int i = 0; i < 20; i++) {{ h = (h * 31 + outv[i]) & 0xffffffffff; }}
+  out_long(h);
+  free(heapbuf); free(outv);
+  return 0;
+}}
+"
+    )
+}
+
+fn run(compiled: dse_ir::bytecode::CompiledProgram, n: u32) -> Vec<i64> {
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig { nthreads: n, max_instructions: 80_000_000, ..Default::default() },
+    )
+    .expect("vm");
+    vm.run().expect("generated programs never trap");
+    vm.outputs_int()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    /// The transformation preserves observable behavior for arbitrary
+    /// generated loop bodies, at every optimization level and thread count.
+    #[test]
+    fn expansion_preserves_semantics(stmts in prop::collection::vec(stmt_strategy(), 1..5)) {
+        let src = render_program(&stmts);
+        let analysis = Analysis::from_source(&src, VmConfig::default())
+            .unwrap_or_else(|e| panic!("pipeline failed on generated program: {e}\n{src}"));
+        let reference = run(analysis.serial.clone(), 1);
+        for (opt, n) in [
+            (OptLevel::Full, 3u32),
+            (OptLevel::Full, 8u32),
+            (OptLevel::None, 2u32),
+        ] {
+            let t = analysis
+                .transform(opt, n)
+                .unwrap_or_else(|e| panic!("transform failed: {e}\n{src}"));
+            let got = run(t.parallel, n);
+            prop_assert_eq!(
+                &got, &reference,
+                "mismatch at {:?} n={}\n{}", opt, n, src
+            );
+        }
+        // The runtime-privatization baseline must agree too.
+        let b = analysis
+            .baseline_parallel(4)
+            .unwrap_or_else(|e| panic!("baseline failed: {e}\n{src}"));
+        let got = run(b.parallel, 4);
+        prop_assert_eq!(&got, &reference, "baseline mismatch\n{}", src);
+        // Interleaved layout, when its structural limits allow it.
+        if let Ok(t) =
+            analysis.transform_with_layout(OptLevel::Full, 4, dse_core::LayoutMode::Interleaved)
+        {
+            let got = run(t.parallel, 4);
+            prop_assert_eq!(&got, &reference, "interleaved mismatch\n{}", src);
+        }
+    }
+
+    /// The pretty-printed transformed program, when it stays in the
+    /// parsable subset, re-checks under sema (printer/transform coherence).
+    #[test]
+    fn transformed_programs_reprint_consistently(stmts in prop::collection::vec(stmt_strategy(), 1..4)) {
+        let src = render_program(&stmts);
+        let analysis = Analysis::from_source(&src, VmConfig::default()).unwrap();
+        let t = analysis.transform(OptLevel::Full, 4).unwrap();
+        let printed = dse_lang::printer::print_program(&t.program);
+        if dse_lang::printer::roundtrips(&t.program) {
+            let reparsed = dse_lang::compile_to_ast(&printed);
+            prop_assert!(
+                reparsed.is_ok(),
+                "printed transform failed to reparse: {:?}\n{}",
+                reparsed.err(),
+                printed
+            );
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Bytecode disassembler: a readable listing of a compiled program with
+//! function/loop-region boundaries and site annotations (`dsec --emit
+//! bytecode` uses it; tests use it to assert code shapes).
+
+use crate::bytecode::*;
+use std::fmt::Write;
+
+/// Renders the whole program as an annotated listing.
+pub fn disassemble(p: &CompiledProgram) -> String {
+    let mut out = String::new();
+    // Region labels by entry pc.
+    let mut labels: Vec<(Pc, String)> = p
+        .funcs
+        .iter()
+        .map(|f| (f.entry, format!("fn {}(frame {}B)", f.name, f.frame_size)))
+        .collect();
+    for (i, l) in p.loops.iter().enumerate() {
+        if l.mode.is_some() {
+            labels.push((
+                l.body_entry,
+                format!("loop body `{}` (#{}, {:?})", l.label, i, l.mode),
+            ));
+        }
+    }
+    labels.sort();
+    let mut next_label = 0usize;
+    for (pc, instr) in p.code.iter().enumerate() {
+        while next_label < labels.len() && labels[next_label].0 as usize == pc {
+            let _ = writeln!(out, "{}:", labels[next_label].1);
+            next_label += 1;
+        }
+        let _ = writeln!(out, "  {pc:5}  {}", render_instr(p, *instr));
+    }
+    out
+}
+
+/// Renders one instruction with site annotations.
+pub fn render_instr(p: &CompiledProgram, i: Instr) -> String {
+    let site = |s: u32| -> String {
+        if s == crate::sites::NO_SITE {
+            String::new()
+        } else {
+            let info = p.sites.info(s);
+            format!("  ; site {s} ({:?} eid {} @{})", info.kind, info.eid, info.span)
+        }
+    };
+    match i {
+        Instr::Load { width, is_float, site: s } => {
+            format!(
+                "Load{}{}{}",
+                width,
+                if is_float { "f" } else { "" },
+                site(s)
+            )
+        }
+        Instr::Store { width, is_float, site: s } => {
+            format!(
+                "Store{}{}{}",
+                width,
+                if is_float { "f" } else { "" },
+                site(s)
+            )
+        }
+        Instr::MemCpy { size, load_site, store_site } => {
+            format!("MemCpy {size}B{}{}", site(load_site), site(store_site))
+        }
+        Instr::Localize { site: s } => format!("Localize{}", site(s)),
+        other => format!("{other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{LowerMode, LowerOptions, ParLoopSpec};
+    use crate::loops::ParMode;
+
+    #[test]
+    fn listing_marks_functions_and_loop_bodies() {
+        let ast = dse_lang::compile_to_ast(
+            "int helper(int x) { return x + 1; }
+             int main() { int s; s = 0;
+               #pragma candidate hot
+               for (int i = 0; i < 4; i++) { s += helper(i); }
+               return s; }",
+        )
+        .unwrap();
+        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        opts.par.insert(
+            "hot".into(),
+            ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+        );
+        let c = crate::lower_program(&ast, &opts).unwrap();
+        let listing = disassemble(&c);
+        assert!(listing.contains("fn helper"));
+        assert!(listing.contains("fn main"));
+        assert!(listing.contains("loop body `hot`"));
+        assert!(listing.contains("ParLoop(0)"));
+        assert!(listing.contains("; site"));
+    }
+
+    #[test]
+    fn every_pc_appears_once() {
+        let ast = dse_lang::compile_to_ast(
+            "int main() { int x; x = 1; return x * 2; }",
+        )
+        .unwrap();
+        let c = crate::lower_program(&ast, &LowerOptions::default()).unwrap();
+        let listing = disassemble(&c);
+        assert_eq!(
+            listing.lines().filter(|l| l.starts_with("  ")).count(),
+            c.code.len()
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Frontend error type shared by the lexer, parser and semantic analyzer.
+
+use crate::source::SourceSpan;
+use std::error::Error;
+use std::fmt;
+
+/// The phase of the frontend that produced a [`LangError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Type checking and name resolution.
+    Sema,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "sema",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An error produced while compiling Cee source to a typed AST.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    phase: Phase,
+    span: SourceSpan,
+    message: String,
+}
+
+impl LangError {
+    /// Creates an error attributed to `phase` at `span`.
+    pub fn new(phase: Phase, span: SourceSpan, message: impl Into<String>) -> Self {
+        LangError { phase, span, message: message.into() }
+    }
+
+    /// Convenience constructor for lexer errors.
+    pub fn lex(span: SourceSpan, message: impl Into<String>) -> Self {
+        Self::new(Phase::Lex, span, message)
+    }
+
+    /// Convenience constructor for parser errors.
+    pub fn parse(span: SourceSpan, message: impl Into<String>) -> Self {
+        Self::new(Phase::Parse, span, message)
+    }
+
+    /// Convenience constructor for semantic errors.
+    pub fn sema(span: SourceSpan, message: impl Into<String>) -> Self {
+        Self::new(Phase::Sema, span, message)
+    }
+
+    /// The phase that produced this error.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Where in the source the error was detected.
+    pub fn span(&self) -> SourceSpan {
+        self.span
+    }
+
+    /// Human-readable description without location prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourcePos, SourceSpan};
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let e = LangError::parse(
+            SourceSpan::at(SourcePos::new(3, 14)),
+            "expected `;`",
+        );
+        assert_eq!(e.to_string(), "parse error at 3:14: expected `;`");
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let span = SourceSpan::at(SourcePos::new(1, 2));
+        let e = LangError::sema(span, "bad");
+        assert_eq!(e.phase(), Phase::Sema);
+        assert_eq!(e.span(), span);
+        assert_eq!(e.message(), "bad");
+    }
+}

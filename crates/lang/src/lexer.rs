@@ -1,0 +1,493 @@
+//! Hand-written lexer for Cee.
+//!
+//! Supports `//` and `/* */` comments, decimal / hexadecimal integer
+//! literals, floating literals, character literals with the common escape
+//! sequences, all C operators used by the grammar, and `#pragma` directives
+//! (which become first-class tokens so the parser can attach them to loops).
+
+use crate::error::LangError;
+use crate::source::{SourcePos, SourceSpan};
+use crate::token::{Keyword, Punct, Token, TokenKind};
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    idx: usize,
+    pos: SourcePos,
+}
+
+/// Tokenizes `source`, returning the token stream terminated by
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`LangError`] on unterminated comments/char literals, malformed
+/// numbers, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
+    let mut lx = Lexer { src: source.as_bytes(), idx: 0, pos: SourcePos::START };
+    let mut out = Vec::new();
+    loop {
+        lx.skip_trivia()?;
+        let start = lx.pos;
+        let Some(c) = lx.peek() else {
+            out.push(Token { kind: TokenKind::Eof, span: SourceSpan::at(start) });
+            return Ok(out);
+        };
+        let kind = match c {
+            b'#' => lx.lex_pragma()?,
+            b'0'..=b'9' => lx.lex_number()?,
+            b'\'' => lx.lex_char()?,
+            c if c == b'_' || c.is_ascii_alphabetic() => lx.lex_ident(),
+            _ => lx.lex_punct()?,
+        };
+        out.push(Token { kind, span: SourceSpan::new(start, lx.pos) });
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> LangError {
+        LangError::lex(SourceSpan::at(self.pos), msg)
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let open = self.pos;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match (self.peek(), self.peek2()) {
+                            (Some(b'*'), Some(b'/')) => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(LangError::lex(
+                                    SourceSpan::at(open),
+                                    "unterminated block comment",
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn lex_pragma(&mut self) -> Result<TokenKind, LangError> {
+        let line = self.pos.line;
+        self.bump(); // '#'
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                word.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        if word != "pragma" {
+            return Err(self.error_here(format!("unknown directive `#{word}`")));
+        }
+        // Collect whitespace-separated words until end of line.
+        let mut words = Vec::new();
+        let mut cur = String::new();
+        while let Some(c) = self.peek() {
+            if self.pos.line != line || c == b'\n' {
+                break;
+            }
+            if c.is_ascii_whitespace() {
+                self.bump();
+                if !cur.is_empty() {
+                    words.push(std::mem::take(&mut cur));
+                }
+            } else {
+                cur.push(self.bump().unwrap() as char);
+            }
+        }
+        if !cur.is_empty() {
+            words.push(cur);
+        }
+        if words.is_empty() {
+            return Err(self.error_here("empty #pragma"));
+        }
+        Ok(TokenKind::PragmaDirective(words))
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, LangError> {
+        let mut text = String::new();
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(self.bump().unwrap() as char);
+                } else {
+                    break;
+                }
+            }
+            if text.is_empty() {
+                return Err(self.error_here("hex literal needs at least one digit"));
+            }
+            // Parse as u64 so 0xFFFFFFFFFFFFFFFF round-trips through i64 bits.
+            let v = u64::from_str_radix(&text, 16)
+                .map_err(|_| self.error_here("hex literal out of range"))?;
+            return Ok(TokenKind::IntLit(v as i64));
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(self.bump().unwrap() as char);
+            } else if c == b'.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap() as char);
+            } else if (c == b'e' || c == b'E')
+                && is_float
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == b'-' || d == b'+')
+            {
+                text.push(self.bump().unwrap() as char);
+                text.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        if is_float {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.error_here("malformed float literal"))?;
+            Ok(TokenKind::FloatLit(v))
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error_here("integer literal out of range"))?;
+            Ok(TokenKind::IntLit(v))
+        }
+    }
+
+    fn lex_char(&mut self) -> Result<TokenKind, LangError> {
+        self.bump(); // opening quote
+        let v = match self.bump() {
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => b'\n' as i64,
+                Some(b't') => b'\t' as i64,
+                Some(b'r') => b'\r' as i64,
+                Some(b'0') => 0,
+                Some(b'\\') => b'\\' as i64,
+                Some(b'\'') => b'\'' as i64,
+                _ => return Err(self.error_here("unknown escape in char literal")),
+            },
+            Some(c) => c as i64,
+            None => return Err(self.error_here("unterminated char literal")),
+        };
+        if self.bump() != Some(b'\'') {
+            return Err(self.error_here("char literal must be a single character"));
+        }
+        Ok(TokenKind::CharLit(v))
+    }
+
+    fn lex_ident(&mut self) -> TokenKind {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                s.push(self.bump().unwrap() as char);
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&s) {
+            Some(kw) => TokenKind::Keyword(kw),
+            None => TokenKind::Ident(s),
+        }
+    }
+
+    fn lex_punct(&mut self) -> Result<TokenKind, LangError> {
+        use Punct::*;
+        let c = self.bump().unwrap();
+        let d = self.peek();
+        let e = self.peek2();
+        let p = match (c, d, e) {
+            (b'<', Some(b'<'), Some(b'=')) => {
+                self.bump();
+                self.bump();
+                ShlAssign
+            }
+            (b'>', Some(b'>'), Some(b'=')) => {
+                self.bump();
+                self.bump();
+                ShrAssign
+            }
+            (b'-', Some(b'>'), _) => {
+                self.bump();
+                Arrow
+            }
+            (b'+', Some(b'+'), _) => {
+                self.bump();
+                PlusPlus
+            }
+            (b'-', Some(b'-'), _) => {
+                self.bump();
+                MinusMinus
+            }
+            (b'<', Some(b'<'), _) => {
+                self.bump();
+                Shl
+            }
+            (b'>', Some(b'>'), _) => {
+                self.bump();
+                Shr
+            }
+            (b'<', Some(b'='), _) => {
+                self.bump();
+                Le
+            }
+            (b'>', Some(b'='), _) => {
+                self.bump();
+                Ge
+            }
+            (b'=', Some(b'='), _) => {
+                self.bump();
+                EqEq
+            }
+            (b'!', Some(b'='), _) => {
+                self.bump();
+                Ne
+            }
+            (b'&', Some(b'&'), _) => {
+                self.bump();
+                AmpAmp
+            }
+            (b'|', Some(b'|'), _) => {
+                self.bump();
+                PipePipe
+            }
+            (b'+', Some(b'='), _) => {
+                self.bump();
+                PlusAssign
+            }
+            (b'-', Some(b'='), _) => {
+                self.bump();
+                MinusAssign
+            }
+            (b'*', Some(b'='), _) => {
+                self.bump();
+                StarAssign
+            }
+            (b'/', Some(b'='), _) => {
+                self.bump();
+                SlashAssign
+            }
+            (b'%', Some(b'='), _) => {
+                self.bump();
+                PercentAssign
+            }
+            (b'&', Some(b'='), _) => {
+                self.bump();
+                AmpAssign
+            }
+            (b'|', Some(b'='), _) => {
+                self.bump();
+                PipeAssign
+            }
+            (b'^', Some(b'='), _) => {
+                self.bump();
+                CaretAssign
+            }
+            (b'(', _, _) => LParen,
+            (b')', _, _) => RParen,
+            (b'{', _, _) => LBrace,
+            (b'}', _, _) => RBrace,
+            (b'[', _, _) => LBracket,
+            (b']', _, _) => RBracket,
+            (b';', _, _) => Semi,
+            (b',', _, _) => Comma,
+            (b'.', _, _) => Dot,
+            (b'+', _, _) => Plus,
+            (b'-', _, _) => Minus,
+            (b'*', _, _) => Star,
+            (b'/', _, _) => Slash,
+            (b'%', _, _) => Percent,
+            (b'&', _, _) => Amp,
+            (b'|', _, _) => Pipe,
+            (b'^', _, _) => Caret,
+            (b'~', _, _) => Tilde,
+            (b'!', _, _) => Bang,
+            (b'<', _, _) => Lt,
+            (b'>', _, _) => Gt,
+            (b'=', _, _) => Assign,
+            (b'?', _, _) => Question,
+            (b':', _, _) => Colon,
+            _ => {
+                return Err(self.error_here(format!(
+                    "unexpected character `{}`",
+                    c as char
+                )))
+            }
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        let ks = kinds("int x;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Ident("x".into()),
+                TokenKind::Punct(Punct::Semi),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_and_decimal() {
+        assert_eq!(kinds("0xff")[0], TokenKind::IntLit(255));
+        assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
+        assert_eq!(
+            kinds("0xFFFFFFFFFFFFFFFF")[0],
+            TokenKind::IntLit(-1i64)
+        );
+    }
+
+    #[test]
+    fn lexes_floats_with_exponent() {
+        assert_eq!(kinds("3.5")[0], TokenKind::FloatLit(3.5));
+        assert_eq!(kinds("1.0e-3")[0], TokenKind::FloatLit(1.0e-3));
+        assert_eq!(kinds("2.5E+2")[0], TokenKind::FloatLit(250.0));
+    }
+
+    #[test]
+    fn dot_after_integer_is_member_access_when_no_digit() {
+        // `a.b` must not swallow the dot into a float.
+        let ks = kinds("1.x");
+        assert_eq!(ks[0], TokenKind::IntLit(1));
+        assert_eq!(ks[1], TokenKind::Punct(Punct::Dot));
+    }
+
+    #[test]
+    fn lexes_char_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::CharLit(97));
+        assert_eq!(kinds(r"'\n'")[0], TokenKind::CharLit(10));
+        assert_eq!(kinds(r"'\0'")[0], TokenKind::CharLit(0));
+    }
+
+    #[test]
+    fn lexes_multi_char_operators_longest_match() {
+        let ks = kinds("<<= >>= -> ++ -- << >> <= >= == != && || += << <");
+        let expect = [
+            Punct::ShlAssign,
+            Punct::ShrAssign,
+            Punct::Arrow,
+            Punct::PlusPlus,
+            Punct::MinusMinus,
+            Punct::Shl,
+            Punct::Shr,
+            Punct::Le,
+            Punct::Ge,
+            Punct::EqEq,
+            Punct::Ne,
+            Punct::AmpAmp,
+            Punct::PipePipe,
+            Punct::PlusAssign,
+            Punct::Shl,
+            Punct::Lt,
+        ];
+        for (i, p) in expect.iter().enumerate() {
+            assert_eq!(ks[i], TokenKind::Punct(*p), "operator #{i}");
+        }
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let ks = kinds("int /* hi\nthere */ x; // trailing\n");
+        assert_eq!(ks.len(), 4); // int, x, ;, eof
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* nope").is_err());
+    }
+
+    #[test]
+    fn pragma_becomes_directive_token() {
+        let ks = kinds("#pragma candidate\nint x;");
+        assert_eq!(
+            ks[0],
+            TokenKind::PragmaDirective(vec!["candidate".into()])
+        );
+    }
+
+    #[test]
+    fn pragma_with_arguments() {
+        let ks = kinds("#pragma candidate doacross\n");
+        assert_eq!(
+            ks[0],
+            TokenKind::PragmaDirective(vec!["candidate".into(), "doacross".into()])
+        );
+    }
+
+    #[test]
+    fn unknown_directive_is_error() {
+        assert!(lex("#include <stdio.h>").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("int\nx;").unwrap();
+        assert_eq!(toks[0].span.start.line, 1);
+        assert_eq!(toks[1].span.start.line, 2);
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(lex("int $x;").is_err());
+        assert!(lex("\"str\"").is_err());
+    }
+}

@@ -1,0 +1,1049 @@
+//! Recursive-descent parser for Cee.
+//!
+//! The grammar is a C subset: struct definitions, global variables with
+//! constant initializers, function definitions, and the full C expression
+//! precedence ladder (assignment, `?:`, logical, bitwise, equality,
+//! relational, shift, additive, multiplicative, unary, postfix).
+//!
+//! `#pragma candidate [label]` must appear immediately before a loop
+//! statement and is attached to it as a [`LoopMark`].
+
+use crate::ast::*;
+use crate::error::LangError;
+use crate::source::SourceSpan;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use crate::types::{Type, TypeTable};
+
+/// Parses a token stream (as produced by [`crate::lexer::lex`]) into an
+/// untyped [`Program`]. Struct layouts are computed eagerly as definitions
+/// are seen, so later declarations can use `sizeof`.
+///
+/// # Errors
+///
+/// Returns a [`LangError`] describing the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, LangError> {
+    let mut p = Parser { tokens, idx: 0, program: Program::default() };
+    p.parse_program()?;
+    Ok(p.program)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    idx: usize,
+    program: Program,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.idx].kind
+    }
+
+    fn peek_at(&self, n: usize) -> &TokenKind {
+        let i = (self.idx + n).min(self.tokens.len() - 1);
+        &self.tokens[i].kind
+    }
+
+    fn span(&self) -> SourceSpan {
+        self.tokens[self.idx].span
+    }
+
+    fn bump(&mut self) -> &Token {
+        let t = &self.tokens[self.idx];
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::parse(self.span(), msg)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> Result<SourceSpan, LangError> {
+        if self.peek() == &TokenKind::Punct(p) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{}`, found {}", p.as_str(), self.peek())))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> Result<SourceSpan, LangError> {
+        if self.peek() == &TokenKind::Keyword(k) {
+            Ok(self.bump().span)
+        } else {
+            Err(self.err(format!("expected `{}`, found {}", k.as_str(), self.peek())))
+        }
+    }
+
+    fn try_punct(&mut self, p: Punct) -> bool {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self) -> Result<(String, SourceSpan), LangError> {
+        if let TokenKind::Ident(s) = self.peek() {
+            let s = s.clone();
+            let span = self.bump().span;
+            Ok((s, span))
+        } else {
+            Err(self.err(format!("expected identifier, found {}", self.peek())))
+        }
+    }
+
+    // ---- top level -----------------------------------------------------
+
+    fn parse_program(&mut self) -> Result<(), LangError> {
+        loop {
+            match self.peek() {
+                TokenKind::Eof => return Ok(()),
+                TokenKind::Keyword(Keyword::Struct)
+                    if self.peek_at(2) == &TokenKind::Punct(Punct::LBrace) =>
+                {
+                    self.parse_struct_def()?;
+                }
+                _ => self.parse_global_or_function()?,
+            }
+        }
+    }
+
+    fn parse_struct_def(&mut self) -> Result<(), LangError> {
+        self.eat_keyword(Keyword::Struct)?;
+        let (name, span) = self.eat_ident()?;
+        if self.program.types.struct_by_name(&name).is_some() {
+            return Err(LangError::parse(span, format!("struct `{name}` redefined")));
+        }
+        self.eat_punct(Punct::LBrace)?;
+        // Pre-declare so the body may contain `struct Name *` self-pointers.
+        let id = self.program.types.declare_struct(name.clone());
+        let mut fields = Vec::new();
+        while !self.try_punct(Punct::RBrace) {
+            let base = self.parse_base_type()?;
+            loop {
+                let (fname, fty) = self.parse_declarator(base.clone())?;
+                if fields.iter().any(|(n, _): &(String, Type)| n == &fname) {
+                    return Err(self.err(format!("duplicate field `{fname}`")));
+                }
+                fields.push((fname, fty));
+                if !self.try_punct(Punct::Comma) {
+                    break;
+                }
+            }
+            self.eat_punct(Punct::Semi)?;
+        }
+        self.eat_punct(Punct::Semi)?;
+        self.program.types.complete_struct(id, fields).map_err(|f| {
+            LangError::parse(
+                span,
+                format!("field `{f}` embeds struct `{name}` by value (infinite size)"),
+            )
+        })?;
+        Ok(())
+    }
+
+    fn parse_global_or_function(&mut self) -> Result<(), LangError> {
+        let base = self.parse_base_type()?;
+        let start = self.span();
+        let mut ty = base.clone();
+        while self.try_punct(Punct::Star) {
+            ty = ty.ptr_to();
+        }
+        let (name, nspan) = self.eat_ident()?;
+        if self.peek() == &TokenKind::Punct(Punct::LParen) {
+            self.parse_function(ty, name, start)?;
+        } else {
+            // Array suffixes, optional initializer.
+            let ty = self.parse_array_suffix(ty)?;
+            let init = if self.try_punct(Punct::Assign) {
+                Some(self.parse_const_init()?)
+            } else {
+                None
+            };
+            self.eat_punct(Punct::Semi)?;
+            if self.program.global(&name).is_some() {
+                return Err(LangError::parse(nspan, format!("global `{name}` redefined")));
+            }
+            self.program.globals.push(GlobalVar { name, ty, init, span: nspan });
+        }
+        Ok(())
+    }
+
+    fn parse_function(
+        &mut self,
+        ret_ty: Type,
+        name: String,
+        span: SourceSpan,
+    ) -> Result<(), LangError> {
+        self.eat_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.try_punct(Punct::RParen) {
+            if self.peek() == &TokenKind::Keyword(Keyword::Void)
+                && self.peek_at(1) == &TokenKind::Punct(Punct::RParen)
+            {
+                self.bump();
+                self.bump();
+            } else {
+                loop {
+                    let base = self.parse_base_type()?;
+                    let (pname, pty) = self.parse_declarator(base)?;
+                    let pspan = self.span();
+                    // Parameters of array type decay to pointers, as in C.
+                    params.push(Param { name: pname, ty: pty.decayed(), span: pspan });
+                    if !self.try_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.eat_punct(Punct::RParen)?;
+            }
+        }
+        if self.program.function(&name).is_some() {
+            return Err(LangError::parse(span, format!("function `{name}` redefined")));
+        }
+        let body = self.parse_block()?;
+        self.program.functions.push(Function {
+            name,
+            ret_ty,
+            params,
+            body,
+            locals: Vec::new(),
+            span,
+        });
+        Ok(())
+    }
+
+    // ---- types ----------------------------------------------------------
+
+    fn parse_base_type(&mut self) -> Result<Type, LangError> {
+        let t = match self.peek().clone() {
+            TokenKind::Keyword(Keyword::Char) => Type::Char,
+            TokenKind::Keyword(Keyword::Short) => Type::Short,
+            TokenKind::Keyword(Keyword::Int) => Type::Int,
+            TokenKind::Keyword(Keyword::Long) => Type::Long,
+            TokenKind::Keyword(Keyword::Float) => Type::Float,
+            TokenKind::Keyword(Keyword::Void) => Type::Void,
+            TokenKind::Keyword(Keyword::Struct) => {
+                self.bump();
+                let (name, span) = self.eat_ident()?;
+                let id = self.program.types.struct_by_name(&name).ok_or_else(|| {
+                    LangError::parse(span, format!("unknown struct `{name}`"))
+                })?;
+                return Ok(Type::Struct(id));
+            }
+            other => return Err(self.err(format!("expected type, found {other}"))),
+        };
+        self.bump();
+        Ok(t)
+    }
+
+    /// Parses `*... name [n]...` given an already-parsed base type.
+    fn parse_declarator(&mut self, base: Type) -> Result<(String, Type), LangError> {
+        let mut ty = base;
+        while self.try_punct(Punct::Star) {
+            ty = ty.ptr_to();
+        }
+        let (name, _) = self.eat_ident()?;
+        let ty = self.parse_array_suffix(ty)?;
+        Ok((name, ty))
+    }
+
+    fn parse_array_suffix(&mut self, elem: Type) -> Result<Type, LangError> {
+        let mut dims = Vec::new();
+        while self.try_punct(Punct::LBracket) {
+            let n = match self.peek().clone() {
+                TokenKind::IntLit(v) if v > 0 => {
+                    self.bump();
+                    v as u64
+                }
+                _ => return Err(self.err("array length must be a positive integer literal")),
+            };
+            self.eat_punct(Punct::RBracket)?;
+            dims.push(n);
+        }
+        let mut ty = elem;
+        for n in dims.into_iter().rev() {
+            ty = ty.array_of(n);
+        }
+        Ok(ty)
+    }
+
+    /// Is the token sequence starting at `(` a cast's type name?
+    fn lparen_starts_type(&self) -> bool {
+        matches!(
+            self.peek_at(1),
+            TokenKind::Keyword(
+                Keyword::Char
+                    | Keyword::Short
+                    | Keyword::Int
+                    | Keyword::Long
+                    | Keyword::Float
+                    | Keyword::Void
+                    | Keyword::Struct
+            )
+        )
+    }
+
+    /// Parses a type name for casts/sizeof: base type plus `*` suffixes.
+    fn parse_type_name(&mut self) -> Result<Type, LangError> {
+        let mut ty = self.parse_base_type()?;
+        while self.try_punct(Punct::Star) {
+            ty = ty.ptr_to();
+        }
+        Ok(ty)
+    }
+
+    // ---- constant initializers ------------------------------------------
+
+    fn parse_const_init(&mut self) -> Result<ConstInit, LangError> {
+        if self.try_punct(Punct::LBrace) {
+            let mut items = Vec::new();
+            if !self.try_punct(Punct::RBrace) {
+                loop {
+                    items.push(self.parse_const_init()?);
+                    if !self.try_punct(Punct::Comma) {
+                        break;
+                    }
+                    // Allow trailing comma before `}`.
+                    if self.peek() == &TokenKind::Punct(Punct::RBrace) {
+                        break;
+                    }
+                }
+                self.eat_punct(Punct::RBrace)?;
+            }
+            return Ok(ConstInit::List(items));
+        }
+        let neg = self.try_punct(Punct::Minus);
+        match self.peek().clone() {
+            TokenKind::IntLit(v) | TokenKind::CharLit(v) => {
+                self.bump();
+                Ok(ConstInit::Int(if neg { -v } else { v }))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(ConstInit::Float(if neg { -v } else { v }))
+            }
+            other => Err(self.err(format!("expected constant initializer, found {other}"))),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn parse_block(&mut self) -> Result<Block, LangError> {
+        self.eat_punct(Punct::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.try_punct(Punct::RBrace) {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(Block { stmts })
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        // Pragma: must precede a loop.
+        if let TokenKind::PragmaDirective(words) = self.peek().clone() {
+            self.bump();
+            if words[0] != "candidate" {
+                return Err(LangError::parse(span, format!("unknown pragma `{}`", words[0])));
+            }
+            let mark = LoopMark { candidate: true, label: words.get(1).cloned() };
+            let mut stmt = self.parse_stmt()?;
+            match &mut stmt.kind {
+                StmtKind::While { mark: m, .. }
+                | StmtKind::DoWhile { mark: m, .. }
+                | StmtKind::For { mark: m, .. } => *m = mark,
+                _ => {
+                    return Err(LangError::parse(
+                        span,
+                        "#pragma candidate must precede a loop",
+                    ))
+                }
+            }
+            return Ok(stmt);
+        }
+        match self.peek().clone() {
+            TokenKind::Keyword(
+                Keyword::Char
+                | Keyword::Short
+                | Keyword::Int
+                | Keyword::Long
+                | Keyword::Float
+                | Keyword::Struct,
+            ) => self.parse_decl_stmt(),
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.eat_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.eat_punct(Punct::RParen)?;
+                let then = self.parse_stmt_as_block()?;
+                let els = if self.peek() == &TokenKind::Keyword(Keyword::Else) {
+                    self.bump();
+                    Some(self.parse_stmt_as_block()?)
+                } else {
+                    None
+                };
+                Ok(Stmt { kind: StmtKind::If { cond, then, els }, span })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.eat_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.eat_punct(Punct::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body, mark: LoopMark::default() },
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = self.parse_stmt_as_block()?;
+                self.eat_keyword(Keyword::While)?;
+                self.eat_punct(Punct::LParen)?;
+                let cond = self.parse_expr()?;
+                self.eat_punct(Punct::RParen)?;
+                self.eat_punct(Punct::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::DoWhile { body, cond, mark: LoopMark::default() },
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::For) => {
+                self.bump();
+                self.eat_punct(Punct::LParen)?;
+                let init = if self.try_punct(Punct::Semi) {
+                    None
+                } else {
+                    let s = match self.peek() {
+                        TokenKind::Keyword(
+                            Keyword::Char
+                            | Keyword::Short
+                            | Keyword::Int
+                            | Keyword::Long
+                            | Keyword::Float
+                            | Keyword::Struct,
+                        ) => self.parse_decl_stmt()?,
+                        _ => {
+                            let e = self.parse_expr()?;
+                            self.eat_punct(Punct::Semi)?;
+                            Stmt { kind: StmtKind::Expr(e), span }
+                        }
+                    };
+                    Some(Box::new(s))
+                };
+                let cond = if self.peek() == &TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat_punct(Punct::Semi)?;
+                let step = if self.peek() == &TokenKind::Punct(Punct::RParen) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat_punct(Punct::RParen)?;
+                let body = self.parse_stmt_as_block()?;
+                Ok(Stmt {
+                    kind: StmtKind::For { init, cond, step, body, mark: LoopMark::default() },
+                    span,
+                })
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.eat_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Break, span })
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.eat_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Continue, span })
+            }
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let e = if self.peek() == &TokenKind::Punct(Punct::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.eat_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return(e), span })
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                let b = self.parse_block()?;
+                Ok(Stmt { kind: StmtKind::Block(b), span })
+            }
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                Ok(Stmt { kind: StmtKind::Block(Block::default()), span })
+            }
+            _ => {
+                let e = self.parse_expr()?;
+                self.eat_punct(Punct::Semi)?;
+                Ok(Stmt { kind: StmtKind::Expr(e), span })
+            }
+        }
+    }
+
+    /// Wraps a single statement in a block unless it already is one, so the
+    /// AST always has `Block` bodies for control flow.
+    fn parse_stmt_as_block(&mut self) -> Result<Block, LangError> {
+        if self.peek() == &TokenKind::Punct(Punct::LBrace) {
+            self.parse_block()
+        } else {
+            let s = self.parse_stmt()?;
+            Ok(Block { stmts: vec![s] })
+        }
+    }
+
+    fn parse_decl_stmt(&mut self) -> Result<Stmt, LangError> {
+        let span = self.span();
+        let base = self.parse_base_type()?;
+        let (name, ty) = self.parse_declarator(base)?;
+        let init = if self.try_punct(Punct::Assign) {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        self.eat_punct(Punct::Semi)?;
+        Ok(Stmt { kind: StmtKind::Decl { name, ty, init, slot: None }, span })
+    }
+
+    // ---- expressions ----------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, LangError> {
+        self.parse_assign()
+    }
+
+    fn parse_assign(&mut self) -> Result<Expr, LangError> {
+        let lhs = self.parse_cond()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Assign) => AssignOp::Set,
+            TokenKind::Punct(Punct::PlusAssign) => AssignOp::Compound(BinOp::Add),
+            TokenKind::Punct(Punct::MinusAssign) => AssignOp::Compound(BinOp::Sub),
+            TokenKind::Punct(Punct::StarAssign) => AssignOp::Compound(BinOp::Mul),
+            TokenKind::Punct(Punct::SlashAssign) => AssignOp::Compound(BinOp::Div),
+            TokenKind::Punct(Punct::PercentAssign) => AssignOp::Compound(BinOp::Rem),
+            TokenKind::Punct(Punct::AmpAssign) => AssignOp::Compound(BinOp::And),
+            TokenKind::Punct(Punct::PipeAssign) => AssignOp::Compound(BinOp::Or),
+            TokenKind::Punct(Punct::CaretAssign) => AssignOp::Compound(BinOp::Xor),
+            TokenKind::Punct(Punct::ShlAssign) => AssignOp::Compound(BinOp::Shl),
+            TokenKind::Punct(Punct::ShrAssign) => AssignOp::Compound(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_assign()?;
+        let span = lhs.span.merge(rhs.span);
+        Ok(Expr::new(
+            ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            span,
+        ))
+    }
+
+    fn parse_cond(&mut self) -> Result<Expr, LangError> {
+        let c = self.parse_binary(0)?;
+        if self.try_punct(Punct::Question) {
+            let t = self.parse_expr()?;
+            self.eat_punct(Punct::Colon)?;
+            let e = self.parse_cond()?;
+            let span = c.span.merge(e.span);
+            return Ok(Expr::new(
+                ExprKind::Cond(Box::new(c), Box::new(t), Box::new(e)),
+                span,
+            ));
+        }
+        Ok(c)
+    }
+
+    /// Precedence-climbing over binary operators. Level 0 is `||`.
+    fn parse_binary(&mut self, min_level: u8) -> Result<Expr, LangError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let (op, level) = match self.peek() {
+                TokenKind::Punct(Punct::PipePipe) => (BinOp::LogOr, 0),
+                TokenKind::Punct(Punct::AmpAmp) => (BinOp::LogAnd, 1),
+                TokenKind::Punct(Punct::Pipe) => (BinOp::Or, 2),
+                TokenKind::Punct(Punct::Caret) => (BinOp::Xor, 3),
+                TokenKind::Punct(Punct::Amp) => (BinOp::And, 4),
+                TokenKind::Punct(Punct::EqEq) => (BinOp::Eq, 5),
+                TokenKind::Punct(Punct::Ne) => (BinOp::Ne, 5),
+                TokenKind::Punct(Punct::Lt) => (BinOp::Lt, 6),
+                TokenKind::Punct(Punct::Gt) => (BinOp::Gt, 6),
+                TokenKind::Punct(Punct::Le) => (BinOp::Le, 6),
+                TokenKind::Punct(Punct::Ge) => (BinOp::Ge, 6),
+                TokenKind::Punct(Punct::Shl) => (BinOp::Shl, 7),
+                TokenKind::Punct(Punct::Shr) => (BinOp::Shr, 7),
+                TokenKind::Punct(Punct::Plus) => (BinOp::Add, 8),
+                TokenKind::Punct(Punct::Minus) => (BinOp::Sub, 8),
+                TokenKind::Punct(Punct::Star) => (BinOp::Mul, 9),
+                TokenKind::Punct(Punct::Slash) => (BinOp::Div, 9),
+                TokenKind::Punct(Punct::Percent) => (BinOp::Rem, 9),
+                _ => return Ok(lhs),
+            };
+            if level < min_level {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.parse_binary(level + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), span);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::Punct(Punct::Minus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Neg, Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::Tilde) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::BitNot, Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::Bang) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::Unary(UnOp::Not, Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::Star) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::Deref(Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::Amp) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::AddrOf(Box::new(e)), span))
+            }
+            TokenKind::Punct(Punct::PlusPlus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(
+                    ExprKind::IncDec { pre: true, inc: true, target: Box::new(e) },
+                    span,
+                ))
+            }
+            TokenKind::Punct(Punct::MinusMinus) => {
+                self.bump();
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(
+                    ExprKind::IncDec { pre: true, inc: false, target: Box::new(e) },
+                    span,
+                ))
+            }
+            TokenKind::Keyword(Keyword::Sizeof) => {
+                self.bump();
+                if self.peek() == &TokenKind::Punct(Punct::LParen) && self.lparen_starts_type() {
+                    self.bump();
+                    let ty = self.parse_type_name()?;
+                    let end = self.eat_punct(Punct::RParen)?;
+                    Ok(Expr::new(ExprKind::SizeofType(ty), span.merge(end)))
+                } else {
+                    let e = self.parse_unary()?;
+                    let span = span.merge(e.span);
+                    Ok(Expr::new(ExprKind::SizeofExpr(Box::new(e)), span))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) if self.lparen_starts_type() => {
+                self.bump();
+                let ty = self.parse_type_name()?;
+                self.eat_punct(Punct::RParen)?;
+                let e = self.parse_unary()?;
+                let span = span.merge(e.span);
+                Ok(Expr::new(ExprKind::Cast(ty, Box::new(e)), span))
+            }
+            _ => self.parse_postfix(),
+        }
+    }
+
+    fn parse_postfix(&mut self) -> Result<Expr, LangError> {
+        let mut e = self.parse_primary()?;
+        loop {
+            let span = self.span();
+            match self.peek().clone() {
+                TokenKind::Punct(Punct::LBracket) => {
+                    self.bump();
+                    let idx = self.parse_expr()?;
+                    let end = self.eat_punct(Punct::RBracket)?;
+                    let span = e.span.merge(end);
+                    e = Expr::new(
+                        ExprKind::Index { base: Box::new(e), index: Box::new(idx) },
+                        span,
+                    );
+                }
+                TokenKind::Punct(Punct::Dot) => {
+                    self.bump();
+                    let (field, fspan) = self.eat_ident()?;
+                    let span = e.span.merge(fspan);
+                    e = Expr::new(ExprKind::Field { base: Box::new(e), field }, span);
+                }
+                TokenKind::Punct(Punct::Arrow) => {
+                    self.bump();
+                    let (field, fspan) = self.eat_ident()?;
+                    let span = e.span.merge(fspan);
+                    // p->f desugars to (*p).f
+                    let deref = Expr::new(ExprKind::Deref(Box::new(e)), span);
+                    e = Expr::new(ExprKind::Field { base: Box::new(deref), field }, span);
+                }
+                TokenKind::Punct(Punct::PlusPlus) => {
+                    self.bump();
+                    let sp = e.span.merge(span);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: true, target: Box::new(e) },
+                        sp,
+                    );
+                }
+                TokenKind::Punct(Punct::MinusMinus) => {
+                    self.bump();
+                    let sp = e.span.merge(span);
+                    e = Expr::new(
+                        ExprKind::IncDec { pre: false, inc: false, target: Box::new(e) },
+                        sp,
+                    );
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, LangError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) | TokenKind::CharLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::IntLit(v), span))
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::FloatLit(v), span))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.try_punct(Punct::LParen) {
+                    let mut args = Vec::new();
+                    if !self.try_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.try_punct(Punct::Comma) {
+                                break;
+                            }
+                        }
+                        self.eat_punct(Punct::RParen)?;
+                    }
+                    Ok(Expr::new(ExprKind::Call { name, args }, span))
+                } else {
+                    Ok(Expr::new(ExprKind::Var { name, binding: None }, span))
+                }
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.eat_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+/// Pretty-printer used by tests and debugging: renders a [`Type`] using the
+/// struct names from `types`.
+pub fn display_type(ty: &Type, types: &TypeTable) -> String {
+    match ty {
+        Type::Struct(id) => format!("struct {}", types.struct_def(*id).name),
+        Type::Pointer(t) => format!("{}*", display_type(t, types)),
+        Type::Array(t, n) => format!("{}[{n}]", display_type(t, types)),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> LangError {
+        parse(&lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn parses_empty_function() {
+        let p = parse_src("void f() {}");
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.functions[0].name, "f");
+        assert_eq!(p.functions[0].ret_ty, Type::Void);
+    }
+
+    #[test]
+    fn parses_globals_with_initializers() {
+        let p = parse_src("int g = 5; float pi = 3.5; int arr[4] = {1, 2};");
+        assert_eq!(p.globals.len(), 3);
+        assert_eq!(p.globals[0].init, Some(ConstInit::Int(5)));
+        assert_eq!(p.globals[1].init, Some(ConstInit::Float(3.5)));
+        assert_eq!(
+            p.globals[2].init,
+            Some(ConstInit::List(vec![ConstInit::Int(1), ConstInit::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn parses_negative_const_init() {
+        let p = parse_src("int g = -5;");
+        assert_eq!(p.globals[0].init, Some(ConstInit::Int(-5)));
+    }
+
+    #[test]
+    fn parses_struct_definition_with_layout() {
+        let p = parse_src("struct Node { int v; struct Node *next; };");
+        let id = p.types.struct_by_name("Node").unwrap();
+        let def = p.types.struct_def(id);
+        assert_eq!(def.fields.len(), 2);
+        assert_eq!(def.field("next").unwrap().offset, 8);
+        assert_eq!(def.size, 16);
+    }
+
+    #[test]
+    fn struct_global_vs_struct_def_disambiguation() {
+        let p = parse_src("struct S { int x; }; struct S g; void f() {}");
+        assert_eq!(p.globals.len(), 1);
+        assert!(matches!(p.globals[0].ty, Type::Struct(_)));
+    }
+
+    #[test]
+    fn parses_pointer_declarators() {
+        let p = parse_src("int **pp; void f(int *a, char **b) {}");
+        assert_eq!(p.globals[0].ty, Type::Int.ptr_to().ptr_to());
+        let f = p.function("f").unwrap();
+        assert_eq!(f.params[0].ty, Type::Int.ptr_to());
+        assert_eq!(f.params[1].ty, Type::Char.ptr_to().ptr_to());
+    }
+
+    #[test]
+    fn array_param_decays() {
+        let p = parse_src("void f(int a[8]) {}");
+        assert_eq!(p.function("f").unwrap().params[0].ty, Type::Int.ptr_to());
+    }
+
+    #[test]
+    fn parses_multidim_array() {
+        let p = parse_src("int m[3][4];");
+        assert_eq!(p.globals[0].ty, Type::Int.array_of(4).array_of(3));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("void f() { int x; x = 1 + 2 * 3; }");
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[1].kind else {
+            panic!("expected expr stmt");
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Binary(BinOp::Add, _, r) = &rhs.kind else {
+            panic!("expected add at top")
+        };
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn assignment_is_right_associative() {
+        let p = parse_src("void f() { int a; int b; a = b = 1; }");
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[2].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::Assign { .. }));
+    }
+
+    #[test]
+    fn arrow_desugars_to_deref_field() {
+        let p = parse_src(
+            "struct N { int v; }; void f(struct N *p) { p->v = 1; }",
+        );
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
+        let ExprKind::Assign { lhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Field { base, field } = &lhs.kind else { panic!() };
+        assert_eq!(field, "v");
+        assert!(matches!(base.kind, ExprKind::Deref(_)));
+    }
+
+    #[test]
+    fn cast_vs_parenthesized_expr() {
+        let p = parse_src("void f(int x) { int y; y = (int)x; y = (x) + 1; }");
+        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e1.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::Cast(Type::Int, _)));
+        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e2.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn sizeof_type_and_expr() {
+        let p = parse_src("void f(int *p) { long n; n = sizeof(int); n = sizeof *p; }");
+        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e1.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::SizeofType(Type::Int)));
+        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e2.kind else { panic!() };
+        assert!(matches!(rhs.kind, ExprKind::SizeofExpr(_)));
+    }
+
+    #[test]
+    fn pragma_attaches_to_loop() {
+        let p = parse_src(
+            "void f() { #pragma candidate outer\nfor (int i = 0; i < 4; i++) {} }",
+        );
+        let StmtKind::For { mark, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(mark.candidate);
+        assert_eq!(mark.label.as_deref(), Some("outer"));
+    }
+
+    #[test]
+    fn pragma_on_while_and_do() {
+        let p = parse_src(
+            "void f() { #pragma candidate\nwhile (1) { break; } #pragma candidate\ndo { } while (0); }",
+        );
+        assert!(p.functions[0].body.stmts[0].kind.loop_mark().unwrap().candidate);
+        assert!(p.functions[0].body.stmts[1].kind.loop_mark().unwrap().candidate);
+    }
+
+    #[test]
+    fn pragma_on_non_loop_is_error() {
+        let e = parse_err("void f() { #pragma candidate\nint x; }");
+        assert!(e.message().contains("must precede a loop"));
+    }
+
+    #[test]
+    fn ternary_parses() {
+        let p = parse_src("int max(int a, int b) { return a > b ? a : b; }");
+        let StmtKind::Return(Some(e)) = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(e.kind, ExprKind::Cond(..)));
+    }
+
+    #[test]
+    fn compound_assignment_ops() {
+        let p = parse_src("void f() { int x; x += 1; x <<= 2; x %= 3; }");
+        for (i, want) in [(1, BinOp::Add), (2, BinOp::Shl), (3, BinOp::Rem)] {
+            let StmtKind::Expr(e) = &p.functions[0].body.stmts[i].kind else { panic!() };
+            let ExprKind::Assign { op, .. } = &e.kind else { panic!() };
+            assert_eq!(*op, AssignOp::Compound(want));
+        }
+    }
+
+    #[test]
+    fn postfix_and_prefix_incdec() {
+        let p = parse_src("void f() { int i; i++; ++i; i--; --i; }");
+        let stmts = &p.functions[0].body.stmts;
+        let get = |i: usize| {
+            let StmtKind::Expr(e) = &stmts[i].kind else { panic!() };
+            let ExprKind::IncDec { pre, inc, .. } = &e.kind else { panic!() };
+            (*pre, *inc)
+        };
+        assert_eq!(get(1), (false, true));
+        assert_eq!(get(2), (true, true));
+        assert_eq!(get(3), (false, false));
+        assert_eq!(get(4), (true, false));
+    }
+
+    #[test]
+    fn for_without_init_cond_step() {
+        let p = parse_src("void f() { for (;;) { break; } }");
+        let StmtKind::For { init, cond, step, .. } = &p.functions[0].body.stmts[0].kind
+        else {
+            panic!()
+        };
+        assert!(init.is_none() && cond.is_none() && step.is_none());
+    }
+
+    #[test]
+    fn dangling_else_binds_to_nearest_if() {
+        let p = parse_src("void f(int a, int b) { if (a) if (b) a = 1; else a = 2; }");
+        let StmtKind::If { els, then, .. } = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(els.is_none());
+        let StmtKind::If { els: inner_els, .. } = &then.stmts[0].kind else { panic!() };
+        assert!(inner_els.is_some());
+    }
+
+    #[test]
+    fn redefinitions_are_errors() {
+        assert!(parse_err("int g; int g;").message().contains("redefined"));
+        assert!(parse_err("void f() {} void f() {}").message().contains("redefined"));
+        assert!(parse_err("struct S { int a; }; struct S { int b; };")
+            .message()
+            .contains("redefined"));
+    }
+
+    #[test]
+    fn duplicate_field_is_error() {
+        assert!(parse_err("struct S { int a; int a; };")
+            .message()
+            .contains("duplicate field"));
+    }
+
+    #[test]
+    fn self_embedding_struct_is_error() {
+        assert!(parse_err("struct S { int a; struct S s; };")
+            .message()
+            .contains("infinite size"));
+        assert!(parse_err("struct A { int x; }; struct B { struct B inner[2]; };")
+            .message()
+            .contains("infinite size"));
+    }
+
+    #[test]
+    fn unknown_struct_is_error() {
+        assert!(parse_err("struct T *p;").message().contains("unknown struct"));
+    }
+
+    #[test]
+    fn missing_semicolon_is_error() {
+        assert!(parse_err("void f() { int x }").message().contains("expected"));
+    }
+
+    #[test]
+    fn zero_length_array_is_error() {
+        assert!(parse_err("int a[0];")
+            .message()
+            .contains("positive integer"));
+    }
+
+    #[test]
+    fn chained_calls_and_indexing() {
+        let p = parse_src("int g(int x) { return x; } void f(int *a) { a[g(1)] = a[0] + 1; }");
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn shift_precedence_below_additive() {
+        // 1 << 2 + 3 parses as 1 << (2+3)
+        let p = parse_src("void f() { int x; x = 1 << 2 + 3; }");
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[1].kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Binary(BinOp::Shl, _, r) = &rhs.kind else { panic!() };
+        assert!(matches!(r.kind, ExprKind::Binary(BinOp::Add, _, _)));
+    }
+
+    #[test]
+    fn void_param_list() {
+        let p = parse_src("int f(void) { return 0; }");
+        assert!(p.functions[0].params.is_empty());
+    }
+}

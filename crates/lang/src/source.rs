@@ -1,0 +1,94 @@
+//! Source positions and spans used by diagnostics throughout the frontend.
+
+use std::fmt;
+
+/// A position in the source text: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourcePos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl SourcePos {
+    /// Position of the first character of a source file.
+    pub const START: SourcePos = SourcePos { line: 1, col: 1 };
+
+    /// Creates a position from a 1-based line and column.
+    pub fn new(line: u32, col: u32) -> Self {
+        SourcePos { line, col }
+    }
+}
+
+impl Default for SourcePos {
+    fn default() -> Self {
+        SourcePos::START
+    }
+}
+
+impl fmt::Display for SourcePos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, from `start` to `end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SourceSpan {
+    /// Start position (inclusive).
+    pub start: SourcePos,
+    /// End position (exclusive).
+    pub end: SourcePos,
+}
+
+impl SourceSpan {
+    /// Creates a span covering `start..end`.
+    pub fn new(start: SourcePos, end: SourcePos) -> Self {
+        SourceSpan { start, end }
+    }
+
+    /// A zero-width span at a single position.
+    pub fn at(pos: SourcePos) -> Self {
+        SourceSpan { start: pos, end: pos }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: SourceSpan) -> SourceSpan {
+        SourceSpan {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for SourceSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_ordering_is_line_major() {
+        assert!(SourcePos::new(1, 9) < SourcePos::new(2, 1));
+        assert!(SourcePos::new(3, 1) < SourcePos::new(3, 2));
+    }
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = SourceSpan::new(SourcePos::new(1, 1), SourcePos::new(1, 5));
+        let b = SourceSpan::new(SourcePos::new(2, 3), SourcePos::new(2, 9));
+        let m = a.merge(b);
+        assert_eq!(m.start, SourcePos::new(1, 1));
+        assert_eq!(m.end, SourcePos::new(2, 9));
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(SourcePos::new(4, 7).to_string(), "4:7");
+    }
+}

@@ -1,0 +1,267 @@
+//! Token definitions for the Cee lexer.
+
+use crate::source::SourceSpan;
+use std::fmt;
+
+/// A reserved word of the Cee language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Keyword {
+    Char,
+    Short,
+    Int,
+    Long,
+    Float,
+    Void,
+    Struct,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    Break,
+    Continue,
+    Return,
+    Sizeof,
+    Pragma,
+}
+
+impl Keyword {
+    /// Looks up the keyword named by `s`, if any. (Not the std `FromStr`
+    /// trait: lookup failure is an expected `None`, not an error.)
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(s: &str) -> Option<Keyword> {
+        Some(match s {
+            "char" => Keyword::Char,
+            "short" => Keyword::Short,
+            "int" => Keyword::Int,
+            "long" => Keyword::Long,
+            "float" => Keyword::Float,
+            "void" => Keyword::Void,
+            "struct" => Keyword::Struct,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "return" => Keyword::Return,
+            "sizeof" => Keyword::Sizeof,
+            _ => return None,
+        })
+    }
+
+    /// The source spelling of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Char => "char",
+            Keyword::Short => "short",
+            Keyword::Int => "int",
+            Keyword::Long => "long",
+            Keyword::Float => "float",
+            Keyword::Void => "void",
+            Keyword::Struct => "struct",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::For => "for",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Return => "return",
+            Keyword::Sizeof => "sizeof",
+            Keyword::Pragma => "#pragma",
+        }
+    }
+}
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    EqEq,
+    Ne,
+    AmpAmp,
+    PipePipe,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+    PlusPlus,
+    MinusMinus,
+    Question,
+    Colon,
+}
+
+impl Punct {
+    /// The source spelling of the punctuator.
+    pub fn as_str(self) -> &'static str {
+        use Punct::*;
+        match self {
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Dot => ".",
+            Arrow => "->",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            EqEq => "==",
+            Ne => "!=",
+            AmpAmp => "&&",
+            PipePipe => "||",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Question => "?",
+            Colon => ":",
+        }
+    }
+}
+
+/// The payload of a lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Identifier (variable, function, struct or field name).
+    Ident(String),
+    /// Integer literal (decimal or `0x` hexadecimal).
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Character literal, already decoded to its numeric value.
+    CharLit(i64),
+    /// `#pragma <ident>` directive; the payload is the pragma body words.
+    PragmaDirective(Vec<String>),
+    /// Operator or punctuation.
+    Punct(Punct),
+    /// End of input sentinel.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "`{}`", k.as_str()),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::IntLit(v) => write!(f, "integer literal `{v}`"),
+            TokenKind::FloatLit(v) => write!(f, "float literal `{v}`"),
+            TokenKind::CharLit(v) => write!(f, "char literal `{v}`"),
+            TokenKind::PragmaDirective(ws) => write!(f, "#pragma {}", ws.join(" ")),
+            TokenKind::Punct(p) => write!(f, "`{}`", p.as_str()),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where it came from.
+    pub span: SourceSpan,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_round_trip() {
+        for kw in [
+            Keyword::Char,
+            Keyword::Short,
+            Keyword::Int,
+            Keyword::Long,
+            Keyword::Float,
+            Keyword::Void,
+            Keyword::Struct,
+            Keyword::If,
+            Keyword::Else,
+            Keyword::While,
+            Keyword::Do,
+            Keyword::For,
+            Keyword::Break,
+            Keyword::Continue,
+            Keyword::Return,
+            Keyword::Sizeof,
+        ] {
+            assert_eq!(Keyword::from_str(kw.as_str()), Some(kw));
+        }
+    }
+
+    #[test]
+    fn non_keyword_is_none() {
+        assert_eq!(Keyword::from_str("integer"), None);
+        assert_eq!(Keyword::from_str(""), None);
+    }
+
+    #[test]
+    fn token_kind_display_forms() {
+        assert_eq!(TokenKind::Punct(Punct::Arrow).to_string(), "`->`");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "identifier `x`");
+        assert_eq!(TokenKind::Eof.to_string(), "end of input");
+    }
+}

@@ -1,0 +1,236 @@
+//! The parallel loop executor (the GOMP stand-in).
+//!
+//! `ParLoop` hands an iteration range to the loop runner:
+//!
+//! * **DOALL** uses static chunk scheduling — the range is split into N
+//!   contiguous chunks, one per worker (paper Section 4.3).
+//! * **DOACROSS** uses dynamic scheduling with chunk size 1: workers claim
+//!   iterations in order from a shared counter; `Wait`/`Post` (or the
+//!   automatic end-of-iteration post) enforce cross-iteration ordering.
+//!
+//! Thread 0 is the master: it participates as a worker with its own
+//! existing context (so its frame pointer still addresses the enclosing
+//! function's frame), while workers 1..N get fresh contexts that share the
+//! master's `frame_base` but run on their own stack regions — the
+//! "thread-private stacks" of real OpenMP threads.
+//!
+//! Nested `ParLoop`s (or runs configured with one thread) execute inline on
+//! the current thread, preserving semantics and letting the overhead
+//! experiments of Figure 9 run transformed code serially.
+
+use crate::observer::{NullObserver, Observer};
+use crate::vm::{Frame, LoopSync, ThreadCtx, Vm, VmError};
+use dse_ir::loops::ParMode;
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Marker in abort-induced errors, so a worker's real trap is preferred
+/// over the "I was told to stop" errors of its peers.
+const ABORTED: &str = "aborted: another worker trapped";
+
+fn record_error(slot: &Mutex<Option<VmError>>, e: VmError) {
+    let mut g = slot.lock();
+    match &*g {
+        None => *g = Some(e),
+        Some(prev) if prev.msg.contains(ABORTED) && !e.msg.contains(ABORTED) => *g = Some(e),
+        _ => {}
+    }
+}
+
+impl Vm {
+    /// Executes candidate loop `id` for iterations `lo..hi`.
+    pub(crate) fn run_par_loop(
+        &self,
+        ctx: &mut ThreadCtx,
+        id: u32,
+        lo: i64,
+        hi: i64,
+    ) -> Result<(), VmError> {
+        if lo >= hi {
+            return Ok(());
+        }
+        let lc = &self.program.loops[id as usize];
+        let mode = lc.mode.unwrap_or(ParMode::DoAll);
+        let body = lc.body_entry;
+        let sync = Arc::new(LoopSync::new(lo));
+
+        if ctx.in_parallel || self.config.nthreads == 1 {
+            // Inline serial execution on the current thread. The loop is
+            // marked "in parallel" for its duration so nested candidate
+            // loops neither re-enter the scheduler nor record their own
+            // iteration costs (their cost is part of this loop's
+            // iterations; double-recording would skew the simulator's
+            // serial-remainder accounting).
+            let record = self.config.record_iteration_costs && !ctx.in_parallel;
+            if record {
+                self.iter_trace.lock().entry(id).or_default().push(Vec::new());
+            }
+            let was_in_parallel = ctx.in_parallel;
+            ctx.in_parallel = true;
+            ctx.sync_stack.push((id, Arc::clone(&sync)));
+            let mut obs = NullObserver;
+            let mut result = Ok(());
+            for i in lo..hi {
+                ctx.iter_stack.push(i);
+                ctx.posted = false;
+                let start = ctx.counters;
+                ctx.wait_mark = None;
+                ctx.post_mark = None;
+                let r = self.exec_region(ctx, body, &mut obs);
+                ctx.iter_stack.pop();
+                if record {
+                    let end = ctx.counters.work;
+                    let wait = ctx.wait_mark.unwrap_or(end).clamp(start.work, end);
+                    let post = ctx.post_mark.unwrap_or(end).clamp(wait, end);
+                    let cost = crate::vm::IterCost {
+                        pre: wait - start.work,
+                        window: post - wait,
+                        post: end - post,
+                        localize_calls: ctx.counters.localize_calls
+                            - start.localize_calls,
+                        localize_bytes: ctx.counters.localize_copied_bytes
+                            - start.localize_copied_bytes,
+                        private_direct: ctx.counters.private_direct
+                            - start.private_direct,
+                    };
+                    let mut tr = self.iter_trace.lock();
+                    tr.get_mut(&id)
+                        .and_then(|v| v.last_mut())
+                        .expect("entry pushed above")
+                        .push(cost);
+                }
+                if let Err(e) = r {
+                    result = Err(e);
+                    break;
+                }
+                self.post_iteration(ctx, &sync, i);
+            }
+            ctx.sync_stack.pop();
+            ctx.in_parallel = was_in_parallel;
+            self.commit_private_copies(ctx);
+            return result;
+        }
+
+        let frame_base = ctx.frame_base;
+        let err_slot: Mutex<Option<VmError>> = Mutex::new(None);
+        std::thread::scope(|scope| {
+            for t in 1..self.config.nthreads {
+                let sync = Arc::clone(&sync);
+                let err_slot = &err_slot;
+                scope.spawn(move || {
+                    let mut wctx =
+                        ThreadCtx::new(t, self.stack_base_of(t), self.config.stack_bytes);
+                    wctx.frame_base = frame_base;
+                    wctx.in_parallel = true;
+                    wctx.sync_stack.push((id, Arc::clone(&sync)));
+                    let r = self.worker_loop(&mut wctx, mode, body, lo, hi, &sync);
+                    wctx.sync_stack.pop();
+                    self.commit_private_copies(&mut wctx);
+                    self.agg.lock().merge(&wctx.counters);
+                    if let Err(e) = r {
+                        record_error(err_slot, e);
+                    }
+                });
+            }
+            // The master participates as worker 0.
+            ctx.in_parallel = true;
+            ctx.sync_stack.push((id, Arc::clone(&sync)));
+            let r = self.worker_loop(ctx, mode, body, lo, hi, &sync);
+            ctx.sync_stack.pop();
+            ctx.in_parallel = false;
+            self.commit_private_copies(ctx);
+            if let Err(e) = r {
+                record_error(&err_slot, e);
+            }
+        });
+        match err_slot.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// One worker's share of the loop. Sets the abort flag before returning
+    /// an error so peers spinning in `Wait` escape.
+    fn worker_loop(
+        &self,
+        ctx: &mut ThreadCtx,
+        mode: ParMode,
+        body: u32,
+        lo: i64,
+        hi: i64,
+        sync: &LoopSync,
+    ) -> Result<(), VmError> {
+        let mut obs = NullObserver;
+        let res = match mode {
+            ParMode::DoAll => {
+                let n = self.config.nthreads as i64;
+                let total = hi - lo;
+                let chunk = (total + n - 1) / n;
+                let start = lo + ctx.tid as i64 * chunk;
+                let end = (start + chunk).min(hi);
+                let mut r = Ok(());
+                for i in start..end {
+                    if sync.abort.load(Ordering::Relaxed) {
+                        r = Err(VmError::new(u32::MAX as usize, ABORTED));
+                        break;
+                    }
+                    ctx.iter_stack.push(i);
+                    let step = self.exec_region(ctx, body, &mut obs);
+                    ctx.iter_stack.pop();
+                    if let Err(e) = step {
+                        r = Err(e);
+                        break;
+                    }
+                }
+                r
+            }
+            ParMode::DoAcross => {
+                let mut r = Ok(());
+                loop {
+                    let i = sync.next.fetch_add(1, Ordering::Relaxed);
+                    if i >= hi {
+                        break;
+                    }
+                    if sync.abort.load(Ordering::Relaxed) {
+                        r = Err(VmError::new(u32::MAX as usize, ABORTED));
+                        break;
+                    }
+                    ctx.iter_stack.push(i);
+                    ctx.posted = false;
+                    let step = self.exec_region(ctx, body, &mut obs);
+                    if step.is_ok() {
+                        self.post_iteration(ctx, sync, i);
+                    }
+                    ctx.iter_stack.pop();
+                    if let Err(e) = step {
+                        r = Err(e);
+                        break;
+                    }
+                }
+                r
+            }
+        };
+        if res.is_err() {
+            sync.abort.store(true, Ordering::Relaxed);
+        }
+        res
+    }
+
+    /// Runs the outlined body region at `entry` to its `Ret`.
+    pub(crate) fn exec_region(
+        &self,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<(), VmError> {
+        ctx.frames.push(Frame {
+            ret_pc: None,
+            saved_base: ctx.frame_base,
+            saved_sp: ctx.sp,
+        });
+        let v = self.exec(ctx, entry, obs)?;
+        debug_assert!(v.is_none(), "loop body regions return no value");
+        Ok(())
+    }
+}

@@ -1,0 +1,42 @@
+//! # dse-runtime — the execution substrate
+//!
+//! A multi-threaded virtual machine for the `dse-ir` bytecode, standing in
+//! for the paper's native x86 execution environment:
+//!
+//! * [`mem`] — byte-addressable shared memory over atomic words, plus a
+//!   first-fit heap with an allocation registry (interior-pointer lookup,
+//!   live/peak accounting for the Figure 14 memory experiments).
+//! * [`vm`] — the interpreter: operand stack, call frames on in-VM stacks,
+//!   builtins (`malloc`..`free`, host I/O, `__tid`/`__nthreads` and the
+//!   expansion pass's `__realloc_expanded`), and per-thread cost counters
+//!   in the categories of the paper's Figure 12.
+//! * [`exec`] — the parallel executor: DOALL static chunking, DOACROSS
+//!   dynamic chunk-1 scheduling with post/wait ordering (GOMP stand-in).
+//! * [`privatize`] — the SpiceC-style runtime-privatization baseline
+//!   (Section 4.2.1): copy-in on first touch, address translation per
+//!   access, commit at loop end.
+//! * [`observer`] — hooks the dependence profiler uses to watch serial
+//!   runs.
+//!
+//! ```
+//! use dse_runtime::{Vm, VmConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = dse_lang::compile_to_ast("int main() { return 6 * 7; }")?;
+//! let compiled = dse_ir::lower_program(&program, &Default::default())?;
+//! let mut vm = Vm::new(compiled, VmConfig::default())?;
+//! let report = vm.run()?;
+//! assert_eq!(report.return_value, Some(dse_runtime::Value::I(42)));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod exec;
+pub mod mem;
+pub mod observer;
+pub mod privatize;
+pub mod vm;
+
+pub use mem::{Allocation, Heap, SharedMem};
+pub use observer::{NullObserver, Observer};
+pub use vm::{Counters, RunReport, ThreadCtx, Value, Vm, VmConfig, VmError};

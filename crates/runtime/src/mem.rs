@@ -1,0 +1,495 @@
+//! Byte-addressable shared virtual memory and the heap allocator.
+//!
+//! The memory is a flat array of `AtomicU64` words. All accesses use
+//! `Relaxed` atomics — the expansion transformation (like the paper's) is
+//! responsible for eliminating logical races; the atomics merely keep the
+//! simulator free of undefined behavior, and sub-word stores use a CAS
+//! read-modify-write so concurrent writes to adjacent bytes never tear.
+//! Cross-thread ordering for DOACROSS loops is established by the
+//! executor's release/acquire `post`/`wait` counter, not here.
+//!
+//! The heap allocator is a first-fit free list with coalescing and an
+//! allocation registry supporting interior-pointer lookup (needed by the
+//! paper's "heap prefix" runtime-privatization fast path and by `realloc`).
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Flat byte-addressable memory backed by atomic words.
+#[derive(Debug)]
+pub struct SharedMem {
+    words: Box<[AtomicU64]>,
+    bytes: u64,
+}
+
+impl SharedMem {
+    /// Allocates `bytes` of zeroed memory (rounded up to a word).
+    pub fn new(bytes: u64) -> Self {
+        let nwords = (bytes as usize).div_ceil(8);
+        let words = (0..nwords).map(|_| AtomicU64::new(0)).collect();
+        SharedMem { words, bytes: nwords as u64 * 8 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn len(&self) -> u64 {
+        self.bytes
+    }
+
+    /// True when the memory has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// True if `[addr, addr+width)` lies inside the memory.
+    pub fn in_bounds(&self, addr: u64, width: u64) -> bool {
+        addr.checked_add(width).is_some_and(|end| end <= self.bytes)
+    }
+
+    /// Reads `width` (1..=8) bytes at `addr`, zero-extended into a `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (the VM bounds-checks first and reports a
+    /// trap; this is the last line of defense).
+    pub fn read(&self, addr: u64, width: u32) -> u64 {
+        debug_assert!((1..=8).contains(&width));
+        assert!(self.in_bounds(addr, width as u64), "oob read");
+        let wi = (addr / 8) as usize;
+        let off = (addr % 8) as u32;
+        if off + width <= 8 {
+            let w = self.words[wi].load(Ordering::Relaxed);
+            extract(w, off, width)
+        } else {
+            let lo_n = 8 - off;
+            let hi_n = width - lo_n;
+            let lo = extract(self.words[wi].load(Ordering::Relaxed), off, lo_n);
+            let hi = extract(self.words[wi + 1].load(Ordering::Relaxed), 0, hi_n);
+            lo | (hi << (lo_n * 8))
+        }
+    }
+
+    /// Writes the low `width` (1..=8) bytes of `val` at `addr`.
+    ///
+    /// Sub-word writes use CAS read-modify-write, so concurrent writes to
+    /// the *other* bytes of the same word are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn write(&self, addr: u64, width: u32, val: u64) {
+        debug_assert!((1..=8).contains(&width));
+        assert!(self.in_bounds(addr, width as u64), "oob write");
+        let wi = (addr / 8) as usize;
+        let off = (addr % 8) as u32;
+        if width == 8 && off == 0 {
+            self.words[wi].store(val, Ordering::Relaxed);
+        } else if off + width <= 8 {
+            self.splice(wi, off, width, val);
+        } else {
+            let lo_n = 8 - off;
+            let hi_n = width - lo_n;
+            self.splice(wi, off, lo_n, val);
+            self.splice(wi + 1, 0, hi_n, val >> (lo_n * 8));
+        }
+    }
+
+    /// CAS-splices the low `nbytes` of `chunk` into word `wi` at byte `off`.
+    fn splice(&self, wi: usize, off: u32, nbytes: u32, chunk: u64) {
+        let mask = bytes_mask(nbytes) << (off * 8);
+        let bits = (chunk & bytes_mask(nbytes)) << (off * 8);
+        let w = &self.words[wi];
+        let mut cur = w.load(Ordering::Relaxed);
+        loop {
+            let new = (cur & !mask) | bits;
+            match w.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Copies `len` bytes from `src` to `dst` with `memmove` semantics:
+    /// overlapping regions copy correctly in either direction.
+    pub fn copy(&self, src: u64, dst: u64, len: u64) {
+        assert!(self.in_bounds(src, len) && self.in_bounds(dst, len), "oob copy");
+        if dst > src && dst < src + len {
+            // Overlapping forward copy: go backwards so sources are read
+            // before they are overwritten.
+            let mut i = len;
+            while i > 0 {
+                i -= 1;
+                let b = self.read(src + i, 1);
+                self.write(dst + i, 1, b);
+            }
+            return;
+        }
+        let mut i = 0;
+        // Word-at-a-time when both are aligned.
+        if src % 8 == dst % 8 {
+            while !(src + i).is_multiple_of(8) && i < len {
+                let b = self.read(src + i, 1);
+                self.write(dst + i, 1, b);
+                i += 1;
+            }
+            while i + 8 <= len {
+                let w = self.read(src + i, 8);
+                self.write(dst + i, 8, w);
+                i += 8;
+            }
+        }
+        while i < len {
+            let b = self.read(src + i, 1);
+            self.write(dst + i, 1, b);
+            i += 1;
+        }
+    }
+
+    /// Zeroes `len` bytes starting at `addr`.
+    pub fn zero(&self, addr: u64, len: u64) {
+        assert!(self.in_bounds(addr, len), "oob zero");
+        let mut i = 0;
+        while !(addr + i).is_multiple_of(8) && i < len {
+            self.write(addr + i, 1, 0);
+            i += 1;
+        }
+        while i + 8 <= len {
+            self.write(addr + i, 8, 0);
+            i += 8;
+        }
+        while i < len {
+            self.write(addr + i, 1, 0);
+            i += 1;
+        }
+    }
+}
+
+fn extract(word: u64, off: u32, nbytes: u32) -> u64 {
+    (word >> (off * 8)) & bytes_mask(nbytes)
+}
+
+fn bytes_mask(nbytes: u32) -> u64 {
+    if nbytes >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (nbytes * 8)) - 1
+    }
+}
+
+/// Sign-extends the low `width` bytes of `raw` to a full `i64`.
+pub fn sign_extend(raw: u64, width: u32) -> i64 {
+    if width >= 8 {
+        return raw as i64;
+    }
+    let shift = 64 - width * 8;
+    ((raw << shift) as i64) >> shift
+}
+
+// ---------------------------------------------------------------------------
+// allocator
+// ---------------------------------------------------------------------------
+
+/// One live heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address.
+    pub base: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Monotonic id, unique per allocation over the program's lifetime.
+    pub id: u64,
+}
+
+#[derive(Debug)]
+struct HeapState {
+    /// Free blocks by base address -> size (coalesced).
+    free: BTreeMap<u64, u64>,
+    /// Live allocations by base address.
+    live: BTreeMap<u64, Allocation>,
+    next_id: u64,
+    live_bytes: u64,
+    peak_live_bytes: u64,
+    total_allocs: u64,
+}
+
+/// Thread-safe first-fit heap allocator with an allocation registry.
+#[derive(Debug)]
+pub struct Heap {
+    state: Mutex<HeapState>,
+    base: u64,
+    limit: u64,
+}
+
+/// Alignment of every heap allocation.
+pub const HEAP_ALIGN: u64 = 16;
+
+impl Heap {
+    /// Creates a heap managing `[base, limit)`.
+    pub fn new(base: u64, limit: u64) -> Self {
+        let base = dse_lang::types::round_up(base, HEAP_ALIGN);
+        let mut free = BTreeMap::new();
+        if limit > base {
+            free.insert(base, limit - base);
+        }
+        Heap {
+            state: Mutex::new(HeapState {
+                free,
+                live: BTreeMap::new(),
+                next_id: 1,
+                live_bytes: 0,
+                peak_live_bytes: 0,
+                total_allocs: 0,
+            }),
+            base,
+            limit,
+        }
+    }
+
+    /// Start of the heap region (for address classification).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// End of the heap region.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Allocates `size` bytes (`size == 0` behaves like `size == 1`).
+    /// Returns the allocation record, or `None` when out of memory.
+    pub fn alloc(&self, size: u64) -> Option<Allocation> {
+        let want = dse_lang::types::round_up(size.max(1), HEAP_ALIGN);
+        let mut st = self.state.lock();
+        let (&fbase, &fsize) = st.free.iter().find(|(_, &s)| s >= want)?;
+        st.free.remove(&fbase);
+        if fsize > want {
+            st.free.insert(fbase + want, fsize - want);
+        }
+        let id = st.next_id;
+        st.next_id += 1;
+        let a = Allocation { base: fbase, size, id };
+        st.live.insert(fbase, a);
+        st.live_bytes += want;
+        st.peak_live_bytes = st.peak_live_bytes.max(st.live_bytes);
+        st.total_allocs += 1;
+        Some(a)
+    }
+
+    /// Frees the allocation starting exactly at `base`. Returns the freed
+    /// record, or `None` if `base` is not a live allocation base.
+    pub fn free(&self, base: u64) -> Option<Allocation> {
+        let mut st = self.state.lock();
+        let a = st.live.remove(&base)?;
+        let want = dse_lang::types::round_up(a.size.max(1), HEAP_ALIGN);
+        st.live_bytes -= want;
+        // Insert and coalesce with neighbors.
+        let mut nbase = base;
+        let mut nsize = want;
+        if let Some((&pb, &ps)) = st.free.range(..base).next_back() {
+            if pb + ps == nbase {
+                st.free.remove(&pb);
+                nbase = pb;
+                nsize += ps;
+            }
+        }
+        if let Some((&sb, &ss)) = st.free.range(nbase + nsize..).next() {
+            if nbase + nsize == sb {
+                st.free.remove(&sb);
+                nsize += ss;
+            }
+        }
+        st.free.insert(nbase, nsize);
+        Some(a)
+    }
+
+    /// Finds the live allocation containing `addr` (interior pointers ok).
+    pub fn containing(&self, addr: u64) -> Option<Allocation> {
+        let st = self.state.lock();
+        let (_, a) = st.live.range(..=addr).next_back()?;
+        (addr < a.base + a.size.max(1)).then_some(*a)
+    }
+
+    /// The live allocation starting exactly at `base`.
+    pub fn at_base(&self, base: u64) -> Option<Allocation> {
+        self.state.lock().live.get(&base).copied()
+    }
+
+    /// Current live heap bytes (rounded to allocator granularity).
+    pub fn live_bytes(&self) -> u64 {
+        self.state.lock().live_bytes
+    }
+
+    /// High-water mark of live heap bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.state.lock().peak_live_bytes
+    }
+
+    /// Total number of allocations ever made.
+    pub fn total_allocs(&self) -> u64 {
+        self.state.lock().total_allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip_all_widths() {
+        let m = SharedMem::new(64);
+        for width in [1u32, 2, 4, 8] {
+            for addr in 0..(32 - width as u64) {
+                let val = 0xDEAD_BEEF_CAFE_F00Du64 & bytes_mask(width);
+                m.write(addr, width, val);
+                assert_eq!(m.read(addr, width), val, "w={width} a={addr}");
+                m.write(addr, width, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn unaligned_word_crossing_access() {
+        let m = SharedMem::new(64);
+        m.write(5, 8, 0x1122_3344_5566_7788);
+        assert_eq!(m.read(5, 8), 0x1122_3344_5566_7788);
+        // Neighbors untouched.
+        assert_eq!(m.read(0, 4), 0);
+        assert_eq!(m.read(13, 2), 0);
+    }
+
+    #[test]
+    fn adjacent_bytes_preserved() {
+        let m = SharedMem::new(16);
+        m.write(0, 8, u64::MAX);
+        m.write(3, 1, 0);
+        assert_eq!(m.read(0, 8), 0xFFFF_FFFF_00FF_FFFF);
+    }
+
+    #[test]
+    fn sign_extend_behaviour() {
+        assert_eq!(sign_extend(0xFF, 1), -1);
+        assert_eq!(sign_extend(0x7F, 1), 127);
+        assert_eq!(sign_extend(0xFFFF, 2), -1);
+        assert_eq!(sign_extend(0x8000_0000, 4), i32::MIN as i64);
+        assert_eq!(sign_extend(u64::MAX, 8), -1);
+    }
+
+    #[test]
+    fn copy_and_zero() {
+        let m = SharedMem::new(128);
+        for i in 0..16 {
+            m.write(i, 1, i + 1);
+        }
+        m.copy(0, 40, 16);
+        for i in 0..16 {
+            assert_eq!(m.read(40 + i, 1), i + 1);
+        }
+        // Misaligned copy.
+        m.copy(1, 65, 10);
+        for i in 0..10 {
+            assert_eq!(m.read(65 + i, 1), i + 2);
+        }
+        m.zero(40, 16);
+        for i in 0..16 {
+            assert_eq!(m.read(40 + i, 1), 0);
+        }
+    }
+
+    #[test]
+    fn bounds_checking() {
+        let m = SharedMem::new(16);
+        assert!(m.in_bounds(8, 8));
+        assert!(!m.in_bounds(9, 8));
+        assert!(!m.in_bounds(u64::MAX, 2));
+    }
+
+    #[test]
+    fn heap_alloc_free_reuse() {
+        let h = Heap::new(0, 1024);
+        let a = h.alloc(100).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_ne!(a.base, b.base);
+        assert_ne!(a.id, b.id);
+        h.free(a.base).unwrap();
+        let c = h.alloc(50).unwrap();
+        assert_eq!(c.base, a.base, "first-fit reuses the freed block");
+    }
+
+    #[test]
+    fn heap_coalescing_allows_full_reuse() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let c = h.alloc(64).unwrap();
+        h.free(b.base);
+        h.free(a.base);
+        h.free(c.base);
+        // After coalescing we can allocate the whole arena again.
+        assert!(h.alloc(240).is_some());
+    }
+
+    #[test]
+    fn heap_oom_returns_none() {
+        let h = Heap::new(0, 64);
+        assert!(h.alloc(128).is_none());
+    }
+
+    #[test]
+    fn containing_finds_interior_pointers() {
+        let h = Heap::new(0, 1024);
+        let a = h.alloc(100).unwrap();
+        assert_eq!(h.containing(a.base), Some(a));
+        assert_eq!(h.containing(a.base + 99), Some(a));
+        assert_eq!(h.containing(a.base + 100), None);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let h = Heap::new(0, 4096);
+        let a = h.alloc(1000).unwrap();
+        let b = h.alloc(1000).unwrap();
+        h.free(a.base);
+        h.free(b.base);
+        assert_eq!(h.live_bytes(), 0);
+        assert!(h.peak_live_bytes() >= 2000);
+        assert_eq!(h.total_allocs(), 2);
+    }
+
+    #[test]
+    fn double_free_returns_none() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(10).unwrap();
+        assert!(h.free(a.base).is_some());
+        assert!(h.free(a.base).is_none());
+    }
+
+    #[test]
+    fn zero_size_alloc_is_valid_and_unique() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(0).unwrap();
+        let b = h.alloc(0).unwrap();
+        assert_ne!(a.base, b.base);
+    }
+
+    #[test]
+    fn concurrent_subword_writes_do_not_tear() {
+        use std::sync::Arc;
+        let m = Arc::new(SharedMem::new(64));
+        let threads: Vec<_> = (0..8u64)
+            .map(|t| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        m.write(t, 1, t + 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        for t in 0..8u64 {
+            assert_eq!(m.read(t, 1), t + 1);
+        }
+    }
+}

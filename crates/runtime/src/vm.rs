@@ -1,0 +1,1019 @@
+//! The bytecode interpreter.
+//!
+//! One [`Vm`] owns the shared memory, heap and compiled program; each OS
+//! thread executing inside it owns a [`ThreadCtx`] (operand stack, call
+//! stack, stack region, counters). The master thread runs `main`; parallel
+//! loop regions are driven by the executor in [`crate::exec`].
+
+use crate::mem::{sign_extend, Heap, SharedMem};
+use crate::observer::Observer;
+use crate::privatize::PrivCopy;
+use dse_ir::bytecode::*;
+use dse_ir::sites::{AccessKind, NO_SITE};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64};
+use std::sync::Arc;
+
+/// A value on the operand stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Integer or pointer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl Value {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float (indicates a lowering bug; the VM
+    /// traps before this can be reached from user programs).
+    pub fn as_i(self) -> i64 {
+        match self {
+            Value::I(v) => v,
+            Value::F(v) => panic!("expected integer value, got float {v}"),
+        }
+    }
+
+    /// The float payload (see [`Value::as_i`] for panics).
+    pub fn as_f(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => panic!("expected float value, got integer {v}"),
+        }
+    }
+}
+
+/// Per-thread cost counters, in the categories of the paper's Figure 12.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Ordinary instructions executed ("work").
+    pub work: u64,
+    /// Spin iterations inside `Wait`/post ordering and scheduler barriers
+    /// (the paper's `do_wait` + `cpu_relax` bucket).
+    pub wait_spins: u64,
+    /// `Wait`/`Post` instructions executed (synchronization calls).
+    pub sync_ops: u64,
+    /// Runtime-privatization address translations performed.
+    pub localize_calls: u64,
+    /// Bytes copied in/out by runtime privatization.
+    pub localize_copied_bytes: u64,
+    /// Redirected private *direct* accesses executed (fused `v[tid]`
+    /// addressing). Used by the baseline cost model that charges SpiceC's
+    /// full access monitoring.
+    pub private_direct: u64,
+}
+
+impl Counters {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &Counters) {
+        self.work += other.work;
+        self.wait_spins += other.wait_spins;
+        self.sync_ops += other.sync_ops;
+        self.localize_calls += other.localize_calls;
+        self.localize_copied_bytes += other.localize_copied_bytes;
+        self.private_direct += other.private_direct;
+    }
+}
+
+/// A VM trap (runtime error) with the program counter where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    /// Program counter of the faulting instruction.
+    pub pc: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl VmError {
+    pub(crate) fn new(pc: usize, msg: impl Into<String>) -> Self {
+        VmError { pc: pc as u32, msg: msg.into() }
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm trap at pc {}: {}", self.pc, self.msg)
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Total memory size in bytes.
+    pub mem_bytes: u64,
+    /// Per-thread stack region size in bytes.
+    pub stack_bytes: u64,
+    /// Number of worker threads N (thread 0 is the master); serial runs
+    /// use one. Expanded programs must be run with the same N they were
+    /// transformed for.
+    pub nthreads: u32,
+    /// Host-provided integer inputs, read by `in_long(i)`.
+    pub inputs_int: Vec<i64>,
+    /// Host-provided float inputs, read by `in_float(i)`.
+    pub inputs_float: Vec<f64>,
+    /// Trap after this many instructions on any one thread (runaway guard).
+    pub max_instructions: u64,
+    /// Whether runtime privatization commits thread-local copies back to the
+    /// shared space at loop end (SpiceC-style).
+    pub priv_commit: bool,
+    /// Record per-iteration cost segments of parallel-lowered loops during
+    /// single-threaded execution, for the multicore schedule simulator
+    /// (the host may not have 8 physical cores; the paper's Opteron did).
+    pub record_iteration_costs: bool,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            mem_bytes: 64 << 20,
+            stack_bytes: 1 << 20,
+            nthreads: 1,
+            inputs_int: Vec::new(),
+            inputs_float: Vec::new(),
+            max_instructions: u64::MAX,
+            priv_commit: true,
+            record_iteration_costs: false,
+        }
+    }
+}
+
+/// Cross-iteration synchronization state for one executing parallel loop.
+#[derive(Debug)]
+pub(crate) struct LoopSync {
+    /// Next iteration to hand out (DOACROSS dynamic scheduling).
+    pub next: AtomicI64,
+    /// All iterations `< done` have posted their ordered section.
+    pub done: AtomicI64,
+    /// Set when any worker trapped; others abandon promptly.
+    pub abort: AtomicBool,
+}
+
+impl LoopSync {
+    pub(crate) fn new(lo: i64) -> Self {
+        LoopSync {
+            next: AtomicI64::new(lo),
+            done: AtomicI64::new(lo),
+            abort: AtomicBool::new(false),
+        }
+    }
+}
+
+pub(crate) struct Frame {
+    /// Return pc; `None` marks a region/toplevel sentinel.
+    pub ret_pc: Option<u32>,
+    pub saved_base: u64,
+    pub saved_sp: u64,
+}
+
+/// Per-thread execution state.
+pub struct ThreadCtx {
+    /// Worker index (0 = master).
+    pub tid: u32,
+    pub(crate) frame_base: u64,
+    pub(crate) sp: u64,
+    pub(crate) stack_limit: u64,
+    pub(crate) ops: Vec<Value>,
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) iter_stack: Vec<i64>,
+    pub(crate) sync_stack: Vec<(u32, Arc<LoopSync>)>,
+    /// Instruction counts at the first `Wait` / first `Post` of the current
+    /// iteration (cost-trace recording).
+    pub(crate) wait_mark: Option<u64>,
+    pub(crate) post_mark: Option<u64>,
+    pub(crate) posted: bool,
+    pub(crate) in_parallel: bool,
+    /// Runtime-privatization map: shared allocation base -> private copy.
+    pub(crate) priv_map: HashMap<u64, PrivCopy>,
+    /// This thread's cost counters.
+    pub counters: Counters,
+}
+
+impl ThreadCtx {
+    pub(crate) fn new(tid: u32, stack_base: u64, stack_bytes: u64) -> Self {
+        ThreadCtx {
+            tid,
+            frame_base: stack_base,
+            sp: stack_base,
+            stack_limit: stack_base + stack_bytes,
+            ops: Vec::with_capacity(64),
+            frames: Vec::with_capacity(16),
+            iter_stack: Vec::new(),
+            sync_stack: Vec::new(),
+            wait_mark: None,
+            post_mark: None,
+            posted: false,
+            in_parallel: false,
+            priv_map: HashMap::new(),
+            counters: Counters::default(),
+        }
+    }
+}
+
+/// Cost segments of one loop iteration, measured in VM instructions during
+/// a single-threaded run of parallel-lowered code. `pre` precedes the
+/// DOACROSS ordered window, `window` is inside it, `post` follows it
+/// (DOALL iterations are all `pre`). Used by the schedule simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IterCost {
+    /// Instructions before the ordered window.
+    pub pre: u64,
+    /// Instructions inside the ordered window.
+    pub window: u64,
+    /// Instructions after the window.
+    pub post: u64,
+    /// Runtime-privatization calls during the iteration.
+    pub localize_calls: u64,
+    /// Bytes copied by runtime privatization during the iteration.
+    pub localize_bytes: u64,
+    /// Redirected private direct accesses during the iteration.
+    pub private_direct: u64,
+}
+
+/// Result of running a program to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// `main`'s return value, if it returns one.
+    pub return_value: Option<Value>,
+    /// Aggregated counters over all threads.
+    pub counters: Counters,
+    /// High-water mark of live heap bytes during the run.
+    pub peak_heap_bytes: u64,
+}
+
+/// The virtual machine: memory, heap, program, and I/O channels.
+pub struct Vm {
+    pub(crate) program: CompiledProgram,
+    pub(crate) config: VmConfig,
+    pub(crate) mem: SharedMem,
+    pub(crate) heap: Heap,
+    stack_region_base: u64,
+    pub(crate) outputs_int: Mutex<Vec<i64>>,
+    pub(crate) outputs_float: Mutex<Vec<f64>>,
+    pub(crate) console: Mutex<String>,
+    /// Counters merged from finished worker threads.
+    pub(crate) agg: Mutex<Counters>,
+    /// Per loop id: one cost vector per dynamic loop entry (recorded when
+    /// [`VmConfig::record_iteration_costs`] is set).
+    pub(crate) iter_trace: Mutex<HashMap<u32, Vec<Vec<IterCost>>>>,
+}
+
+impl Vm {
+    /// Creates a VM for `program` with the given configuration, laying out
+    /// globals, per-thread stacks and the heap, and applying global
+    /// initializers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the memory is too small for the layout.
+    pub fn new(program: CompiledProgram, config: VmConfig) -> Result<Vm, VmError> {
+        assert!(config.nthreads >= 1, "nthreads must be at least 1");
+        let globals_end = GLOBAL_BASE + program.globals_size;
+        let stacks_base = dse_lang::types::round_up(globals_end, 4096);
+        let heap_base = stacks_base + config.nthreads as u64 * config.stack_bytes;
+        if heap_base + 4096 > config.mem_bytes {
+            return Err(VmError::new(
+                0,
+                format!(
+                    "memory too small: need > {} bytes for globals and stacks",
+                    heap_base
+                ),
+            ));
+        }
+        let mem = SharedMem::new(config.mem_bytes);
+        let heap = Heap::new(heap_base, config.mem_bytes);
+        for &(addr, init) in &program.global_inits {
+            match init {
+                InitValue::Int(v, w) => mem.write(addr, w as u32, v as u64),
+                InitValue::Float(v) => mem.write(addr, 8, v.to_bits()),
+            }
+        }
+        Ok(Vm {
+            program,
+            config,
+            mem,
+            heap,
+            stack_region_base: stacks_base,
+            outputs_int: Mutex::new(Vec::new()),
+            outputs_float: Mutex::new(Vec::new()),
+            console: Mutex::new(String::new()),
+            agg: Mutex::new(Counters::default()),
+            iter_trace: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The compiled program being executed.
+    pub fn program(&self) -> &CompiledProgram {
+        &self.program
+    }
+
+    /// Memory layout facts needed by observers (stack/heap classification).
+    pub fn layout(&self) -> crate::observer::LayoutInfo {
+        crate::observer::LayoutInfo {
+            master_stack: (
+                self.stack_base_of(0),
+                self.stack_base_of(0) + self.config.stack_bytes,
+            ),
+            heap_base: self.heap.base(),
+        }
+    }
+
+    /// Stack region base address of worker `tid`.
+    pub(crate) fn stack_base_of(&self, tid: u32) -> u64 {
+        self.stack_region_base + tid as u64 * self.config.stack_bytes
+    }
+
+    /// Runs `main` to completion with no observer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first VM trap from any thread.
+    pub fn run(&mut self) -> Result<RunReport, VmError> {
+        self.run_with_observer(&mut crate::observer::NullObserver)
+    }
+
+    /// Runs `main` to completion, reporting accesses/loop events to `obs`
+    /// (serial portions only; parallel regions run unobserved).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first VM trap from any thread.
+    pub fn run_with_observer(&mut self, obs: &mut dyn Observer) -> Result<RunReport, VmError> {
+        let mut ctx = ThreadCtx::new(0, self.stack_base_of(0), self.config.stack_bytes);
+        let main = self.program.main;
+        let entry = self.program.func(main).entry;
+        let fsize = self.program.func(main).frame_size as u64;
+        ctx.frames.push(Frame { ret_pc: None, saved_base: ctx.frame_base, saved_sp: ctx.sp });
+        ctx.frame_base = ctx.sp;
+        ctx.sp += fsize;
+        self.mem.zero(ctx.frame_base, fsize);
+        let ret = self.exec(&mut ctx, entry, obs)?;
+        let mut counters = { *self.agg.lock() };
+        counters.merge(&ctx.counters);
+        Ok(RunReport {
+            return_value: ret,
+            counters,
+            peak_heap_bytes: self.heap.peak_live_bytes(),
+        })
+    }
+
+    /// Per-iteration cost traces recorded under
+    /// [`VmConfig::record_iteration_costs`]: for each candidate loop id,
+    /// one vector of iteration costs per dynamic entry of the loop.
+    pub fn iteration_costs(&self) -> HashMap<u32, Vec<Vec<IterCost>>> {
+        self.iter_trace.lock().clone()
+    }
+
+    /// Integer outputs produced via `out_long`.
+    pub fn outputs_int(&self) -> Vec<i64> {
+        self.outputs_int.lock().clone()
+    }
+
+    /// Float outputs produced via `out_float`.
+    pub fn outputs_float(&self) -> Vec<f64> {
+        self.outputs_float.lock().clone()
+    }
+
+    /// Console text produced via `print_long`/`print_float`.
+    pub fn console(&self) -> String {
+        self.console.lock().clone()
+    }
+
+    /// Executes bytecode starting at `entry` until the current sentinel
+    /// frame returns. Returns `main`-style return value if one is on the
+    /// operand stack.
+    pub(crate) fn exec(
+        &self,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<Option<Value>, VmError> {
+        let code = &self.program.code;
+        let mut pc = entry as usize;
+        macro_rules! trap {
+            ($($arg:tt)*) => { return Err(VmError::new(pc, format!($($arg)*))) };
+        }
+        macro_rules! pop {
+            () => {
+                match ctx.ops.pop() {
+                    Some(v) => v,
+                    None => trap!("operand stack underflow"),
+                }
+            };
+        }
+        macro_rules! pop_i {
+            () => {
+                match pop!() {
+                    Value::I(v) => v,
+                    Value::F(_) => trap!("type confusion: expected integer"),
+                }
+            };
+        }
+        macro_rules! pop_f {
+            () => {
+                match pop!() {
+                    Value::F(v) => v,
+                    Value::I(_) => trap!("type confusion: expected float"),
+                }
+            };
+        }
+        loop {
+            ctx.counters.work += 1;
+            if ctx.counters.work > self.config.max_instructions {
+                trap!("instruction budget exceeded");
+            }
+            let instr = code[pc];
+            match instr {
+                Instr::PushI(v) => {
+                    ctx.ops.push(Value::I(v));
+                    pc += 1;
+                }
+                Instr::PushF(v) => {
+                    ctx.ops.push(Value::F(v));
+                    pc += 1;
+                }
+                Instr::Dup => {
+                    let v = *match ctx.ops.last() {
+                        Some(v) => v,
+                        None => trap!("operand stack underflow"),
+                    };
+                    ctx.ops.push(v);
+                    pc += 1;
+                }
+                Instr::Drop => {
+                    pop!();
+                    pc += 1;
+                }
+                Instr::Tuck => {
+                    let top = pop!();
+                    let second = pop!();
+                    ctx.ops.push(top);
+                    ctx.ops.push(second);
+                    ctx.ops.push(top);
+                    pc += 1;
+                }
+                Instr::FrameAddr(off) => {
+                    ctx.ops.push(Value::I((ctx.frame_base + off as u64) as i64));
+                    pc += 1;
+                }
+                Instr::GlobalAddr(addr) => {
+                    ctx.ops.push(Value::I(addr as i64));
+                    pc += 1;
+                }
+                Instr::TidScaled(k) => {
+                    ctx.ops.push(Value::I(ctx.tid as i64 * k));
+                    pc += 1;
+                }
+                Instr::FrameAddrTid { offset, stride } => {
+                    ctx.counters.private_direct += 1;
+                    let a = ctx.frame_base + offset as u64;
+                    ctx.ops.push(Value::I(a as i64 + ctx.tid as i64 * stride));
+                    pc += 1;
+                }
+                Instr::GlobalAddrTid { addr, stride } => {
+                    ctx.counters.private_direct += 1;
+                    ctx.ops.push(Value::I(addr as i64 + ctx.tid as i64 * stride));
+                    pc += 1;
+                }
+                Instr::TidSpanScaled(z) => {
+                    let span = pop_i!();
+                    if z == 0 {
+                        trap!("TidSpanScaled with zero element size");
+                    }
+                    let off = ctx.tid as i64 * span / z * z;
+                    ctx.ops.push(Value::I(off));
+                    pc += 1;
+                }
+                Instr::IterIdx(depth) => {
+                    let n = ctx.iter_stack.len();
+                    let d = depth as usize;
+                    if d >= n {
+                        trap!("IterIdx outside parallel loop body");
+                    }
+                    ctx.ops.push(Value::I(ctx.iter_stack[n - 1 - d]));
+                    pc += 1;
+                }
+                Instr::Load { width, is_float, site } => {
+                    let addr = pop_i!() as u64;
+                    if addr < GLOBAL_BASE || !self.mem.in_bounds(addr, width as u64) {
+                        trap!("invalid load of {width} bytes at address {addr}");
+                    }
+                    if site != NO_SITE {
+                        obs.on_access(site, AccessKind::Load, addr, width as u32, ctx.sp);
+                    }
+                    let raw = self.mem.read(addr, width as u32);
+                    ctx.ops.push(if is_float {
+                        Value::F(f64::from_bits(raw))
+                    } else {
+                        Value::I(sign_extend(raw, width as u32))
+                    });
+                    pc += 1;
+                }
+                Instr::Store { width, is_float, site } => {
+                    let val = pop!();
+                    let addr = pop_i!() as u64;
+                    if addr < GLOBAL_BASE || !self.mem.in_bounds(addr, width as u64) {
+                        trap!("invalid store of {width} bytes at address {addr}");
+                    }
+                    if site != NO_SITE {
+                        obs.on_access(site, AccessKind::Store, addr, width as u32, ctx.sp);
+                    }
+                    let raw = match (val, is_float) {
+                        (Value::F(f), true) => f.to_bits(),
+                        (Value::I(i), false) => i as u64,
+                        _ => trap!("type confusion in store"),
+                    };
+                    self.mem.write(addr, width as u32, raw);
+                    pc += 1;
+                }
+                Instr::MemCpy { size, load_site, store_site } => {
+                    let dst = pop_i!() as u64;
+                    let src = pop_i!() as u64;
+                    let sz = size as u64;
+                    if src < GLOBAL_BASE
+                        || dst < GLOBAL_BASE
+                        || !self.mem.in_bounds(src, sz)
+                        || !self.mem.in_bounds(dst, sz)
+                    {
+                        trap!("invalid memcpy of {size} bytes {src} -> {dst}");
+                    }
+                    if load_site != NO_SITE {
+                        obs.on_access(load_site, AccessKind::Load, src, size, ctx.sp);
+                    }
+                    if store_site != NO_SITE {
+                        obs.on_access(store_site, AccessKind::Store, dst, size, ctx.sp);
+                    }
+                    self.mem.copy(src, dst, sz);
+                    pc += 1;
+                }
+                Instr::IBin(op) => {
+                    let r = pop_i!();
+                    let l = pop_i!();
+                    let v = match op {
+                        IBinOp::Add => l.wrapping_add(r),
+                        IBinOp::Sub => l.wrapping_sub(r),
+                        IBinOp::Mul => l.wrapping_mul(r),
+                        IBinOp::Div => match l.checked_div(r) {
+                            Some(v) => v,
+                            None => trap!("division by zero or overflow ({l} / {r})"),
+                        },
+                        IBinOp::Rem => match l.checked_rem(r) {
+                            Some(v) => v,
+                            None => trap!("remainder by zero or overflow ({l} % {r})"),
+                        },
+                        IBinOp::And => l & r,
+                        IBinOp::Or => l | r,
+                        IBinOp::Xor => l ^ r,
+                        IBinOp::Shl => l.wrapping_shl(r as u32 & 63),
+                        IBinOp::Shr => l.wrapping_shr(r as u32 & 63),
+                    };
+                    ctx.ops.push(Value::I(v));
+                    pc += 1;
+                }
+                Instr::FBin(op) => {
+                    let r = pop_f!();
+                    let l = pop_f!();
+                    let v = match op {
+                        FBinOp::Add => l + r,
+                        FBinOp::Sub => l - r,
+                        FBinOp::Mul => l * r,
+                        FBinOp::Div => l / r,
+                    };
+                    ctx.ops.push(Value::F(v));
+                    pc += 1;
+                }
+                Instr::ICmp(op) => {
+                    let r = pop_i!();
+                    let l = pop_i!();
+                    ctx.ops.push(Value::I(cmp_result(op, l.cmp(&r)) as i64));
+                    pc += 1;
+                }
+                Instr::FCmp(op) => {
+                    let r = pop_f!();
+                    let l = pop_f!();
+                    let res = match op {
+                        CmpOp::Eq => l == r,
+                        CmpOp::Ne => l != r,
+                        CmpOp::Lt => l < r,
+                        CmpOp::Le => l <= r,
+                        CmpOp::Gt => l > r,
+                        CmpOp::Ge => l >= r,
+                    };
+                    ctx.ops.push(Value::I(res as i64));
+                    pc += 1;
+                }
+                Instr::INeg => {
+                    let v = pop_i!();
+                    ctx.ops.push(Value::I(v.wrapping_neg()));
+                    pc += 1;
+                }
+                Instr::FNeg => {
+                    let v = pop_f!();
+                    ctx.ops.push(Value::F(-v));
+                    pc += 1;
+                }
+                Instr::BNot => {
+                    let v = pop_i!();
+                    ctx.ops.push(Value::I(!v));
+                    pc += 1;
+                }
+                Instr::LNot => {
+                    let v = pop_i!();
+                    ctx.ops.push(Value::I((v == 0) as i64));
+                    pc += 1;
+                }
+                Instr::I2F => {
+                    let v = pop_i!();
+                    ctx.ops.push(Value::F(v as f64));
+                    pc += 1;
+                }
+                Instr::F2I => {
+                    let v = pop_f!();
+                    ctx.ops.push(Value::I(v as i64));
+                    pc += 1;
+                }
+                Instr::SextTrunc(w) => {
+                    let v = pop_i!();
+                    ctx.ops.push(Value::I(sign_extend(v as u64, w as u32)));
+                    pc += 1;
+                }
+                Instr::Jump(t) => pc = t as usize,
+                Instr::JumpIfZ(t) => {
+                    let v = pop_i!();
+                    pc = if v == 0 { t as usize } else { pc + 1 };
+                }
+                Instr::JumpIfNZ(t) => {
+                    let v = pop_i!();
+                    pc = if v != 0 { t as usize } else { pc + 1 };
+                }
+                Instr::Call(fi) => {
+                    let callee = self.program.func(fi);
+                    let nargs = callee.params.len();
+                    if ctx.ops.len() < nargs {
+                        trap!("operand stack underflow in call");
+                    }
+                    let new_base = dse_lang::types::round_up(ctx.sp, 8);
+                    let new_sp = new_base + callee.frame_size as u64;
+                    if new_sp > ctx.stack_limit {
+                        trap!("stack overflow calling `{}`", callee.name);
+                    }
+                    self.mem.zero(new_base, callee.frame_size as u64);
+                    // Pop args right-to-left into parameter slots.
+                    for pi in (0..nargs).rev() {
+                        let (off, kind) = callee.params[pi];
+                        let v = pop!();
+                        let raw = match (v, kind.is_float) {
+                            (Value::F(f), true) => f.to_bits(),
+                            (Value::I(i), false) => i as u64,
+                            _ => trap!("type confusion in argument {pi}"),
+                        };
+                        self.mem.write(new_base + off as u64, kind.width as u32, raw);
+                    }
+                    ctx.frames.push(Frame {
+                        ret_pc: Some(pc as u32 + 1),
+                        saved_base: ctx.frame_base,
+                        saved_sp: ctx.sp,
+                    });
+                    ctx.frame_base = new_base;
+                    ctx.sp = new_sp;
+                    pc = callee.entry as usize;
+                }
+                Instr::CallBuiltin(b) => {
+                    self.call_builtin(b, ctx, pc, obs)?;
+                    pc += 1;
+                }
+                Instr::Ret => {
+                    let fr = match ctx.frames.pop() {
+                        Some(f) => f,
+                        None => trap!("return with empty call stack"),
+                    };
+                    ctx.frame_base = fr.saved_base;
+                    ctx.sp = fr.saved_sp;
+                    match fr.ret_pc {
+                        Some(t) => pc = t as usize,
+                        None => return Ok(ctx.ops.pop()),
+                    }
+                }
+                Instr::LoopMark(ev, id) => {
+                    // Begin reports the enclosing frame base (so observers
+                    // can locate frame-resident variables such as the
+                    // induction slot); IterStart/End report the live sp.
+                    let p = match ev {
+                        LoopEvent::Begin => ctx.frame_base,
+                        _ => ctx.sp,
+                    };
+                    obs.on_loop(ev, id, p, ctx.counters.work);
+                    pc += 1;
+                }
+                Instr::ParLoop(id) => {
+                    let hi = pop_i!();
+                    let lo = pop_i!();
+                    self.run_par_loop(ctx, id, lo, hi).map_err(|mut e| {
+                        if e.pc == u32::MAX {
+                            e.pc = pc as u32;
+                        }
+                        e
+                    })?;
+                    pc += 1;
+                }
+                Instr::Wait(_) => {
+                    ctx.counters.sync_ops += 1;
+                    if ctx.wait_mark.is_none() {
+                        ctx.wait_mark = Some(ctx.counters.work);
+                    }
+                    let my = match ctx.iter_stack.last() {
+                        Some(&i) => i,
+                        None => trap!("Wait outside iteration"),
+                    };
+                    let sync = match ctx.sync_stack.last() {
+                        Some((_, s)) => Arc::clone(s),
+                        None => trap!("Wait outside parallel loop"),
+                    };
+                    while sync.done.load(std::sync::atomic::Ordering::Acquire) < my {
+                        if sync.abort.load(std::sync::atomic::Ordering::Relaxed) {
+                            trap!("aborted while waiting (another worker trapped)");
+                        }
+                        ctx.counters.wait_spins += 1;
+                        std::hint::spin_loop();
+                    }
+                    pc += 1;
+                }
+                Instr::Post(_) => {
+                    ctx.counters.sync_ops += 1;
+                    if ctx.post_mark.is_none() {
+                        ctx.post_mark = Some(ctx.counters.work);
+                    }
+                    let my = match ctx.iter_stack.last() {
+                        Some(&i) => i,
+                        None => trap!("Post outside iteration"),
+                    };
+                    let sync = match ctx.sync_stack.last() {
+                        Some((_, s)) => Arc::clone(s),
+                        None => trap!("Post outside parallel loop"),
+                    };
+                    self.post_iteration(ctx, &sync, my);
+                    pc += 1;
+                }
+                Instr::Localize { site: _ } => {
+                    let addr = pop_i!() as u64;
+                    let translated = self.localize(ctx, addr, pc)?;
+                    ctx.ops.push(Value::I(translated as i64));
+                    pc += 1;
+                }
+                Instr::Halt => return Ok(ctx.ops.pop()),
+            }
+        }
+    }
+
+    /// Posts the ordered section of iteration `my` (idempotent per
+    /// iteration via `ctx.posted`).
+    pub(crate) fn post_iteration(&self, ctx: &mut ThreadCtx, sync: &LoopSync, my: i64) {
+        if ctx.posted {
+            return;
+        }
+        while sync.done.load(std::sync::atomic::Ordering::Acquire) < my {
+            if sync.abort.load(std::sync::atomic::Ordering::Relaxed) {
+                // A peer trapped and will never post; bail without posting
+                // (the worker notices the abort at its next boundary).
+                return;
+            }
+            ctx.counters.wait_spins += 1;
+            std::hint::spin_loop();
+        }
+        sync.done.store(my + 1, std::sync::atomic::Ordering::Release);
+        ctx.posted = true;
+    }
+
+    fn call_builtin(
+        &self,
+        b: Builtin,
+        ctx: &mut ThreadCtx,
+        pc: usize,
+        obs: &mut dyn Observer,
+    ) -> Result<(), VmError> {
+        macro_rules! trap {
+            ($($arg:tt)*) => { return Err(VmError::new(pc, format!($($arg)*))) };
+        }
+        macro_rules! pop_i {
+            () => {
+                match ctx.ops.pop() {
+                    Some(Value::I(v)) => v,
+                    Some(Value::F(_)) => trap!("type confusion: expected integer"),
+                    None => trap!("operand stack underflow"),
+                }
+            };
+        }
+        macro_rules! pop_f {
+            () => {
+                match ctx.ops.pop() {
+                    Some(Value::F(v)) => v,
+                    Some(Value::I(_)) => trap!("type confusion: expected float"),
+                    None => trap!("operand stack underflow"),
+                }
+            };
+        }
+        match b {
+            Builtin::Malloc => {
+                let n = pop_i!();
+                if n < 0 {
+                    trap!("malloc with negative size {n}");
+                }
+                let a = match self.heap.alloc(n as u64) {
+                    Some(a) => a,
+                    None => trap!("out of memory allocating {n} bytes"),
+                };
+                self.mem.zero(a.base, a.size.max(1));
+                obs.on_alloc(a, pc as u32);
+                ctx.ops.push(Value::I(a.base as i64));
+            }
+            Builtin::Calloc => {
+                let m = pop_i!();
+                let n = pop_i!();
+                let total = n.checked_mul(m).filter(|&t| t >= 0);
+                let total = match total {
+                    Some(t) => t as u64,
+                    None => trap!("calloc size overflow"),
+                };
+                let a = match self.heap.alloc(total) {
+                    Some(a) => a,
+                    None => trap!("out of memory allocating {total} bytes"),
+                };
+                self.mem.zero(a.base, a.size.max(1));
+                obs.on_alloc(a, pc as u32);
+                ctx.ops.push(Value::I(a.base as i64));
+            }
+            Builtin::Realloc => {
+                let n = pop_i!();
+                let p = pop_i!() as u64;
+                if n < 0 {
+                    trap!("realloc with negative size {n}");
+                }
+                if p == 0 {
+                    let a = match self.heap.alloc(n as u64) {
+                        Some(a) => a,
+                        None => trap!("out of memory allocating {n} bytes"),
+                    };
+                    self.mem.zero(a.base, a.size.max(1));
+                    obs.on_alloc(a, pc as u32);
+                    ctx.ops.push(Value::I(a.base as i64));
+                    return Ok(());
+                }
+                let old = match self.heap.at_base(p) {
+                    Some(a) => a,
+                    None => trap!("realloc of invalid pointer {p}"),
+                };
+                let a = match self.heap.alloc(n as u64) {
+                    Some(a) => a,
+                    None => trap!("out of memory allocating {n} bytes"),
+                };
+                self.mem.zero(a.base, a.size.max(1));
+                self.mem.copy(old.base, a.base, old.size.min(n as u64));
+                self.heap.free(old.base);
+                obs.on_free(old);
+                obs.on_alloc(a, pc as u32);
+                ctx.ops.push(Value::I(a.base as i64));
+            }
+            Builtin::ReallocExpanded => {
+                let old_span = pop_i!();
+                let n = pop_i!();
+                let p = pop_i!() as u64;
+                if n < 0 || old_span < 0 {
+                    trap!("__realloc_expanded with negative size");
+                }
+                let factor = self.config.nthreads as u64;
+                if p == 0 {
+                    let a = match self.heap.alloc(n as u64 * factor) {
+                        Some(a) => a,
+                        None => trap!("out of memory in expanded realloc"),
+                    };
+                    self.mem.zero(a.base, a.size.max(1));
+                    obs.on_alloc(a, pc as u32);
+                    ctx.ops.push(Value::I(a.base as i64));
+                    return Ok(());
+                }
+                let old = match self.heap.at_base(p) {
+                    Some(a) => a,
+                    None => trap!("expanded realloc of invalid pointer {p}"),
+                };
+                let a = match self.heap.alloc(n as u64 * factor) {
+                    Some(a) => a,
+                    None => trap!("out of memory in expanded realloc"),
+                };
+                self.mem.zero(a.base, a.size.max(1));
+                // Move each thread's copy to its new position.
+                let keep = (old_span as u64).min(n as u64);
+                for t in 0..factor {
+                    let src = old.base + t * old_span as u64;
+                    let dst = a.base + t * n as u64;
+                    if src + keep <= old.base + old.size {
+                        self.mem.copy(src, dst, keep);
+                    }
+                }
+                self.heap.free(old.base);
+                obs.on_free(old);
+                obs.on_alloc(a, pc as u32);
+                ctx.ops.push(Value::I(a.base as i64));
+            }
+            Builtin::Free => {
+                let p = pop_i!() as u64;
+                if p != 0 {
+                    match self.heap.free(p) {
+                        Some(a) => obs.on_free(a),
+                        None => trap!("free of invalid pointer {p}"),
+                    }
+                }
+            }
+            Builtin::InLong => {
+                let i = pop_i!();
+                let v = match usize::try_from(i).ok().and_then(|i| self.config.inputs_int.get(i))
+                {
+                    Some(&v) => v,
+                    None => trap!("in_long({i}) out of range"),
+                };
+                ctx.ops.push(Value::I(v));
+            }
+            Builtin::InFloat => {
+                let i = pop_i!();
+                let v = match usize::try_from(i)
+                    .ok()
+                    .and_then(|i| self.config.inputs_float.get(i))
+                {
+                    Some(&v) => v,
+                    None => trap!("in_float({i}) out of range"),
+                };
+                ctx.ops.push(Value::F(v));
+            }
+            Builtin::InLen => {
+                ctx.ops.push(Value::I(self.config.inputs_int.len() as i64));
+            }
+            Builtin::OutLong => {
+                let v = pop_i!();
+                self.outputs_int.lock().push(v);
+            }
+            Builtin::OutFloat => {
+                let v = pop_f!();
+                self.outputs_float.lock().push(v);
+            }
+            Builtin::PrintLong => {
+                let v = pop_i!();
+                use std::fmt::Write as _;
+                let _ = writeln!(self.console.lock(), "{v}");
+            }
+            Builtin::PrintFloat => {
+                let v = pop_f!();
+                use std::fmt::Write as _;
+                let _ = writeln!(self.console.lock(), "{v}");
+            }
+            Builtin::Fsqrt => {
+                let v = pop_f!();
+                ctx.ops.push(Value::F(v.sqrt()));
+            }
+            Builtin::Fabs => {
+                let v = pop_f!();
+                ctx.ops.push(Value::F(v.abs()));
+            }
+            Builtin::MemCpy => {
+                let n = pop_i!();
+                let src = pop_i!() as u64;
+                let dst = pop_i!() as u64;
+                if n < 0 {
+                    trap!("__memcpy with negative length {n}");
+                }
+                let n = n as u64;
+                if src < GLOBAL_BASE
+                    || dst < GLOBAL_BASE
+                    || !self.mem.in_bounds(src, n)
+                    || !self.mem.in_bounds(dst, n)
+                {
+                    trap!("__memcpy out of bounds ({src} -> {dst}, {n} bytes)");
+                }
+                self.mem.copy(src, dst, n);
+            }
+            Builtin::Tid => {
+                ctx.ops.push(Value::I(ctx.tid as i64));
+            }
+            Builtin::NThreads => {
+                ctx.ops.push(Value::I(self.config.nthreads as i64));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn cmp_result(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the shared memory against a byte-array oracle,
+//! and of the heap allocator's invariants.
+
+use dse_runtime::{Heap, SharedMem};
+use proptest::prelude::*;
+
+const MEM: u64 = 512;
+
+/// One memory operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Write { addr: u64, width: u32, val: u64 },
+    Copy { src: u64, dst: u64, len: u64 },
+    Zero { addr: u64, len: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..MEM - 8, prop_oneof![Just(1u32), Just(2), Just(4), Just(8)], any::<u64>())
+            .prop_map(|(addr, width, val)| Op::Write { addr, width, val }),
+        (0..MEM / 2, MEM / 2..MEM - 64, 0..64u64)
+            .prop_map(|(src, dst, len)| Op::Copy { src, dst, len }),
+        (0..MEM - 64, 0..64u64).prop_map(|(addr, len)| Op::Zero { addr, len }),
+    ]
+}
+
+/// Applies `op` to both the VM memory and the oracle.
+fn apply(mem: &SharedMem, oracle: &mut [u8], op: &Op) {
+    match *op {
+        Op::Write { addr, width, val } => {
+            mem.write(addr, width, val);
+            let bytes = val.to_le_bytes();
+            for i in 0..width as usize {
+                oracle[addr as usize + i] = bytes[i];
+            }
+        }
+        Op::Copy { src, dst, len } => {
+            mem.copy(src, dst, len);
+            oracle.copy_within(src as usize..(src + len) as usize, dst as usize);
+        }
+        Op::Zero { addr, len } => {
+            mem.zero(addr, len);
+            oracle[addr as usize..(addr + len) as usize].fill(0);
+        }
+    }
+}
+
+proptest! {
+    /// Arbitrary interleavings of writes/copies/zeroes leave the memory
+    /// byte-identical to a plain byte-array model, at every width and
+    /// alignment (including word-straddling accesses).
+    #[test]
+    fn memory_matches_byte_oracle(ops in prop::collection::vec(op_strategy(), 1..64)) {
+        let mem = SharedMem::new(MEM);
+        let mut oracle = vec![0u8; MEM as usize];
+        for op in &ops {
+            apply(&mem, &mut oracle, op);
+        }
+        for addr in 0..MEM {
+            prop_assert_eq!(mem.read(addr, 1) as u8, oracle[addr as usize], "byte {}", addr);
+        }
+        // Wider reads agree too (little-endian composition).
+        for addr in (0..MEM - 8).step_by(3) {
+            let mut expect = [0u8; 8];
+            expect.copy_from_slice(&oracle[addr as usize..addr as usize + 8]);
+            prop_assert_eq!(mem.read(addr, 8), u64::from_le_bytes(expect));
+        }
+    }
+
+    /// Live allocations never overlap, interior-pointer lookup agrees with
+    /// the allocation bounds, and freeing everything allows a maximal
+    /// reallocation (full coalescing).
+    #[test]
+    fn heap_invariants(sizes in prop::collection::vec(1u64..200, 1..20), frees in prop::collection::vec(any::<prop::sample::Index>(), 0..12)) {
+        let h = Heap::new(0, 64 << 10);
+        let mut live: Vec<dse_runtime::Allocation> = Vec::new();
+        for &s in &sizes {
+            let a = h.alloc(s).expect("arena is large enough");
+            live.push(a);
+        }
+        for idx in &frees {
+            if live.is_empty() { break; }
+            let i = idx.index(live.len());
+            let a = live.swap_remove(i);
+            prop_assert!(h.free(a.base).is_some());
+        }
+        // No overlap among the live set.
+        let mut sorted = live.clone();
+        sorted.sort_by_key(|a| a.base);
+        for w in sorted.windows(2) {
+            prop_assert!(w[0].base + w[0].size <= w[1].base, "overlap: {:?}", w);
+        }
+        // Interior pointers resolve to their allocation; bases match.
+        for a in &live {
+            let mid = a.base + a.size / 2;
+            prop_assert_eq!(h.containing(mid), Some(*a));
+            prop_assert_eq!(h.at_base(a.base), Some(*a));
+        }
+        // Free the rest; the arena coalesces back to one block.
+        for a in live {
+            prop_assert!(h.free(a.base).is_some());
+        }
+        prop_assert_eq!(h.live_bytes(), 0);
+        prop_assert!(h.alloc((64 << 10) - 32).is_some());
+    }
+}

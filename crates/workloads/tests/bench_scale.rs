@@ -1,0 +1,26 @@
+//! Bench-scale smoke tests (ignored by default: they run the full-size
+//! inputs through the debug-build interpreter, which takes minutes).
+//! Run with `cargo test -p dse-workloads --test bench_scale -- --ignored`
+//! or, better, `--release`.
+
+use dse_runtime::{Vm, VmConfig};
+use dse_workloads::{all, Scale};
+
+#[test]
+#[ignore = "bench-scale inputs; run with --ignored (preferably --release)"]
+fn workloads_run_at_bench_scale() {
+    for w in all() {
+        let p = dse_lang::compile_to_ast(w.source).unwrap();
+        let c = dse_ir::lower_program(&p, &Default::default()).unwrap();
+        let cfg: VmConfig = w.vm_config(Scale::Bench);
+        let mut vm = Vm::new(c, cfg).unwrap();
+        let report = vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert!(!vm.outputs_int().is_empty(), "{}", w.name);
+        assert!(
+            report.counters.work > 1_000_000,
+            "{}: bench scale should be substantial, got {}",
+            w.name,
+            report.counters.work
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Checks that each workload model actually exercises the privatization
+//! idiom DESIGN.md claims for it — the profile must show the
+//! paper-relevant structure, not just produce correct output.
+
+use dse_core::{Analysis, OptLevel};
+use dse_depprof::DepKind;
+use dse_runtime::VmConfig;
+use dse_workloads::{by_name, Scale};
+
+fn analysis(name: &str) -> Analysis {
+    let w = by_name(name).unwrap();
+    Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap()
+}
+
+/// dijkstra: linked-list queue nodes and annotation arrays are heap
+/// structures with carried anti/output but no carried flow.
+#[test]
+fn dijkstra_rebuilds_heap_structures() {
+    let a = analysis("dijkstra");
+    let ddg = a.profile.by_label("main_loop").unwrap();
+    let heap_sites: Vec<_> = ddg
+        .site_regions
+        .iter()
+        .filter(|(_, r)| r.heap)
+        .map(|(s, _)| *s)
+        .collect();
+    assert!(heap_sites.len() > 10, "queue + dist + visited traffic");
+    let plan = a.plan(OptLevel::Full, 4).unwrap();
+    assert!(
+        plan.expanded.len() >= 4,
+        "queue nodes, dist, visited must expand: {:?}",
+        plan.expanded
+    );
+    // The struct Node pointer type must be promoted (list links carry
+    // pointers into expanded heap chunks of varying provenance).
+    assert!(!plan.fat_types.is_empty());
+}
+
+/// md5: the global block buffer X is the expanded structure (Table 1's
+/// global rule), and the digest scalars are classic scalar expansion.
+#[test]
+fn md5_expands_the_global_block_buffer() {
+    let a = analysis("md5");
+    let t = a.transform(OptLevel::Full, 4).unwrap();
+    assert_eq!(t.report.expanded_globals, 1, "X[16]");
+    assert!(t.report.expanded_scalar_locals >= 4, "a, b, c, d at least");
+    assert_eq!(t.report.fat_pointer_types, 0, "no pointers need spans");
+}
+
+/// bzip2: the recast work array produces cross-width dependences and the
+/// realloc'd pointer must be span-promoted.
+#[test]
+fn bzip2_recast_and_realloc() {
+    let a = analysis("bzip2");
+    let ddg = a.profile.by_label("compress_blocks").unwrap();
+    // Sites of different widths touching the same allocation: the short
+    // view and the int writes.
+    let mut widths = std::collections::HashSet::new();
+    for (site, allocs) in &ddg.site_allocs {
+        if !allocs.is_empty() {
+            widths.insert(a.serial.sites.info(*site).width);
+        }
+    }
+    assert!(widths.contains(&2) && widths.contains(&4), "{widths:?}");
+    let plan = a.plan(OptLevel::Full, 4).unwrap();
+    assert!(
+        !plan.fat_types.is_empty(),
+        "zptr is realloc'd: dynamic spans required"
+    );
+}
+
+/// hmmer: the DP matrix pointer has carried flow (the realloc chain) while
+/// its contents stay expandable — the paper's Figure 3 situation.
+#[test]
+fn hmmer_pointer_carried_contents_private() {
+    let a = analysis("hmmer");
+    let ddg = a.profile.by_label("seq_loop").unwrap();
+    let cls = a.classification("seq_loop").unwrap();
+    let carried_flow = ddg.sites_in_carried(&[DepKind::Flow]);
+    assert!(!carried_flow.is_empty(), "mx pointer + score accumulate");
+    // Expandable accesses dominate the dynamic count (Figure 8's bar).
+    let b = cls.access_breakdown(ddg);
+    let (_, e, _) = b.fractions();
+    assert!(e > 0.3, "DP matrix traffic should be expandable: {e}");
+}
+
+/// lbm: grids stay shared (disjoint writes, downward-exposed), only the
+/// small distribution scratch expands — hence only ~1-2 structures.
+#[test]
+fn lbm_grids_stay_shared() {
+    let a = analysis("lbm");
+    let t = a.transform(OptLevel::Full, 4).unwrap();
+    assert!(t.report.privatized_structures() <= 2, "{:?}", t.report);
+    assert_eq!(t.report.expanded_allocs, 0, "src/dst grids must not expand");
+}
+
+/// mpeg2enc: the macroblock copy is a local array (Table 1's local array
+/// rule) and the loop is DOALL at level 3.
+#[test]
+fn mpeg2enc_local_array_scratch() {
+    let a = analysis("mpeg2enc");
+    let t = a.transform(OptLevel::Full, 4).unwrap();
+    assert!(t.report.expanded_locals >= 1, "blk[256]");
+    assert_eq!(t.report.expanded_allocs, 0, "frames stay shared");
+}

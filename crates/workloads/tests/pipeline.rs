@@ -1,0 +1,166 @@
+//! Full-pipeline tests over the eight benchmark models: profile →
+//! classify → expand → execute, checking (a) the classification matches
+//! the paper's Table 4 parallelism, (b) the transformed program is
+//! semantically equivalent to the original on 1/2/4/8 threads, and
+//! (c) the runtime-privatization baseline agrees too.
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::Vm;
+use dse_workloads::{all, Scale, Workload};
+
+fn run_outputs(
+    compiled: dse_ir::bytecode::CompiledProgram,
+    nthreads: u32,
+    w: &Workload,
+) -> (Vec<i64>, Vec<f64>) {
+    let mut cfg = w.vm_config(Scale::Profile);
+    cfg.nthreads = nthreads;
+    let mut vm = Vm::new(compiled, cfg).expect("vm");
+    vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    (vm.outputs_int(), vm.outputs_float())
+}
+
+fn analyze(w: &Workload) -> Analysis {
+    Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+}
+
+#[test]
+fn classification_matches_paper_parallelism() {
+    for w in all() {
+        let analysis = analyze(&w);
+        for label in w.loops {
+            let cls = analysis
+                .classification(label)
+                .unwrap_or_else(|| panic!("{}: loop {label} not profiled", w.name));
+            assert_eq!(
+                cls.mode, w.paper.parallelism,
+                "{}::{label} classified {:?}, paper says {:?}",
+                w.name, cls.mode, w.paper.parallelism
+            );
+        }
+    }
+}
+
+#[test]
+fn transformed_workloads_match_serial_results() {
+    for w in all() {
+        let analysis = analyze(&w);
+        let reference = run_outputs(analysis.serial.clone(), 1, &w);
+        for n in [1u32, 2, 4, 8] {
+            let t = analysis
+                .transform(OptLevel::Full, n)
+                .unwrap_or_else(|e| panic!("{} transform n={n}: {e}", w.name));
+            let got = run_outputs(t.parallel, n, &w);
+            assert_eq!(got, reference, "{} full-opt n={n}", w.name);
+        }
+        // Unoptimized expansion must also be correct (Figure 9a config).
+        let t = analysis
+            .transform(OptLevel::None, 2)
+            .unwrap_or_else(|e| panic!("{} transform no-opt: {e}", w.name));
+        let got = run_outputs(t.parallel, 2, &w);
+        assert_eq!(got, reference, "{} no-opt n=2", w.name);
+    }
+}
+
+#[test]
+fn baseline_workloads_match_serial_results() {
+    for w in all() {
+        let analysis = analyze(&w);
+        let reference = run_outputs(analysis.serial.clone(), 1, &w);
+        for n in [1u32, 4] {
+            let b = analysis
+                .baseline_parallel(n)
+                .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name));
+            let got = run_outputs(b.parallel, n, &w);
+            assert_eq!(got, reference, "{} baseline n={n}", w.name);
+        }
+    }
+}
+
+#[test]
+fn privatized_structure_counts_are_plausible() {
+    // Table 5 reports between 1 and 8 privatized structures; our models
+    // should land in the same small-integer regime.
+    for w in all() {
+        let analysis = analyze(&w);
+        let t = analysis.transform(OptLevel::Full, 4).unwrap();
+        let n = t.report.privatized_structures();
+        assert!(
+            (1..=16).contains(&n),
+            "{}: privatized {n} structures (paper: {})",
+            w.name,
+            w.paper.privatized
+        );
+    }
+}
+
+#[test]
+fn loops_dominate_runtime_where_paper_says_so() {
+    // Table 4's %time column: all of our models spend most of their time
+    // in the candidate loops (the paper's range is 43%..99.9%).
+    for w in all() {
+        let analysis = analyze(&w);
+        let mut cfg = w.vm_config(Scale::Profile);
+        cfg.nthreads = 1;
+        let mut vm = Vm::new(analysis.serial.clone(), cfg).unwrap();
+        let total = vm.run().unwrap().counters.work;
+        let in_loops: u64 = analysis.profile.loops.iter().map(|l| l.instructions).sum();
+        let pct = in_loops as f64 / total as f64 * 100.0;
+        assert!(
+            pct > 30.0,
+            "{}: candidate loops are only {pct:.1}% of execution",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn expansion_overhead_is_modest_with_optimizations() {
+    // Figure 9b: with Section 3.4 optimizations the sequential overhead of
+    // the transformed code should be far below the unoptimized version.
+    for w in all() {
+        let analysis = analyze(&w);
+        let mut cfg = w.vm_config(Scale::Profile);
+        cfg.nthreads = 1;
+        let base = {
+            let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap();
+            vm.run().unwrap().counters.work
+        };
+        let full = {
+            let t = analysis.transform(OptLevel::Full, 1).unwrap();
+            let mut vm = Vm::new(t.parallel, cfg.clone()).unwrap();
+            vm.run().unwrap().counters.work
+        };
+        let none = {
+            let t = analysis.transform(OptLevel::None, 1).unwrap();
+            let mut vm = Vm::new(t.parallel, cfg).unwrap();
+            vm.run().unwrap().counters.work
+        };
+        let oh_full = full as f64 / base as f64;
+        let oh_none = none as f64 / base as f64;
+        assert!(
+            oh_full < oh_none,
+            "{}: optimized overhead {oh_full:.3} !< unoptimized {oh_none:.3}",
+            w.name
+        );
+        assert!(
+            oh_full < 1.6,
+            "{}: optimized overhead too high: {oh_full:.3}x",
+            w.name
+        );
+        assert!(
+            oh_none > 1.5,
+            "{}: unoptimized expansion should be visibly expensive, got {oh_none:.3}x",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn vm_config_is_ready_to_run() {
+    for w in all() {
+        let cfg = w.vm_config(Scale::Bench);
+        assert!(!cfg.inputs_int.is_empty());
+    }
+}

@@ -1,0 +1,63 @@
+//! Quickstart: privatize a contended scratch buffer and run the loop on
+//! four threads.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! The program below reuses one heap buffer across loop iterations — the
+//! spurious dependence pattern the paper targets. The pipeline profiles the
+//! loop, classifies its accesses (Definitions 4/5), expands the buffer into
+//! per-thread copies (Table 1), redirects the private accesses (Table 2)
+//! and runs the loop as DOALL.
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::{Vm, VmConfig};
+
+const PROGRAM: &str = "
+    int main() {
+      int *out; out = malloc(256 * sizeof(int));
+      int *scratch; scratch = malloc(64 * sizeof(int));
+      #pragma candidate hot
+      for (int i = 0; i < 256; i++) {
+        for (int k = 0; k < 64; k++) { scratch[k] = i * k + 1; }
+        int acc; acc = 0;
+        for (int k = 0; k < 64; k++) { acc += scratch[k]; }
+        out[i] = acc;
+      }
+      long sum; sum = 0;
+      for (int i = 0; i < 256; i++) { sum += out[i]; }
+      out_long(sum);
+      free(scratch); free(out);
+      return 0;
+    }";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Profile the sequential program and build each candidate loop's
+    //    data dependence graph.
+    let analysis = Analysis::from_source(PROGRAM, VmConfig::default())?;
+    let cls = analysis.classification("hot").expect("loop was profiled");
+    println!("loop `hot` classified as {:?}", cls.mode);
+
+    // 2. Expand: 4 thread copies, all Section 3.4 optimizations on.
+    let transformed = analysis.transform(OptLevel::Full, 4)?;
+    println!(
+        "privatized {} data structure(s), {} scalar(s); {} private accesses redirected",
+        transformed.report.privatized_structures(),
+        transformed.report.expanded_scalar_locals,
+        transformed.report.private_accesses_redirected,
+    );
+
+    // 3. Run the transformed program on 4 threads and the original
+    //    serially; results must agree.
+    let mut serial = Vm::new(analysis.serial.clone(), VmConfig::default())?;
+    serial.run()?;
+    let mut parallel = Vm::new(
+        transformed.parallel,
+        VmConfig { nthreads: 4, ..Default::default() },
+    )?;
+    parallel.run()?;
+    assert_eq!(serial.outputs_int(), parallel.outputs_int());
+    println!("parallel result matches serial: {:?}", parallel.outputs_int());
+    Ok(())
+}
