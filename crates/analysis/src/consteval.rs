@@ -17,9 +17,7 @@ pub fn const_eval(e: &Expr, types: &TypeTable) -> Option<i64> {
     match &e.kind {
         ExprKind::IntLit(v) => Some(*v),
         ExprKind::SizeofType(t) => Some(types.size_of(t) as i64),
-        ExprKind::SizeofExpr(inner) => {
-            Some(types.size_of(inner.ty.as_ref()?) as i64)
-        }
+        ExprKind::SizeofExpr(inner) => Some(types.size_of(inner.ty.as_ref()?) as i64),
         ExprKind::Unary(op, a) => {
             let v = const_eval(a, types)?;
             match op {
@@ -120,11 +118,13 @@ pub fn alloc_size_infos(program: &Program) -> HashMap<u32, AllocSizeInfo> {
                 let (size, sensitive) = match name.as_str() {
                     "malloc" => (
                         args.first().and_then(|a| const_eval(a, types)),
-                        args.first().is_some_and(|a| expr_promotion_sensitive(a, types)),
+                        args.first()
+                            .is_some_and(|a| expr_promotion_sensitive(a, types)),
                     ),
                     "realloc" => (
                         args.get(1).and_then(|a| const_eval(a, types)),
-                        args.get(1).is_some_and(|a| expr_promotion_sensitive(a, types)),
+                        args.get(1)
+                            .is_some_and(|a| expr_promotion_sensitive(a, types)),
                     ),
                     "calloc" => {
                         let n = args.first().and_then(|a| const_eval(a, types));
@@ -133,10 +133,7 @@ pub fn alloc_size_infos(program: &Program) -> HashMap<u32, AllocSizeInfo> {
                             (Some(n), Some(m)) => n.checked_mul(m),
                             _ => None,
                         };
-                        (
-                            s,
-                            args.iter().any(|a| expr_promotion_sensitive(a, types)),
-                        )
+                        (s, args.iter().any(|a| expr_promotion_sensitive(a, types)))
                     }
                     _ => return,
                 };
@@ -189,14 +186,15 @@ mod tests {
     use dse_lang::compile_to_ast;
 
     fn eval_ret(src_expr: &str) -> Option<i64> {
-        let src = format!(
-            "struct S {{ char c; long l; }}; int main() {{ return (int)({src_expr}); }}"
-        );
+        let src =
+            format!("struct S {{ char c; long l; }}; int main() {{ return (int)({src_expr}); }}");
         let p = compile_to_ast(&src).unwrap();
         let StmtKind::Return(Some(e)) = &p.functions[0].body.stmts[0].kind else {
             panic!()
         };
-        let ExprKind::Cast(_, inner) = &e.kind else { panic!() };
+        let ExprKind::Cast(_, inner) = &e.kind else {
+            panic!()
+        };
         const_eval(inner, &p.types)
     }
 

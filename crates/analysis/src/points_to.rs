@@ -104,9 +104,7 @@ impl PointsTo {
     pub fn objects_of_site(&self, eid: u32) -> HashSet<PtObj> {
         match self.site_addr.get(&eid) {
             Some(SiteAddrPub::Direct(v)) => [PtObj::Var(*v)].into_iter().collect(),
-            Some(SiteAddrPub::Via(node)) => {
-                self.pts.get(node).cloned().unwrap_or_default()
-            }
+            Some(SiteAddrPub::Via(node)) => self.pts.get(node).cloned().unwrap_or_default(),
             None => HashSet::new(),
         }
     }
@@ -154,9 +152,7 @@ pub fn analyze(program: &Program) -> PointsTo {
             .map(|(eid, sa)| {
                 let pubsa = match sa {
                     SiteAddr::Direct(v) => SiteAddrPub::Direct(*v),
-                    SiteAddr::ViaPointer(n) => {
-                        SiteAddrPub::Via(cx.nodes[n] as u64)
-                    }
+                    SiteAddr::ViaPointer(n) => SiteAddrPub::Via(cx.nodes[n] as u64),
                 };
                 (*eid, pubsa)
             })
@@ -265,7 +261,13 @@ impl<'a> Cx<'a> {
                 self.collect_block(func, body);
                 self.rvalue(func, cond);
             }
-            StmtKind::For { init, cond, step, body, .. } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(s) = init {
                     self.collect_stmt(func, s);
                 }
@@ -390,9 +392,7 @@ impl<'a> Cx<'a> {
                     Some(addr) => {
                         let sa = match &addr {
                             BaseAddr::Object(v) => SiteAddr::Direct(*v),
-                            BaseAddr::Pointer(pn) => {
-                                SiteAddr::ViaPointer(self.node_key(*pn))
-                            }
+                            BaseAddr::Pointer(pn) => SiteAddr::ViaPointer(self.node_key(*pn)),
                         };
                         self.record_site(e.eid, sa);
                         self.read_through(addr, e.ty())
@@ -486,9 +486,9 @@ impl<'a> Cx<'a> {
     /// through a pointer node. Also recursively processes index exprs.
     fn base_object(&mut self, func: usize, e: &Expr) -> Option<BaseAddr> {
         match &e.kind {
-            ExprKind::Var { binding, .. } => {
-                Some(BaseAddr::Object(self.binding_var(func, binding.expect("sema"))))
-            }
+            ExprKind::Var { binding, .. } => Some(BaseAddr::Object(
+                self.binding_var(func, binding.expect("sema")),
+            )),
             ExprKind::Field { base, .. } => self.base_object(func, base),
             ExprKind::Index { base, index } => {
                 self.rvalue(func, index);
@@ -515,9 +515,7 @@ impl<'a> Cx<'a> {
             Some(BaseAddr::Object(v)) => {
                 self.record_site(lhs.eid, SiteAddr::Direct(v));
                 // Direct scalar pointer variable: copy into its node.
-                if matches!(lhs.kind, ExprKind::Var { .. })
-                    && lhs.ty().is_pointer()
-                {
+                if matches!(lhs.kind, ExprKind::Var { .. }) && lhs.ty().is_pointer() {
                     let d = self.node(Node::Var(v));
                     self.copy(src, d);
                 } else if lhs.ty().decayed().is_pointer() || lhs.ty().is_aggregate() {
@@ -552,10 +550,8 @@ impl<'a> Cx<'a> {
                     if src == dst {
                         continue;
                     }
-                    let add: Vec<PtObj> = self.pts[src]
-                        .difference(&self.pts[dst])
-                        .copied()
-                        .collect();
+                    let add: Vec<PtObj> =
+                        self.pts[src].difference(&self.pts[dst]).copied().collect();
                     if !add.is_empty() {
                         inner_changed = true;
                         self.pts[dst].extend(add);
@@ -661,12 +657,10 @@ mod tests {
 
     #[test]
     fn copy_and_conditional_union() {
-        let (p, r) = pt(
-            "int main(){ int *a; int *b; int *c; int cond; cond = 1;
+        let (p, r) = pt("int main(){ int *a; int *b; int *c; int cond; cond = 1;
                a = malloc(4); b = malloc(4);
                c = cond ? a : b;
-               free(a); free(b); return 0; }",
-        );
+               free(a); free(b); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_c = r.pts_of_var(VarId::Local(0, 2));
         assert!(pts_c.contains(&PtObj::Alloc(allocs[0])));
@@ -684,9 +678,8 @@ mod tests {
 
     #[test]
     fn pointer_arithmetic_preserves_targets() {
-        let (p, r) = pt(
-            "int main() { int *a; int *b; a = malloc(40); b = a + 3; free(a); return 0; }",
-        );
+        let (p, r) =
+            pt("int main() { int *a; int *b; a = malloc(40); b = a + 3; free(a); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_b = r.pts_of_var(VarId::Local(0, 1));
         assert_eq!(pts_b, [PtObj::Alloc(allocs[0])].into_iter().collect());
@@ -694,11 +687,9 @@ mod tests {
 
     #[test]
     fn interprocedural_param_and_return() {
-        let (p, r) = pt(
-            "int *ident(int *x) { return x; }
+        let (p, r) = pt("int *ident(int *x) { return x; }
              int main() { int *a; int *b; a = malloc(8); b = ident(a);
-               free(a); return 0; }",
-        );
+               free(a); return 0; }");
         let allocs = alloc_eids(&p);
         let main_idx = 1;
         let pts_b = r.pts_of_var(VarId::Local(main_idx, 1));
@@ -707,12 +698,10 @@ mod tests {
 
     #[test]
     fn pointer_stored_in_struct_field_flows_out() {
-        let (p, r) = pt(
-            "struct Holder { int *ptr; };
+        let (p, r) = pt("struct Holder { int *ptr; };
              int main() { struct Holder h; int *a; int *b;
                a = malloc(8); h.ptr = a; b = h.ptr;
-               free(b); return 0; }",
-        );
+               free(b); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_b = r.pts_of_var(VarId::Local(0, 2));
         assert!(pts_b.contains(&PtObj::Alloc(allocs[0])));
@@ -720,14 +709,12 @@ mod tests {
 
     #[test]
     fn pointer_stored_through_heap_flows_out() {
-        let (p, r) = pt(
-            "int main() { int **table; int *a; int *b;
+        let (p, r) = pt("int main() { int **table; int *a; int *b;
                table = malloc(8 * sizeof(int*));
                a = malloc(8);
                table[0] = a;
                b = table[0];
-               free(a); free(table); return 0; }",
-        );
+               free(a); free(table); return 0; }");
         let allocs = alloc_eids(&p);
         // b may point to the `a` allocation (allocs[1]).
         let pts_b = r.pts_of_var(VarId::Local(0, 2));
@@ -736,8 +723,7 @@ mod tests {
 
     #[test]
     fn linked_list_next_chain() {
-        let (p, r) = pt(
-            "struct Node { int v; struct Node *next; };
+        let (p, r) = pt("struct Node { int v; struct Node *next; };
              int main() {
                struct Node *head; head = 0;
                for (int i = 0; i < 4; i++) {
@@ -745,8 +731,7 @@ mod tests {
                  n->next = head; head = n;
                }
                struct Node *walk; walk = head->next;
-               return 0; }",
-        );
+               return 0; }");
         let allocs = alloc_eids(&p);
         // walk reaches the single allocation site through the next field.
         let slot_walk = 3;
@@ -756,9 +741,7 @@ mod tests {
 
     #[test]
     fn site_objects_direct_and_indirect() {
-        let (p, r) = pt(
-            "int g; int main() { int *p; p = malloc(8); *p = g; free(p); return 0; }",
-        );
+        let (p, r) = pt("int g; int main() { int *p; p = malloc(8); *p = g; free(p); return 0; }");
         let allocs = alloc_eids(&p);
         let g_eid = var_eid(&p, "g");
         assert_eq!(
@@ -786,13 +769,11 @@ mod tests {
     fn two_allocation_sites_hmmer_pattern() {
         // The 456.hmmer motivating example: mx may point to either of two
         // different-sized allocations.
-        let (p, r) = pt(
-            "int main() { int *mx; int c; c = 1;
+        let (p, r) = pt("int main() { int *mx; int c; c = 1;
                if (c) { mx = malloc(100); }
                else { mx = malloc(200); }
                mx[3] = 0;
-               free(mx); return 0; }",
-        );
+               free(mx); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_mx = r.pts_of_var(VarId::Local(0, 0));
         assert_eq!(pts_mx.len(), 2);
@@ -802,10 +783,8 @@ mod tests {
 
     #[test]
     fn unrelated_pointers_do_not_alias() {
-        let (p, r) = pt(
-            "int main() { int *a; int *b; a = malloc(8); b = malloc(8);
-               free(a); free(b); return 0; }",
-        );
+        let (p, r) = pt("int main() { int *a; int *b; a = malloc(8); b = malloc(8);
+               free(a); free(b); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_a = r.pts_of_var(VarId::Local(0, 0));
         let pts_b = r.pts_of_var(VarId::Local(0, 1));
@@ -815,9 +794,7 @@ mod tests {
 
     #[test]
     fn global_pointer_variable() {
-        let (p, r) = pt(
-            "int *gp; int main() { gp = malloc(16); gp[0] = 1; free(gp); return 0; }",
-        );
+        let (p, r) = pt("int *gp; int main() { gp = malloc(16); gp[0] = 1; free(gp); return 0; }");
         let allocs = alloc_eids(&p);
         let pts = r.pts_of_var(VarId::Global(0));
         assert_eq!(pts, [PtObj::Alloc(allocs[0])].into_iter().collect());
@@ -825,13 +802,11 @@ mod tests {
 
     #[test]
     fn realloc_creates_new_site_preserving_contents() {
-        let (p, r) = pt(
-            "int main() { int **t; t = malloc(8 * sizeof(int*));
+        let (p, r) = pt("int main() { int **t; t = malloc(8 * sizeof(int*));
                int *a; a = malloc(8); t[0] = a;
                t = realloc(t, 16 * sizeof(int*));
                int *b; b = t[0];
-               free(a); free(t); return 0; }",
-        );
+               free(a); free(t); return 0; }");
         let allocs = alloc_eids(&p);
         let pts_b = r.pts_of_var(VarId::Local(0, 2));
         // b reads through the realloc'd table; the `a` allocation must

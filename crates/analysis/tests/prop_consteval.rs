@@ -1,14 +1,15 @@
-//! Cross-validation property: for randomly generated constant integer
-//! expressions, the static evaluator ([`dse_analysis::const_eval`]) must
-//! agree with actually executing the expression through the full pipeline
+//! Cross-validation: for randomly generated constant integer expressions,
+//! the static evaluator ([`dse_analysis::const_eval`]) must agree with
+//! actually executing the expression through the full pipeline
 //! (parser → sema → lowering → VM). This pins the two integer semantics
 //! (wrapping 64-bit arithmetic, masked shifts, C-style truncating casts)
-//! to each other.
+//! to each other. Cases come from the workspace's deterministic PRNG, so
+//! failures reproduce exactly.
 
 use dse_analysis::const_eval;
 use dse_lang::ast::StmtKind;
 use dse_runtime::{Value, Vm, VmConfig};
-use proptest::prelude::*;
+use dse_workloads::rng::Rng;
 
 /// Generated constant expression, rendered to Cee source.
 #[derive(Debug, Clone)]
@@ -61,39 +62,40 @@ impl CExpr {
     }
 }
 
-fn cexpr_strategy() -> impl Strategy<Value = CExpr> {
-    let leaf = prop_oneof![
-        any::<i32>().prop_map(CExpr::Lit),
-        Just(CExpr::SizeofInt),
-        Just(CExpr::SizeofS),
-    ];
-    leaf.prop_recursive(4, 32, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|a| CExpr::Neg(Box::new(a))),
-            inner.clone().prop_map(|a| CExpr::Not(Box::new(a))),
-            inner.clone().prop_map(|a| CExpr::CastChar(Box::new(a))),
-            inner.clone().prop_map(|a| CExpr::CastInt(Box::new(a))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Div(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Rem(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Shl(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Shr(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Or(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| CExpr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, t, f)| CExpr::Ternary(Box::new(c), Box::new(t), Box::new(f))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> CExpr {
+    use CExpr::*;
+    if depth == 0 || rng.gen_ratio(1, 4) {
+        return match rng.gen_index(3) {
+            0 => Lit(rng.next_u64() as i32),
+            1 => SizeofInt,
+            _ => SizeofS,
+        };
+    }
+    let sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
+    match rng.gen_index(15) {
+        0 => Neg(sub(rng)),
+        1 => Not(sub(rng)),
+        2 => CastChar(sub(rng)),
+        3 => CastInt(sub(rng)),
+        4 => Add(sub(rng), sub(rng)),
+        5 => Sub(sub(rng), sub(rng)),
+        6 => Mul(sub(rng), sub(rng)),
+        7 => Div(sub(rng), sub(rng)),
+        8 => Rem(sub(rng), sub(rng)),
+        9 => Shl(sub(rng), sub(rng)),
+        10 => Shr(sub(rng), sub(rng)),
+        11 => And(sub(rng), sub(rng)),
+        12 => Or(sub(rng), sub(rng)),
+        13 => Xor(sub(rng), sub(rng)),
+        _ => Ternary(sub(rng), sub(rng), sub(rng)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn const_eval_agrees_with_execution(e in cexpr_strategy()) {
+#[test]
+fn const_eval_agrees_with_execution() {
+    for case in 0..256u64 {
+        let mut rng = Rng::seed_from_u64(0xC0_E7A1 + case);
+        let e = gen_expr(&mut rng, 4);
         let src = format!(
             "struct S {{ char c; long l; int i; }};
              long main() {{ return {}; }}",
@@ -103,7 +105,7 @@ proptest! {
             Ok(p) => p,
             // Rendered literals can overflow `int` contexts etc.; those
             // are frontend rejections, not evaluator bugs.
-            Err(_) => return Ok(()),
+            Err(_) => continue,
         };
         // Extract the return expression.
         let ret = {
@@ -118,24 +120,20 @@ proptest! {
         let mut vm = Vm::new(compiled, VmConfig::default()).unwrap();
         match (static_val, vm.run()) {
             (Some(expected), Ok(report)) => {
-                prop_assert_eq!(
-                    report.return_value,
-                    Some(Value::I(expected)),
-                    "src: {}", src
-                );
+                assert_eq!(report.return_value, Some(Value::I(expected)), "src: {src}");
             }
             (None, Err(err)) => {
                 // Static "not constant" here can only mean division traps.
-                prop_assert!(
+                assert!(
                     err.msg.contains("division") || err.msg.contains("remainder"),
-                    "const_eval gave up but VM said: {} ({})", err, src
+                    "const_eval gave up but VM said: {err} ({src})"
                 );
             }
             (None, Ok(_)) => {
-                prop_assert!(false, "VM succeeded but const_eval returned None: {}", src);
+                panic!("VM succeeded but const_eval returned None: {src}");
             }
             (Some(v), Err(err)) => {
-                prop_assert!(false, "const_eval said {} but VM trapped: {} ({})", v, err, src);
+                panic!("const_eval said {v} but VM trapped: {err} ({src})");
             }
         }
     }

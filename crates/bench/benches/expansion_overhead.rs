@@ -1,46 +1,29 @@
-//! Criterion benches for Figure 9: wall-clock cost of the original
-//! program vs the transformed program (no-opt and full-opt), run serially.
+//! Benches for Figure 9: wall-clock cost of the original program vs the
+//! transformed program (no-opt and full-opt), run serially.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dse_bench::harness;
 use dse_core::{Analysis, OptLevel};
 use dse_runtime::Vm;
 use dse_workloads::{all, Scale};
 
-fn bench_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig9_expansion_overhead");
-    group.sample_size(10);
+fn main() {
+    let group = harness::group("fig9_expansion_overhead");
     for w in all() {
-        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
-            .expect("analysis");
+        let analysis =
+            Analysis::from_source(w.source, w.vm_config(Scale::Profile)).expect("analysis");
         // Timing runs use bench-scale inputs and a lean arena so the
         // program dominates over VM construction.
         let cfg = dse_bench::timing_vm_config(&w, Scale::Bench);
-        group.bench_with_input(
-            BenchmarkId::new("original", w.name),
-            &analysis.serial,
-            |b, compiled| {
-                b.iter(|| {
-                    let mut vm = Vm::new(compiled.clone(), cfg.clone()).unwrap();
-                    vm.run().unwrap()
-                })
-            },
-        );
+        group.bench(&format!("original/{}", w.name), || {
+            let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap();
+            vm.run().unwrap()
+        });
         for (label, opt) in [("noopt", OptLevel::None), ("full", OptLevel::Full)] {
             let t = analysis.transform(opt, 1).expect("transform");
-            group.bench_with_input(
-                BenchmarkId::new(label, w.name),
-                &t.parallel,
-                |b, compiled| {
-                    b.iter(|| {
-                        let mut vm = Vm::new(compiled.clone(), cfg.clone()).unwrap();
-                        vm.run().unwrap()
-                    })
-                },
-            );
+            group.bench(&format!("{label}/{}", w.name), || {
+                let mut vm = Vm::new(t.parallel.clone(), cfg.clone()).unwrap();
+                vm.run().unwrap()
+            });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_overhead);
-criterion_main!(benches);

@@ -1,42 +1,25 @@
-//! Criterion benches for the compiler pipeline itself: frontend, serial
-//! lowering, dependence profiling, classification/planning, and the
-//! expansion transform (an ablation axis the paper does not time but a
-//! user of the pass would care about).
+//! Benches for the compiler pipeline itself: frontend, serial lowering,
+//! dependence profiling, classification/planning, and the expansion
+//! transform (an ablation axis the paper does not time but a user of the
+//! pass would care about).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dse_bench::harness;
 use dse_core::{Analysis, OptLevel};
 use dse_workloads::{all, Scale};
 
-fn bench_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pass_compile_time");
-    group.sample_size(10);
+fn main() {
+    let group = harness::group("pass_compile_time");
     for w in all() {
-        group.bench_with_input(
-            BenchmarkId::new("frontend", w.name),
-            &w.source,
-            |b, src| b.iter(|| dse_lang::compile_to_ast(src).unwrap()),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("profile_and_classify", w.name),
-            &w,
-            |b, w| {
-                b.iter(|| {
-                    Analysis::from_source(
-                        w.source,
-                        dse_bench::timing_vm_config(w, Scale::Profile),
-                    )
-                    .unwrap()
-                })
-            },
-        );
-        let analysis =
-            Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap();
-        group.bench_with_input(BenchmarkId::new("transform", w.name), &analysis, |b, a| {
-            b.iter(|| a.transform(OptLevel::Full, 8).unwrap())
+        group.bench(&format!("frontend/{}", w.name), || {
+            dse_lang::compile_to_ast(w.source).unwrap()
+        });
+        group.bench(&format!("profile_and_classify/{}", w.name), || {
+            Analysis::from_source(w.source, dse_bench::timing_vm_config(&w, Scale::Profile))
+                .unwrap()
+        });
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap();
+        group.bench(&format!("transform/{}", w.name), || {
+            analysis.transform(OptLevel::Full, 8).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

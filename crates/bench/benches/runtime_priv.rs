@@ -1,49 +1,32 @@
-//! Criterion benches for Figures 10/13: the runtime-privatization baseline
-//! vs static expansion, run serially (the wall-clock counterpart of the
+//! Benches for Figures 10/13: the runtime-privatization baseline vs
+//! static expansion, run serially (the wall-clock counterpart of the
 //! instruction-count comparison in the `figures` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dse_bench::harness;
 use dse_core::{Analysis, OptLevel};
 use dse_runtime::Vm;
 use dse_workloads::{by_name, Scale};
 
-fn bench_baseline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig10_runtime_priv");
-    group.sample_size(10);
+fn main() {
+    let group = harness::group("fig10_runtime_priv");
     // The three workloads whose privatized structures live on the heap —
     // where the runtime baseline pays per-access translation.
     for name in ["dijkstra", "bzip2", "hmmer"] {
         let w = by_name(name).expect("bundled workload");
-        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
-            .expect("analysis");
+        let analysis =
+            Analysis::from_source(w.source, w.vm_config(Scale::Profile)).expect("analysis");
         // Timing runs use bench-scale inputs and a lean arena so the
         // program dominates over VM construction.
         let cfg = dse_bench::timing_vm_config(&w, Scale::Bench);
         let t = analysis.transform(OptLevel::Full, 1).expect("transform");
-        group.bench_with_input(
-            BenchmarkId::new("expansion", name),
-            &t.parallel,
-            |b, compiled| {
-                b.iter(|| {
-                    let mut vm = Vm::new(compiled.clone(), cfg.clone()).unwrap();
-                    vm.run().unwrap()
-                })
-            },
-        );
+        group.bench(&format!("expansion/{name}"), || {
+            let mut vm = Vm::new(t.parallel.clone(), cfg.clone()).unwrap();
+            vm.run().unwrap()
+        });
         let base = analysis.baseline_parallel(1).expect("baseline");
-        group.bench_with_input(
-            BenchmarkId::new("runtime_priv", name),
-            &base.parallel,
-            |b, compiled| {
-                b.iter(|| {
-                    let mut vm = Vm::new(compiled.clone(), cfg.clone()).unwrap();
-                    vm.run().unwrap()
-                })
-            },
-        );
+        group.bench(&format!("runtime_priv/{name}"), || {
+            let mut vm = Vm::new(base.parallel.clone(), cfg.clone()).unwrap();
+            vm.run().unwrap()
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_baseline);
-criterion_main!(benches);

@@ -1,22 +1,20 @@
-//! Criterion benches for Figure 11: simulated multicore execution.
+//! Benches for Figure 11: simulated multicore execution.
 //!
 //! On hosts with eight physical cores the `figures --wall fig11` path
 //! times real threads; this bench times the deterministic pipeline that
 //! the default Figure 11 uses (trace + schedule simulation), keeping the
 //! benchmark meaningful on any host.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dse_bench::sim;
+use dse_bench::{harness, sim};
 use dse_core::{Analysis, OptLevel};
 use dse_runtime::{Vm, VmConfig};
 use dse_workloads::{all, Scale};
 
-fn bench_sim(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig11_simulated_speedup");
-    group.sample_size(10);
+fn main() {
+    let group = harness::group("fig11_simulated_speedup");
     for w in all().into_iter().take(3) {
-        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
-            .expect("analysis");
+        let analysis =
+            Analysis::from_source(w.source, w.vm_config(Scale::Profile)).expect("analysis");
         let t = analysis.transform(OptLevel::Full, 8).expect("transform");
         let mut cfg: VmConfig = w.vm_config(Scale::Profile);
         cfg.record_iteration_costs = true;
@@ -31,16 +29,8 @@ fn bench_sim(c: &mut Criterion) {
             .map(|(i, l)| (i as u32, l.mode.unwrap_or(dse_ir::loops::ParMode::DoAll)))
             .collect();
         let total = report.counters.work;
-        group.bench_with_input(
-            BenchmarkId::new("simulate_8c", w.name),
-            &(total, traces, modes),
-            |b, (total, traces, modes)| {
-                b.iter(|| sim::simulate_program(*total, traces, modes, 8, false))
-            },
-        );
+        group.bench(&format!("simulate_8c/{}", w.name), || {
+            sim::simulate_program(total, &traces, &modes, 8, false)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -9,9 +9,14 @@
 //!
 //! Run with `--release`; wall-clock experiments on a debug interpreter are
 //! meaningless. Default scale is `bench`.
+//!
+//! Besides the printed tables, every requested artifact is also written as
+//! machine-readable JSON to `results/figures.json` (keyed by artifact
+//! name), so plots and regression checks don't have to scrape stdout.
 
 use dse_bench::*;
 use dse_core::OptLevel;
+use dse_telemetry::Json;
 use dse_workloads::{Scale, Workload};
 
 struct Args {
@@ -44,28 +49,33 @@ fn parse_args() -> Args {
                 }
             }
             "--repeats" => {
-                repeats = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--repeats needs a number");
-                        std::process::exit(2);
-                    })
-            }
-            "--workload" => {
-                names.push(args.next().unwrap_or_else(|| {
-                    eprintln!("--workload needs a name");
+                repeats = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--repeats needs a number");
                     std::process::exit(2);
-                }))
+                })
             }
+            "--workload" => names.push(args.next().unwrap_or_else(|| {
+                eprintln!("--workload needs a name");
+                std::process::exit(2);
+            })),
             "--wall" => wall = true,
             other => what.push(other.to_string()),
         }
     }
     if what.is_empty() || what.iter().any(|w| w == "all") {
         what = [
-            "table4", "table5", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
-            "fig14", "ablation-chunk", "ablation-sync", "ablation-layout",
+            "table4",
+            "table5",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "ablation-chunk",
+            "ablation-sync",
+            "ablation-layout",
         ]
         .map(String::from)
         .to_vec();
@@ -83,13 +93,20 @@ fn parse_args() -> Args {
             })
             .collect()
     };
-    Args { scale, repeats, wall, workloads, what }
+    Args {
+        scale,
+        repeats,
+        wall,
+        workloads,
+        what,
+    }
 }
 
 fn main() {
     let args = parse_args();
+    let mut artifacts: Vec<(String, Json)> = Vec::new();
     for what in &args.what {
-        match what.as_str() {
+        let json = match what.as_str() {
             "table4" => print_table4(&args),
             "table5" => print_table5(&args),
             "fig8" => print_fig8(&args),
@@ -106,18 +123,41 @@ fn main() {
                 eprintln!("unknown artifact `{other}`");
                 std::process::exit(2);
             }
-        }
+        };
+        artifacts.push((what.clone(), json));
         println!();
     }
+    let doc = Json::obj(vec![
+        (
+            "scale",
+            Json::Str(
+                match args.scale {
+                    Scale::Profile => "profile",
+                    Scale::Bench => "bench",
+                }
+                .to_string(),
+            ),
+        ),
+        ("wall", Json::Bool(args.wall)),
+        ("artifacts", Json::Obj(artifacts)),
+    ]);
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/figures.json", format!("{doc}\n")))
+    {
+        eprintln!("figures: could not write results/figures.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[wrote results/figures.json]");
 }
 
-fn print_table4(args: &Args) {
+fn print_table4(args: &Args) -> Json {
     println!("== Table 4: benchmark characteristics ==");
     println!(
         "{:<10} {:<14} {:>9} {:>10} {:>6} {:>9} {:>8} {:>10}  function",
         "benchmark", "suite", "model-LOC", "paper-LOC", "level", "par", "%time", "paper%"
     );
-    for r in table4(&args.workloads) {
+    let rows = table4(&args.workloads);
+    for r in &rows {
         println!(
             "{:<10} {:<14} {:>9} {:>10} {:>6} {:>9} {:>7.1}% {:>9.1}%  {}",
             r.name,
@@ -131,29 +171,60 @@ fn print_table4(args: &Args) {
             r.function
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("suite", Json::Str(r.suite.into())),
+                    ("model_loc", Json::Int(r.model_loc as i64)),
+                    ("paper_loc", Json::Int(r.paper_loc as i64)),
+                    ("function", Json::Str(r.function.into())),
+                    ("level", Json::Int(r.level as i64)),
+                    ("parallelism", Json::Str(r.parallelism.clone())),
+                    ("time_pct", Json::Float(r.time_pct)),
+                    ("paper_time_pct", Json::Float(r.paper_time_pct)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_table5(args: &Args) {
+fn print_table5(args: &Args) -> Json {
     println!("== Table 5: dynamic data structures privatized ==");
     println!(
         "{:<10} {:>11} {:>7} {:>6}",
         "benchmark", "#privatized", "paper", "+scalars"
     );
-    for r in table5(&args.workloads) {
+    let rows = table5(&args.workloads);
+    for r in &rows {
         println!(
             "{:<10} {:>11} {:>7} {:>6}",
             r.name, r.privatized, r.paper_privatized, r.scalars
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("privatized", Json::Int(r.privatized as i64)),
+                    ("scalars", Json::Int(r.scalars as i64)),
+                    ("paper_privatized", Json::Int(r.paper_privatized as i64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_fig8(args: &Args) {
+fn print_fig8(args: &Args) -> Json {
     println!("== Figure 8: breakdown of dynamic memory accesses ==");
     println!(
         "{:<10} {:>16} {:>12} {:>16}",
         "benchmark", "free-of-carried", "expandable", "with-carried"
     );
-    for r in fig8(&args.workloads) {
+    let rows = fig8(&args.workloads);
+    for r in &rows {
         println!(
             "{:<10} {:>15.1}% {:>11.1}% {:>15.1}%",
             r.name,
@@ -162,10 +233,26 @@ fn print_fig8(args: &Args) {
             100.0 * r.with_carried
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("free_of_carried", Json::Float(r.free_of_carried)),
+                    ("expandable", Json::Float(r.expandable)),
+                    ("with_carried", Json::Float(r.with_carried)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_fig9(args: &Args) {
-    for (fig, opt) in [("9a (no optimizations)", OptLevel::None), ("9b (optimized)", OptLevel::Full)] {
+fn print_fig9(args: &Args) -> Json {
+    let mut out = Vec::new();
+    for (fig, opt) in [
+        ("9a (no optimizations)", OptLevel::None),
+        ("9b (optimized)", OptLevel::Full),
+    ] {
         println!("== Figure {fig}: sequential slowdown of expanded code ==");
         println!(
             "{:<10} {:>13} {:>10}",
@@ -183,21 +270,92 @@ fn print_fig9(args: &Args) {
             "h-mean",
             harmonic_mean(rows.iter().map(|r| r.slowdown_instructions)),
             harmonic_mean(rows.iter().map(|r| r.slowdown_time)),
-            if matches!(opt, OptLevel::None) { "1.8x" } else { "<1.05x" },
+            if matches!(opt, OptLevel::None) {
+                "1.8x"
+            } else {
+                "<1.05x"
+            },
         );
         println!();
+        let key = if matches!(opt, OptLevel::None) {
+            "none"
+        } else {
+            "full"
+        };
+        out.push((
+            key.to_string(),
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.into())),
+                            (
+                                "slowdown_instructions",
+                                Json::Float(r.slowdown_instructions),
+                            ),
+                            ("slowdown_time", Json::Float(r.slowdown_time)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
     }
+    Json::Obj(out)
 }
 
-fn print_fig10(args: &Args) {
+fn print_fig10(args: &Args) -> Json {
     println!("== Figure 10: expansion vs runtime privatization (sequential overhead) ==");
-    println!("{:<10} {:>10} {:>13}", "benchmark", "expansion", "runtime-priv");
-    for r in fig10(&args.workloads, args.scale) {
+    println!(
+        "{:<10} {:>10} {:>13}",
+        "benchmark", "expansion", "runtime-priv"
+    );
+    let rows = fig10(&args.workloads, args.scale);
+    for r in &rows {
         println!(
             "{:<10} {:>9.3}x {:>12.3}x",
             r.name, r.expansion, r.runtime_priv
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("expansion", Json::Float(r.expansion)),
+                    ("runtime_priv", Json::Float(r.runtime_priv)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn speedups_json(rows: &[SpeedupRow]) -> Json {
+    Json::obj(vec![
+        (
+            "core_counts",
+            Json::Arr(CORE_COUNTS.iter().map(|&c| Json::Int(c as i64)).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("name", Json::Str(r.name.into())),
+                            (
+                                "loop_only",
+                                Json::Arr(r.loop_only.iter().map(|&s| Json::Float(s)).collect()),
+                            ),
+                            (
+                                "total",
+                                Json::Arr(r.total.iter().map(|&s| Json::Float(s)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn print_speedups(rows: &[SpeedupRow], loop_label: &str, total_label: &str) {
@@ -237,23 +395,27 @@ fn print_speedups(rows: &[SpeedupRow], loop_label: &str, total_label: &str) {
     let hms: Vec<String> = (0..CORE_COUNTS.len())
         .map(|i| format!("{:>7.2}x", harmonic_mean(rows.iter().map(|r| r.total[i]))))
         .collect();
-    println!("{:<10} {}   (total, harmonic mean)", "h-mean", hms.join(" "));
+    println!(
+        "{:<10} {}   (total, harmonic mean)",
+        "h-mean",
+        hms.join(" ")
+    );
 }
 
-fn print_fig11(args: &Args) {
-    if args.wall {
+fn print_fig11(args: &Args) -> Json {
+    let rows = if args.wall {
         println!("== Figure 11: speedups (wall clock; needs >= 8 cores) ==");
-        let rows = fig11(&args.workloads, args.scale, args.repeats);
-        print_speedups(&rows, "11a: loop speedup", "11b: total speedup");
+        fig11(&args.workloads, args.scale, args.repeats)
     } else {
         println!("== Figure 11: speedups (schedule simulator) ==");
-        let rows = fig11_sim(&args.workloads, args.scale);
-        print_speedups(&rows, "11a: loop speedup", "11b: total speedup");
-    }
+        fig11_sim(&args.workloads, args.scale)
+    };
+    print_speedups(&rows, "11a: loop speedup", "11b: total speedup");
     println!("(paper: harmonic mean total speedup 1.93x @4 cores, 2.24x @8 cores)");
+    speedups_json(&rows)
 }
 
-fn print_fig12(args: &Args) {
+fn print_fig12(args: &Args) -> Json {
     println!("== Figure 12: dynamic cost breakdown at 8 cores ==");
     println!(
         "{:<10} {:>7} {:>17} {:>10}",
@@ -264,7 +426,7 @@ fn print_fig12(args: &Args) {
     } else {
         fig12_sim(&args.workloads, args.scale)
     };
-    for r in rows {
+    for r in &rows {
         println!(
             "{:<10} {:>6.1}% {:>16.1}% {:>9.1}%",
             r.name,
@@ -273,9 +435,21 @@ fn print_fig12(args: &Args) {
             100.0 * r.sync
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("work", Json::Float(r.work)),
+                    ("wait", Json::Float(r.wait)),
+                    ("sync", Json::Float(r.sync)),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_fig13(args: &Args) {
+fn print_fig13(args: &Args) -> Json {
     println!("== Figure 13: loop speedup under runtime privatization ==");
     let rows = if args.wall {
         fig13(&args.workloads, args.scale, args.repeats)
@@ -303,26 +477,45 @@ fn print_fig13(args: &Args) {
         );
     }
     println!("(paper: nearly no speedup for most benchmarks)");
+    speedups_json(&rows)
 }
 
-fn print_fig14(args: &Args) {
+fn print_fig14(args: &Args) -> Json {
     println!("== Figure 14: peak memory as a multiple of the original ==");
     println!(
         "{:<10} {:>24} {:>24}",
         "benchmark", "expansion (2/4/8c)", "runtime-priv (2/4/8c)"
     );
-    for r in fig14(&args.workloads, args.scale) {
+    let rows = fig14(&args.workloads, args.scale);
+    for r in &rows {
         let e: Vec<String> = r.expansion.iter().map(|x| format!("{x:.2}")).collect();
         let p: Vec<String> = r.runtime_priv.iter().map(|x| format!("{x:.2}")).collect();
         println!("{:<10} {:>24} {:>24}", r.name, e.join("/"), p.join("/"));
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    (
+                        "expansion",
+                        Json::Arr(r.expansion.iter().map(|&x| Json::Float(x)).collect()),
+                    ),
+                    (
+                        "runtime_priv",
+                        Json::Arr(r.runtime_priv.iter().map(|&x| Json::Float(x)).collect()),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_ablation_chunk(args: &Args) {
+fn print_ablation_chunk(args: &Args) -> Json {
     println!("== Ablation: DOACROSS claim size (paper uses 1) ==");
     println!("simulated loop speedup at 8 cores");
     let rows = ablation_chunk(&args.workloads, args.scale);
-    for r in rows {
+    for r in &rows {
         let cells: Vec<String> = r
             .speedups
             .iter()
@@ -330,33 +523,90 @@ fn print_ablation_chunk(args: &Args) {
             .collect();
         println!("{:<10} {}", r.name, cells.join("  "));
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    (
+                        "speedups",
+                        Json::Arr(
+                            r.speedups
+                                .iter()
+                                .map(|&(c, x)| {
+                                    Json::obj(vec![
+                                        ("chunk", Json::Int(c as i64)),
+                                        ("speedup", Json::Float(x)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_ablation_layout(args: &Args) {
+fn print_ablation_layout(args: &Args) -> Json {
     println!("== Ablation: bonded vs interleaved layout (Section 3.1, Fig. 2) ==");
     println!("sequential instruction overhead vs the original program");
-    for r in ablation_layout(&args.workloads, args.scale) {
-        match (r.interleaved, r.blocker) {
+    let rows = ablation_layout(&args.workloads, args.scale);
+    for r in &rows {
+        match (&r.interleaved, &r.blocker) {
             (Some(i), _) => println!(
                 "{:<10} bonded {:.3}x   interleaved {:.3}x",
                 r.name, r.bonded, i
             ),
             (None, Some(b)) => {
-                println!("{:<10} bonded {:.3}x   interleaved: IMPOSSIBLE", r.name, r.bonded);
+                println!(
+                    "{:<10} bonded {:.3}x   interleaved: IMPOSSIBLE",
+                    r.name, r.bonded
+                );
                 println!("{:<10}   ({})", "", b);
             }
             (None, None) => unreachable!("either a number or a blocker"),
         }
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("bonded", Json::Float(r.bonded)),
+                    (
+                        "interleaved",
+                        r.interleaved.map(Json::Float).unwrap_or(Json::Null),
+                    ),
+                    (
+                        "blocker",
+                        r.blocker.clone().map(Json::Str).unwrap_or(Json::Null),
+                    ),
+                ])
+            })
+            .collect(),
+    )
 }
 
-fn print_ablation_sync(args: &Args) {
+fn print_ablation_sync(args: &Args) -> Json {
     println!("== Ablation: DOACROSS synchronization placement ==");
     println!("simulated 8-core loop speedup: computed window vs whole-body ordering");
-    for r in ablation_sync(&args.workloads, args.scale) {
+    let rows = ablation_sync(&args.workloads, args.scale);
+    for r in &rows {
         println!(
             "{:<10} window={:.2}x   whole-body={:.2}x",
             r.name, r.with_window, r.without_window
         );
     }
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj(vec![
+                    ("name", Json::Str(r.name.into())),
+                    ("with_window", Json::Float(r.with_window)),
+                    ("without_window", Json::Float(r.without_window)),
+                ])
+            })
+            .collect(),
+    )
 }

@@ -1,0 +1,57 @@
+//! A minimal self-timing bench harness.
+//!
+//! The workspace builds in an offline environment, so the usual external
+//! bench frameworks are unavailable; the `[[bench]]` targets use this
+//! instead. Each case is warmed up once, then sampled `DSE_BENCH_SAMPLES`
+//! times (default 10); the report prints the minimum, median and maximum
+//! wall time. Timings are interpreter-scale — compare shapes, not
+//! absolute numbers.
+
+use std::time::{Duration, Instant};
+
+/// Number of timed samples per case (`DSE_BENCH_SAMPLES`, default 10).
+pub fn samples() -> usize {
+    std::env::var("DSE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10)
+}
+
+/// A named group of bench cases, mirroring the usual group/case layout.
+pub struct Group {
+    name: String,
+}
+
+/// Starts a bench group and prints its header.
+pub fn group(name: &str) -> Group {
+    println!("== bench group `{name}` ({} samples/case) ==", samples());
+    Group {
+        name: name.to_string(),
+    }
+}
+
+impl Group {
+    /// Times `f`, discarding one warmup run, and prints a one-line report.
+    /// Returns the median sample so callers can post-process.
+    pub fn bench<T>(&self, case: &str, mut f: impl FnMut() -> T) -> Duration {
+        std::hint::black_box(f());
+        let mut times: Vec<Duration> = (0..samples())
+            .map(|_| {
+                let t0 = Instant::now();
+                std::hint::black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort();
+        let median = times[times.len() / 2];
+        println!(
+            "{}/{case:<28} min {:>10.3?}  median {:>10.3?}  max {:>10.3?}",
+            self.name,
+            times[0],
+            median,
+            times[times.len() - 1]
+        );
+        median
+    }
+}

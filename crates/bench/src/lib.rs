@@ -19,6 +19,7 @@
 //! `figures` binary with `--release`. Absolute times are
 //! interpreter-scale — EXPERIMENTS.md compares *shapes* against the paper.
 
+pub mod harness;
 pub mod sim;
 
 use dse_core::{Analysis, OptLevel};
@@ -92,8 +93,7 @@ pub fn table4(workloads: &[Workload]) -> Vec<Table4Row> {
         .map(|w| {
             let analysis = analyze(w);
             let (_, report, _) = timed_run(&analysis.serial, w, Scale::Profile, 1);
-            let in_loops: u64 =
-                analysis.profile.loops.iter().map(|l| l.instructions).sum();
+            let in_loops: u64 = analysis.profile.loops.iter().map(|l| l.instructions).sum();
             let mode = analysis.classifications[0].mode;
             Table4Row {
                 name: w.name,
@@ -165,8 +165,7 @@ pub fn fig8(workloads: &[Workload]) -> Vec<Fig8Row> {
         .map(|w| {
             let analysis = analyze(w);
             let mut total = dse_core::AccessBreakdown::default();
-            for (ddg, cls) in analysis.profile.loops.iter().zip(&analysis.classifications)
-            {
+            for (ddg, cls) in analysis.profile.loops.iter().zip(&analysis.classifications) {
                 let b = cls.access_breakdown(ddg);
                 total.free += b.free;
                 total.expandable += b.expandable;
@@ -260,8 +259,7 @@ pub fn fig10(workloads: &[Workload], scale: Scale) -> Vec<Fig10Row> {
             // (≈ 20 native instructions), plus the bytes copied in/out.
             let base = rb.counters.work as f64;
             let priv_cost = rp.counters.work as f64
-                + 20.0
-                    * (rp.counters.localize_calls + rp.counters.private_direct) as f64
+                + 20.0 * (rp.counters.localize_calls + rp.counters.private_direct) as f64
                 + 0.25 * rp.counters.localize_copied_bytes as f64;
             Fig10Row {
                 name: w.name,
@@ -338,7 +336,11 @@ pub fn fig11_sim(workloads: &[Workload], scale: Scale) -> Vec<SpeedupRow> {
                 total.push(serial_ref / ps.total_time);
                 loop_only.push(ps.loop_serial / ps.loop_time.max(1e-9));
             }
-            SpeedupRow { name: w.name, total, loop_only }
+            SpeedupRow {
+                name: w.name,
+                total,
+                loop_only,
+            }
         })
         .collect()
 }
@@ -363,7 +365,11 @@ pub fn fig13_sim(workloads: &[Workload], scale: Scale) -> Vec<SpeedupRow> {
                 total.push(serial_ref / ps.total_time);
                 loop_only.push(ps.loop_serial / ps.loop_time.max(1e-9));
             }
-            SpeedupRow { name: w.name, total, loop_only }
+            SpeedupRow {
+                name: w.name,
+                total,
+                loop_only,
+            }
         })
         .collect()
 }
@@ -410,10 +416,8 @@ pub fn fig11(workloads: &[Workload], scale: Scale, repeats: u32) -> Vec<SpeedupR
             let serial = best_time(&analysis.serial, w, scale, 1, repeats);
             // Measured loop share of the serial program (instructions).
             let (_, rb, _) = timed_run(&analysis.serial, w, Scale::Profile, 1);
-            let in_loops: u64 =
-                analysis.profile.loops.iter().map(|l| l.instructions).sum();
-            let loop_frac =
-                (in_loops as f64 / rb.counters.work as f64).clamp(0.0, 1.0);
+            let in_loops: u64 = analysis.profile.loops.iter().map(|l| l.instructions).sum();
+            let loop_frac = (in_loops as f64 / rb.counters.work as f64).clamp(0.0, 1.0);
             let mut total = Vec::new();
             let mut loop_only = Vec::new();
             for &n in &CORE_COUNTS {
@@ -426,7 +430,11 @@ pub fn fig11(workloads: &[Workload], scale: Scale, repeats: u32) -> Vec<SpeedupR
                 let loop_par = (par.as_secs_f64() - serial_rest).max(1e-9);
                 loop_only.push(serial.as_secs_f64() * loop_frac / loop_par);
             }
-            SpeedupRow { name: w.name, total, loop_only }
+            SpeedupRow {
+                name: w.name,
+                total,
+                loop_only,
+            }
         })
         .collect()
 }
@@ -508,13 +516,16 @@ pub fn fig13(workloads: &[Workload], scale: Scale, repeats: u32) -> Vec<SpeedupR
                 // that the interpreter's Localize undercharges.
                 let c = report.counters;
                 let work = c.work.max(1) as f64;
-                let factor = (work
-                    + 20.0 * c.localize_calls as f64
-                    + 0.25 * c.localize_copied_bytes as f64)
-                    / work;
+                let factor =
+                    (work + 20.0 * c.localize_calls as f64 + 0.25 * c.localize_copied_bytes as f64)
+                        / work;
                 total.push(serial.as_secs_f64() / (elapsed * factor));
             }
-            SpeedupRow { name: w.name, loop_only: total.clone(), total }
+            SpeedupRow {
+                name: w.name,
+                loop_only: total.clone(),
+                total,
+            }
         })
         .collect()
 }
@@ -552,7 +563,11 @@ pub fn fig14(workloads: &[Workload], scale: Scale) -> Vec<Fig14Row> {
                 let (_, rp, _) = timed_run(&b.parallel, w, scale, n);
                 runtime_priv.push(rp.peak_heap_bytes as f64 / base);
             }
-            Fig14Row { name: w.name, expansion, runtime_priv }
+            Fig14Row {
+                name: w.name,
+                expansion,
+                runtime_priv,
+            }
         })
         .collect()
 }
@@ -595,7 +610,10 @@ pub fn ablation_chunk(workloads: &[Workload], scale: Scale) -> Vec<ChunkAblation
                 }
                 speedups.push((chunk, serial / time.max(1e-9)));
             }
-            ChunkAblationRow { name: w.name, speedups }
+            ChunkAblationRow {
+                name: w.name,
+                speedups,
+            }
         })
         .collect()
 }
@@ -693,15 +711,17 @@ pub fn ablation_layout(workloads: &[Workload], scale: Scale) -> Vec<LayoutAblati
                     .transform_with_layout(OptLevel::Full, 1, LayoutMode::Bonded)
                     .expect("bonded transform"),
             );
-            let (interleaved, blocker) = match analysis.transform_with_layout(
-                OptLevel::Full,
-                1,
-                LayoutMode::Interleaved,
-            ) {
-                Ok(t) => (Some(overhead(&t)), None),
-                Err(e) => (None, Some(e.to_string())),
-            };
-            LayoutAblationRow { name: w.name, bonded, interleaved, blocker }
+            let (interleaved, blocker) =
+                match analysis.transform_with_layout(OptLevel::Full, 1, LayoutMode::Interleaved) {
+                    Ok(t) => (Some(overhead(&t)), None),
+                    Err(e) => (None, Some(e.to_string())),
+                };
+            LayoutAblationRow {
+                name: w.name,
+                bonded,
+                interleaved,
+                blocker,
+            }
         })
         .collect()
 }

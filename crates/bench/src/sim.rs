@@ -52,8 +52,7 @@ impl SimIter {
 pub fn to_sim_iter(c: &IterCost, charge_localize: bool) -> SimIter {
     let t = (c.pre + c.window + c.post) as f64;
     let extra = if charge_localize {
-        20.0 * (c.localize_calls + c.private_direct) as f64
-            + 0.25 * c.localize_bytes as f64
+        20.0 * (c.localize_calls + c.private_direct) as f64 + 0.25 * c.localize_bytes as f64
     } else {
         0.0
     };
@@ -139,7 +138,11 @@ pub fn simulate_entry_chunked(
         }
     };
     let busy: f64 = iters.iter().map(SimIter::total).sum();
-    SimOutcome { time, busy, idle: n as f64 * time - busy }
+    SimOutcome {
+        time,
+        busy,
+        idle: n as f64 * time - busy,
+    }
 }
 
 /// A full-program simulation at one core count.
@@ -175,8 +178,10 @@ pub fn simulate_program(
     for (loop_id, entries) in traces {
         let mode = loop_modes.get(loop_id).copied().unwrap_or(ParMode::DoAll);
         for entry in entries {
-            let iters: Vec<SimIter> =
-                entry.iter().map(|c| to_sim_iter(c, charge_localize)).collect();
+            let iters: Vec<SimIter> = entry
+                .iter()
+                .map(|c| to_sim_iter(c, charge_localize))
+                .collect();
             let serial: f64 = iters.iter().map(SimIter::total).sum();
             let out = simulate_entry(mode, &iters, n);
             loop_serial += serial;
@@ -187,12 +192,13 @@ pub fn simulate_program(
     }
     // Outside the loops the program runs serially; charge localize extras
     // only inside loops (that is where private accesses live).
-    let outside = serial_total as f64 - traces
-        .values()
-        .flatten()
-        .flatten()
-        .map(|c| (c.pre + c.window + c.post) as f64)
-        .sum::<f64>();
+    let outside = serial_total as f64
+        - traces
+            .values()
+            .flatten()
+            .flatten()
+            .map(|c| (c.pre + c.window + c.post) as f64)
+            .sum::<f64>();
     ProgramSim {
         total_time: outside.max(0.0) + loop_time,
         loop_time,
@@ -287,7 +293,12 @@ mod tests {
         traces.insert(
             0u32,
             vec![vec![
-                IterCost { pre: 100, window: 0, post: 0, ..Default::default() };
+                IterCost {
+                    pre: 100,
+                    window: 0,
+                    post: 0,
+                    ..Default::default()
+                };
                 4
             ]],
         );

@@ -1,77 +1,110 @@
-//! Property-based bounds on the schedule simulator: whatever the
-//! iteration costs, simulated times respect the work and critical-path
-//! laws of the scheduling policies.
+//! Randomized bounds on the schedule simulator: whatever the iteration
+//! costs, simulated times respect the work and critical-path laws of the
+//! scheduling policies. Cases come from the workspace's deterministic
+//! PRNG, so failures reproduce exactly.
 
 use dse_bench::sim::{simulate_entry, simulate_entry_chunked, SimIter};
 use dse_ir::loops::ParMode;
-use proptest::prelude::*;
+use dse_workloads::rng::Rng;
 
-fn iter_strategy() -> impl Strategy<Value = SimIter> {
-    (0u32..500, 0u32..500, 0u32..500).prop_map(|(pre, window, post)| SimIter {
-        pre: pre as f64,
-        window: window as f64,
-        post: post as f64,
-    })
+const CASES: u64 = 256;
+
+fn gen_iters(rng: &mut Rng, max: i64) -> Vec<SimIter> {
+    (0..rng.gen_range(1, max))
+        .map(|_| SimIter {
+            pre: rng.gen_range(0, 500) as f64,
+            window: rng.gen_range(0, 500) as f64,
+            post: rng.gen_range(0, 500) as f64,
+        })
+        .collect()
 }
 
-proptest! {
-    /// Work law and single-core identity: busy/n <= time(n) <= time(1),
-    /// and time(1) equals the serial sum.
-    #[test]
-    fn work_and_serial_bounds(
-        iters in prop::collection::vec(iter_strategy(), 1..40),
-        n in 1u32..16,
-        mode in prop_oneof![Just(ParMode::DoAll), Just(ParMode::DoAcross)],
-    ) {
+/// Work law and single-core identity: busy/n <= time(n) <= time(1),
+/// and time(1) equals the serial sum.
+#[test]
+fn work_and_serial_bounds() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x51_B0 + case);
+        let iters = gen_iters(&mut rng, 40);
+        let n = rng.gen_range(1, 16) as u32;
+        let mode = if rng.gen_bool() {
+            ParMode::DoAll
+        } else {
+            ParMode::DoAcross
+        };
         let serial: f64 = iters.iter().map(SimIter::total).sum();
         let s1 = simulate_entry(mode, &iters, 1);
-        prop_assert!((s1.time - serial).abs() < 1e-6);
+        assert!((s1.time - serial).abs() < 1e-6, "case {case}");
         let sn = simulate_entry(mode, &iters, n);
-        prop_assert!(sn.time <= s1.time + 1e-6, "{} > {}", sn.time, s1.time);
-        prop_assert!(
+        assert!(
+            sn.time <= s1.time + 1e-6,
+            "case {case}: {} > {}",
+            sn.time,
+            s1.time
+        );
+        assert!(
             sn.time * n as f64 + 1e-6 >= serial,
-            "work law violated: {} * {} < {}",
-            sn.time, n, serial
+            "case {case}: work law violated: {} * {} < {}",
+            sn.time,
+            n,
+            serial
         );
         // Idle accounting is exact.
-        prop_assert!((sn.busy - serial).abs() < 1e-6);
-        prop_assert!((sn.idle - (n as f64 * sn.time - serial)).abs() < 1e-3);
+        assert!((sn.busy - serial).abs() < 1e-6, "case {case}");
+        assert!(
+            (sn.idle - (n as f64 * sn.time - serial)).abs() < 1e-3,
+            "case {case}"
+        );
     }
+}
 
-    /// DOACROSS critical path: the ordered windows execute in series, so
-    /// the loop can never be faster than their sum, nor faster than any
-    /// single iteration.
-    #[test]
-    fn doacross_window_law(
-        iters in prop::collection::vec(iter_strategy(), 1..40),
-        n in 1u32..16,
-    ) {
+/// DOACROSS critical path: the ordered windows execute in series, so
+/// the loop can never be faster than their sum, nor faster than any
+/// single iteration.
+#[test]
+fn doacross_window_law() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD0AC + case);
+        let iters = gen_iters(&mut rng, 40);
+        let n = rng.gen_range(1, 16) as u32;
         let s = simulate_entry(ParMode::DoAcross, &iters, n);
         let windows: f64 = iters.iter().map(|i| i.window).sum();
-        prop_assert!(s.time + 1e-6 >= windows);
+        assert!(s.time + 1e-6 >= windows, "case {case}");
         let longest = iters.iter().map(SimIter::total).fold(0.0f64, f64::max);
-        prop_assert!(s.time + 1e-6 >= longest);
+        assert!(s.time + 1e-6 >= longest, "case {case}");
     }
+}
 
-    /// DOALL critical path: exact for one iteration per worker.
-    #[test]
-    fn doall_chunk_law(iters in prop::collection::vec(iter_strategy(), 1..32)) {
+/// DOALL critical path: exact for one iteration per worker.
+#[test]
+fn doall_chunk_law() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD0A1 + case);
+        let iters = gen_iters(&mut rng, 32);
         let n = iters.len() as u32;
         let s = simulate_entry(ParMode::DoAll, &iters, n);
         let longest = iters.iter().map(SimIter::total).fold(0.0f64, f64::max);
-        prop_assert!((s.time - longest).abs() < 1e-6, "one iteration per worker");
+        assert!(
+            (s.time - longest).abs() < 1e-6,
+            "case {case}: one iteration per worker"
+        );
     }
+}
 
-    /// Chunked DOACROSS degrades gracefully: chunk = m is fully serial.
-    #[test]
-    fn chunked_extremes(
-        iters in prop::collection::vec(iter_strategy(), 1..32),
-        n in 2u32..8,
-    ) {
+/// Chunked DOACROSS degrades gracefully: chunk = m is fully serial.
+#[test]
+fn chunked_extremes() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x000C_44E7 + case);
+        let iters = gen_iters(&mut rng, 32);
+        let n = rng.gen_range(2, 8) as u32;
         let serial: f64 = iters.iter().map(SimIter::total).sum();
         let all = simulate_entry_chunked(ParMode::DoAcross, &iters, n, iters.len());
-        prop_assert!((all.time - serial).abs() < 1e-6, "one chunk = serial");
+        assert!(
+            (all.time - serial).abs() < 1e-6,
+            "case {case}: one chunk = serial"
+        );
         let c1 = simulate_entry_chunked(ParMode::DoAcross, &iters, n, 1);
-        prop_assert!(c1.time <= all.time + 1e-6);
+        assert!(c1.time <= all.time + 1e-6, "case {case}");
     }
 }

@@ -6,7 +6,10 @@ fn main() {
     for w in all() {
         let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap();
         let cfg = w.vm_config(Scale::Profile);
-        let base = { let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap(); vm.run().unwrap().counters.work };
+        let base = {
+            let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap();
+            vm.run().unwrap().counters.work
+        };
         let mut line = format!("{:10} base={base:9}", w.name);
         for opt in [OptLevel::Full, OptLevel::NoConstSpan, OptLevel::None] {
             let t = analysis.transform(opt, 1).unwrap();

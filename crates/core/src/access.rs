@@ -63,8 +63,7 @@ mod tests {
         let (_, lhs) = first_assign_lhs("int g; int main() { g = 1; return 0; }");
         assert!(matches!(access_root(&lhs), Some(AccessRoot::Direct(_))));
 
-        let (_, lhs) =
-            first_assign_lhs("int a[4]; int main() { a[2] = 1; return 0; }");
+        let (_, lhs) = first_assign_lhs("int a[4]; int main() { a[2] = 1; return 0; }");
         assert!(matches!(access_root(&lhs), Some(AccessRoot::Direct(_))));
 
         let (_, lhs) = first_assign_lhs(
@@ -75,14 +74,12 @@ mod tests {
 
     #[test]
     fn indirect_roots() {
-        let (_, lhs) = first_assign_lhs(
-            "int main() { int *p; p = malloc(8); *p = 1; free(p); return 0; }",
-        );
+        let (_, lhs) =
+            first_assign_lhs("int main() { int *p; p = malloc(8); *p = 1; free(p); return 0; }");
         assert!(matches!(access_root(&lhs), Some(AccessRoot::Indirect(_))));
 
-        let (_, lhs) = first_assign_lhs(
-            "int main() { int *p; p = malloc(8); p[1] = 1; free(p); return 0; }",
-        );
+        let (_, lhs) =
+            first_assign_lhs("int main() { int *p; p = malloc(8); p[1] = 1; free(p); return 0; }");
         assert!(matches!(access_root(&lhs), Some(AccessRoot::Indirect(_))));
 
         let (_, lhs) = first_assign_lhs(

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! dsec <program.cee> [--threads N] [--opt none|noconst|full] [--baseline]
-//!      [--emit source|report|ddg|bytecode] [--run] [--serial]
-//!      [--in <ints,comma,separated>]
+//!      [--emit source|report|ddg|bytecode|trace] [--run] [--serial]
+//!      [--timing] [--metrics <path|->] [--in <ints,comma,separated>]
 //! ```
 //!
 //! Examples:
@@ -13,10 +13,21 @@
 //! dsec prog.cee --emit source --threads 4     # the transformed program
 //! dsec prog.cee --run --threads 8             # transform and execute
 //! dsec prog.cee --run --serial                # reference run
+//! dsec prog.cee --run --timing --metrics -    # telemetry JSON on stdout
+//! dsec prog.cee --emit trace > trace.jsonl    # serial execution as JSONL
 //! ```
+//!
+//! `--timing` prints the phase timeline (parse, lower, profile, classify,
+//! plan, xform) to stderr. `--metrics` writes a `RunMetrics` JSON document
+//! (see DESIGN.md, "Observability") to a file, or to stdout with `-`.
+//! `--emit trace` executes the *serial* program under a trace observer and
+//! streams each sited access, loop event and heap event as one JSON object
+//! per line on stdout.
 
-use dse_core::{Analysis, OptLevel};
+use dse_core::{Analysis, OptLevel, Transformed};
 use dse_runtime::{Vm, VmConfig};
+use dse_telemetry::{RunMetrics, TraceObserver};
+use std::io::Write;
 use std::process::ExitCode;
 
 struct Opts {
@@ -27,13 +38,16 @@ struct Opts {
     emit: Vec<String>,
     run: bool,
     serial: bool,
+    timing: bool,
+    metrics: Option<String>,
     inputs: Vec<i64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
-         [--baseline] [--emit source|report|ddg|bytecode] [--run] [--serial] [--in 1,2,3]"
+         [--baseline] [--emit source|report|ddg|bytecode|trace] [--run] [--serial] \
+         [--timing] [--metrics <path|->] [--in 1,2,3]"
     );
     std::process::exit(2)
 }
@@ -47,13 +61,18 @@ fn parse_opts() -> Opts {
         emit: Vec::new(),
         run: false,
         serial: false,
+        timing: false,
+        metrics: None,
         inputs: Vec::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threads" => {
-                o.threads = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+                o.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--opt" => {
                 o.opt = match args.next().as_deref() {
@@ -66,14 +85,22 @@ fn parse_opts() -> Opts {
             "--baseline" => o.baseline = true,
             "--emit" => {
                 let what = args.next().unwrap_or_else(|| usage());
-                if !matches!(what.as_str(), "source" | "report" | "ddg" | "bytecode") {
+                if !matches!(
+                    what.as_str(),
+                    "source" | "report" | "ddg" | "bytecode" | "trace"
+                ) {
                     eprintln!("dsec: unknown --emit `{what}`");
                     std::process::exit(2);
                 }
-                o.emit.push(what);
+                // A repeated value would just print the same artifact twice.
+                if !o.emit.contains(&what) {
+                    o.emit.push(what);
+                }
             }
             "--run" => o.run = true,
             "--serial" => o.serial = true,
+            "--timing" => o.timing = true,
+            "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage())),
             "--in" => {
                 let list = args.next().unwrap_or_else(|| usage());
                 o.inputs = list
@@ -83,9 +110,7 @@ fn parse_opts() -> Opts {
                     .collect();
             }
             "--help" | "-h" => usage(),
-            other if o.path.is_empty() && !other.starts_with('-') => {
-                o.path = other.to_string()
-            }
+            other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
             _ => usage(),
         }
     }
@@ -107,17 +132,33 @@ fn main() -> ExitCode {
 }
 
 fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let source = std::fs::read_to_string(&o.path)
-        .map_err(|e| format!("{}: {e}", o.path))?;
-    let cfg = VmConfig { inputs_int: o.inputs.clone(), ..Default::default() };
+    let source = std::fs::read_to_string(&o.path).map_err(|e| format!("{}: {e}", o.path))?;
+    let cfg = VmConfig {
+        inputs_int: o.inputs.clone(),
+        ..Default::default()
+    };
     let analysis = Analysis::from_source(&source, cfg.clone())?;
+
+    // Transform exactly once and share the result between every `--emit`
+    // consumer, the executed program, and the telemetry snapshot.
+    let needs_transform = (o.run && !o.serial)
+        || o.timing
+        || o.metrics.is_some()
+        || o.emit
+            .iter()
+            .any(|e| matches!(e.as_str(), "report" | "source" | "bytecode"));
+    let transformed: Option<Transformed> = if !needs_transform {
+        None
+    } else if o.baseline {
+        Some(analysis.baseline_parallel(o.threads)?)
+    } else {
+        Some(analysis.transform(o.opt, o.threads)?)
+    };
 
     for emit in &o.emit {
         match emit.as_str() {
             "ddg" => {
-                for (ddg, cls) in
-                    analysis.profile.loops.iter().zip(&analysis.classifications)
-                {
+                for (ddg, cls) in analysis.profile.loops.iter().zip(&analysis.classifications) {
                     println!(
                         "loop `{}`: {} iterations, {} sites, {} edges, mode {:?}",
                         ddg.label,
@@ -137,10 +178,13 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 }
             }
             "report" => {
-                let t = analysis.transform(o.opt, o.threads)?;
+                let t = transformed.as_ref().expect("transform computed above");
                 let r = &t.report;
                 println!("expansion report (N = {}, {:?}):", o.threads, o.opt);
-                println!("  privatized data structures: {}", r.privatized_structures());
+                println!(
+                    "  privatized data structures: {}",
+                    r.privatized_structures()
+                );
                 println!("    heap allocation sites:    {}", r.expanded_allocs);
                 println!("    globals:                  {}", r.expanded_globals);
                 println!("    aggregate locals:         {}", r.expanded_locals);
@@ -151,34 +195,57 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
                     "  span stores inserted:       {} ({} elided)",
                     r.span_stores_emitted, r.span_stores_elided
                 );
-                println!("  private accesses redirected: {}", r.private_accesses_redirected);
+                println!(
+                    "  private accesses redirected: {}",
+                    r.private_accesses_redirected
+                );
                 for (label, mode) in &t.modes {
                     println!("  loop `{label}` scheduled {mode:?}");
                 }
             }
             "source" => {
-                let t = analysis.transform(o.opt, o.threads)?;
+                let t = transformed.as_ref().expect("transform computed above");
                 print!("{}", dse_lang::printer::print_program(&t.program));
             }
             "bytecode" => {
-                let t = analysis.transform(o.opt, o.threads)?;
+                let t = transformed.as_ref().expect("transform computed above");
                 print!("{}", dse_ir::disasm::disassemble(&t.parallel));
+            }
+            "trace" => {
+                // The observer sees what the profiler sees: a serial
+                // execution (parallel regions run unobserved by design).
+                let mut vm = Vm::new(analysis.serial.clone(), cfg.clone())?;
+                let stdout = std::io::stdout();
+                let mut obs = TraceObserver::new(std::io::BufWriter::new(stdout.lock()));
+                vm.run_with_observer(&mut obs)?;
+                let events = obs.events();
+                obs.finish()?;
+                eprintln!("[trace: {events} events]");
             }
             other => unreachable!("--emit values validated in parse_opts: {other}"),
         }
     }
 
+    let mut exit = ExitCode::SUCCESS;
+    let mut run_report = None;
     if o.run {
-        let (compiled, n) = if o.serial {
-            (analysis.serial.clone(), 1)
-        } else if o.baseline {
-            (analysis.baseline_parallel(o.threads)?.parallel, o.threads)
+        let compiled = if o.serial {
+            analysis.serial.clone()
         } else {
-            (analysis.transform(o.opt, o.threads)?.parallel, o.threads)
+            transformed
+                .as_ref()
+                .expect("transform computed above")
+                .parallel
+                .clone()
         };
+        let n = if o.serial { 1 } else { o.threads };
         let mut vm = Vm::new(
             compiled,
-            VmConfig { nthreads: n, inputs_int: o.inputs.clone(), ..Default::default() },
+            VmConfig {
+                nthreads: n,
+                inputs_int: o.inputs.clone(),
+                ..Default::default()
+            },
         )?;
         let report = vm.run()?;
         print!("{}", vm.console());
@@ -195,8 +262,52 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
             report.counters.work, report.peak_heap_bytes
         );
         if let Some(dse_runtime::Value::I(code)) = report.return_value {
-            return Ok(ExitCode::from((code & 0xff) as u8));
+            exit = ExitCode::from((code & 0xff) as u8);
+        }
+        run_report = Some(report);
+    }
+
+    // Phase timeline: analysis phases followed by transform phases.
+    let phases: Vec<dse_telemetry::PhaseSpan> = analysis
+        .phases
+        .iter()
+        .chain(transformed.iter().flat_map(|t| t.phases.iter()))
+        .cloned()
+        .collect();
+
+    if o.timing {
+        let mut out = String::new();
+        for p in &phases {
+            p.render(0, &mut out);
+        }
+        eprint!("{out}");
+    }
+
+    if let Some(dest) = &o.metrics {
+        let metrics = RunMetrics {
+            program: o.path.clone(),
+            threads: if o.serial { 1 } else { o.threads },
+            opt: match o.opt {
+                OptLevel::None => "none",
+                OptLevel::NoConstSpan => "noconst",
+                OptLevel::Full => "full",
+            }
+            .to_string(),
+            phases,
+            loops: analysis.loop_stats(),
+            expansion: transformed.as_ref().map(|t| t.report.telemetry_stats()),
+            vm: run_report
+                .as_ref()
+                .map(dse_telemetry::metrics::VmStats::from_report),
+        };
+        let mut text = metrics.to_json().to_string();
+        text.push('\n');
+        if dest == "-" {
+            std::io::stdout().write_all(text.as_bytes())?;
+        } else {
+            std::fs::write(dest, text).map_err(|e| format!("{dest}: {e}"))?;
         }
     }
-    Ok(ExitCode::SUCCESS)
+
+    Ok(exit)
 }

@@ -109,7 +109,11 @@ impl LoopClassification {
                 carried += count;
             }
         }
-        AccessBreakdown { free, expandable, carried }
+        AccessBreakdown {
+            free,
+            expandable,
+            carried,
+        }
     }
 }
 
@@ -157,8 +161,7 @@ pub fn classify_loop(ddg: &LoopDdg) -> LoopClassification {
     let all_sites: Vec<SiteId> = ddg.site_counts.keys().copied().collect();
     let carried_flow = ddg.sites_in_carried(&[DepKind::Flow]);
     let carried_anti_out = ddg.sites_in_carried(&[DepKind::Anti, DepKind::Output]);
-    let carried_sites: HashSet<SiteId> =
-        carried_flow.union(&carried_anti_out).copied().collect();
+    let carried_sites: HashSet<SiteId> = carried_flow.union(&carried_anti_out).copied().collect();
 
     #[derive(Default)]
     struct ClassFacts {
@@ -190,7 +193,11 @@ pub fn classify_loop(ddg: &LoopDdg) -> LoopClassification {
         let private = !f.exposed && !f.carried_flow && f.carried_anti_out;
         site_class.insert(
             s,
-            if private { SiteClass::Private } else { SiteClass::Shared },
+            if private {
+                SiteClass::Private
+            } else {
+                SiteClass::Shared
+            },
         );
     }
     // 4. Mode: shared sites still carrying dependences force DOACROSS.
@@ -220,15 +227,15 @@ mod tests {
     use dse_depprof::DepEdge;
 
     fn edge(src: SiteId, dst: SiteId, kind: DepKind, carried: bool) -> DepEdge {
-        DepEdge { src, dst, kind, carried }
+        DepEdge {
+            src,
+            dst,
+            kind,
+            carried,
+        }
     }
 
-    fn ddg_with(
-        edges: Vec<DepEdge>,
-        sites: &[SiteId],
-        up: &[SiteId],
-        down: &[SiteId],
-    ) -> LoopDdg {
+    fn ddg_with(edges: Vec<DepEdge>, sites: &[SiteId], up: &[SiteId], down: &[SiteId]) -> LoopDdg {
         LoopDdg {
             label: "t".into(),
             edges: edges.into_iter().collect(),
@@ -305,7 +312,10 @@ mod tests {
             &[],
         );
         let c = classify_loop(&ddg);
-        assert!(!c.is_private(0), "exposure of the load poisons the store too");
+        assert!(
+            !c.is_private(0),
+            "exposure of the load poisons the store too"
+        );
         assert!(!c.is_private(1));
     }
 

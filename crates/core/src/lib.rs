@@ -64,6 +64,7 @@ use dse_ir::loops::ParMode;
 use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
 use dse_lang::ast::Program;
 use dse_runtime::VmConfig;
+use dse_telemetry::{PhaseSpan, PhaseTimer};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -111,6 +112,9 @@ pub struct Analysis {
     pub pt: dse_analysis::PointsTo,
     /// Allocation-size facts.
     pub alloc_sizes: HashMap<u32, dse_analysis::consteval::AllocSizeInfo>,
+    /// Wall-clock spans of the analysis phases (parse, lower, profile,
+    /// classify), with size stats per phase.
+    pub phases: Vec<PhaseSpan>,
 }
 
 /// A transformed program ready to execute.
@@ -125,6 +129,8 @@ pub struct Transformed {
     pub report: ExpansionReport,
     /// Chosen mode per loop label.
     pub modes: HashMap<String, ParMode>,
+    /// Wall-clock spans of the transform phases (plan, xform).
+    pub phases: Vec<PhaseSpan>,
 }
 
 impl Analysis {
@@ -135,13 +141,59 @@ impl Analysis {
     ///
     /// Propagates frontend, lowering and VM errors.
     pub fn from_source(source: &str, profile_config: VmConfig) -> Result<Analysis, DseError> {
-        let program = dse_lang::compile_to_ast(source)?;
-        let serial = dse_ir::lower_program(&program, &LowerOptions::default())?;
-        let (profile, _vm) = dse_depprof::profile_program(serial.clone(), profile_config)?;
-        let classifications = profile.loops.iter().map(classify_loop).collect();
-        let pt = dse_analysis::analyze(&program);
-        let alloc_sizes = dse_analysis::consteval::alloc_size_infos(&program);
-        Ok(Analysis { program, serial, profile, classifications, pt, alloc_sizes })
+        let mut timer = PhaseTimer::new();
+
+        let program = timer.time("parse", || dse_lang::compile_to_ast(source))?;
+        timer.stat("source_bytes", source.len() as i64);
+        timer.stat("functions", program.functions.len() as i64);
+
+        let serial = timer.time("lower", || {
+            dse_ir::lower_program(&program, &LowerOptions::default())
+        })?;
+        timer.stat("instructions", serial.code.len() as i64);
+        timer.stat("sites", serial.sites.len() as i64);
+        timer.stat("candidate_loops", serial.loops.len() as i64);
+
+        let (profile, _vm) = timer.time("profile", || {
+            dse_depprof::profile_program(serial.clone(), profile_config)
+        })?;
+        timer.stat("loops_profiled", profile.loops.len() as i64);
+        let (iterations, accesses, edges) = profile.totals();
+        timer.stat("iterations", iterations as i64);
+        timer.stat("accesses", accesses as i64);
+        timer.stat("edges", edges as i64);
+
+        let (classifications, pt, alloc_sizes) = timer.time("classify", || {
+            let classifications: Vec<LoopClassification> =
+                profile.loops.iter().map(classify_loop).collect();
+            let pt = dse_analysis::analyze(&program);
+            let alloc_sizes = dse_analysis::consteval::alloc_size_infos(&program);
+            (classifications, pt, alloc_sizes)
+        });
+        timer.stat(
+            "doall",
+            classifications
+                .iter()
+                .filter(|c| c.mode == ParMode::DoAll)
+                .count() as i64,
+        );
+        timer.stat(
+            "doacross",
+            classifications
+                .iter()
+                .filter(|c| c.mode == ParMode::DoAcross)
+                .count() as i64,
+        );
+
+        Ok(Analysis {
+            program,
+            serial,
+            profile,
+            classifications,
+            pt,
+            alloc_sizes,
+            phases: timer.into_spans(),
+        })
     }
 
     /// The classification for a loop label.
@@ -238,7 +290,12 @@ impl Analysis {
         nthreads: u32,
         layout: LayoutMode,
     ) -> Result<Transformed, DseError> {
-        let plan = self.plan_with_layout(opt, nthreads, layout)?;
+        let mut timer = PhaseTimer::new();
+
+        let plan = timer.time("plan", || self.plan_with_layout(opt, nthreads, layout))?;
+        timer.stat("nthreads", nthreads as i64);
+
+        timer.start("xform");
         let sync_eids = self.shared_carried_eids();
         let result = expand_program(&self.program, &plan, &sync_eids)?;
         let mut opts = LowerOptions {
@@ -253,16 +310,31 @@ impl Analysis {
             let window = result.sync_windows.get(&cls.label).copied().flatten();
             opts.par.insert(
                 cls.label.clone(),
-                ParLoopSpec { mode: cls.mode, sync_window: window },
+                ParLoopSpec {
+                    mode: cls.mode,
+                    sync_window: window,
+                },
             );
             modes.insert(cls.label.clone(), cls.mode);
         }
         let parallel = dse_ir::lower_program(&result.program, &opts)?;
+        timer.finish();
+        timer.stat(
+            "privatized_structures",
+            result.report.privatized_structures() as i64,
+        );
+        timer.stat(
+            "accesses_redirected",
+            result.report.private_accesses_redirected as i64,
+        );
+        timer.stat("instructions", parallel.code.len() as i64);
+
         Ok(Transformed {
             program: result.program,
             parallel,
             report: result.report,
             modes,
+            phases: timer.into_spans(),
         })
     }
 
@@ -280,13 +352,19 @@ impl Analysis {
         let plan = self.baseline_plan(nthreads)?;
         let sync_eids = self.shared_carried_eids();
         let result = expand_program(&self.program, &plan, &sync_eids)?;
-        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         let mut modes = HashMap::new();
         for cls in &self.classifications {
             let window = result.sync_windows.get(&cls.label).copied().flatten();
             opts.par.insert(
                 cls.label.clone(),
-                ParLoopSpec { mode: cls.mode, sync_window: window },
+                ParLoopSpec {
+                    mode: cls.mode,
+                    sync_window: window,
+                },
             );
             modes.insert(cls.label.clone(), cls.mode);
         }
@@ -296,7 +374,24 @@ impl Analysis {
             parallel,
             report: result.report,
             modes,
+            phases: Vec::new(),
         })
+    }
+
+    /// Per-candidate-loop profile stats in telemetry form (for
+    /// [`dse_telemetry::RunMetrics`]).
+    pub fn loop_stats(&self) -> Vec<dse_telemetry::LoopStat> {
+        self.profile
+            .loops
+            .iter()
+            .map(|l| dse_telemetry::LoopStat {
+                loop_id: l.loop_id,
+                label: l.label.clone(),
+                iterations: l.iterations,
+                accesses: l.total_accesses,
+                instructions: l.instructions,
+            })
+            .collect()
     }
 
     /// Per loop label: eids of shared accesses involved in loop-carried

@@ -13,8 +13,8 @@
 //! expanded, pointers whose referents all share one static size keep their
 //! raw representation, and span bookkeeping is pruned (Figure 9b).
 
-use crate::classify::LoopClassification;
 use crate::access::{access_root, AccessRoot};
+use crate::classify::LoopClassification;
 use dse_analysis::consteval::{type_contains_pointer, AllocSizeInfo};
 use dse_analysis::{PointsTo, PtObj, VarId};
 use dse_depprof::LoopDdg;
@@ -151,7 +151,10 @@ pub fn merge_classifications(
             "access (eid {conflict}) is private in one parallelized loop but shared in another"
         )));
     }
-    Ok(MergedClassification { private_eids: private, seen_eids: seen })
+    Ok(MergedClassification {
+        private_eids: private,
+        seen_eids: seen,
+    })
 }
 
 /// All distinct pointer types appearing in declarations or expressions.
@@ -242,20 +245,21 @@ fn span_root(e: &Expr) -> &Expr {
 
 fn int_var_of(e: &Expr, func: usize) -> Option<VarId> {
     match &e.kind {
-        ExprKind::Var { binding: Some(b), .. }
-            if e.ty.as_ref().is_some_and(|t| t.is_integer()) =>
-        {
-            Some(match b {
-                VarBinding::Global(g) => VarId::Global(*g),
-                VarBinding::Local(s) => VarId::Local(func, *s),
-            })
-        }
+        ExprKind::Var {
+            binding: Some(b), ..
+        } if e.ty.as_ref().is_some_and(|t| t.is_integer()) => Some(match b {
+            VarBinding::Global(g) => VarId::Global(*g),
+            VarBinding::Local(s) => VarId::Local(func, *s),
+        }),
         _ => None,
     }
 }
 
 fn collect_span_flow(program: &Program) -> SpanFlow {
-    let mut sf = SpanFlow { edges: Vec::new(), arith_int_uses: Vec::new() };
+    let mut sf = SpanFlow {
+        edges: Vec::new(),
+        arith_int_uses: Vec::new(),
+    };
     let mut prog = program.clone();
     let sigs: Vec<(String, Vec<Type>, Type)> = program
         .functions
@@ -275,7 +279,11 @@ fn collect_span_flow(program: &Program) -> SpanFlow {
             record_flow(&mut sf, fi, &ret_ty, e);
         });
         visit_exprs_in_block(&mut f.body, &mut |e| match &e.kind {
-            ExprKind::Assign { op: AssignOp::Set, lhs, rhs } => {
+            ExprKind::Assign {
+                op: AssignOp::Set,
+                lhs,
+                rhs,
+            } => {
                 if let Some(lt) = &lhs.ty {
                     record_flow(&mut sf, fi, lt, rhs);
                 }
@@ -329,12 +337,11 @@ fn record_flow(sf: &mut SpanFlow, func: usize, dst_ty: &Type, src: &Expr) {
     }
     // dst = q ± i with a variable i: i may need a span.
     if let ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) = &src.kind {
-        let (ptr_side, int_side) =
-            if l.ty.as_ref().is_some_and(|t| t.decayed().is_pointer()) {
-                (l, r)
-            } else {
-                (r, l)
-            };
+        let (ptr_side, int_side) = if l.ty.as_ref().is_some_and(|t| t.decayed().is_pointer()) {
+            (l, r)
+        } else {
+            (r, l)
+        };
         let _ = ptr_side;
         if let Some(v) = int_var_of(int_side, func) {
             sf.arith_int_uses.push((dst_ty.clone(), v));
@@ -367,21 +374,22 @@ fn collect_decl_inits(block: &Block) -> Vec<(Type, Expr)> {
     fn go(block: &Block, out: &mut Vec<(Type, Expr)>) {
         for s in &block.stmts {
             match &s.kind {
-                StmtKind::Decl { ty, init: Some(e), .. } => {
-                    out.push((ty.clone(), e.clone()))
-                }
+                StmtKind::Decl {
+                    ty, init: Some(e), ..
+                } => out.push((ty.clone(), e.clone())),
                 StmtKind::If { then, els, .. } => {
                     go(then, out);
                     if let Some(b) = els {
                         go(b, out);
                     }
                 }
-                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-                    go(body, out)
-                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => go(body, out),
                 StmtKind::For { init, body, .. } => {
                     if let Some(i) = init {
-                        if let StmtKind::Decl { ty, init: Some(e), .. } = &i.kind {
+                        if let StmtKind::Decl {
+                            ty, init: Some(e), ..
+                        } = &i.kind
+                        {
                             out.push((ty.clone(), e.clone()));
                         }
                     }
@@ -400,7 +408,9 @@ fn collect_decl_inits(block: &Block) -> Vec<(Type, Expr)> {
 /// declaration initializers), as (int var, pointee pointer type) pairs.
 fn collect_diff_defs(program: &Program) -> Vec<(VarId, Type)> {
     fn diff_operand_types(rhs: &Expr) -> Option<(Type, Type)> {
-        let ExprKind::Binary(BinOp::Sub, l, r) = &rhs.kind else { return None };
+        let ExprKind::Binary(BinOp::Sub, l, r) = &rhs.kind else {
+            return None;
+        };
         let lt = l.ty.as_ref()?.decayed();
         let rt = r.ty.as_ref()?.decayed();
         (lt.is_pointer() && rt.is_pointer()).then_some((lt, rt))
@@ -408,9 +418,12 @@ fn collect_diff_defs(program: &Program) -> Vec<(VarId, Type)> {
     fn scan_block(block: &Block, fi: usize, out: &mut Vec<(VarId, Type)>) {
         for s in &block.stmts {
             match &s.kind {
-                StmtKind::Decl { init: Some(e), slot: Some(slot), ty, .. }
-                    if ty.is_integer() =>
-                {
+                StmtKind::Decl {
+                    init: Some(e),
+                    slot: Some(slot),
+                    ty,
+                    ..
+                } if ty.is_integer() => {
                     if let Some((lt, _)) = diff_operand_types(e) {
                         out.push((VarId::Local(fi, *slot), lt));
                     }
@@ -426,8 +439,12 @@ fn collect_diff_defs(program: &Program) -> Vec<(VarId, Type)> {
                 }
                 StmtKind::For { init, body, .. } => {
                     if let Some(i) = init {
-                        if let StmtKind::Decl { init: Some(e), slot: Some(slot), ty, .. } =
-                            &i.kind
+                        if let StmtKind::Decl {
+                            init: Some(e),
+                            slot: Some(slot),
+                            ty,
+                            ..
+                        } = &i.kind
                         {
                             if ty.is_integer() {
                                 if let Some((lt, _)) = diff_operand_types(e) {
@@ -448,7 +465,12 @@ fn collect_diff_defs(program: &Program) -> Vec<(VarId, Type)> {
     for (fi, f) in prog.functions.iter_mut().enumerate() {
         scan_block(&f.body, fi, &mut out);
         visit_exprs_in_block(&mut f.body, &mut |e| {
-            if let ExprKind::Assign { op: AssignOp::Set, lhs, rhs } = &e.kind {
+            if let ExprKind::Assign {
+                op: AssignOp::Set,
+                lhs,
+                rhs,
+            } = &e.kind
+            {
                 if diff_operand_types(rhs).is_some() {
                     if let Some(v) = int_var_of(lhs, fi) {
                         if let ExprKind::Binary(BinOp::Sub, l, _) = &rhs.kind {
@@ -499,8 +521,8 @@ pub fn build_plan(inp: &PlanInputs<'_>) -> Result<ExpansionPlan, PlanError> {
 
     // Induction variables of candidate loops must never be expanded.
     let mut excluded_vars: HashSet<VarId> = HashSet::new();
-    let cands = dse_ir::loops::find_candidate_loops(program)
-        .map_err(|e| PlanError(e.to_string()))?;
+    let cands =
+        dse_ir::loops::find_candidate_loops(program).map_err(|e| PlanError(e.to_string()))?;
     for c in &cands {
         excluded_vars.insert(VarId::Local(c.func as usize, c.induction_slot));
     }
@@ -564,8 +586,7 @@ pub fn build_plan(inp: &PlanInputs<'_>) -> Result<ExpansionPlan, PlanError> {
             if program.functions[*fi].locals[*slot].is_param {
                 return Err(PlanError(format!(
                     "parameter `{}` of `{}` would need expansion; pass a pointer instead",
-                    program.functions[*fi].locals[*slot].name,
-                    program.functions[*fi].name
+                    program.functions[*fi].locals[*slot].name, program.functions[*fi].name
                 )));
             }
         }
@@ -701,9 +722,7 @@ pub fn build_plan(inp: &PlanInputs<'_>) -> Result<ExpansionPlan, PlanError> {
                     }
                 }
                 for (dst_ty, iv) in &sf.arith_int_uses {
-                    if fat_types.contains(dst_ty)
-                        && diffs.iter().any(|(v, _)| v == iv)
-                    {
+                    if fat_types.contains(dst_ty) && diffs.iter().any(|(v, _)| v == iv) {
                         fat_ints.insert(*iv);
                     }
                 }
@@ -750,10 +769,7 @@ fn finish(
 
 /// The decayed types of pointers passed to `realloc` calls whose
 /// allocation site is expanded.
-fn expanded_realloc_arg_types(
-    program: &Program,
-    expanded: &HashSet<PtObj>,
-) -> HashSet<Type> {
+fn expanded_realloc_arg_types(program: &Program, expanded: &HashSet<PtObj>) -> HashSet<Type> {
     let mut out = HashSet::new();
     let mut prog = program.clone();
     for f in &mut prog.functions {

@@ -77,6 +77,22 @@ impl ExpansionReport {
     pub fn privatized_structures(&self) -> usize {
         self.expanded_allocs + self.expanded_globals + self.expanded_locals
     }
+
+    /// The report in telemetry form (plain counters, for
+    /// [`dse_telemetry::RunMetrics`]).
+    pub fn telemetry_stats(&self) -> dse_telemetry::ExpansionStats {
+        dse_telemetry::ExpansionStats {
+            expanded_allocs: self.expanded_allocs as u64,
+            expanded_globals: self.expanded_globals as u64,
+            expanded_locals: self.expanded_locals as u64,
+            expanded_scalar_locals: self.expanded_scalar_locals as u64,
+            fat_pointer_types: self.fat_pointer_types as u64,
+            fat_int_vars: self.fat_int_vars as u64,
+            private_accesses_redirected: self.private_accesses_redirected as u64,
+            span_stores_emitted: self.span_stores_emitted as u64,
+            span_stores_elided: self.span_stores_elided as u64,
+        }
+    }
 }
 
 /// Result of the transformation.
@@ -109,10 +125,7 @@ pub fn expand_program(
     sync_eids: &HashMap<String, HashSet<u32>>,
 ) -> Result<XformResult, XformError> {
     let tymap = TypeMap::build(&program.types, &plan.fat_types);
-    let any_fat_ret = program
-        .functions
-        .iter()
-        .any(|f| plan.is_fat(&f.ret_ty));
+    let any_fat_ret = program.functions.iter().any(|f| plan.is_fat(&f.ret_ty));
     let mut xf = Xf {
         program,
         plan,
@@ -289,7 +302,11 @@ pub fn expand_program(
     dse_lang::sema::check(&mut out)
         .map_err(|e| XformError(format!("transformed program failed sema: {e}")))?;
     dse_lang::ast::number_exprs(&mut out);
-    Ok(XformResult { program: out, sync_windows, report })
+    Ok(XformResult {
+        program: out,
+        sync_windows,
+        report,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -400,7 +417,10 @@ fn u(kind: ExprKind) -> Expr {
 }
 
 fn var(name: &str) -> Expr {
-    u(ExprKind::Var { name: name.into(), binding: None })
+    u(ExprKind::Var {
+        name: name.into(),
+        binding: None,
+    })
 }
 
 fn ilit(v: i64) -> Expr {
@@ -408,7 +428,10 @@ fn ilit(v: i64) -> Expr {
 }
 
 fn call(name: &str, args: Vec<Expr>) -> Expr {
-    u(ExprKind::Call { name: name.into(), args })
+    u(ExprKind::Call {
+        name: name.into(),
+        args,
+    })
 }
 
 fn tid() -> Expr {
@@ -416,11 +439,17 @@ fn tid() -> Expr {
 }
 
 fn idx(base: Expr, i: Expr) -> Expr {
-    u(ExprKind::Index { base: Box::new(base), index: Box::new(i) })
+    u(ExprKind::Index {
+        base: Box::new(base),
+        index: Box::new(i),
+    })
 }
 
 fn fld(base: Expr, f: &str) -> Expr {
-    u(ExprKind::Field { base: Box::new(base), field: f.into() })
+    u(ExprKind::Field {
+        base: Box::new(base),
+        field: f.into(),
+    })
 }
 
 fn deref(p: Expr) -> Expr {
@@ -440,7 +469,11 @@ fn mul(l: Expr, r: Expr) -> Expr {
 }
 
 fn assign(lhs: Expr, rhs: Expr) -> Expr {
-    u(ExprKind::Assign { op: AssignOp::Set, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    u(ExprKind::Assign {
+        op: AssignOp::Set,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    })
 }
 
 fn sizeof_ty(t: Type) -> Expr {
@@ -448,12 +481,20 @@ fn sizeof_ty(t: Type) -> Expr {
 }
 
 fn estmt(e: Expr) -> Stmt {
-    Stmt { kind: StmtKind::Expr(e), span: dse_lang::SourceSpan::default() }
+    Stmt {
+        kind: StmtKind::Expr(e),
+        span: dse_lang::SourceSpan::default(),
+    }
 }
 
 fn decl(name: &str, ty: Type, init: Option<Expr>) -> Stmt {
     Stmt {
-        kind: StmtKind::Decl { name: name.into(), ty, init, slot: None },
+        kind: StmtKind::Decl {
+            name: name.into(),
+            ty,
+            init,
+            slot: None,
+        },
         span: dse_lang::SourceSpan::default(),
     }
 }
@@ -551,7 +592,12 @@ impl<'a> Xf<'a> {
     fn rewrite_stmt(&mut self, s: &Stmt) -> Result<Vec<Stmt>, XformError> {
         let span = s.span;
         Ok(match &s.kind {
-            StmtKind::Decl { name, ty, init, slot } => {
+            StmtKind::Decl {
+                name,
+                ty,
+                init,
+                slot,
+            } => {
                 let v = VarId::Local(self.cur_func, slot.expect("typed AST"));
                 let is_fat_ptr = self.plan.is_fat(ty);
                 let mut out = Vec::new();
@@ -599,9 +645,7 @@ impl<'a> Xf<'a> {
                             let mut lhs = Expr::typed(
                                 ExprKind::Var {
                                     name: name.clone(),
-                                    binding: Some(VarBinding::Local(
-                                        slot.expect("typed AST"),
-                                    )),
+                                    binding: Some(VarBinding::Local(slot.expect("typed AST"))),
                                 },
                                 ty.clone(),
                             );
@@ -665,17 +709,14 @@ impl<'a> Xf<'a> {
                         let mut lhs = Expr::typed(
                             ExprKind::Var {
                                 name: name.clone(),
-                                binding: Some(VarBinding::Local(
-                                    slot.expect("typed AST"),
-                                )),
+                                binding: Some(VarBinding::Local(slot.expect("typed AST"))),
                             },
                             ty.clone(),
                         );
                         lhs.eid = init.eid;
                         out.extend(self.emit_int_diff_assign(&lhs, init)?);
                     } else {
-                        let init =
-                            init.as_ref().map(|e| self.rewrite_expr(e)).transpose()?;
+                        let init = init.as_ref().map(|e| self.rewrite_expr(e)).transpose()?;
                         out.push(Stmt {
                             kind: StmtKind::Decl {
                                 name: name.clone(),
@@ -714,7 +755,13 @@ impl<'a> Xf<'a> {
                 },
                 span,
             }],
-            StmtKind::For { init, cond, step, body, mark } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                mark,
+            } => {
                 // An expanded/promoted loop variable splits the init into
                 // several statements; hoist them into a wrapping block (not
                 // allowed for candidate loops, whose induction variable is
@@ -747,7 +794,11 @@ impl<'a> Xf<'a> {
                                  supported; move it into the loop body",
                             ));
                         }
-                        let Stmt { kind: StmtKind::Expr(e), .. } = stmts.remove(0) else {
+                        let Stmt {
+                            kind: StmtKind::Expr(e),
+                            ..
+                        } = stmts.remove(0)
+                        else {
                             return Err(self.err("for-step must remain an expression"));
                         };
                         Some(e)
@@ -760,7 +811,13 @@ impl<'a> Xf<'a> {
                     self.rewrite_block(body)?
                 };
                 let for_stmt = Stmt {
-                    kind: StmtKind::For { init, cond, step, body, mark: mark.clone() },
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        mark: mark.clone(),
+                    },
                     span,
                 };
                 if hoisted.is_empty() {
@@ -773,8 +830,14 @@ impl<'a> Xf<'a> {
                     }]
                 }
             }
-            StmtKind::Break => vec![Stmt { kind: StmtKind::Break, span }],
-            StmtKind::Continue => vec![Stmt { kind: StmtKind::Continue, span }],
+            StmtKind::Break => vec![Stmt {
+                kind: StmtKind::Break,
+                span,
+            }],
+            StmtKind::Continue => vec![Stmt {
+                kind: StmtKind::Continue,
+                span,
+            }],
             StmtKind::Return(e) => {
                 let ret_ty = self.program.functions[self.cur_func].ret_ty.clone();
                 let mut out = Vec::new();
@@ -793,9 +856,15 @@ impl<'a> Xf<'a> {
                         out.push(estmt(assign(deref(var("__retspan")), sp)));
                     }
                     let e = self.rewrite_expr(e)?;
-                    out.push(Stmt { kind: StmtKind::Return(Some(e)), span });
+                    out.push(Stmt {
+                        kind: StmtKind::Return(Some(e)),
+                        span,
+                    });
                 } else {
-                    out.push(Stmt { kind: StmtKind::Return(None), span });
+                    out.push(Stmt {
+                        kind: StmtKind::Return(None),
+                        span,
+                    });
                 }
                 out
             }
@@ -815,12 +884,10 @@ impl<'a> Xf<'a> {
     ) -> Result<Block, XformError> {
         let ordinal = self.cand_ordinal;
         self.cand_ordinal += 1;
-        let label = mark.label.clone().unwrap_or_else(|| {
-            format!(
-                "{}#{ordinal}",
-                self.program.functions[self.cur_func].name
-            )
-        });
+        let label = mark
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("{}#{ordinal}", self.program.functions[self.cur_func].name));
         let sync_set = self.sync_eids.get(&label);
         let mut stmts = Vec::new();
         let mut first: Option<usize> = None;
@@ -854,7 +921,12 @@ impl<'a> Xf<'a> {
     /// Rewrites an expression statement, splitting span-carrying pointer
     /// assignments into multiple statements.
     fn rewrite_expr_stmt(&mut self, e: &Expr) -> Result<Vec<Stmt>, XformError> {
-        if let ExprKind::Assign { op: AssignOp::Set, lhs, rhs } = &e.kind {
+        if let ExprKind::Assign {
+            op: AssignOp::Set,
+            lhs,
+            rhs,
+        } = &e.kind
+        {
             let lt = lhs.ty().decayed();
             // Span-carrying pointer destinations.
             if lt.is_pointer() && self.dst_carries_span(lhs) {
@@ -862,7 +934,10 @@ impl<'a> Xf<'a> {
             }
             // Promoted pointer-difference integers: i = p - q.
             if lt.is_integer() {
-                if let ExprKind::Var { binding: Some(b), .. } = &lhs.kind {
+                if let ExprKind::Var {
+                    binding: Some(b), ..
+                } = &lhs.kind
+                {
                     let v = self.var_id(*b);
                     if self.plan.fat_ints.contains(&v) {
                         return self.emit_int_diff_assign(lhs, rhs);
@@ -916,7 +991,12 @@ impl<'a> Xf<'a> {
     /// Assignment into a fat destination given as an original lvalue.
     fn emit_ptr_assign(&mut self, lhs: &Expr, rhs: &Expr) -> Result<Vec<Stmt>, XformError> {
         // Fat scalar variable (thin repr + shadow)?
-        if let ExprKind::Var { binding: Some(b), name, .. } = &lhs.kind {
+        if let ExprKind::Var {
+            binding: Some(b),
+            name,
+            ..
+        } = &lhs.kind
+        {
             let v = self.var_id(*b);
             if !self.plan.var_expanded(v) {
                 return self.emit_ptr_assign_var(name, rhs);
@@ -924,9 +1004,9 @@ impl<'a> Xf<'a> {
         }
         // Otherwise the destination is a fat memory cell.
         if !lvalue_is_pure(lhs) {
-            return Err(self.err(
-                "store to a fat pointer cell with side-effecting address expression",
-            ));
+            return Err(
+                self.err("store to a fat pointer cell with side-effecting address expression")
+            );
         }
         let cell = self.rewrite_place(lhs)?;
         self.emit_ptr_assign_cell(cell, rhs)
@@ -958,10 +1038,7 @@ impl<'a> Xf<'a> {
                             decl("__pa_s", Type::Long.array_of(n), None),
                             estmt(assign(idx(var("__pa_s"), tid()), sp)),
                             estmt(assign(var(name), r)),
-                            estmt(assign(
-                                var(&sp_name(name)),
-                                idx(var("__pa_s"), tid()),
-                            )),
+                            estmt(assign(var(&sp_name(name)), idx(var("__pa_s"), tid()))),
                         ],
                     }),
                     span: dse_lang::SourceSpan::default(),
@@ -970,8 +1047,7 @@ impl<'a> Xf<'a> {
             SpanVal::FromCallee => {
                 // p = f(...): pass &__sp_p as the span out-parameter (the
                 // call evaluates its arguments before writing anything).
-                let callexpr =
-                    self.rewrite_call_with_retspan(rhs, addrof(var(&sp_name(name))))?;
+                let callexpr = self.rewrite_call_with_retspan(rhs, addrof(var(&sp_name(name))))?;
                 self.report.span_stores_emitted += 1;
                 Ok(vec![estmt(assign(var(name), callexpr))])
             }
@@ -1004,38 +1080,24 @@ impl<'a> Xf<'a> {
                             decl("__pa_s", Type::Long.array_of(n), None),
                             estmt(assign(idx(var("__pa_t"), tid()), r)),
                             estmt(assign(idx(var("__pa_s"), tid()), sp)),
-                            estmt(assign(
-                                fld(cell.clone(), "ptr"),
-                                idx(var("__pa_t"), tid()),
-                            )),
-                            estmt(assign(
-                                fld(cell, "span"),
-                                idx(var("__pa_s"), tid()),
-                            )),
+                            estmt(assign(fld(cell.clone(), "ptr"), idx(var("__pa_t"), tid()))),
+                            estmt(assign(fld(cell, "span"), idx(var("__pa_s"), tid()))),
                         ],
                     }),
                     span: dse_lang::SourceSpan::default(),
                 }])
             }
             SpanVal::FromCallee => {
-                let callexpr = self.rewrite_call_with_retspan(
-                    rhs,
-                    addrof(idx(var("__pa_s"), tid())),
-                )?;
+                let callexpr =
+                    self.rewrite_call_with_retspan(rhs, addrof(idx(var("__pa_s"), tid())))?;
                 Ok(vec![Stmt {
                     kind: StmtKind::Block(Block {
                         stmts: vec![
                             decl("__pa_s", Type::Long.array_of(n), None),
                             decl("__pa_t", ptr_ty.array_of(n), None),
                             estmt(assign(idx(var("__pa_t"), tid()), callexpr)),
-                            estmt(assign(
-                                fld(cell.clone(), "ptr"),
-                                idx(var("__pa_t"), tid()),
-                            )),
-                            estmt(assign(
-                                fld(cell, "span"),
-                                idx(var("__pa_s"), tid()),
-                            )),
+                            estmt(assign(fld(cell.clone(), "ptr"), idx(var("__pa_t"), tid()))),
+                            estmt(assign(fld(cell, "span"), idx(var("__pa_s"), tid()))),
                         ],
                     }),
                     span: dse_lang::SourceSpan::default(),
@@ -1045,11 +1107,7 @@ impl<'a> Xf<'a> {
     }
 
     /// Rewrites a user call expression appending the given span receiver.
-    fn rewrite_call_with_retspan(
-        &mut self,
-        e: &Expr,
-        retspan: Expr,
-    ) -> Result<Expr, XformError> {
+    fn rewrite_call_with_retspan(&mut self, e: &Expr, retspan: Expr) -> Result<Expr, XformError> {
         let rewritten = self.rewrite_expr(e)?;
         let ExprKind::Call { name, mut args } = rewritten.kind else {
             return Err(self.err("span-from-callee requires a direct call"));
@@ -1071,9 +1129,9 @@ impl<'a> Xf<'a> {
                 "malloc" => {
                     let a = &args[0];
                     if !dse_ir::loops::expr_is_pure(a) {
-                        return Err(self.err(
-                            "allocation size with side effects cannot be used as a span",
-                        ));
+                        return Err(
+                            self.err("allocation size with side effects cannot be used as a span")
+                        );
                     }
                     Ok(SpanVal::Expr(self.rewrite_expr(a)?))
                 }
@@ -1092,9 +1150,9 @@ impl<'a> Xf<'a> {
                 "realloc" => {
                     let a = &args[1];
                     if !dse_ir::loops::expr_is_pure(a) {
-                        return Err(self.err(
-                            "allocation size with side effects cannot be used as a span",
-                        ));
+                        return Err(
+                            self.err("allocation size with side effects cannot be used as a span")
+                        );
                     }
                     Ok(SpanVal::Expr(self.rewrite_expr(a)?))
                 }
@@ -1129,7 +1187,10 @@ impl<'a> Xf<'a> {
                 let base = self.span_expr(ptr_side)?;
                 // Table 3 "Pointer arithmetic 3": adjust by a promoted
                 // integer's span when one is involved.
-                if let ExprKind::Var { binding: Some(b), .. } = &int_side.kind {
+                if let ExprKind::Var {
+                    binding: Some(b), ..
+                } = &int_side.kind
+                {
                     let v = self.var_id(*b);
                     if self.plan.fat_ints.contains(&v) {
                         let op = if matches!(e.kind, ExprKind::Binary(BinOp::Add, ..)) {
@@ -1172,7 +1233,11 @@ impl<'a> Xf<'a> {
     /// memory cell), re-evaluating the place.
     fn span_expr(&mut self, e: &Expr) -> Result<Expr, XformError> {
         match &e.kind {
-            ExprKind::Var { binding: Some(b), name, .. } => {
+            ExprKind::Var {
+                binding: Some(b),
+                name,
+                ..
+            } => {
                 let v = self.var_id(*b);
                 let ty = e.ty();
                 if matches!(ty, Type::Array(..)) {
@@ -1209,9 +1274,7 @@ impl<'a> Xf<'a> {
                 }
                 if self.plan.is_fat(&ty.decayed()) {
                     if !lvalue_is_pure(e) {
-                        return Err(self.err(
-                            "span of a side-effecting pointer cell expression",
-                        ));
+                        return Err(self.err("span of a side-effecting pointer cell expression"));
                     }
                     let place = self.rewrite_place(e)?;
                     return Ok(fld(place, "span"));
@@ -1245,22 +1308,16 @@ impl<'a> Xf<'a> {
             | ExprKind::Field { .. }
             | ExprKind::Deref(_) => {
                 let place = self.rewrite_place(e)?;
-                if self.plan.is_fat(&e.ty().decayed())
-                    && self.place_is_fat_cell(e)
-                {
+                if self.plan.is_fat(&e.ty().decayed()) && self.place_is_fat_cell(e) {
                     Ok(fld(place, "ptr"))
                 } else {
                     Ok(place)
                 }
             }
-            ExprKind::Unary(op, a) => {
-                Ok(u(ExprKind::Unary(*op, Box::new(self.rewrite_expr(a)?))))
+            ExprKind::Unary(op, a) => Ok(u(ExprKind::Unary(*op, Box::new(self.rewrite_expr(a)?)))),
+            ExprKind::Binary(op, l, r) => {
+                Ok(bin(*op, self.rewrite_expr(l)?, self.rewrite_expr(r)?))
             }
-            ExprKind::Binary(op, l, r) => Ok(bin(
-                *op,
-                self.rewrite_expr(l)?,
-                self.rewrite_expr(r)?,
-            )),
             ExprKind::Assign { op, lhs, rhs } => {
                 if self.dst_carries_span(lhs) && *op == AssignOp::Set {
                     return Err(self.err(
@@ -1290,7 +1347,10 @@ impl<'a> Xf<'a> {
             ExprKind::AddrOf(inner) => Ok(addrof(self.rewrite_place_shared(inner)?)),
             ExprKind::Cast(t, inner) => {
                 let target = self.tymap.var(t);
-                Ok(u(ExprKind::Cast(target, Box::new(self.rewrite_expr(inner)?))))
+                Ok(u(ExprKind::Cast(
+                    target,
+                    Box::new(self.rewrite_expr(inner)?),
+                )))
             }
             ExprKind::SizeofType(t) => {
                 let t = self.tymap.mem(t);
@@ -1306,14 +1366,17 @@ impl<'a> Xf<'a> {
             ExprKind::IncDec { pre, inc, target } => {
                 // Pointer ++ keeps its span (Table 3 "Pointer arithmetic 1").
                 let place = self.rewrite_place(target)?;
-                let place = if self.plan.is_fat(&target.ty().decayed())
-                    && self.place_is_fat_cell(target)
-                {
-                    fld(place, "ptr")
-                } else {
-                    place
-                };
-                Ok(u(ExprKind::IncDec { pre: *pre, inc: *inc, target: Box::new(place) }))
+                let place =
+                    if self.plan.is_fat(&target.ty().decayed()) && self.place_is_fat_cell(target) {
+                        fld(place, "ptr")
+                    } else {
+                        place
+                    };
+                Ok(u(ExprKind::IncDec {
+                    pre: *pre,
+                    inc: *inc,
+                    target: Box::new(place),
+                }))
             }
         }
     }
@@ -1322,7 +1385,9 @@ impl<'a> Xf<'a> {
     /// (needing `.ptr`/`.span`) rather than a thin fat variable.
     fn place_is_fat_cell(&self, e: &Expr) -> bool {
         match &e.kind {
-            ExprKind::Var { binding: Some(b), .. } => {
+            ExprKind::Var {
+                binding: Some(b), ..
+            } => {
                 // Expanded fat variables live in cells; plain fat variables
                 // are thin.
                 self.plan.var_expanded(self.var_id(*b))
@@ -1331,12 +1396,7 @@ impl<'a> Xf<'a> {
         }
     }
 
-    fn rewrite_call(
-        &mut self,
-        e: &Expr,
-        name: &str,
-        args: &[Expr],
-    ) -> Result<Expr, XformError> {
+    fn rewrite_call(&mut self, e: &Expr, name: &str, args: &[Expr]) -> Result<Expr, XformError> {
         match name {
             "malloc" | "calloc" => {
                 let expanded = self.plan.alloc_expanded(e.eid);
@@ -1416,11 +1476,7 @@ impl<'a> Xf<'a> {
         self.rewrite_place_entry(e, true)
     }
 
-    fn rewrite_place_entry(
-        &mut self,
-        e: &Expr,
-        force_shared: bool,
-    ) -> Result<Expr, XformError> {
+    fn rewrite_place_entry(&mut self, e: &Expr, force_shared: bool) -> Result<Expr, XformError> {
         if let Some(AccessRoot::Direct(b)) = access_root(e) {
             let v = self.var_id(b);
             if self.is_interleaved_array(v) {
@@ -1451,7 +1507,11 @@ impl<'a> Xf<'a> {
         suppress_root_k: bool,
     ) -> Result<Expr, XformError> {
         match &e.kind {
-            ExprKind::Var { binding: Some(b), name, .. } => {
+            ExprKind::Var {
+                binding: Some(b),
+                name,
+                ..
+            } => {
                 let v = self.var_id(*b);
                 if self.plan.var_expanded(v) && !suppress_root_k {
                     let k = if force_shared {
@@ -1466,15 +1526,14 @@ impl<'a> Xf<'a> {
                 }
             }
             ExprKind::Field { base, field } => {
-                let b =
-                    self.rewrite_place_inner(base, top_eid, force_shared, suppress_root_k)?;
+                let b = self.rewrite_place_inner(base, top_eid, force_shared, suppress_root_k)?;
                 Ok(fld(b, field))
             }
             ExprKind::Index { base, index } => {
                 let i = self.rewrite_expr(index)?;
                 if matches!(base.ty(), Type::Array(..)) {
-                    let b = self
-                        .rewrite_place_inner(base, top_eid, force_shared, suppress_root_k)?;
+                    let b =
+                        self.rewrite_place_inner(base, top_eid, force_shared, suppress_root_k)?;
                     Ok(idx(b, i))
                 } else {
                     let b = self.boundary_pointer(base, top_eid, force_shared)?;
@@ -1544,7 +1603,12 @@ impl<'a> Xf<'a> {
     /// The place holding a fat integer's span: shadow variable, or the
     /// current thread's shadow-array slot when the integer is expanded.
     fn fat_int_span_place(&mut self, e: &Expr) -> Expr {
-        let ExprKind::Var { binding: Some(b), name, .. } = &e.kind else {
+        let ExprKind::Var {
+            binding: Some(b),
+            name,
+            ..
+        } = &e.kind
+        else {
             unreachable!("fat integers are plain variables");
         };
         let v = self.var_id(*b);
@@ -1571,9 +1635,8 @@ fn span_preserving_self_update(rhs: &Expr, dst_name: &str) -> bool {
     match &rhs.kind {
         ExprKind::Cast(_, inner) => span_preserving_self_update(inner, dst_name),
         ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) => {
-            let is_dst = |x: &Expr| {
-                matches!(&x.kind, ExprKind::Var { name, .. } if name == dst_name)
-            };
+            let is_dst =
+                |x: &Expr| matches!(&x.kind, ExprKind::Var { name, .. } if name == dst_name);
             (is_dst(l) && matches!(r.kind, ExprKind::IntLit(_)))
                 || (is_dst(r) && matches!(l.kind, ExprKind::IntLit(_)))
         }
@@ -1615,7 +1678,9 @@ mod tests {
         let mut tm = TypeMap::build(&orig, &fat_set(std::slice::from_ref(&int_ptr)));
         // Memory cells become the fat record.
         let cell = tm.mem(&int_ptr);
-        let Type::Struct(id) = cell else { panic!("expected fat record") };
+        let Type::Struct(id) = cell else {
+            panic!("expected fat record")
+        };
         let def = tm.table.struct_def(id);
         assert_eq!(def.fields[0].name, "ptr");
         assert_eq!(def.fields[1].name, "span");
@@ -1667,10 +1732,7 @@ mod tests {
             panic!("next should be a fat record")
         };
         let fat = tm.table.struct_def(*fat_id);
-        assert_eq!(
-            fat.field("ptr").unwrap().ty,
-            Type::Struct(new_sid).ptr_to()
-        );
+        assert_eq!(fat.field("ptr").unwrap().ty, Type::Struct(new_sid).ptr_to());
     }
 
     #[test]

@@ -89,10 +89,10 @@ fn scratch_scalar_doall() {
     let plan = analysis.plan(OptLevel::Full, 4).unwrap();
     // t is expanded; out is written disjointly (free of carried deps) and
     // must NOT be expanded.
-    assert!(plan.expanded.iter().any(|o| matches!(
-        o,
-        dse_analysis::PtObj::Var(dse_analysis::VarId::Local(..))
-    )));
+    assert!(plan
+        .expanded
+        .iter()
+        .any(|o| matches!(o, dse_analysis::PtObj::Var(dse_analysis::VarId::Local(..)))));
     assert!(!plan
         .expanded
         .iter()
@@ -563,8 +563,14 @@ fn expanded_memory_grows_with_threads() {
     let mut peaks = Vec::new();
     for n in [1u32, 2, 8] {
         let t = analysis.transform(OptLevel::Full, n).unwrap();
-        let mut vm =
-            Vm::new(t.parallel, VmConfig { nthreads: n, ..Default::default() }).unwrap();
+        let mut vm = Vm::new(
+            t.parallel,
+            VmConfig {
+                nthreads: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = vm.run().unwrap();
         peaks.push(report.peak_heap_bytes);
     }
@@ -755,11 +761,8 @@ fn interleaved_layout_equivalence_and_limits() {
 fn interleaved_rejects_bzip2_recast() {
     use dse_core::LayoutMode;
     let w = dse_workloads::by_name("bzip2").unwrap();
-    let analysis = Analysis::from_source(
-        w.source,
-        w.vm_config(dse_workloads::Scale::Profile),
-    )
-    .unwrap();
+    let analysis =
+        Analysis::from_source(w.source, w.vm_config(dse_workloads::Scale::Profile)).unwrap();
     let err = analysis
         .transform_with_layout(OptLevel::Full, 4, LayoutMode::Interleaved)
         .expect_err("bzip2's zptr cannot interleave");

@@ -1,38 +1,43 @@
-//! Property-based tests of the access-class construction (Definition 4)
-//! and the thread-private test (Definition 5) over randomly generated
-//! dependence graphs.
+//! Randomized tests of the access-class construction (Definition 4) and
+//! the thread-private test (Definition 5) over generated dependence
+//! graphs, driven by the workspace's deterministic PRNG.
 
 use dse_core::classify::{classify_loop, SiteClass};
 use dse_depprof::{DepEdge, DepKind, LoopDdg};
-use proptest::prelude::*;
+use dse_workloads::rng::Rng;
 use std::collections::{HashMap, HashSet};
 
 const NSITES: u32 = 12;
+const CASES: u64 = 256;
 
-fn edge_strategy() -> impl Strategy<Value = DepEdge> {
-    (
-        0..NSITES,
-        0..NSITES,
-        prop_oneof![Just(DepKind::Flow), Just(DepKind::Anti), Just(DepKind::Output)],
-        any::<bool>(),
-    )
-        .prop_map(|(src, dst, kind, carried)| DepEdge { src, dst, kind, carried })
+fn gen_edge(rng: &mut Rng) -> DepEdge {
+    DepEdge {
+        src: rng.gen_index(NSITES as usize) as u32,
+        dst: rng.gen_index(NSITES as usize) as u32,
+        kind: [DepKind::Flow, DepKind::Anti, DepKind::Output][rng.gen_index(3)],
+        carried: rng.gen_bool(),
+    }
 }
 
-fn ddg_strategy() -> impl Strategy<Value = LoopDdg> {
-    (
-        prop::collection::hash_set(edge_strategy(), 0..24),
-        prop::collection::hash_set(0..NSITES, 0..4),
-        prop::collection::hash_set(0..NSITES, 0..4),
-    )
-        .prop_map(|(edges, up, down)| LoopDdg {
-            label: "prop".into(),
-            edges,
-            upward_exposed: up,
-            downward_exposed: down,
-            site_counts: (0..NSITES).map(|s| (s, 1)).collect(),
-            ..Default::default()
-        })
+fn gen_ddg(seed: u64) -> LoopDdg {
+    let mut rng = Rng::seed_from_u64(seed);
+    let edges: HashSet<DepEdge> = (0..rng.gen_range(0, 24))
+        .map(|_| gen_edge(&mut rng))
+        .collect();
+    let up: HashSet<u32> = (0..rng.gen_range(0, 4))
+        .map(|_| rng.gen_index(NSITES as usize) as u32)
+        .collect();
+    let down: HashSet<u32> = (0..rng.gen_range(0, 4))
+        .map(|_| rng.gen_index(NSITES as usize) as u32)
+        .collect();
+    LoopDdg {
+        label: "prop".into(),
+        edges,
+        upward_exposed: up,
+        downward_exposed: down,
+        site_counts: (0..NSITES).map(|s| (s, 1)).collect(),
+        ..Default::default()
+    }
 }
 
 /// Reference partition: connected components over loop-independent edges,
@@ -63,28 +68,32 @@ fn reference_components(ddg: &LoopDdg) -> HashMap<u32, u32> {
     }
 }
 
-proptest! {
-    /// The union-find partition equals naive connected components over
-    /// loop-independent dependences (Definition 4).
-    #[test]
-    fn classes_are_connected_components(ddg in ddg_strategy()) {
+/// The union-find partition equals naive connected components over
+/// loop-independent dependences (Definition 4).
+#[test]
+fn classes_are_connected_components() {
+    for case in 0..CASES {
+        let ddg = gen_ddg(0xC1A5 + case);
         let cls = classify_loop(&ddg);
         let reference = reference_components(&ddg);
         for a in 0..NSITES {
             for b in 0..NSITES {
                 let same_ref = reference[&a] == reference[&b];
                 let same_cls = cls.class_of[&a] == cls.class_of[&b];
-                prop_assert_eq!(same_ref, same_cls, "sites {} {}", a, b);
+                assert_eq!(same_ref, same_cls, "case {case}, sites {a} {b}");
             }
         }
     }
+}
 
-    /// Definition 5, checked per site against the raw graph:
-    /// a private site's whole class has no exposed member and no carried
-    /// flow member, and some member carries an anti/output dependence;
-    /// a shared site's class violates one of the three.
-    #[test]
-    fn definition5_holds(ddg in ddg_strategy()) {
+/// Definition 5, checked per site against the raw graph:
+/// a private site's whole class has no exposed member and no carried
+/// flow member, and some member carries an anti/output dependence;
+/// a shared site's class violates one of the three.
+#[test]
+fn definition5_holds() {
+    for case in 0..CASES {
+        let ddg = gen_ddg(0xDEF5 + case);
         let cls = classify_loop(&ddg);
         let carried_flow = ddg.sites_in_carried(&[DepKind::Flow]);
         let carried_ao = ddg.sites_in_carried(&[DepKind::Anti, DepKind::Output]);
@@ -94,49 +103,56 @@ proptest! {
             classes.entry(cls.class_of[&s]).or_default().push(s);
         }
         for members in classes.values() {
-            let exposed = members.iter().any(|s| {
-                ddg.upward_exposed.contains(s) || ddg.downward_exposed.contains(s)
-            });
+            let exposed = members
+                .iter()
+                .any(|s| ddg.upward_exposed.contains(s) || ddg.downward_exposed.contains(s));
             let has_cf = members.iter().any(|s| carried_flow.contains(s));
             let has_cao = members.iter().any(|s| carried_ao.contains(s));
             let should_be_private = !exposed && !has_cf && has_cao;
             for s in members {
-                prop_assert_eq!(
+                assert_eq!(
                     cls.site_class[s] == SiteClass::Private,
                     should_be_private,
-                    "site {} in class {:?}", s, members
+                    "case {case}, site {s} in class {members:?}"
                 );
             }
         }
     }
+}
 
-    /// Mode selection: DOACROSS exactly when some shared site carries a
-    /// dependence; and every site the classifier calls shared-carried
-    /// really is shared and really carries.
-    #[test]
-    fn mode_matches_shared_carried(ddg in ddg_strategy()) {
+/// Mode selection: DOACROSS exactly when some shared site carries a
+/// dependence; and every site the classifier calls shared-carried
+/// really is shared and really carries.
+#[test]
+fn mode_matches_shared_carried() {
+    for case in 0..CASES {
+        let ddg = gen_ddg(0x30DE + case);
         let cls = classify_loop(&ddg);
-        let carried: HashSet<u32> = ddg
-            .sites_in_carried(&[DepKind::Flow, DepKind::Anti, DepKind::Output]);
+        let carried: HashSet<u32> =
+            ddg.sites_in_carried(&[DepKind::Flow, DepKind::Anti, DepKind::Output]);
         let expect_doacross = carried
             .iter()
             .any(|s| cls.site_class[s] == SiteClass::Shared);
-        prop_assert_eq!(
+        assert_eq!(
             cls.mode == dse_ir::loops::ParMode::DoAcross,
-            expect_doacross
+            expect_doacross,
+            "case {case}"
         );
         for s in &cls.shared_carried_sites {
-            prop_assert!(carried.contains(s));
-            prop_assert_eq!(cls.site_class[s], SiteClass::Shared);
+            assert!(carried.contains(s), "case {case}");
+            assert_eq!(cls.site_class[s], SiteClass::Shared, "case {case}");
         }
     }
+}
 
-    /// The Figure-8 breakdown partitions the dynamic accesses exactly.
-    #[test]
-    fn breakdown_partitions_counts(ddg in ddg_strategy()) {
+/// The Figure-8 breakdown partitions the dynamic accesses exactly.
+#[test]
+fn breakdown_partitions_counts() {
+    for case in 0..CASES {
+        let ddg = gen_ddg(0xB4EA + case);
         let cls = classify_loop(&ddg);
         let b = cls.access_breakdown(&ddg);
         let total: u64 = ddg.site_counts.values().sum();
-        prop_assert_eq!(b.total(), total);
+        assert_eq!(b.total(), total, "case {case}");
     }
 }

@@ -1,4 +1,4 @@
-//! Property-based soundness fuzzing of the expansion pass.
+//! Randomized soundness fuzzing of the expansion pass.
 //!
 //! Random candidate-loop bodies are generated from a small statement
 //! grammar over scalars, a local scratch array, a heap scratch buffer, a
@@ -7,11 +7,12 @@
 //! — privatizable, accumulating, upward-exposed, anything — the profiled
 //! classification plus expansion must preserve the program's observable
 //! results on every thread count**. Non-privatizable patterns must come
-//! out shared/DOACROSS-ordered, not broken.
+//! out shared/DOACROSS-ordered, not broken. Cases come from the
+//! workspace's deterministic PRNG, so failures reproduce exactly.
 
 use dse_core::{Analysis, OptLevel};
 use dse_runtime::{Vm, VmConfig};
-use proptest::prelude::*;
+use dse_workloads::rng::Rng;
 
 /// A generated integer expression over the loop's names.
 #[derive(Debug, Clone)]
@@ -110,43 +111,47 @@ impl GStmt {
     }
 }
 
-fn expr_strategy() -> impl Strategy<Value = GExpr> {
-    let leaf = prop_oneof![
-        any::<i8>().prop_map(GExpr::Lit),
-        Just(GExpr::I),
-        Just(GExpr::A),
-        Just(GExpr::B),
-        Just(GExpr::Glob),
-        Just(GExpr::Acc),
-    ];
-    leaf.prop_recursive(3, 24, 2, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|e| GExpr::Loc(Box::new(e))),
-            inner.clone().prop_map(|e| GExpr::Heap(Box::new(e))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| GExpr::Add(Box::new(l), Box::new(r))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(l, r)| GExpr::Mul(Box::new(l), Box::new(r))),
-            (inner.clone(), inner)
-                .prop_map(|(l, r)| GExpr::Xor(Box::new(l), Box::new(r))),
-        ]
-    })
+fn gen_expr(rng: &mut Rng, depth: u32) -> GExpr {
+    use GExpr::*;
+    if depth == 0 || rng.gen_ratio(2, 5) {
+        return match rng.gen_index(6) {
+            0 => Lit(rng.next_u64() as i8),
+            1 => I,
+            2 => A,
+            3 => B,
+            4 => Glob,
+            _ => Acc,
+        };
+    }
+    let sub = |rng: &mut Rng| Box::new(gen_expr(rng, depth - 1));
+    match rng.gen_index(5) {
+        0 => Loc(sub(rng)),
+        1 => Heap(sub(rng)),
+        2 => Add(sub(rng), sub(rng)),
+        3 => Mul(sub(rng), sub(rng)),
+        _ => Xor(sub(rng), sub(rng)),
+    }
 }
 
-fn stmt_strategy() -> impl Strategy<Value = GStmt> {
-    let simple = prop_oneof![
-        (any::<u8>(), expr_strategy()).prop_map(|(w, e)| GStmt::SetScalar(w, e)),
-        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GStmt::SetLoc(i, e)),
-        (expr_strategy(), expr_strategy()).prop_map(|(i, e)| GStmt::SetHeap(i, e)),
-        expr_strategy().prop_map(GStmt::BumpAcc),
-    ];
-    simple.prop_recursive(2, 12, 2, |inner| {
-        prop_oneof![
-            (expr_strategy(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, f)| GStmt::If(c, Box::new(t), Box::new(f))),
-            inner.prop_map(|b| GStmt::Loop(Box::new(b))),
-        ]
-    })
+fn gen_stmt(rng: &mut Rng, depth: u32) -> GStmt {
+    use GStmt::*;
+    if depth == 0 || rng.gen_ratio(3, 4) {
+        return match rng.gen_index(4) {
+            0 => SetScalar(rng.next_u64() as u8, gen_expr(rng, 3)),
+            1 => SetLoc(gen_expr(rng, 2), gen_expr(rng, 2)),
+            2 => SetHeap(gen_expr(rng, 2), gen_expr(rng, 2)),
+            _ => BumpAcc(gen_expr(rng, 3)),
+        };
+    }
+    if rng.gen_bool() {
+        If(
+            gen_expr(rng, 2),
+            Box::new(gen_stmt(rng, depth - 1)),
+            Box::new(gen_stmt(rng, depth - 1)),
+        )
+    } else {
+        Loop(Box::new(gen_stmt(rng, depth - 1)))
+    }
 }
 
 fn render_program(stmts: &[GStmt]) -> String {
@@ -179,28 +184,33 @@ int main() {{
     )
 }
 
+fn gen_case(seed: u64, max_stmts: i64) -> String {
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = rng.gen_range(1, max_stmts) as usize;
+    let stmts: Vec<GStmt> = (0..n).map(|_| gen_stmt(&mut rng, 2)).collect();
+    render_program(&stmts)
+}
+
 fn run(compiled: dse_ir::bytecode::CompiledProgram, n: u32) -> Vec<i64> {
     let mut vm = Vm::new(
         compiled,
-        VmConfig { nthreads: n, max_instructions: 80_000_000, ..Default::default() },
+        VmConfig {
+            nthreads: n,
+            max_instructions: 80_000_000,
+            ..Default::default()
+        },
     )
     .expect("vm");
     vm.run().expect("generated programs never trap");
     vm.outputs_int()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
-
-    /// The transformation preserves observable behavior for arbitrary
-    /// generated loop bodies, at every optimization level and thread count.
-    #[test]
-    fn expansion_preserves_semantics(stmts in prop::collection::vec(stmt_strategy(), 1..5)) {
-        let src = render_program(&stmts);
+/// The transformation preserves observable behavior for arbitrary
+/// generated loop bodies, at every optimization level and thread count.
+#[test]
+fn expansion_preserves_semantics() {
+    for case in 0..48u64 {
+        let src = gen_case(0xE0_0115 + case, 5);
         let analysis = Analysis::from_source(&src, VmConfig::default())
             .unwrap_or_else(|e| panic!("pipeline failed on generated program: {e}\n{src}"));
         let reference = run(analysis.serial.clone(), 1);
@@ -213,41 +223,39 @@ proptest! {
                 .transform(opt, n)
                 .unwrap_or_else(|e| panic!("transform failed: {e}\n{src}"));
             let got = run(t.parallel, n);
-            prop_assert_eq!(
-                &got, &reference,
-                "mismatch at {:?} n={}\n{}", opt, n, src
-            );
+            assert_eq!(got, reference, "mismatch at {opt:?} n={n}\n{src}");
         }
         // The runtime-privatization baseline must agree too.
         let b = analysis
             .baseline_parallel(4)
             .unwrap_or_else(|e| panic!("baseline failed: {e}\n{src}"));
         let got = run(b.parallel, 4);
-        prop_assert_eq!(&got, &reference, "baseline mismatch\n{}", src);
+        assert_eq!(got, reference, "baseline mismatch\n{src}");
         // Interleaved layout, when its structural limits allow it.
         if let Ok(t) =
             analysis.transform_with_layout(OptLevel::Full, 4, dse_core::LayoutMode::Interleaved)
         {
             let got = run(t.parallel, 4);
-            prop_assert_eq!(&got, &reference, "interleaved mismatch\n{}", src);
+            assert_eq!(got, reference, "interleaved mismatch\n{src}");
         }
     }
+}
 
-    /// The pretty-printed transformed program, when it stays in the
-    /// parsable subset, re-checks under sema (printer/transform coherence).
-    #[test]
-    fn transformed_programs_reprint_consistently(stmts in prop::collection::vec(stmt_strategy(), 1..4)) {
-        let src = render_program(&stmts);
+/// The pretty-printed transformed program, when it stays in the
+/// parsable subset, re-checks under sema (printer/transform coherence).
+#[test]
+fn transformed_programs_reprint_consistently() {
+    for case in 0..32u64 {
+        let src = gen_case(0x4E_4123 + case, 4);
         let analysis = Analysis::from_source(&src, VmConfig::default()).unwrap();
         let t = analysis.transform(OptLevel::Full, 4).unwrap();
         let printed = dse_lang::printer::print_program(&t.program);
         if dse_lang::printer::roundtrips(&t.program) {
             let reparsed = dse_lang::compile_to_ast(&printed);
-            prop_assert!(
+            assert!(
                 reparsed.is_ok(),
-                "printed transform failed to reparse: {:?}\n{}",
-                reparsed.err(),
-                printed
+                "printed transform failed to reparse: {:?}\n{printed}",
+                reparsed.err()
             );
         }
     }

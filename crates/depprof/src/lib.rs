@@ -138,6 +138,19 @@ impl ProfileResult {
     pub fn by_label(&self, label: &str) -> Option<&LoopDdg> {
         self.loops.iter().find(|l| l.label == label)
     }
+
+    /// Whole-profile totals `(iterations, accesses, dependence edges)`
+    /// summed over every profiled loop — the size stats reported on the
+    /// `profile` phase span.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        self.loops.iter().fold((0, 0, 0), |(it, acc, ed), l| {
+            (
+                it + l.iterations,
+                acc + l.total_accesses,
+                ed + l.edges.len() as u64,
+            )
+        })
+    }
 }
 
 /// Profiles `compiled` (which must be serially lowered, so candidate loops
@@ -235,7 +248,10 @@ impl Profiler {
     ) {
         for (addr, st) in &al.bytes {
             if let Some((site, _)) = st.last_write {
-                after_watch.entry(*addr).or_default().push((al.loop_id, site));
+                after_watch
+                    .entry(*addr)
+                    .or_default()
+                    .push((al.loop_id, site));
             }
         }
         let entry = accum.entry(al.loop_id).or_default();
@@ -384,13 +400,15 @@ impl Observer for Profiler {
                     ind_range: (ind_lo, ind_lo + ind_w as u64),
                     begin_work: work,
                     bytes: HashMap::new(),
-                    ddg: LoopDdg { label, loop_id, ..Default::default() },
+                    ddg: LoopDdg {
+                        label,
+                        loop_id,
+                        ..Default::default()
+                    },
                 });
             }
             LoopEvent::IterStart => {
-                if let Some(al) =
-                    self.active.iter_mut().rev().find(|a| a.loop_id == loop_id)
-                {
+                if let Some(al) = self.active.iter_mut().rev().find(|a| a.loop_id == loop_id) {
                     al.iter += 1;
                     al.iter_sp = sp;
                 }
@@ -447,8 +465,7 @@ mod tests {
         );
         let l = res.by_label("hot").unwrap();
         assert_eq!(l.iterations, 10);
-        let kinds: HashSet<(DepKind, bool)> =
-            l.edges.iter().map(|e| (e.kind, e.carried)).collect();
+        let kinds: HashSet<(DepKind, bool)> = l.edges.iter().map(|e| (e.kind, e.carried)).collect();
         // t: independent flow (t = .. ; .. = t), carried anti (read t iter
         // i, write t iter i+1), carried output (write t each iter).
         assert!(kinds.contains(&(DepKind::Flow, false)));
@@ -537,7 +554,9 @@ mod tests {
         }
         // buf writes/reads: carried anti and output (reuse across
         // iterations), but reads are covered -> no carried flow from buf.
-        assert!(!l.sites_in_carried(&[DepKind::Anti, DepKind::Output]).is_empty());
+        assert!(!l
+            .sites_in_carried(&[DepKind::Anti, DepKind::Output])
+            .is_empty());
     }
 
     #[test]
@@ -574,12 +593,11 @@ mod tests {
         // `t` and `x` live in work()'s frame, created after IterStart: they
         // must not appear. Only the accumulator's sites (plus the bound
         // read) remain — no stack-region write sites besides s.
-        let stack_sites = l
-            .site_regions
-            .values()
-            .filter(|r| r.stack)
-            .count();
-        assert!(stack_sites <= 2, "only s's load/store should remain: {l:#?}");
+        let stack_sites = l.site_regions.values().filter(|r| r.stack).count();
+        assert!(
+            stack_sites <= 2,
+            "only s's load/store should remain: {l:#?}"
+        );
     }
 
     #[test]
@@ -712,7 +730,9 @@ mod more_tests {
         // t is written before read in both loops' iterations: private
         // pattern with carried anti/output in both.
         for l in [outer, inner] {
-            assert!(!l.sites_in_carried(&[DepKind::Anti, DepKind::Output]).is_empty());
+            assert!(!l
+                .sites_in_carried(&[DepKind::Anti, DepKind::Output])
+                .is_empty());
         }
     }
 
@@ -791,6 +811,10 @@ mod more_tests {
                return 0; }",
         );
         let l = res.by_label("hot").unwrap();
-        assert!(l.instructions > 1000, "the hot loop dominates: {}", l.instructions);
+        assert!(
+            l.instructions > 1000,
+            "the hot loop dominates: {}",
+            l.instructions
+        );
     }
 }

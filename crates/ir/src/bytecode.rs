@@ -209,11 +209,23 @@ pub enum Instr {
     /// Push `addr + tid * stride` — the expanded-global equivalent.
     GlobalAddrTid { addr: u32, stride: i64 },
     /// Load `width` bytes from the popped address; sign-extends integers.
-    Load { width: u8, is_float: bool, site: SiteId },
+    Load {
+        width: u8,
+        is_float: bool,
+        site: SiteId,
+    },
     /// Pop value then address; store `width` bytes (truncating).
-    Store { width: u8, is_float: bool, site: SiteId },
+    Store {
+        width: u8,
+        is_float: bool,
+        site: SiteId,
+    },
     /// Pop destination then source address; copy `size` bytes.
-    MemCpy { size: u32, load_site: SiteId, store_site: SiteId },
+    MemCpy {
+        size: u32,
+        load_site: SiteId,
+        store_site: SiteId,
+    },
     /// Integer binary op on the two top values (wrapping).
     IBin(IBinOp),
     /// Float binary op.

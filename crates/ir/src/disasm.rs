@@ -41,11 +41,18 @@ pub fn render_instr(p: &CompiledProgram, i: Instr) -> String {
             String::new()
         } else {
             let info = p.sites.info(s);
-            format!("  ; site {s} ({:?} eid {} @{})", info.kind, info.eid, info.span)
+            format!(
+                "  ; site {s} ({:?} eid {} @{})",
+                info.kind, info.eid, info.span
+            )
         }
     };
     match i {
-        Instr::Load { width, is_float, site: s } => {
+        Instr::Load {
+            width,
+            is_float,
+            site: s,
+        } => {
             format!(
                 "Load{}{}{}",
                 width,
@@ -53,7 +60,11 @@ pub fn render_instr(p: &CompiledProgram, i: Instr) -> String {
                 site(s)
             )
         }
-        Instr::Store { width, is_float, site: s } => {
+        Instr::Store {
+            width,
+            is_float,
+            site: s,
+        } => {
             format!(
                 "Store{}{}{}",
                 width,
@@ -61,7 +72,11 @@ pub fn render_instr(p: &CompiledProgram, i: Instr) -> String {
                 site(s)
             )
         }
-        Instr::MemCpy { size, load_site, store_site } => {
+        Instr::MemCpy {
+            size,
+            load_site,
+            store_site,
+        } => {
             format!("MemCpy {size}B{}{}", site(load_site), site(store_site))
         }
         Instr::Localize { site: s } => format!("Localize{}", site(s)),
@@ -72,8 +87,8 @@ pub fn render_instr(p: &CompiledProgram, i: Instr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lower::{LowerMode, LowerOptions, ParLoopSpec};
     use crate::loops::ParMode;
+    use crate::lower::{LowerMode, LowerOptions, ParLoopSpec};
 
     #[test]
     fn listing_marks_functions_and_loop_bodies() {
@@ -85,10 +100,16 @@ mod tests {
                return s; }",
         )
         .unwrap();
-        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         opts.par.insert(
             "hot".into(),
-            ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+            ParLoopSpec {
+                mode: ParMode::DoAll,
+                sync_window: None,
+            },
         );
         let c = crate::lower_program(&ast, &opts).unwrap();
         let listing = disassemble(&c);
@@ -101,10 +122,7 @@ mod tests {
 
     #[test]
     fn every_pc_appears_once() {
-        let ast = dse_lang::compile_to_ast(
-            "int main() { int x; x = 1; return x * 2; }",
-        )
-        .unwrap();
+        let ast = dse_lang::compile_to_ast("int main() { int x; x = 1; return x * 2; }").unwrap();
         let c = crate::lower_program(&ast, &LowerOptions::default()).unwrap();
         let listing = disassemble(&c);
         assert_eq!(

@@ -78,13 +78,13 @@ pub fn find_candidate_loops(program: &Program) -> Result<Vec<CandidateLoop>, Can
     let mut seen = std::collections::HashSet::new();
     for c in &mut out {
         if c.label.is_empty() {
-            c.label = format!(
-                "{}#{}",
-                program.functions[c.func as usize].name, c.ordinal
-            );
+            c.label = format!("{}#{}", program.functions[c.func as usize].name, c.ordinal);
         }
         if !seen.insert(c.label.clone()) {
-            return Err(CandidateError(format!("duplicate loop label `{}`", c.label)));
+            return Err(CandidateError(format!(
+                "duplicate loop label `{}`",
+                c.label
+            )));
         }
     }
     Ok(out)
@@ -127,7 +127,13 @@ fn scan_stmt(
             }
             scan_block(body, func, f, loop_depth + 1, out)?;
         }
-        StmtKind::For { init, cond, step, body, mark } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            mark,
+        } => {
             if mark.candidate {
                 let cand = validate_candidate(
                     init.as_deref(),
@@ -153,10 +159,21 @@ fn scan_stmt(
 /// Extracts the induction slot from a `for` init statement.
 pub fn induction_slot_of_init(init: Option<&Stmt>) -> Option<usize> {
     match init.map(|s| &s.kind) {
-        Some(StmtKind::Decl { slot: Some(slot), init: Some(_), .. }) => Some(*slot),
+        Some(StmtKind::Decl {
+            slot: Some(slot),
+            init: Some(_),
+            ..
+        }) => Some(*slot),
         Some(StmtKind::Expr(e)) => match &e.kind {
-            ExprKind::Assign { op: AssignOp::Set, lhs, .. } => match &lhs.kind {
-                ExprKind::Var { binding: Some(VarBinding::Local(slot)), .. } => Some(*slot),
+            ExprKind::Assign {
+                op: AssignOp::Set,
+                lhs,
+                ..
+            } => match &lhs.kind {
+                ExprKind::Var {
+                    binding: Some(VarBinding::Local(slot)),
+                    ..
+                } => Some(*slot),
                 _ => None,
             },
             _ => None,
@@ -168,16 +185,19 @@ pub fn induction_slot_of_init(init: Option<&Stmt>) -> Option<usize> {
 /// Checks the condition has the form `i < bound` or `i <= bound` for the
 /// given induction slot; returns `(bound_expr, inclusive)`.
 pub fn bound_of_cond(cond: &Expr, slot: usize) -> Option<(&Expr, bool)> {
-    let ExprKind::Binary(op, l, r) = &cond.kind else { return None };
+    let ExprKind::Binary(op, l, r) = &cond.kind else {
+        return None;
+    };
     let inclusive = match op {
         BinOp::Lt => false,
         BinOp::Le => true,
         _ => return None,
     };
     match &l.kind {
-        ExprKind::Var { binding: Some(VarBinding::Local(s)), .. } if *s == slot => {
-            Some((r, inclusive))
-        }
+        ExprKind::Var {
+            binding: Some(VarBinding::Local(s)),
+            ..
+        } if *s == slot => Some((r, inclusive)),
         _ => None,
     }
 }
@@ -191,11 +211,19 @@ pub fn step_is_unit_increment(step: &Expr, slot: usize) -> bool {
         )
     };
     match &step.kind {
-        ExprKind::IncDec { inc: true, target, .. } => is_i(target),
-        ExprKind::Assign { op: AssignOp::Compound(BinOp::Add), lhs, rhs } => {
-            is_i(lhs) && matches!(rhs.kind, ExprKind::IntLit(1))
-        }
-        ExprKind::Assign { op: AssignOp::Set, lhs, rhs } => {
+        ExprKind::IncDec {
+            inc: true, target, ..
+        } => is_i(target),
+        ExprKind::Assign {
+            op: AssignOp::Compound(BinOp::Add),
+            lhs,
+            rhs,
+        } => is_i(lhs) && matches!(rhs.kind, ExprKind::IntLit(1)),
+        ExprKind::Assign {
+            op: AssignOp::Set,
+            lhs,
+            rhs,
+        } => {
             if !is_i(lhs) {
                 return false;
             }
@@ -239,7 +267,10 @@ fn validate_candidate(
     level: u32,
     ordinal: usize,
 ) -> Result<CandidateLoop, CandidateError> {
-    let name = mark.label.clone().unwrap_or_else(|| format!("{}#{ordinal}", f.name));
+    let name = mark
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("{}#{ordinal}", f.name));
     let fail = |msg: &str| CandidateError(format!("loop `{name}` in `{}`: {msg}", f.name));
 
     let slot = induction_slot_of_init(init)
@@ -298,7 +329,13 @@ fn check_body_stmts(
                 check_body_stmts(body, ind_slot, false, fail)?;
                 check_expr_uses(cond, ind_slot, fail)?;
             }
-            StmtKind::For { init, cond, step, body, .. } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 if let Some(s) = init {
                     check_stmt_exprs(s, ind_slot, fail)?;
                 }
@@ -426,19 +463,17 @@ mod tests {
     #[test]
     fn all_step_forms_accepted() {
         for step in ["i++", "++i", "i += 1", "i = i + 1", "i = 1 + i"] {
-            let src = format!(
-                "void f() {{ #pragma candidate\nfor (int i = 0; i < 4; {step}) {{ }} }}"
-            );
+            let src =
+                format!("void f() {{ #pragma candidate\nfor (int i = 0; i < 4; {step}) {{ }} }}");
             assert!(find(&src).is_ok(), "step form {step}");
         }
     }
 
     #[test]
     fn le_bound_accepted() {
-        assert!(find(
-            "void f(int n) { #pragma candidate\nfor (int i = 0; i <= n; i++) { } }"
-        )
-        .is_ok());
+        assert!(
+            find("void f(int n) { #pragma candidate\nfor (int i = 0; i <= n; i++) { } }").is_ok()
+        );
     }
 
     #[test]
@@ -449,10 +484,8 @@ mod tests {
 
     #[test]
     fn break_in_candidate_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { break; } }",
-        )
-        .unwrap_err();
+        let e = find("void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { break; } }")
+            .unwrap_err();
         assert!(e.0.contains("break"));
     }
 
@@ -476,37 +509,30 @@ mod tests {
 
     #[test]
     fn return_in_candidate_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { return; } }",
-        )
-        .unwrap_err();
+        let e = find("void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { return; } }")
+            .unwrap_err();
         assert!(e.0.contains("return"));
     }
 
     #[test]
     fn induction_write_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { i = 0; } }",
-        )
-        .unwrap_err();
+        let e = find("void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { i = 0; } }")
+            .unwrap_err();
         assert!(e.0.contains("assign the induction"));
     }
 
     #[test]
     fn induction_addrof_rejected() {
-        let e = find(
-            "void f() { int *p; #pragma candidate\nfor (int i = 0; i < 4; i++) { p = &i; } }",
-        )
-        .unwrap_err();
+        let e =
+            find("void f() { int *p; #pragma candidate\nfor (int i = 0; i < 4; i++) { p = &i; } }")
+                .unwrap_err();
         assert!(e.0.contains("address of the induction"));
     }
 
     #[test]
     fn induction_incdec_in_body_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { i++; } }",
-        )
-        .unwrap_err();
+        let e = find("void f() { #pragma candidate\nfor (int i = 0; i < 4; i++) { i++; } }")
+            .unwrap_err();
         assert!(e.0.contains("increment the induction"));
     }
 
@@ -532,10 +558,8 @@ mod tests {
 
     #[test]
     fn non_unit_step_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (int i = 0; i < 4; i += 2) { } }",
-        )
-        .unwrap_err();
+        let e =
+            find("void f() { #pragma candidate\nfor (int i = 0; i < 4; i += 2) { } }").unwrap_err();
         assert!(e.0.contains("increment the induction variable by 1"));
     }
 
@@ -551,10 +575,8 @@ mod tests {
 
     #[test]
     fn float_induction_rejected() {
-        let e = find(
-            "void f() { #pragma candidate\nfor (float i = 0; i < 4; i = i + 1) { } }",
-        )
-        .unwrap_err();
+        let e = find("void f() { #pragma candidate\nfor (float i = 0; i < 4; i = i + 1) { } }")
+            .unwrap_err();
         assert!(e.0.contains("integer type"));
     }
 

@@ -206,9 +206,7 @@ fn flatten_init(
         }
         (Type::Float, ConstInit::Int(v)) => out.push((addr, InitValue::Float(*v as f64))),
         (Type::Float, ConstInit::Float(v)) => out.push((addr, InitValue::Float(*v))),
-        (t, ConstInit::Int(v)) => {
-            out.push((addr, InitValue::Int(*v, types.size_of(t) as u8)))
-        }
+        (t, ConstInit::Int(v)) => out.push((addr, InitValue::Int(*v, types.size_of(t) as u8))),
         (t, ConstInit::Float(v)) if t.is_integer() => {
             out.push((addr, InitValue::Int(*v as i64, types.size_of(t) as u8)))
         }
@@ -279,10 +277,22 @@ impl<'a> Lowerer<'a> {
         (self.types().size_of(&t) as u8, t.is_float())
     }
 
-    fn site(&mut self, eid: u32, kind: AccessKind, ty: &Type, span: dse_lang::SourceSpan) -> SiteId {
+    fn site(
+        &mut self,
+        eid: u32,
+        kind: AccessKind,
+        ty: &Type,
+        span: dse_lang::SourceSpan,
+    ) -> SiteId {
         let width = self.types().size_of(&ty.decayed()) as u32;
         let func = self.cur_func;
-        self.sites.intern(SiteInfo { eid, kind, func, width, span })
+        self.sites.intern(SiteInfo {
+            eid,
+            kind,
+            func,
+            width,
+            span,
+        })
     }
 
     fn aggregate_site(
@@ -293,13 +303,22 @@ impl<'a> Lowerer<'a> {
         span: dse_lang::SourceSpan,
     ) -> SiteId {
         let func = self.cur_func;
-        self.sites.intern(SiteInfo { eid, kind, func, width: size, span })
+        self.sites.intern(SiteInfo {
+            eid,
+            kind,
+            func,
+            width: size,
+            span,
+        })
     }
 
     /// Emits `Localize` when the `(eid, kind)` site participates in the
     /// runtime-privatization baseline.
     fn maybe_localize(&mut self, eid: u32, kinds: &[AccessKind], site: SiteId) {
-        if kinds.iter().any(|k| self.opts.localize.contains(&(eid, *k))) {
+        if kinds
+            .iter()
+            .any(|k| self.opts.localize.contains(&(eid, *k)))
+        {
             self.emit(Instr::Localize { site });
         }
     }
@@ -330,10 +349,20 @@ impl<'a> Lowerer<'a> {
             .enumerate()
             .map(|(i, p)| {
                 let (w, fl) = self.scalar_meta(&p.ty);
-                (self.frame.offsets[i], ParamKind { width: w, is_float: fl })
+                (
+                    self.frame.offsets[i],
+                    ParamKind {
+                        width: w,
+                        is_float: fl,
+                    },
+                )
             })
             .collect();
-        let ret = if f.ret_ty == Type::Void { RetKind::Void } else { RetKind::Scalar };
+        let ret = if f.ret_ty == Type::Void {
+            RetKind::Void
+        } else {
+            RetKind::Scalar
+        };
         self.funcs.push(FuncInfo {
             name: f.name.clone(),
             entry,
@@ -363,7 +392,12 @@ impl<'a> Lowerer<'a> {
 
     fn lower_stmt(&mut self, s: &Stmt) -> Result<(), LowerError> {
         match &s.kind {
-            StmtKind::Decl { ty, init, slot, name } => {
+            StmtKind::Decl {
+                ty,
+                init,
+                slot,
+                name,
+            } => {
                 let Some(init) = init else { return Ok(()) };
                 let slot = slot.expect("sema assigned slots");
                 if matches!(init.kind, ExprKind::Assign { .. } | ExprKind::IncDec { .. }) {
@@ -380,7 +414,11 @@ impl<'a> Lowerer<'a> {
                     self.lower_addr(init)?;
                     self.maybe_localize(init.eid, &[AccessKind::Load], ls);
                     self.emit(Instr::FrameAddr(off));
-                    self.emit(Instr::MemCpy { size, load_site: ls, store_site: ss });
+                    self.emit(Instr::MemCpy {
+                        size,
+                        load_site: ls,
+                        store_site: ss,
+                    });
                 } else {
                     let (w, fl) = self.scalar_meta(ty);
                     self.emit(Instr::FrameAddr(off));
@@ -388,7 +426,11 @@ impl<'a> Lowerer<'a> {
                     self.maybe_localize(init.eid, &[AccessKind::Store], ss);
                     self.lower_value(init)?;
                     self.emit_convert(init.ty(), ty, false);
-                    self.emit(Instr::Store { width: w, is_float: fl, site: ss });
+                    self.emit(Instr::Store {
+                        width: w,
+                        is_float: fl,
+                        site: ss,
+                    });
                 }
                 Ok(())
             }
@@ -453,7 +495,13 @@ impl<'a> Lowerer<'a> {
                 }
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body, mark } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                mark,
+            } => {
                 if mark.candidate {
                     return self.lower_candidate_for(
                         init.as_deref(),
@@ -520,16 +568,14 @@ impl<'a> Lowerer<'a> {
                 Ok(())
             }
             StmtKind::Return(e) => {
-                if self
-                    .loop_stack
-                    .iter()
-                    .any(|f| f.is_parallel_body)
-                {
+                if self.loop_stack.iter().any(|f| f.is_parallel_body) {
                     return Err(self.err("return inside a parallel loop body"));
                 }
                 if let Some(e) = e {
                     self.lower_value(e)?;
-                    let ret_ty = self.program.functions[self.cur_func as usize].ret_ty.clone();
+                    let ret_ty = self.program.functions[self.cur_func as usize]
+                        .ret_ty
+                        .clone();
                     self.emit_convert(e.ty(), &ret_ty, false);
                 }
                 self.emit(Instr::Ret);
@@ -554,7 +600,9 @@ impl<'a> Lowerer<'a> {
         debug_assert_eq!(cand.func, self.cur_func);
         let slot = cand.induction_slot;
         let ind_off = self.frame.offsets[slot];
-        let ind_ty = self.program.functions[self.cur_func as usize].locals[slot].ty.clone();
+        let ind_ty = self.program.functions[self.cur_func as usize].locals[slot]
+            .ty
+            .clone();
         let (ind_w, _) = self.scalar_meta(&ind_ty);
         let (bound, inclusive) = loops::bound_of_cond(cond.expect("validated"), slot)
             .expect("validated candidate condition");
@@ -649,7 +697,11 @@ impl<'a> Lowerer<'a> {
                 }
                 // lo = current value of i.
                 self.emit(Instr::FrameAddr(ind_off));
-                self.emit(Instr::Load { width: ind_w, is_float: false, site: NO_SITE });
+                self.emit(Instr::Load {
+                    width: ind_w,
+                    is_float: false,
+                    site: NO_SITE,
+                });
                 // hi = bound (+1 when `<=`).
                 self.lower_value(bound)?;
                 if inclusive {
@@ -697,7 +749,11 @@ impl<'a> Lowerer<'a> {
                     self.emit(Instr::PushI(1));
                     self.emit(Instr::IBin(IBinOp::Add));
                 }
-                self.emit(Instr::Store { width: ind_w, is_float: false, site: NO_SITE });
+                self.emit(Instr::Store {
+                    width: ind_w,
+                    is_float: false,
+                    site: NO_SITE,
+                });
                 Ok(())
             }
         }
@@ -753,7 +809,11 @@ impl<'a> Lowerer<'a> {
                 let (w, fl) = self.scalar_meta(e.ty());
                 let site = self.site(e.eid, AccessKind::Load, e.ty(), e.span);
                 self.maybe_localize(e.eid, &[AccessKind::Load], site);
-                self.emit(Instr::Load { width: w, is_float: fl, site });
+                self.emit(Instr::Load {
+                    width: w,
+                    is_float: fl,
+                    site,
+                });
                 Ok(())
             }
             ExprKind::Unary(op, inner) => {
@@ -808,7 +868,11 @@ impl<'a> Lowerer<'a> {
                 let (w, fl) = self.scalar_meta(e.ty());
                 let site = self.site(e.eid, AccessKind::Load, e.ty(), e.span);
                 self.maybe_localize(e.eid, &[AccessKind::Load], site);
-                self.emit(Instr::Load { width: w, is_float: fl, site });
+                self.emit(Instr::Load {
+                    width: w,
+                    is_float: fl,
+                    site,
+                });
                 Ok(())
             }
             ExprKind::AddrOf(inner) => self.lower_addr(inner),
@@ -868,9 +932,9 @@ impl<'a> Lowerer<'a> {
                 let b = binding.expect("sema resolved");
                 if let VarBinding::Local(slot) = b {
                     if self.par_ind_depth(slot).is_some() {
-                        return Err(self.err(
-                            "cannot take the address of a parallel induction variable",
-                        ));
+                        return Err(
+                            self.err("cannot take the address of a parallel induction variable")
+                        );
                     }
                 }
                 self.push_var_addr(b);
@@ -886,7 +950,9 @@ impl<'a> Lowerer<'a> {
                 // compiler's base+index*scale addressing mode.
                 if let (
                     false,
-                    ExprKind::Var { binding: Some(b), .. },
+                    ExprKind::Var {
+                        binding: Some(b), ..
+                    },
                     ExprKind::Call { name, args },
                     Type::Array(..),
                 ) = (self.opts.naive_redirection, &base.kind, &index.kind, bt)
@@ -928,9 +994,7 @@ impl<'a> Lowerer<'a> {
                             self.emit(Instr::IBin(IBinOp::Add));
                             return Ok(());
                         }
-                        ExprKind::Call { name, args }
-                            if name == "__tid" && args.is_empty() =>
-                        {
+                        ExprKind::Call { name, args } if name == "__tid" && args.is_empty() => {
                             self.emit(Instr::TidScaled(es as i64));
                             self.emit(Instr::IBin(IBinOp::Add));
                             return Ok(());
@@ -1037,7 +1101,11 @@ impl<'a> Lowerer<'a> {
                 if float && !rt.is_float() {
                     self.emit(Instr::I2F);
                 }
-                self.emit(if float { Instr::FCmp(cmp) } else { Instr::ICmp(cmp) });
+                self.emit(if float {
+                    Instr::FCmp(cmp)
+                } else {
+                    Instr::ICmp(cmp)
+                });
                 Ok(())
             }
             Add | Sub if lt.is_pointer() || rt.is_pointer() => {
@@ -1077,7 +1145,11 @@ impl<'a> Lowerer<'a> {
                         self.emit(Instr::PushI(es as i64));
                         self.emit(Instr::IBin(IBinOp::Mul));
                     }
-                    self.emit(Instr::IBin(if op == Add { IBinOp::Add } else { IBinOp::Sub }));
+                    self.emit(Instr::IBin(if op == Add {
+                        IBinOp::Add
+                    } else {
+                        IBinOp::Sub
+                    }));
                 } else {
                     // int + ptr
                     debug_assert_eq!(op, Add);
@@ -1133,7 +1205,9 @@ impl<'a> Lowerer<'a> {
     }
 
     fn lower_assign(&mut self, e: &Expr, want: bool) -> Result<(), LowerError> {
-        let ExprKind::Assign { op, lhs, rhs } = &e.kind else { unreachable!() };
+        let ExprKind::Assign { op, lhs, rhs } = &e.kind else {
+            unreachable!()
+        };
         let lhs_ty = lhs.ty().clone();
         if lhs_ty.is_aggregate() {
             if want {
@@ -1146,7 +1220,11 @@ impl<'a> Lowerer<'a> {
             self.maybe_localize(rhs.eid, &[AccessKind::Load], ls);
             self.lower_addr(lhs)?;
             self.maybe_localize(lhs.eid, &[AccessKind::Store], ss);
-            self.emit(Instr::MemCpy { size, load_site: ls, store_site: ss });
+            self.emit(Instr::MemCpy {
+                size,
+                load_site: ls,
+                store_site: ss,
+            });
             return Ok(());
         }
         let (w, fl) = self.scalar_meta(&lhs_ty);
@@ -1160,19 +1238,23 @@ impl<'a> Lowerer<'a> {
                 if want {
                     self.emit(Instr::Tuck);
                 }
-                self.emit(Instr::Store { width: w, is_float: fl, site: store_site });
+                self.emit(Instr::Store {
+                    width: w,
+                    is_float: fl,
+                    site: store_site,
+                });
                 Ok(())
             }
             AssignOp::Compound(bop) => {
                 let load_site = self.site(lhs.eid, AccessKind::Load, &lhs_ty, lhs.span);
                 self.lower_addr(lhs)?;
-                self.maybe_localize(
-                    lhs.eid,
-                    &[AccessKind::Load, AccessKind::Store],
-                    load_site,
-                );
+                self.maybe_localize(lhs.eid, &[AccessKind::Load, AccessKind::Store], load_site);
                 self.emit(Instr::Dup);
-                self.emit(Instr::Load { width: w, is_float: fl, site: load_site });
+                self.emit(Instr::Load {
+                    width: w,
+                    is_float: fl,
+                    site: load_site,
+                });
                 let lhs_d = lhs_ty.decayed();
                 if lhs_d.is_pointer() {
                     // p += n / p -= n : scale by element size.
@@ -1229,19 +1311,26 @@ impl<'a> Lowerer<'a> {
                 if want {
                     self.emit(Instr::Tuck);
                 }
-                self.emit(Instr::Store { width: w, is_float: fl, site: store_site });
+                self.emit(Instr::Store {
+                    width: w,
+                    is_float: fl,
+                    site: store_site,
+                });
                 Ok(())
             }
         }
     }
 
     fn lower_incdec(&mut self, e: &Expr, want: bool) -> Result<(), LowerError> {
-        let ExprKind::IncDec { pre, inc, target } = &e.kind else { unreachable!() };
+        let ExprKind::IncDec { pre, inc, target } = &e.kind else {
+            unreachable!()
+        };
         let ty = target.ty().clone();
         let (w, fl) = self.scalar_meta(&ty);
         debug_assert!(!fl, "sema rejects float ++/--");
         let delta = if ty.decayed().is_pointer() {
-            self.types().size_of(ty.decayed().pointee().expect("pointer")) as i64
+            self.types()
+                .size_of(ty.decayed().pointee().expect("pointer")) as i64
         } else {
             1
         };
@@ -1254,7 +1343,11 @@ impl<'a> Lowerer<'a> {
             load_site,
         );
         self.emit(Instr::Dup);
-        self.emit(Instr::Load { width: w, is_float: false, site: load_site });
+        self.emit(Instr::Load {
+            width: w,
+            is_float: false,
+            site: load_site,
+        });
         if want && !*pre {
             // Keep the old value: [a, old] -> [old, a, old]
             self.emit(Instr::Tuck);
@@ -1265,13 +1358,19 @@ impl<'a> Lowerer<'a> {
             // Keep the new value: [a, new] -> [new, a, new]
             self.emit(Instr::Tuck);
         }
-        self.emit(Instr::Store { width: w, is_float: false, site: store_site });
+        self.emit(Instr::Store {
+            width: w,
+            is_float: false,
+            site: store_site,
+        });
         Ok(())
     }
 
     /// Lowers a call; returns whether a result value was pushed.
     fn lower_call(&mut self, e: &Expr) -> Result<bool, LowerError> {
-        let ExprKind::Call { name, args } = &e.kind else { unreachable!() };
+        let ExprKind::Call { name, args } = &e.kind else {
+            unreachable!()
+        };
         if name == "__localize" {
             // Runtime-privatization address translation (emitted by the
             // baseline transform): pops an address, pushes its thread-local
@@ -1345,19 +1444,28 @@ impl<'a> Lowerer<'a> {
     }
 }
 
-
 /// Matches the redirection-offset shape `__tid() * S / Z` with constant
 /// `S`, `Z` where `Z` equals the element size and `S` is a multiple of it;
 /// returns the per-thread byte offset `S`.
 fn tid_const_offset_bytes(e: &Expr, elem_size: u64) -> Option<i64> {
-    let ExprKind::Binary(BinOp::Div, num, den) = &e.kind else { return None };
-    let ExprKind::IntLit(z) = den.kind else { return None };
-    let ExprKind::Binary(BinOp::Mul, tid, s) = &num.kind else { return None };
-    let ExprKind::Call { name, args } = &tid.kind else { return None };
+    let ExprKind::Binary(BinOp::Div, num, den) = &e.kind else {
+        return None;
+    };
+    let ExprKind::IntLit(z) = den.kind else {
+        return None;
+    };
+    let ExprKind::Binary(BinOp::Mul, tid, s) = &num.kind else {
+        return None;
+    };
+    let ExprKind::Call { name, args } = &tid.kind else {
+        return None;
+    };
     if name != "__tid" || !args.is_empty() {
         return None;
     }
-    let ExprKind::IntLit(s) = s.kind else { return None };
+    let ExprKind::IntLit(s) = s.kind else {
+        return None;
+    };
     (z == elem_size as i64 && z != 0 && s % z == 0).then_some(s)
 }
 
@@ -1365,13 +1473,21 @@ fn tid_const_offset_bytes(e: &Expr, elem_size: u64) -> Option<i64> {
 /// `Z` equal to the element size; returns the span expression so the whole
 /// offset lowers to one fused `TidSpanScaled`.
 fn tid_span_offset(e: &Expr, elem_size: u64) -> Option<&Expr> {
-    let ExprKind::Binary(BinOp::Div, num, den) = &e.kind else { return None };
-    let ExprKind::IntLit(z) = den.kind else { return None };
+    let ExprKind::Binary(BinOp::Div, num, den) = &e.kind else {
+        return None;
+    };
+    let ExprKind::IntLit(z) = den.kind else {
+        return None;
+    };
     if z != elem_size as i64 || z == 0 {
         return None;
     }
-    let ExprKind::Binary(BinOp::Mul, tid, span) = &num.kind else { return None };
-    let ExprKind::Call { name, args } = &tid.kind else { return None };
+    let ExprKind::Binary(BinOp::Mul, tid, span) = &num.kind else {
+        return None;
+    };
+    let ExprKind::Call { name, args } = &tid.kind else {
+        return None;
+    };
     (name == "__tid" && args.is_empty()).then_some(span)
 }
 
@@ -1414,9 +1530,7 @@ mod tests {
 
     #[test]
     fn aggregate_param_is_error() {
-        let e = lower_err(
-            "struct S { int a; }; void f(struct S s) {} int main() { return 0; }",
-        );
+        let e = lower_err("struct S { int a; }; void f(struct S s) {} int main() { return 0; }");
         assert!(e.0.contains("aggregate parameter"));
     }
 
@@ -1430,7 +1544,8 @@ mod tests {
 
     #[test]
     fn global_layout_and_inits() {
-        let c = lower("char c; long g = 7; float f = 2.5; int a[3] = {1,2}; int main() { return 0; }");
+        let c =
+            lower("char c; long g = 7; float f = 2.5; int a[3] = {1,2}; int main() { return 0; }");
         // c at 4096; g aligned to 4104; f at 4112; a at 4120.
         assert_eq!(c.global_inits[0], (4104, InitValue::Int(7, 8)));
         assert_eq!(c.global_inits[1], (4112, InitValue::Float(2.5)));
@@ -1486,10 +1601,16 @@ mod tests {
                return s; }",
         )
         .unwrap();
-        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         opts.par.insert(
             "hot".into(),
-            ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+            ParLoopSpec {
+                mode: ParMode::DoAll,
+                sync_window: None,
+            },
         );
         let c = lower_program(&p, &opts).unwrap();
         assert_eq!(c.loops[0].mode, Some(ParMode::DoAll));
@@ -1510,19 +1631,41 @@ mod tests {
                return g; }",
         )
         .unwrap();
-        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         opts.par.insert(
             "hot".into(),
-            ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((2, 2)) },
+            ParLoopSpec {
+                mode: ParMode::DoAcross,
+                sync_window: Some((2, 2)),
+            },
         );
         let c = lower_program(&p, &opts).unwrap();
-        let waits = c.code.iter().filter(|i| matches!(i, Instr::Wait(0))).count();
-        let posts = c.code.iter().filter(|i| matches!(i, Instr::Post(0))).count();
+        let waits = c
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Wait(0)))
+            .count();
+        let posts = c
+            .code
+            .iter()
+            .filter(|i| matches!(i, Instr::Post(0)))
+            .count();
         assert_eq!(waits, 1);
         assert_eq!(posts, 1);
         // Wait must come before Post in the body region.
-        let wpos = c.code.iter().position(|i| matches!(i, Instr::Wait(0))).unwrap();
-        let ppos = c.code.iter().position(|i| matches!(i, Instr::Post(0))).unwrap();
+        let wpos = c
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Wait(0)))
+            .unwrap();
+        let ppos = c
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::Post(0)))
+            .unwrap();
         assert!(wpos < ppos);
     }
 
@@ -1543,7 +1686,8 @@ mod tests {
             });
         }
         let mut opts = LowerOptions::default();
-        opts.localize.insert((store_eid.unwrap(), AccessKind::Store));
+        opts.localize
+            .insert((store_eid.unwrap(), AccessKind::Store));
         let c = lower_program(&p, &opts).unwrap();
         assert_eq!(
             c.code
@@ -1622,11 +1766,17 @@ mod tests {
                return s; }",
         )
         .unwrap();
-        let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let mut opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         for l in ["outer", "inner"] {
             opts.par.insert(
                 l.into(),
-                ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+                ParLoopSpec {
+                    mode: ParMode::DoAll,
+                    sync_window: None,
+                },
             );
         }
         let c = lower_program(&p, &opts).unwrap();
@@ -1643,7 +1793,10 @@ mod tests {
                return 0; }",
         )
         .unwrap();
-        let opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+        let opts = LowerOptions {
+            mode: LowerMode::Parallel,
+            ..Default::default()
+        };
         let c = lower_program(&p, &opts).unwrap();
         assert!(!c.code.iter().any(|i| matches!(i, Instr::ParLoop(_))));
         assert!(!c.code.iter().any(|i| matches!(i, Instr::LoopMark(..))));
@@ -1689,7 +1842,10 @@ mod naive_mode_tests {
         };
         opts.par.insert(
             "hot".into(),
-            ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+            ParLoopSpec {
+                mode: ParMode::DoAll,
+                sync_window: None,
+            },
         );
         lower_program(&ast, &opts).unwrap()
     }

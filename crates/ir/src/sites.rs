@@ -117,7 +117,13 @@ mod tests {
     use super::*;
 
     fn site(eid: u32, kind: AccessKind) -> SiteInfo {
-        SiteInfo { eid, kind, func: 0, width: 4, span: SourceSpan::default() }
+        SiteInfo {
+            eid,
+            kind,
+            func: 0,
+            width: 4,
+            span: SourceSpan::default(),
+        }
     }
 
     #[test]

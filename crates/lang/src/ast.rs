@@ -103,12 +103,22 @@ pub struct Expr {
 impl Expr {
     /// Creates an untyped expression node.
     pub fn new(kind: ExprKind, span: SourceSpan) -> Self {
-        Expr { kind, span, ty: None, eid: NO_EID }
+        Expr {
+            kind,
+            span,
+            ty: None,
+            eid: NO_EID,
+        }
     }
 
     /// Creates a synthetic, already-typed node (used by transformations).
     pub fn typed(kind: ExprKind, ty: Type) -> Self {
-        Expr { kind, span: SourceSpan::default(), ty: Some(ty), eid: NO_EID }
+        Expr {
+            kind,
+            span: SourceSpan::default(),
+            ty: Some(ty),
+            eid: NO_EID,
+        }
     }
 
     /// The resolved type after sema.
@@ -129,13 +139,20 @@ pub enum ExprKind {
     /// Float literal.
     FloatLit(f64),
     /// Variable reference; `binding` is filled by sema.
-    Var { name: String, binding: Option<VarBinding> },
+    Var {
+        name: String,
+        binding: Option<VarBinding>,
+    },
     /// Unary operator application.
     Unary(UnOp, Box<Expr>),
     /// Binary operator application.
     Binary(BinOp, Box<Expr>, Box<Expr>),
     /// Assignment `lhs = rhs` or `lhs op= rhs`; value is the stored value.
-    Assign { op: AssignOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Assign {
+        op: AssignOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// Conditional `c ? t : e`.
     Cond(Box<Expr>, Box<Expr>, Box<Expr>),
     /// Function or builtin call.
@@ -198,11 +215,23 @@ pub enum StmtKind {
     /// Expression statement.
     Expr(Expr),
     /// `if (cond) then [else els]`.
-    If { cond: Expr, then: Block, els: Option<Block> },
+    If {
+        cond: Expr,
+        then: Block,
+        els: Option<Block>,
+    },
     /// `while (cond) body`.
-    While { cond: Expr, body: Block, mark: LoopMark },
+    While {
+        cond: Expr,
+        body: Block,
+        mark: LoopMark,
+    },
     /// `do body while (cond);`.
-    DoWhile { body: Block, cond: Expr, mark: LoopMark },
+    DoWhile {
+        body: Block,
+        cond: Expr,
+        mark: LoopMark,
+    },
     /// `for (init; cond; step) body`. `init` may be a declaration.
     For {
         init: Option<Box<Stmt>>,
@@ -354,7 +383,13 @@ pub fn visit_exprs_in_stmt(stmt: &mut Stmt, f: &mut impl FnMut(&mut Expr)) {
             visit_exprs_in_block(body, f);
             visit_exprs(cond, f);
         }
-        StmtKind::For { init, cond, step, body, .. } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             if let Some(s) = init {
                 visit_exprs_in_stmt(s, f);
             }
@@ -451,7 +486,10 @@ mod tests {
 
     #[test]
     fn loop_mark_accessor() {
-        let mark = LoopMark { candidate: true, label: Some("l".into()) };
+        let mark = LoopMark {
+            candidate: true,
+            label: Some("l".into()),
+        };
         let s = StmtKind::While {
             cond: Expr::new(ExprKind::IntLit(1), SourceSpan::default()),
             body: Block::default(),

@@ -37,7 +37,11 @@ pub struct LangError {
 impl LangError {
     /// Creates an error attributed to `phase` at `span`.
     pub fn new(phase: Phase, span: SourceSpan, message: impl Into<String>) -> Self {
-        LangError { phase, span, message: message.into() }
+        LangError {
+            phase,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Convenience constructor for lexer errors.
@@ -86,10 +90,7 @@ mod tests {
 
     #[test]
     fn display_includes_phase_and_location() {
-        let e = LangError::parse(
-            SourceSpan::at(SourcePos::new(3, 14)),
-            "expected `;`",
-        );
+        let e = LangError::parse(SourceSpan::at(SourcePos::new(3, 14)), "expected `;`");
         assert_eq!(e.to_string(), "parse error at 3:14: expected `;`");
     }
 

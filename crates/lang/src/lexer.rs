@@ -23,13 +23,20 @@ struct Lexer<'a> {
 /// Returns a [`LangError`] on unterminated comments/char literals, malformed
 /// numbers, or characters outside the language.
 pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
-    let mut lx = Lexer { src: source.as_bytes(), idx: 0, pos: SourcePos::START };
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        idx: 0,
+        pos: SourcePos::START,
+    };
     let mut out = Vec::new();
     loop {
         lx.skip_trivia()?;
         let start = lx.pos;
         let Some(c) = lx.peek() else {
-            out.push(Token { kind: TokenKind::Eof, span: SourceSpan::at(start) });
+            out.push(Token {
+                kind: TokenKind::Eof,
+                span: SourceSpan::at(start),
+            });
             return Ok(out);
         };
         let kind = match c {
@@ -39,7 +46,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LangError> {
             c if c == b'_' || c.is_ascii_alphabetic() => lx.lex_ident(),
             _ => lx.lex_punct()?,
         };
-        out.push(Token { kind, span: SourceSpan::new(start, lx.pos) });
+        out.push(Token {
+            kind,
+            span: SourceSpan::new(start, lx.pos),
+        });
     }
 }
 
@@ -353,12 +363,7 @@ impl<'a> Lexer<'a> {
             (b'=', _, _) => Assign,
             (b'?', _, _) => Question,
             (b':', _, _) => Colon,
-            _ => {
-                return Err(self.error_here(format!(
-                    "unexpected character `{}`",
-                    c as char
-                )))
-            }
+            _ => return Err(self.error_here(format!("unexpected character `{}`", c as char))),
         };
         Ok(TokenKind::Punct(p))
     }
@@ -390,10 +395,7 @@ mod tests {
     fn lexes_hex_and_decimal() {
         assert_eq!(kinds("0xff")[0], TokenKind::IntLit(255));
         assert_eq!(kinds("42")[0], TokenKind::IntLit(42));
-        assert_eq!(
-            kinds("0xFFFFFFFFFFFFFFFF")[0],
-            TokenKind::IntLit(-1i64)
-        );
+        assert_eq!(kinds("0xFFFFFFFFFFFFFFFF")[0], TokenKind::IntLit(-1i64));
     }
 
     #[test]
@@ -458,10 +460,7 @@ mod tests {
     #[test]
     fn pragma_becomes_directive_token() {
         let ks = kinds("#pragma candidate\nint x;");
-        assert_eq!(
-            ks[0],
-            TokenKind::PragmaDirective(vec!["candidate".into()])
-        );
+        assert_eq!(ks[0], TokenKind::PragmaDirective(vec!["candidate".into()]));
     }
 
     #[test]

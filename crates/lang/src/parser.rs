@@ -22,7 +22,11 @@ use crate::types::{Type, TypeTable};
 ///
 /// Returns a [`LangError`] describing the first syntax error.
 pub fn parse(tokens: &[Token]) -> Result<Program, LangError> {
-    let mut p = Parser { tokens, idx: 0, program: Program::default() };
+    let mut p = Parser {
+        tokens,
+        idx: 0,
+        program: Program::default(),
+    };
     p.parse_program()?;
     Ok(p.program)
 }
@@ -135,12 +139,15 @@ impl<'a> Parser<'a> {
             self.eat_punct(Punct::Semi)?;
         }
         self.eat_punct(Punct::Semi)?;
-        self.program.types.complete_struct(id, fields).map_err(|f| {
-            LangError::parse(
-                span,
-                format!("field `{f}` embeds struct `{name}` by value (infinite size)"),
-            )
-        })?;
+        self.program
+            .types
+            .complete_struct(id, fields)
+            .map_err(|f| {
+                LangError::parse(
+                    span,
+                    format!("field `{f}` embeds struct `{name}` by value (infinite size)"),
+                )
+            })?;
         Ok(())
     }
 
@@ -164,9 +171,17 @@ impl<'a> Parser<'a> {
             };
             self.eat_punct(Punct::Semi)?;
             if self.program.global(&name).is_some() {
-                return Err(LangError::parse(nspan, format!("global `{name}` redefined")));
+                return Err(LangError::parse(
+                    nspan,
+                    format!("global `{name}` redefined"),
+                ));
             }
-            self.program.globals.push(GlobalVar { name, ty, init, span: nspan });
+            self.program.globals.push(GlobalVar {
+                name,
+                ty,
+                init,
+                span: nspan,
+            });
         }
         Ok(())
     }
@@ -191,7 +206,11 @@ impl<'a> Parser<'a> {
                     let (pname, pty) = self.parse_declarator(base)?;
                     let pspan = self.span();
                     // Parameters of array type decay to pointers, as in C.
-                    params.push(Param { name: pname, ty: pty.decayed(), span: pspan });
+                    params.push(Param {
+                        name: pname,
+                        ty: pty.decayed(),
+                        span: pspan,
+                    });
                     if !self.try_punct(Punct::Comma) {
                         break;
                     }
@@ -200,7 +219,10 @@ impl<'a> Parser<'a> {
             }
         }
         if self.program.function(&name).is_some() {
-            return Err(LangError::parse(span, format!("function `{name}` redefined")));
+            return Err(LangError::parse(
+                span,
+                format!("function `{name}` redefined"),
+            ));
         }
         let body = self.parse_block()?;
         self.program.functions.push(Function {
@@ -227,9 +249,10 @@ impl<'a> Parser<'a> {
             TokenKind::Keyword(Keyword::Struct) => {
                 self.bump();
                 let (name, span) = self.eat_ident()?;
-                let id = self.program.types.struct_by_name(&name).ok_or_else(|| {
-                    LangError::parse(span, format!("unknown struct `{name}`"))
-                })?;
+                let id =
+                    self.program.types.struct_by_name(&name).ok_or_else(|| {
+                        LangError::parse(span, format!("unknown struct `{name}`"))
+                    })?;
                 return Ok(Type::Struct(id));
             }
             other => return Err(self.err(format!("expected type, found {other}"))),
@@ -345,9 +368,15 @@ impl<'a> Parser<'a> {
         if let TokenKind::PragmaDirective(words) = self.peek().clone() {
             self.bump();
             if words[0] != "candidate" {
-                return Err(LangError::parse(span, format!("unknown pragma `{}`", words[0])));
+                return Err(LangError::parse(
+                    span,
+                    format!("unknown pragma `{}`", words[0]),
+                ));
             }
-            let mark = LoopMark { candidate: true, label: words.get(1).cloned() };
+            let mark = LoopMark {
+                candidate: true,
+                label: words.get(1).cloned(),
+            };
             let mut stmt = self.parse_stmt()?;
             match &mut stmt.kind {
                 StmtKind::While { mark: m, .. }
@@ -383,7 +412,10 @@ impl<'a> Parser<'a> {
                 } else {
                     None
                 };
-                Ok(Stmt { kind: StmtKind::If { cond, then, els }, span })
+                Ok(Stmt {
+                    kind: StmtKind::If { cond, then, els },
+                    span,
+                })
             }
             TokenKind::Keyword(Keyword::While) => {
                 self.bump();
@@ -392,7 +424,11 @@ impl<'a> Parser<'a> {
                 self.eat_punct(Punct::RParen)?;
                 let body = self.parse_stmt_as_block()?;
                 Ok(Stmt {
-                    kind: StmtKind::While { cond, body, mark: LoopMark::default() },
+                    kind: StmtKind::While {
+                        cond,
+                        body,
+                        mark: LoopMark::default(),
+                    },
                     span,
                 })
             }
@@ -405,7 +441,11 @@ impl<'a> Parser<'a> {
                 self.eat_punct(Punct::RParen)?;
                 self.eat_punct(Punct::Semi)?;
                 Ok(Stmt {
-                    kind: StmtKind::DoWhile { body, cond, mark: LoopMark::default() },
+                    kind: StmtKind::DoWhile {
+                        body,
+                        cond,
+                        mark: LoopMark::default(),
+                    },
                     span,
                 })
             }
@@ -427,7 +467,10 @@ impl<'a> Parser<'a> {
                         _ => {
                             let e = self.parse_expr()?;
                             self.eat_punct(Punct::Semi)?;
-                            Stmt { kind: StmtKind::Expr(e), span }
+                            Stmt {
+                                kind: StmtKind::Expr(e),
+                                span,
+                            }
                         }
                     };
                     Some(Box::new(s))
@@ -446,19 +489,31 @@ impl<'a> Parser<'a> {
                 self.eat_punct(Punct::RParen)?;
                 let body = self.parse_stmt_as_block()?;
                 Ok(Stmt {
-                    kind: StmtKind::For { init, cond, step, body, mark: LoopMark::default() },
+                    kind: StmtKind::For {
+                        init,
+                        cond,
+                        step,
+                        body,
+                        mark: LoopMark::default(),
+                    },
                     span,
                 })
             }
             TokenKind::Keyword(Keyword::Break) => {
                 self.bump();
                 self.eat_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Break, span })
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span,
+                })
             }
             TokenKind::Keyword(Keyword::Continue) => {
                 self.bump();
                 self.eat_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Continue, span })
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span,
+                })
             }
             TokenKind::Keyword(Keyword::Return) => {
                 self.bump();
@@ -468,20 +523,32 @@ impl<'a> Parser<'a> {
                     Some(self.parse_expr()?)
                 };
                 self.eat_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Return(e), span })
+                Ok(Stmt {
+                    kind: StmtKind::Return(e),
+                    span,
+                })
             }
             TokenKind::Punct(Punct::LBrace) => {
                 let b = self.parse_block()?;
-                Ok(Stmt { kind: StmtKind::Block(b), span })
+                Ok(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
             }
             TokenKind::Punct(Punct::Semi) => {
                 self.bump();
-                Ok(Stmt { kind: StmtKind::Block(Block::default()), span })
+                Ok(Stmt {
+                    kind: StmtKind::Block(Block::default()),
+                    span,
+                })
             }
             _ => {
                 let e = self.parse_expr()?;
                 self.eat_punct(Punct::Semi)?;
-                Ok(Stmt { kind: StmtKind::Expr(e), span })
+                Ok(Stmt {
+                    kind: StmtKind::Expr(e),
+                    span,
+                })
             }
         }
     }
@@ -507,7 +574,15 @@ impl<'a> Parser<'a> {
             None
         };
         self.eat_punct(Punct::Semi)?;
-        Ok(Stmt { kind: StmtKind::Decl { name, ty, init, slot: None }, span })
+        Ok(Stmt {
+            kind: StmtKind::Decl {
+                name,
+                ty,
+                init,
+                slot: None,
+            },
+            span,
+        })
     }
 
     // ---- expressions ----------------------------------------------------
@@ -536,7 +611,11 @@ impl<'a> Parser<'a> {
         let rhs = self.parse_assign()?;
         let span = lhs.span.merge(rhs.span);
         Ok(Expr::new(
-            ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
             span,
         ))
     }
@@ -629,7 +708,11 @@ impl<'a> Parser<'a> {
                 let e = self.parse_unary()?;
                 let span = span.merge(e.span);
                 Ok(Expr::new(
-                    ExprKind::IncDec { pre: true, inc: true, target: Box::new(e) },
+                    ExprKind::IncDec {
+                        pre: true,
+                        inc: true,
+                        target: Box::new(e),
+                    },
                     span,
                 ))
             }
@@ -638,7 +721,11 @@ impl<'a> Parser<'a> {
                 let e = self.parse_unary()?;
                 let span = span.merge(e.span);
                 Ok(Expr::new(
-                    ExprKind::IncDec { pre: true, inc: false, target: Box::new(e) },
+                    ExprKind::IncDec {
+                        pre: true,
+                        inc: false,
+                        target: Box::new(e),
+                    },
                     span,
                 ))
             }
@@ -678,7 +765,10 @@ impl<'a> Parser<'a> {
                     let end = self.eat_punct(Punct::RBracket)?;
                     let span = e.span.merge(end);
                     e = Expr::new(
-                        ExprKind::Index { base: Box::new(e), index: Box::new(idx) },
+                        ExprKind::Index {
+                            base: Box::new(e),
+                            index: Box::new(idx),
+                        },
                         span,
                     );
                 }
@@ -686,7 +776,13 @@ impl<'a> Parser<'a> {
                     self.bump();
                     let (field, fspan) = self.eat_ident()?;
                     let span = e.span.merge(fspan);
-                    e = Expr::new(ExprKind::Field { base: Box::new(e), field }, span);
+                    e = Expr::new(
+                        ExprKind::Field {
+                            base: Box::new(e),
+                            field,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::Punct(Punct::Arrow) => {
                     self.bump();
@@ -694,13 +790,23 @@ impl<'a> Parser<'a> {
                     let span = e.span.merge(fspan);
                     // p->f desugars to (*p).f
                     let deref = Expr::new(ExprKind::Deref(Box::new(e)), span);
-                    e = Expr::new(ExprKind::Field { base: Box::new(deref), field }, span);
+                    e = Expr::new(
+                        ExprKind::Field {
+                            base: Box::new(deref),
+                            field,
+                        },
+                        span,
+                    );
                 }
                 TokenKind::Punct(Punct::PlusPlus) => {
                     self.bump();
                     let sp = e.span.merge(span);
                     e = Expr::new(
-                        ExprKind::IncDec { pre: false, inc: true, target: Box::new(e) },
+                        ExprKind::IncDec {
+                            pre: false,
+                            inc: true,
+                            target: Box::new(e),
+                        },
                         sp,
                     );
                 }
@@ -708,7 +814,11 @@ impl<'a> Parser<'a> {
                     self.bump();
                     let sp = e.span.merge(span);
                     e = Expr::new(
-                        ExprKind::IncDec { pre: false, inc: false, target: Box::new(e) },
+                        ExprKind::IncDec {
+                            pre: false,
+                            inc: false,
+                            target: Box::new(e),
+                        },
                         sp,
                     );
                 }
@@ -743,7 +853,13 @@ impl<'a> Parser<'a> {
                     }
                     Ok(Expr::new(ExprKind::Call { name, args }, span))
                 } else {
-                    Ok(Expr::new(ExprKind::Var { name, binding: None }, span))
+                    Ok(Expr::new(
+                        ExprKind::Var {
+                            name,
+                            binding: None,
+                        },
+                        span,
+                    ))
                 }
             }
             TokenKind::Punct(Punct::LParen) => {
@@ -851,7 +967,9 @@ mod tests {
         let StmtKind::Expr(e) = &p.functions[0].body.stmts[1].kind else {
             panic!("expected expr stmt");
         };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         let ExprKind::Binary(BinOp::Add, _, r) = &rhs.kind else {
             panic!("expected add at top")
         };
@@ -861,19 +979,27 @@ mod tests {
     #[test]
     fn assignment_is_right_associative() {
         let p = parse_src("void f() { int a; int b; a = b = 1; }");
-        let StmtKind::Expr(e) = &p.functions[0].body.stmts[2].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Assign { .. }));
     }
 
     #[test]
     fn arrow_desugars_to_deref_field() {
-        let p = parse_src(
-            "struct N { int v; }; void f(struct N *p) { p->v = 1; }",
-        );
-        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else { panic!() };
-        let ExprKind::Assign { lhs, .. } = &e.kind else { panic!() };
-        let ExprKind::Field { base, field } = &lhs.kind else { panic!() };
+        let p = parse_src("struct N { int v; }; void f(struct N *p) { p->v = 1; }");
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { lhs, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Field { base, field } = &lhs.kind else {
+            panic!()
+        };
         assert_eq!(field, "v");
         assert!(matches!(base.kind, ExprKind::Deref(_)));
     }
@@ -881,30 +1007,44 @@ mod tests {
     #[test]
     fn cast_vs_parenthesized_expr() {
         let p = parse_src("void f(int x) { int y; y = (int)x; y = (x) + 1; }");
-        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e1.kind else { panic!() };
+        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e1.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Cast(Type::Int, _)));
-        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e2.kind else { panic!() };
+        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e2.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::Binary(BinOp::Add, _, _)));
     }
 
     #[test]
     fn sizeof_type_and_expr() {
         let p = parse_src("void f(int *p) { long n; n = sizeof(int); n = sizeof *p; }");
-        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e1.kind else { panic!() };
+        let StmtKind::Expr(e1) = &p.functions[0].body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e1.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::SizeofType(Type::Int)));
-        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e2.kind else { panic!() };
+        let StmtKind::Expr(e2) = &p.functions[0].body.stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e2.kind else {
+            panic!()
+        };
         assert!(matches!(rhs.kind, ExprKind::SizeofExpr(_)));
     }
 
     #[test]
     fn pragma_attaches_to_loop() {
-        let p = parse_src(
-            "void f() { #pragma candidate outer\nfor (int i = 0; i < 4; i++) {} }",
-        );
+        let p = parse_src("void f() { #pragma candidate outer\nfor (int i = 0; i < 4; i++) {} }");
         let StmtKind::For { mark, .. } = &p.functions[0].body.stmts[0].kind else {
             panic!()
         };
@@ -917,8 +1057,20 @@ mod tests {
         let p = parse_src(
             "void f() { #pragma candidate\nwhile (1) { break; } #pragma candidate\ndo { } while (0); }",
         );
-        assert!(p.functions[0].body.stmts[0].kind.loop_mark().unwrap().candidate);
-        assert!(p.functions[0].body.stmts[1].kind.loop_mark().unwrap().candidate);
+        assert!(
+            p.functions[0].body.stmts[0]
+                .kind
+                .loop_mark()
+                .unwrap()
+                .candidate
+        );
+        assert!(
+            p.functions[0].body.stmts[1]
+                .kind
+                .loop_mark()
+                .unwrap()
+                .candidate
+        );
     }
 
     #[test]
@@ -940,8 +1092,12 @@ mod tests {
     fn compound_assignment_ops() {
         let p = parse_src("void f() { int x; x += 1; x <<= 2; x %= 3; }");
         for (i, want) in [(1, BinOp::Add), (2, BinOp::Shl), (3, BinOp::Rem)] {
-            let StmtKind::Expr(e) = &p.functions[0].body.stmts[i].kind else { panic!() };
-            let ExprKind::Assign { op, .. } = &e.kind else { panic!() };
+            let StmtKind::Expr(e) = &p.functions[0].body.stmts[i].kind else {
+                panic!()
+            };
+            let ExprKind::Assign { op, .. } = &e.kind else {
+                panic!()
+            };
             assert_eq!(*op, AssignOp::Compound(want));
         }
     }
@@ -951,8 +1107,12 @@ mod tests {
         let p = parse_src("void f() { int i; i++; ++i; i--; --i; }");
         let stmts = &p.functions[0].body.stmts;
         let get = |i: usize| {
-            let StmtKind::Expr(e) = &stmts[i].kind else { panic!() };
-            let ExprKind::IncDec { pre, inc, .. } = &e.kind else { panic!() };
+            let StmtKind::Expr(e) = &stmts[i].kind else {
+                panic!()
+            };
+            let ExprKind::IncDec { pre, inc, .. } = &e.kind else {
+                panic!()
+            };
             (*pre, *inc)
         };
         assert_eq!(get(1), (false, true));
@@ -964,7 +1124,9 @@ mod tests {
     #[test]
     fn for_without_init_cond_step() {
         let p = parse_src("void f() { for (;;) { break; } }");
-        let StmtKind::For { init, cond, step, .. } = &p.functions[0].body.stmts[0].kind
+        let StmtKind::For {
+            init, cond, step, ..
+        } = &p.functions[0].body.stmts[0].kind
         else {
             panic!()
         };
@@ -978,14 +1140,18 @@ mod tests {
             panic!()
         };
         assert!(els.is_none());
-        let StmtKind::If { els: inner_els, .. } = &then.stmts[0].kind else { panic!() };
+        let StmtKind::If { els: inner_els, .. } = &then.stmts[0].kind else {
+            panic!()
+        };
         assert!(inner_els.is_some());
     }
 
     #[test]
     fn redefinitions_are_errors() {
         assert!(parse_err("int g; int g;").message().contains("redefined"));
-        assert!(parse_err("void f() {} void f() {}").message().contains("redefined"));
+        assert!(parse_err("void f() {} void f() {}")
+            .message()
+            .contains("redefined"));
         assert!(parse_err("struct S { int a; }; struct S { int b; };")
             .message()
             .contains("redefined"));
@@ -1003,19 +1169,25 @@ mod tests {
         assert!(parse_err("struct S { int a; struct S s; };")
             .message()
             .contains("infinite size"));
-        assert!(parse_err("struct A { int x; }; struct B { struct B inner[2]; };")
-            .message()
-            .contains("infinite size"));
+        assert!(
+            parse_err("struct A { int x; }; struct B { struct B inner[2]; };")
+                .message()
+                .contains("infinite size")
+        );
     }
 
     #[test]
     fn unknown_struct_is_error() {
-        assert!(parse_err("struct T *p;").message().contains("unknown struct"));
+        assert!(parse_err("struct T *p;")
+            .message()
+            .contains("unknown struct"));
     }
 
     #[test]
     fn missing_semicolon_is_error() {
-        assert!(parse_err("void f() { int x }").message().contains("expected"));
+        assert!(parse_err("void f() { int x }")
+            .message()
+            .contains("expected"));
     }
 
     #[test]
@@ -1035,9 +1207,15 @@ mod tests {
     fn shift_precedence_below_additive() {
         // 1 << 2 + 3 parses as 1 << (2+3)
         let p = parse_src("void f() { int x; x = 1 << 2 + 3; }");
-        let StmtKind::Expr(e) = &p.functions[0].body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
-        let ExprKind::Binary(BinOp::Shl, _, r) = &rhs.kind else { panic!() };
+        let StmtKind::Expr(e) = &p.functions[0].body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Binary(BinOp::Shl, _, r) = &rhs.kind else {
+            panic!()
+        };
         assert!(matches!(r.kind, ExprKind::Binary(BinOp::Add, _, _)));
     }
 

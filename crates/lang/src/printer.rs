@@ -66,9 +66,7 @@ pub fn print_program(p: &Program) -> String {
 pub fn roundtrips(p: &Program) -> bool {
     fn printable(ty: &Type) -> bool {
         match ty {
-            Type::Pointer(inner) => {
-                !matches!(**inner, Type::Array(..)) && printable(inner)
-            }
+            Type::Pointer(inner) => !matches!(**inner, Type::Array(..)) && printable(inner),
             Type::Array(inner, _) => printable(inner),
             _ => true,
         }
@@ -104,9 +102,7 @@ pub fn roundtrips(p: &Program) -> bool {
 fn all_decls_printable(b: &Block) -> bool {
     fn printable(ty: &Type) -> bool {
         match ty {
-            Type::Pointer(inner) => {
-                !matches!(**inner, Type::Array(..)) && printable(inner)
-            }
+            Type::Pointer(inner) => !matches!(**inner, Type::Array(..)) && printable(inner),
             Type::Array(inner, _) => printable(inner),
             _ => true,
         }
@@ -114,12 +110,9 @@ fn all_decls_printable(b: &Block) -> bool {
     b.stmts.iter().all(|s| match &s.kind {
         StmtKind::Decl { ty, .. } => printable(ty),
         StmtKind::If { then, els, .. } => {
-            all_decls_printable(then)
-                && els.as_ref().is_none_or(all_decls_printable)
+            all_decls_printable(then) && els.as_ref().is_none_or(all_decls_printable)
         }
-        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
-            all_decls_printable(body)
-        }
+        StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => all_decls_printable(body),
         StmtKind::For { init, body, .. } => {
             init.as_ref().is_none_or(|i| match &i.kind {
                 StmtKind::Decl { ty, .. } => printable(ty),
@@ -213,21 +206,14 @@ fn print_block_inner(b: &Block, p: &Program, depth: usize, out: &mut String) {
 fn print_stmt(s: &Stmt, p: &Program, depth: usize, out: &mut String) {
     indent(depth, out);
     match &s.kind {
-        StmtKind::Decl { name, ty, init, .. } => {
-            match init {
-                Some(e) => {
-                    let _ = writeln!(
-                        out,
-                        "{} = {};",
-                        declarator(ty, name, &p.types),
-                        expr(e, p)
-                    );
-                }
-                None => {
-                    let _ = writeln!(out, "{};", declarator(ty, name, &p.types));
-                }
+        StmtKind::Decl { name, ty, init, .. } => match init {
+            Some(e) => {
+                let _ = writeln!(out, "{} = {};", declarator(ty, name, &p.types), expr(e, p));
             }
-        }
+            None => {
+                let _ = writeln!(out, "{};", declarator(ty, name, &p.types));
+            }
+        },
         StmtKind::Expr(e) => {
             let _ = writeln!(out, "{};", expr(e, p));
         }
@@ -263,7 +249,13 @@ fn print_stmt(s: &Stmt, p: &Program, depth: usize, out: &mut String) {
             indent(depth, out);
             let _ = writeln!(out, "}} while ({});", expr(cond, p));
         }
-        StmtKind::For { init, cond, step, body, mark } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            mark,
+        } => {
             print_mark(mark, depth, out);
             let init_s = match init {
                 Some(i) => {

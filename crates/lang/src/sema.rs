@@ -31,24 +31,69 @@ pub struct Signature {
 pub fn builtin_signature(name: &str) -> Option<Signature> {
     let void_ptr = Type::Void.ptr_to();
     Some(match name {
-        "malloc" => Signature { params: vec![Type::Long], ret: void_ptr },
-        "calloc" => Signature { params: vec![Type::Long, Type::Long], ret: void_ptr },
-        "realloc" => Signature { params: vec![void_ptr, Type::Long], ret: Type::Void.ptr_to() },
-        "free" => Signature { params: vec![void_ptr], ret: Type::Void },
-        "in_long" => Signature { params: vec![Type::Long], ret: Type::Long },
-        "in_float" => Signature { params: vec![Type::Long], ret: Type::Float },
-        "in_len" => Signature { params: vec![], ret: Type::Long },
-        "out_long" => Signature { params: vec![Type::Long], ret: Type::Void },
-        "out_float" => Signature { params: vec![Type::Float], ret: Type::Void },
-        "print_long" => Signature { params: vec![Type::Long], ret: Type::Void },
-        "print_float" => Signature { params: vec![Type::Float], ret: Type::Void },
-        "fsqrt" => Signature { params: vec![Type::Float], ret: Type::Float },
-        "fabs" => Signature { params: vec![Type::Float], ret: Type::Float },
+        "malloc" => Signature {
+            params: vec![Type::Long],
+            ret: void_ptr,
+        },
+        "calloc" => Signature {
+            params: vec![Type::Long, Type::Long],
+            ret: void_ptr,
+        },
+        "realloc" => Signature {
+            params: vec![void_ptr, Type::Long],
+            ret: Type::Void.ptr_to(),
+        },
+        "free" => Signature {
+            params: vec![void_ptr],
+            ret: Type::Void,
+        },
+        "in_long" => Signature {
+            params: vec![Type::Long],
+            ret: Type::Long,
+        },
+        "in_float" => Signature {
+            params: vec![Type::Long],
+            ret: Type::Float,
+        },
+        "in_len" => Signature {
+            params: vec![],
+            ret: Type::Long,
+        },
+        "out_long" => Signature {
+            params: vec![Type::Long],
+            ret: Type::Void,
+        },
+        "out_float" => Signature {
+            params: vec![Type::Float],
+            ret: Type::Void,
+        },
+        "print_long" => Signature {
+            params: vec![Type::Long],
+            ret: Type::Void,
+        },
+        "print_float" => Signature {
+            params: vec![Type::Float],
+            ret: Type::Void,
+        },
+        "fsqrt" => Signature {
+            params: vec![Type::Float],
+            ret: Type::Float,
+        },
+        "fabs" => Signature {
+            params: vec![Type::Float],
+            ret: Type::Float,
+        },
         // Reserved internal builtins (names starting with `__`), emitted by
         // the expansion pass: worker index, thread count, expanded realloc
         // (moves each thread's copy), and raw memory copy.
-        "__tid" => Signature { params: vec![], ret: Type::Long },
-        "__nthreads" => Signature { params: vec![], ret: Type::Long },
+        "__tid" => Signature {
+            params: vec![],
+            ret: Type::Long,
+        },
+        "__nthreads" => Signature {
+            params: vec![],
+            ret: Type::Long,
+        },
         "__realloc_expanded" => Signature {
             params: vec![Type::Void.ptr_to(), Type::Long, Type::Long],
             ret: Type::Void.ptr_to(),
@@ -94,8 +139,11 @@ pub fn check(program: &mut Program) -> Result<(), LangError> {
             check_const_init(&g.ty, init, g.span)?;
         }
     }
-    let globals: Vec<(String, Type)> =
-        program.globals.iter().map(|g| (g.name.clone(), g.ty.clone())).collect();
+    let globals: Vec<(String, Type)> = program
+        .globals
+        .iter()
+        .map(|g| (g.name.clone(), g.ty.clone()))
+        .collect();
     let types = program.types.clone();
     for f in &mut program.functions {
         let mut cx = FnCx {
@@ -123,17 +171,16 @@ pub fn check(program: &mut Program) -> Result<(), LangError> {
 /// Rejects types that cannot be the type of an object (e.g. plain `void`).
 fn check_object_type(ty: &Type, span: SourceSpan) -> Result<(), LangError> {
     match ty {
-        Type::Void => Err(LangError::sema(span, "cannot declare an object of type void")),
+        Type::Void => Err(LangError::sema(
+            span,
+            "cannot declare an object of type void",
+        )),
         Type::Array(elem, _) => check_object_type(elem, span),
         _ => Ok(()),
     }
 }
 
-fn check_const_init(
-    ty: &Type,
-    init: &ConstInit,
-    span: SourceSpan,
-) -> Result<(), LangError> {
+fn check_const_init(ty: &Type, init: &ConstInit, span: SourceSpan) -> Result<(), LangError> {
     match (ty, init) {
         (t, ConstInit::Int(_)) if t.is_integer() || t.is_pointer() => Ok(()),
         (Type::Float, ConstInit::Int(_) | ConstInit::Float(_)) => Ok(()),
@@ -147,7 +194,10 @@ fn check_const_init(
             }
             Ok(())
         }
-        _ => Err(LangError::sema(span, "initializer does not match declared type")),
+        _ => Err(LangError::sema(
+            span,
+            "initializer does not match declared type",
+        )),
     }
 }
 
@@ -172,10 +222,17 @@ impl<'a> FnCx<'a> {
     ) -> Result<usize, LangError> {
         let scope = self.scopes.last_mut().expect("scope stack never empty");
         if scope.iter().any(|(n, _)| n == name) {
-            return Err(LangError::sema(span, format!("`{name}` redeclared in same scope")));
+            return Err(LangError::sema(
+                span,
+                format!("`{name}` redeclared in same scope"),
+            ));
         }
         let slot = self.locals.len();
-        self.locals.push(LocalVar { name: name.to_string(), ty, is_param });
+        self.locals.push(LocalVar {
+            name: name.to_string(),
+            ty,
+            is_param,
+        });
         scope.push((name.to_string(), slot));
         Ok(slot)
     }
@@ -211,7 +268,12 @@ impl<'a> FnCx<'a> {
     fn check_stmt(&mut self, stmt: &mut Stmt) -> Result<(), LangError> {
         let span = stmt.span;
         match &mut stmt.kind {
-            StmtKind::Decl { name, ty, init, slot } => {
+            StmtKind::Decl {
+                name,
+                ty,
+                init,
+                slot,
+            } => {
                 check_object_type(ty, span)?;
                 if ty == &Type::Void {
                     return Err(LangError::sema(span, "cannot declare void variable"));
@@ -252,7 +314,13 @@ impl<'a> FnCx<'a> {
                 self.check_cond(cond)?;
                 Ok(())
             }
-            StmtKind::For { init, cond, step, body, .. } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
                 self.scopes.push(Vec::new());
                 if let Some(s) = init {
                     self.check_stmt(s)?;
@@ -293,7 +361,10 @@ impl<'a> FnCx<'a> {
     fn check_cond(&mut self, e: &mut Expr) -> Result<(), LangError> {
         let t = self.check_expr(e)?;
         if !t.decayed().is_scalar() {
-            return Err(LangError::sema(e.span, format!("condition must be scalar, got {t}")));
+            return Err(LangError::sema(
+                e.span,
+                format!("condition must be scalar, got {t}"),
+            ));
         }
         Ok(())
     }
@@ -364,8 +435,9 @@ impl<'a> FnCx<'a> {
                 }
                 let tt = self.check_expr(t)?.decayed();
                 let ft = self.check_expr(f)?.decayed();
-                common_type(&tt, &ft)
-                    .ok_or_else(|| LangError::sema(span, format!("incompatible `?:` arms: {tt} vs {ft}")))?
+                common_type(&tt, &ft).ok_or_else(|| {
+                    LangError::sema(span, format!("incompatible `?:` arms: {tt} vs {ft}"))
+                })?
             }
             ExprKind::Call { name, args } => {
                 let sig = builtin_signature(name)
@@ -375,9 +447,7 @@ impl<'a> FnCx<'a> {
                             .find(|(n, _)| n == name)
                             .map(|(_, s)| s.clone())
                     })
-                    .ok_or_else(|| {
-                        LangError::sema(span, format!("unknown function `{name}`"))
-                    })?;
+                    .ok_or_else(|| LangError::sema(span, format!("unknown function `{name}`")))?;
                 if sig.params.len() != args.len() {
                     return Err(LangError::sema(
                         span,
@@ -449,8 +519,7 @@ impl<'a> FnCx<'a> {
             }
             ExprKind::Cast(ty, inner) => {
                 let from = self.check_expr(inner)?.decayed();
-                let ok = (ty.is_scalar() && from.is_scalar())
-                    || (ty == &Type::Void); // cast-to-void discards
+                let ok = (ty.is_scalar() && from.is_scalar()) || (ty == &Type::Void); // cast-to-void discards
                 if !ok {
                     return Err(LangError::sema(
                         span,
@@ -459,7 +528,10 @@ impl<'a> FnCx<'a> {
                 }
                 // float<->pointer casts are not meaningful in our model.
                 if (ty.is_pointer() && from.is_float()) || (ty.is_float() && from.is_pointer()) {
-                    return Err(LangError::sema(span, "cannot cast between float and pointer"));
+                    return Err(LangError::sema(
+                        span,
+                        "cannot cast between float and pointer",
+                    ));
                 }
                 ty.clone()
             }
@@ -518,7 +590,10 @@ impl<'a> FnCx<'a> {
                 if ok {
                     Ok(Type::Int)
                 } else {
-                    Err(LangError::sema(span, format!("cannot compare {lt} and {rt}")))
+                    Err(LangError::sema(
+                        span,
+                        format!("cannot compare {lt} and {rt}"),
+                    ))
                 }
             }
             Add => match (lt.is_pointer(), rt.is_pointer()) {
@@ -541,7 +616,10 @@ impl<'a> FnCx<'a> {
                 (false, false) if lt.is_arithmetic() && rt.is_arithmetic() => {
                     Ok(arith_common(lt, rt))
                 }
-                _ => Err(LangError::sema(span, format!("cannot subtract {rt} from {lt}"))),
+                _ => Err(LangError::sema(
+                    span,
+                    format!("cannot subtract {rt} from {lt}"),
+                )),
             },
             Mul | Div => {
                 if lt.is_arithmetic() && rt.is_arithmetic() {
@@ -591,9 +669,7 @@ fn common_type(a: &Type, b: &Type) -> Option<Type> {
     match (a, b) {
         (Type::Pointer(x), Type::Pointer(_)) if **x == Type::Void => Some(b.clone()),
         (Type::Pointer(_), Type::Pointer(y)) if **y == Type::Void => Some(a.clone()),
-        (p @ Type::Pointer(_), i) | (i, p @ Type::Pointer(_)) if i.is_integer() => {
-            Some(p.clone())
-        }
+        (p @ Type::Pointer(_), i) | (i, p @ Type::Pointer(_)) if i.is_integer() => Some(p.clone()),
         _ => None,
     }
 }
@@ -621,7 +697,10 @@ fn require_assignable(
     if ok {
         Ok(())
     } else {
-        Err(LangError::sema(span, format!("cannot assign {src} to {dst}")))
+        Err(LangError::sema(
+            span,
+            format!("cannot assign {src} to {dst}"),
+        ))
     }
 }
 
@@ -654,14 +733,26 @@ mod tests {
         assert_eq!(f.locals.len(), 2);
         assert!(f.locals[0].is_param);
         assert!(!f.locals[1].is_param);
-        let StmtKind::Expr(e) = &f.body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { lhs, rhs, .. } = &e.kind else { panic!() };
-        let ExprKind::Var { binding, .. } = &lhs.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { lhs, rhs, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Var { binding, .. } = &lhs.kind else {
+            panic!()
+        };
         assert_eq!(*binding, Some(VarBinding::Local(1)));
-        let ExprKind::Binary(_, a, g) = &rhs.kind else { panic!() };
-        let ExprKind::Var { binding: ab, .. } = &a.kind else { panic!() };
+        let ExprKind::Binary(_, a, g) = &rhs.kind else {
+            panic!()
+        };
+        let ExprKind::Var { binding: ab, .. } = &a.kind else {
+            panic!()
+        };
         assert_eq!(*ab, Some(VarBinding::Local(0)));
-        let ExprKind::Var { binding: gb, .. } = &g.kind else { panic!() };
+        let ExprKind::Var { binding: gb, .. } = &g.kind else {
+            panic!()
+        };
         assert_eq!(*gb, Some(VarBinding::Global(0)));
     }
 
@@ -670,10 +761,18 @@ mod tests {
         let p = ok("void f() { int x; { int x; x = 1; } x = 2; }");
         let f = p.function("f").unwrap();
         assert_eq!(f.locals.len(), 2);
-        let StmtKind::Block(inner) = &f.body.stmts[1].kind else { panic!() };
-        let StmtKind::Expr(e) = &inner.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { lhs, .. } = &e.kind else { panic!() };
-        let ExprKind::Var { binding, .. } = &lhs.kind else { panic!() };
+        let StmtKind::Block(inner) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        let StmtKind::Expr(e) = &inner.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { lhs, .. } = &e.kind else {
+            panic!()
+        };
+        let ExprKind::Var { binding, .. } = &lhs.kind else {
+            panic!()
+        };
         assert_eq!(*binding, Some(VarBinding::Local(1)));
     }
 
@@ -691,11 +790,19 @@ mod tests {
     fn literal_typing() {
         let p = ok("void f() { long x; x = 5000000000; x = 1; }");
         let f = p.function("f").unwrap();
-        let StmtKind::Expr(e) = &f.body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Long);
-        let StmtKind::Expr(e) = &f.body.stmts[2].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Int);
     }
 
@@ -703,18 +810,25 @@ mod tests {
     fn pointer_arithmetic_types() {
         let p = ok("void f(int *p, int *q) { long d; int *r; r = p + 1; d = p - q; }");
         let f = p.function("f").unwrap();
-        let StmtKind::Expr(e) = &f.body.stmts[2].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[2].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Int.ptr_to());
-        let StmtKind::Expr(e) = &f.body.stmts[3].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[3].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Long);
     }
 
     #[test]
     fn pointer_difference_of_unlike_types_is_error() {
-        assert!(err("void f(int *p, char *q) { long d; d = p - q; }")
-            .contains("unlike types"));
+        assert!(err("void f(int *p, char *q) { long d; d = p - q; }").contains("unlike types"));
     }
 
     #[test]
@@ -736,8 +850,12 @@ mod tests {
     fn index_through_pointer_and_array() {
         let p = ok("int a[10]; void f(int *p) { a[1] = p[2]; }");
         let f = p.function("f").unwrap();
-        let StmtKind::Expr(e) = &f.body.stmts[0].kind else { panic!() };
-        let ExprKind::Assign { lhs, rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { lhs, rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(lhs.ty(), &Type::Int);
         assert_eq!(rhs.ty(), &Type::Int);
     }
@@ -745,8 +863,7 @@ mod tests {
     #[test]
     fn field_access_requires_struct() {
         assert!(err("void f(int x) { x.y = 1; }").contains("non-struct"));
-        assert!(err("struct S { int a; }; void f(struct S s) { s.b = 1; }")
-            .contains("no field"));
+        assert!(err("struct S { int a; }; void f(struct S s) { s.b = 1; }").contains("no field"));
     }
 
     #[test]
@@ -777,8 +894,7 @@ mod tests {
     fn cast_rules() {
         ok("void f(long x) { int *p; p = (int*)x; x = (long)p; }");
         ok("void f(int *p) { short *s; s = (short*)p; }");
-        assert!(err("void f(float x) { int *p; p = (int*)x; }")
-            .contains("float and pointer"));
+        assert!(err("void f(float x) { int *p; p = (int*)x; }").contains("float and pointer"));
     }
 
     #[test]
@@ -808,11 +924,9 @@ mod tests {
 
     #[test]
     fn call_before_definition_resolves() {
-        ok("int helper(int a); int helper(int a) { return a; }".replace(
-            "int helper(int a);",
-            "int user() { return helper(5); }",
-        )
-        .as_str());
+        ok("int helper(int a); int helper(int a) { return a; }"
+            .replace("int helper(int a);", "int user() { return helper(5); }")
+            .as_str());
     }
 
     #[test]
@@ -824,8 +938,12 @@ mod tests {
     fn ternary_common_type() {
         let p = ok("void f(int c, int *p) { int *q; q = c ? p : 0; }");
         let f = p.function("f").unwrap();
-        let StmtKind::Expr(e) = &f.body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Int.ptr_to());
     }
 
@@ -846,8 +964,12 @@ mod tests {
     fn sizeof_results_are_long() {
         let p = ok("void f(int *p) { long n; n = sizeof(int) + sizeof *p; }");
         let f = p.function("f").unwrap();
-        let StmtKind::Expr(e) = &f.body.stmts[1].kind else { panic!() };
-        let ExprKind::Assign { rhs, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &f.body.stmts[1].kind else {
+            panic!()
+        };
+        let ExprKind::Assign { rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(rhs.ty(), &Type::Long);
     }
 
@@ -858,8 +980,7 @@ mod tests {
 
     #[test]
     fn condition_must_be_scalar() {
-        assert!(err("struct S { int a; }; void f(struct S s) { if (s) {} }")
-            .contains("scalar"));
+        assert!(err("struct S { int a; }; void f(struct S s) { if (s) {} }").contains("scalar"));
     }
 
     #[test]

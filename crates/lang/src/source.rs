@@ -50,7 +50,10 @@ impl SourceSpan {
 
     /// A zero-width span at a single position.
     pub fn at(pos: SourcePos) -> Self {
-        SourceSpan { start: pos, end: pos }
+        SourceSpan {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// The smallest span covering both `self` and `other`.

@@ -202,7 +202,11 @@ impl TypeTable {
             let fa = self.align_of(&fty);
             let fs = self.size_of(&fty);
             offset = round_up(offset, fa);
-            laid.push(Field { name: fname, ty: fty, offset });
+            laid.push(Field {
+                name: fname,
+                ty: fty,
+                offset,
+            });
             offset += fs;
             align = align.max(fa);
         }
@@ -237,7 +241,11 @@ impl TypeTable {
     /// Panics if a field embeds the struct by value (impossible here since
     /// the id is fresh) or any field type is unsized, which the parser
     /// rules out.
-    pub fn define_struct(&mut self, name: impl Into<String>, fields: Vec<(String, Type)>) -> StructId {
+    pub fn define_struct(
+        &mut self,
+        name: impl Into<String>,
+        fields: Vec<(String, Type)>,
+    ) -> StructId {
         let id = self.declare_struct(name);
         self.complete_struct(id, fields)
             .expect("fresh struct cannot embed itself");
@@ -330,10 +338,7 @@ mod tests {
     fn struct_layout_inserts_padding() {
         let mut tt = TypeTable::new();
         // struct { char c; int i; } -> c@0, i@4, size 8, align 4
-        let id = tt.define_struct(
-            "S",
-            vec![("c".into(), Type::Char), ("i".into(), Type::Int)],
-        );
+        let id = tt.define_struct("S", vec![("c".into(), Type::Char), ("i".into(), Type::Int)]);
         let s = tt.struct_def(id);
         assert_eq!(s.field("c").unwrap().offset, 0);
         assert_eq!(s.field("i").unwrap().offset, 4);

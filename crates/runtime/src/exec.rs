@@ -21,16 +21,16 @@
 use crate::observer::{NullObserver, Observer};
 use crate::vm::{Frame, LoopSync, ThreadCtx, Vm, VmError};
 use dse_ir::loops::ParMode;
-use parking_lot::Mutex;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Marker in abort-induced errors, so a worker's real trap is preferred
 /// over the "I was told to stop" errors of its peers.
 const ABORTED: &str = "aborted: another worker trapped";
 
 fn record_error(slot: &Mutex<Option<VmError>>, e: VmError) {
-    let mut g = slot.lock();
+    let mut g = slot.lock().unwrap();
     match &*g {
         None => *g = Some(e),
         Some(prev) if prev.msg.contains(ABORTED) && !e.msg.contains(ABORTED) => *g = Some(e),
@@ -64,7 +64,12 @@ impl Vm {
             // serial-remainder accounting).
             let record = self.config.record_iteration_costs && !ctx.in_parallel;
             if record {
-                self.iter_trace.lock().entry(id).or_default().push(Vec::new());
+                self.iter_trace
+                    .lock()
+                    .unwrap()
+                    .entry(id)
+                    .or_default()
+                    .push(Vec::new());
             }
             let was_in_parallel = ctx.in_parallel;
             ctx.in_parallel = true;
@@ -87,14 +92,12 @@ impl Vm {
                         pre: wait - start.work,
                         window: post - wait,
                         post: end - post,
-                        localize_calls: ctx.counters.localize_calls
-                            - start.localize_calls,
+                        localize_calls: ctx.counters.localize_calls - start.localize_calls,
                         localize_bytes: ctx.counters.localize_copied_bytes
                             - start.localize_copied_bytes,
-                        private_direct: ctx.counters.private_direct
-                            - start.private_direct,
+                        private_direct: ctx.counters.private_direct - start.private_direct,
                     };
-                    let mut tr = self.iter_trace.lock();
+                    let mut tr = self.iter_trace.lock().unwrap();
                     tr.get_mut(&id)
                         .and_then(|v| v.last_mut())
                         .expect("entry pushed above")
@@ -127,7 +130,8 @@ impl Vm {
                     let r = self.worker_loop(&mut wctx, mode, body, lo, hi, &sync);
                     wctx.sync_stack.pop();
                     self.commit_private_copies(&mut wctx);
-                    self.agg.lock().merge(&wctx.counters);
+                    self.agg.lock().unwrap().merge(&wctx.counters);
+                    self.per_thread.lock().unwrap()[t as usize].merge(&wctx.counters);
                     if let Err(e) = r {
                         record_error(err_slot, e);
                     }
@@ -144,7 +148,7 @@ impl Vm {
                 record_error(&err_slot, e);
             }
         });
-        match err_slot.into_inner() {
+        match err_slot.into_inner().unwrap() {
             Some(e) => Err(e),
             None => Ok(()),
         }

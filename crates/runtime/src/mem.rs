@@ -12,9 +12,9 @@
 //! allocation registry supporting interior-pointer lookup (needed by the
 //! paper's "heap prefix" runtime-privatization fast path and by `realloc`).
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Flat byte-addressable memory backed by atomic words.
 #[derive(Debug)]
@@ -28,7 +28,10 @@ impl SharedMem {
     pub fn new(bytes: u64) -> Self {
         let nwords = (bytes as usize).div_ceil(8);
         let words = (0..nwords).map(|_| AtomicU64::new(0)).collect();
-        SharedMem { words, bytes: nwords as u64 * 8 }
+        SharedMem {
+            words,
+            bytes: nwords as u64 * 8,
+        }
     }
 
     /// Total capacity in bytes.
@@ -112,7 +115,10 @@ impl SharedMem {
     /// Copies `len` bytes from `src` to `dst` with `memmove` semantics:
     /// overlapping regions copy correctly in either direction.
     pub fn copy(&self, src: u64, dst: u64, len: u64) {
-        assert!(self.in_bounds(src, len) && self.in_bounds(dst, len), "oob copy");
+        assert!(
+            self.in_bounds(src, len) && self.in_bounds(dst, len),
+            "oob copy"
+        );
         if dst > src && dst < src + len {
             // Overlapping forward copy: go backwards so sources are read
             // before they are overwritten.
@@ -259,7 +265,7 @@ impl Heap {
     /// Returns the allocation record, or `None` when out of memory.
     pub fn alloc(&self, size: u64) -> Option<Allocation> {
         let want = dse_lang::types::round_up(size.max(1), HEAP_ALIGN);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let (&fbase, &fsize) = st.free.iter().find(|(_, &s)| s >= want)?;
         st.free.remove(&fbase);
         if fsize > want {
@@ -267,7 +273,11 @@ impl Heap {
         }
         let id = st.next_id;
         st.next_id += 1;
-        let a = Allocation { base: fbase, size, id };
+        let a = Allocation {
+            base: fbase,
+            size,
+            id,
+        };
         st.live.insert(fbase, a);
         st.live_bytes += want;
         st.peak_live_bytes = st.peak_live_bytes.max(st.live_bytes);
@@ -278,7 +288,7 @@ impl Heap {
     /// Frees the allocation starting exactly at `base`. Returns the freed
     /// record, or `None` if `base` is not a live allocation base.
     pub fn free(&self, base: u64) -> Option<Allocation> {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let a = st.live.remove(&base)?;
         let want = dse_lang::types::round_up(a.size.max(1), HEAP_ALIGN);
         st.live_bytes -= want;
@@ -304,29 +314,29 @@ impl Heap {
 
     /// Finds the live allocation containing `addr` (interior pointers ok).
     pub fn containing(&self, addr: u64) -> Option<Allocation> {
-        let st = self.state.lock();
+        let st = self.state.lock().unwrap();
         let (_, a) = st.live.range(..=addr).next_back()?;
         (addr < a.base + a.size.max(1)).then_some(*a)
     }
 
     /// The live allocation starting exactly at `base`.
     pub fn at_base(&self, base: u64) -> Option<Allocation> {
-        self.state.lock().live.get(&base).copied()
+        self.state.lock().unwrap().live.get(&base).copied()
     }
 
     /// Current live heap bytes (rounded to allocator granularity).
     pub fn live_bytes(&self) -> u64 {
-        self.state.lock().live_bytes
+        self.state.lock().unwrap().live_bytes
     }
 
     /// High-water mark of live heap bytes.
     pub fn peak_live_bytes(&self) -> u64 {
-        self.state.lock().peak_live_bytes
+        self.state.lock().unwrap().peak_live_bytes
     }
 
     /// Total number of allocations ever made.
     pub fn total_allocs(&self) -> u64 {
-        self.state.lock().total_allocs
+        self.state.lock().unwrap().total_allocs
     }
 }
 

@@ -3,7 +3,8 @@
 //! The profiler (in `dse-depprof`) implements [`Observer`] and receives
 //! every *sited* memory access, candidate-loop event, and heap event during
 //! a serial run. Parallel regions run unobserved (the paper profiles the
-//! sequential program only).
+//! sequential program only). `dse-telemetry`'s `TraceObserver` implements
+//! the same trait to stream the event feed as JSONL (`dsec --emit trace`).
 
 use crate::mem::Allocation;
 use dse_ir::bytecode::LoopEvent;

@@ -52,7 +52,10 @@ impl Vm {
             return Ok(addr);
         }
         let a = self.heap.containing(addr).ok_or_else(|| {
-            VmError::new(pc, format!("localize: address {addr} is not in a live allocation"))
+            VmError::new(
+                pc,
+                format!("localize: address {addr} is not in a live allocation"),
+            )
         })?;
         if let Some(copy) = ctx.priv_map.get(&a.base) {
             if copy.alloc_id == a.id {
@@ -74,7 +77,11 @@ impl Vm {
         ctx.counters.localize_copied_bytes += a.size;
         ctx.priv_map.insert(
             a.base,
-            PrivCopy { alloc_id: a.id, base: c.base, size: a.size },
+            PrivCopy {
+                alloc_id: a.id,
+                base: c.base,
+                size: a.size,
+            },
         );
         Ok(c.base + (addr - a.base))
     }

@@ -10,11 +10,11 @@ use crate::observer::Observer;
 use crate::privatize::PrivCopy;
 use dse_ir::bytecode::*;
 use dse_ir::sites::{AccessKind, NO_SITE};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicI64};
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A value on the operand stack.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,7 +91,10 @@ pub struct VmError {
 
 impl VmError {
     pub(crate) fn new(pc: usize, msg: impl Into<String>) -> Self {
-        VmError { pc: pc as u32, msg: msg.into() }
+        VmError {
+            pc: pc as u32,
+            msg: msg.into(),
+        }
     }
 }
 
@@ -243,6 +246,10 @@ pub struct RunReport {
     pub return_value: Option<Value>,
     /// Aggregated counters over all threads.
     pub counters: Counters,
+    /// Counters broken down by worker index (`per_thread[tid]`), summing
+    /// to `counters`. Workers accumulate across every parallel region
+    /// they participate in; index 0 is the master thread.
+    pub per_thread: Vec<Counters>,
     /// High-water mark of live heap bytes during the run.
     pub peak_heap_bytes: u64,
 }
@@ -259,6 +266,8 @@ pub struct Vm {
     pub(crate) console: Mutex<String>,
     /// Counters merged from finished worker threads.
     pub(crate) agg: Mutex<Counters>,
+    /// Same merges as `agg`, broken down by worker index.
+    pub(crate) per_thread: Mutex<Vec<Counters>>,
     /// Per loop id: one cost vector per dynamic loop entry (recorded when
     /// [`VmConfig::record_iteration_costs`] is set).
     pub(crate) iter_trace: Mutex<HashMap<u32, Vec<Vec<IterCost>>>>,
@@ -294,6 +303,7 @@ impl Vm {
                 InitValue::Float(v) => mem.write(addr, 8, v.to_bits()),
             }
         }
+        let nthreads = config.nthreads as usize;
         Ok(Vm {
             program,
             config,
@@ -304,6 +314,7 @@ impl Vm {
             outputs_float: Mutex::new(Vec::new()),
             console: Mutex::new(String::new()),
             agg: Mutex::new(Counters::default()),
+            per_thread: Mutex::new(vec![Counters::default(); nthreads]),
             iter_trace: Mutex::new(HashMap::new()),
         })
     }
@@ -349,16 +360,23 @@ impl Vm {
         let main = self.program.main;
         let entry = self.program.func(main).entry;
         let fsize = self.program.func(main).frame_size as u64;
-        ctx.frames.push(Frame { ret_pc: None, saved_base: ctx.frame_base, saved_sp: ctx.sp });
+        ctx.frames.push(Frame {
+            ret_pc: None,
+            saved_base: ctx.frame_base,
+            saved_sp: ctx.sp,
+        });
         ctx.frame_base = ctx.sp;
         ctx.sp += fsize;
         self.mem.zero(ctx.frame_base, fsize);
         let ret = self.exec(&mut ctx, entry, obs)?;
-        let mut counters = { *self.agg.lock() };
+        let mut counters = { *self.agg.lock().unwrap() };
         counters.merge(&ctx.counters);
+        let mut per_thread = self.per_thread.lock().unwrap().clone();
+        per_thread[0].merge(&ctx.counters);
         Ok(RunReport {
             return_value: ret,
             counters,
+            per_thread,
             peak_heap_bytes: self.heap.peak_live_bytes(),
         })
     }
@@ -367,22 +385,22 @@ impl Vm {
     /// [`VmConfig::record_iteration_costs`]: for each candidate loop id,
     /// one vector of iteration costs per dynamic entry of the loop.
     pub fn iteration_costs(&self) -> HashMap<u32, Vec<Vec<IterCost>>> {
-        self.iter_trace.lock().clone()
+        self.iter_trace.lock().unwrap().clone()
     }
 
     /// Integer outputs produced via `out_long`.
     pub fn outputs_int(&self) -> Vec<i64> {
-        self.outputs_int.lock().clone()
+        self.outputs_int.lock().unwrap().clone()
     }
 
     /// Float outputs produced via `out_float`.
     pub fn outputs_float(&self) -> Vec<f64> {
-        self.outputs_float.lock().clone()
+        self.outputs_float.lock().unwrap().clone()
     }
 
     /// Console text produced via `print_long`/`print_float`.
     pub fn console(&self) -> String {
-        self.console.lock().clone()
+        self.console.lock().unwrap().clone()
     }
 
     /// Executes bytecode starting at `entry` until the current sentinel
@@ -478,7 +496,8 @@ impl Vm {
                 }
                 Instr::GlobalAddrTid { addr, stride } => {
                     ctx.counters.private_direct += 1;
-                    ctx.ops.push(Value::I(addr as i64 + ctx.tid as i64 * stride));
+                    ctx.ops
+                        .push(Value::I(addr as i64 + ctx.tid as i64 * stride));
                     pc += 1;
                 }
                 Instr::TidSpanScaled(z) => {
@@ -499,7 +518,11 @@ impl Vm {
                     ctx.ops.push(Value::I(ctx.iter_stack[n - 1 - d]));
                     pc += 1;
                 }
-                Instr::Load { width, is_float, site } => {
+                Instr::Load {
+                    width,
+                    is_float,
+                    site,
+                } => {
                     let addr = pop_i!() as u64;
                     if addr < GLOBAL_BASE || !self.mem.in_bounds(addr, width as u64) {
                         trap!("invalid load of {width} bytes at address {addr}");
@@ -515,7 +538,11 @@ impl Vm {
                     });
                     pc += 1;
                 }
-                Instr::Store { width, is_float, site } => {
+                Instr::Store {
+                    width,
+                    is_float,
+                    site,
+                } => {
                     let val = pop!();
                     let addr = pop_i!() as u64;
                     if addr < GLOBAL_BASE || !self.mem.in_bounds(addr, width as u64) {
@@ -532,7 +559,11 @@ impl Vm {
                     self.mem.write(addr, width as u32, raw);
                     pc += 1;
                 }
-                Instr::MemCpy { size, load_site, store_site } => {
+                Instr::MemCpy {
+                    size,
+                    load_site,
+                    store_site,
+                } => {
                     let dst = pop_i!() as u64;
                     let src = pop_i!() as u64;
                     let sz = size as u64;
@@ -673,7 +704,8 @@ impl Vm {
                             (Value::I(i), false) => i as u64,
                             _ => trap!("type confusion in argument {pi}"),
                         };
-                        self.mem.write(new_base + off as u64, kind.width as u32, raw);
+                        self.mem
+                            .write(new_base + off as u64, kind.width as u32, raw);
                     }
                     ctx.frames.push(Frame {
                         ret_pc: Some(pc as u32 + 1),
@@ -786,7 +818,8 @@ impl Vm {
             ctx.counters.wait_spins += 1;
             std::hint::spin_loop();
         }
-        sync.done.store(my + 1, std::sync::atomic::Ordering::Release);
+        sync.done
+            .store(my + 1, std::sync::atomic::Ordering::Release);
         ctx.posted = true;
     }
 
@@ -931,7 +964,9 @@ impl Vm {
             }
             Builtin::InLong => {
                 let i = pop_i!();
-                let v = match usize::try_from(i).ok().and_then(|i| self.config.inputs_int.get(i))
+                let v = match usize::try_from(i)
+                    .ok()
+                    .and_then(|i| self.config.inputs_int.get(i))
                 {
                     Some(&v) => v,
                     None => trap!("in_long({i}) out of range"),
@@ -954,21 +989,21 @@ impl Vm {
             }
             Builtin::OutLong => {
                 let v = pop_i!();
-                self.outputs_int.lock().push(v);
+                self.outputs_int.lock().unwrap().push(v);
             }
             Builtin::OutFloat => {
                 let v = pop_f!();
-                self.outputs_float.lock().push(v);
+                self.outputs_float.lock().unwrap().push(v);
             }
             Builtin::PrintLong => {
                 let v = pop_i!();
                 use std::fmt::Write as _;
-                let _ = writeln!(self.console.lock(), "{v}");
+                let _ = writeln!(self.console.lock().unwrap(), "{v}");
             }
             Builtin::PrintFloat => {
                 let v = pop_f!();
                 use std::fmt::Write as _;
-                let _ = writeln!(self.console.lock(), "{v}");
+                let _ = writeln!(self.console.lock().unwrap(), "{v}");
             }
             Builtin::Fsqrt => {
                 let v = pop_f!();

@@ -1,10 +1,13 @@
-//! Property-based tests of the shared memory against a byte-array oracle,
-//! and of the heap allocator's invariants.
+//! Randomized tests of the shared memory against a byte-array oracle, and
+//! of the heap allocator's invariants. Cases are generated with the
+//! workspace's deterministic PRNG (seeded per case), so failures reproduce
+//! exactly.
 
 use dse_runtime::{Heap, SharedMem};
-use proptest::prelude::*;
+use dse_workloads::rng::Rng;
 
 const MEM: u64 = 512;
+const CASES: u64 = 256;
 
 /// One memory operation.
 #[derive(Debug, Clone)]
@@ -14,14 +17,23 @@ enum Op {
     Zero { addr: u64, len: u64 },
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..MEM - 8, prop_oneof![Just(1u32), Just(2), Just(4), Just(8)], any::<u64>())
-            .prop_map(|(addr, width, val)| Op::Write { addr, width, val }),
-        (0..MEM / 2, MEM / 2..MEM - 64, 0..64u64)
-            .prop_map(|(src, dst, len)| Op::Copy { src, dst, len }),
-        (0..MEM - 64, 0..64u64).prop_map(|(addr, len)| Op::Zero { addr, len }),
-    ]
+fn gen_op(rng: &mut Rng) -> Op {
+    match rng.gen_index(3) {
+        0 => Op::Write {
+            addr: rng.gen_range(0, (MEM - 8) as i64) as u64,
+            width: [1u32, 2, 4, 8][rng.gen_index(4)],
+            val: rng.next_u64(),
+        },
+        1 => Op::Copy {
+            src: rng.gen_range(0, (MEM / 2) as i64) as u64,
+            dst: rng.gen_range((MEM / 2) as i64, (MEM - 64) as i64) as u64,
+            len: rng.gen_range(0, 64) as u64,
+        },
+        _ => Op::Zero {
+            addr: rng.gen_range(0, (MEM - 64) as i64) as u64,
+            len: rng.gen_range(0, 64) as u64,
+        },
+    }
 }
 
 /// Applies `op` to both the VM memory and the oracle.
@@ -45,62 +57,82 @@ fn apply(mem: &SharedMem, oracle: &mut [u8], op: &Op) {
     }
 }
 
-proptest! {
-    /// Arbitrary interleavings of writes/copies/zeroes leave the memory
-    /// byte-identical to a plain byte-array model, at every width and
-    /// alignment (including word-straddling accesses).
-    #[test]
-    fn memory_matches_byte_oracle(ops in prop::collection::vec(op_strategy(), 1..64)) {
+/// Arbitrary interleavings of writes/copies/zeroes leave the memory
+/// byte-identical to a plain byte-array model, at every width and
+/// alignment (including word-straddling accesses).
+#[test]
+fn memory_matches_byte_oracle() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x11E1 + case);
+        let nops = rng.gen_range(1, 64) as usize;
+        let ops: Vec<Op> = (0..nops).map(|_| gen_op(&mut rng)).collect();
         let mem = SharedMem::new(MEM);
         let mut oracle = vec![0u8; MEM as usize];
         for op in &ops {
             apply(&mem, &mut oracle, op);
         }
         for addr in 0..MEM {
-            prop_assert_eq!(mem.read(addr, 1) as u8, oracle[addr as usize], "byte {}", addr);
+            assert_eq!(
+                mem.read(addr, 1) as u8,
+                oracle[addr as usize],
+                "case {case}, byte {addr}: {ops:?}"
+            );
         }
         // Wider reads agree too (little-endian composition).
         for addr in (0..MEM - 8).step_by(3) {
             let mut expect = [0u8; 8];
             expect.copy_from_slice(&oracle[addr as usize..addr as usize + 8]);
-            prop_assert_eq!(mem.read(addr, 8), u64::from_le_bytes(expect));
+            assert_eq!(mem.read(addr, 8), u64::from_le_bytes(expect), "case {case}");
         }
     }
+}
 
-    /// Live allocations never overlap, interior-pointer lookup agrees with
-    /// the allocation bounds, and freeing everything allows a maximal
-    /// reallocation (full coalescing).
-    #[test]
-    fn heap_invariants(sizes in prop::collection::vec(1u64..200, 1..20), frees in prop::collection::vec(any::<prop::sample::Index>(), 0..12)) {
+/// Live allocations never overlap, interior-pointer lookup agrees with
+/// the allocation bounds, and freeing everything allows a maximal
+/// reallocation (full coalescing).
+#[test]
+fn heap_invariants() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0x4EA9 + case);
+        let sizes: Vec<u64> = (0..rng.gen_range(1, 20))
+            .map(|_| rng.gen_range(1, 200) as u64)
+            .collect();
+        let nfrees = rng.gen_range(0, 12) as usize;
+
         let h = Heap::new(0, 64 << 10);
         let mut live: Vec<dse_runtime::Allocation> = Vec::new();
         for &s in &sizes {
             let a = h.alloc(s).expect("arena is large enough");
             live.push(a);
         }
-        for idx in &frees {
-            if live.is_empty() { break; }
-            let i = idx.index(live.len());
+        for _ in 0..nfrees {
+            if live.is_empty() {
+                break;
+            }
+            let i = rng.gen_index(live.len());
             let a = live.swap_remove(i);
-            prop_assert!(h.free(a.base).is_some());
+            assert!(h.free(a.base).is_some(), "case {case}");
         }
         // No overlap among the live set.
         let mut sorted = live.clone();
         sorted.sort_by_key(|a| a.base);
         for w in sorted.windows(2) {
-            prop_assert!(w[0].base + w[0].size <= w[1].base, "overlap: {:?}", w);
+            assert!(
+                w[0].base + w[0].size <= w[1].base,
+                "case {case} overlap: {w:?}"
+            );
         }
         // Interior pointers resolve to their allocation; bases match.
         for a in &live {
             let mid = a.base + a.size / 2;
-            prop_assert_eq!(h.containing(mid), Some(*a));
-            prop_assert_eq!(h.at_base(a.base), Some(*a));
+            assert_eq!(h.containing(mid), Some(*a), "case {case}");
+            assert_eq!(h.at_base(a.base), Some(*a), "case {case}");
         }
         // Free the rest; the arena coalesces back to one block.
         for a in live {
-            prop_assert!(h.free(a.base).is_some());
+            assert!(h.free(a.base).is_some(), "case {case}");
         }
-        prop_assert_eq!(h.live_bytes(), 0);
-        prop_assert!(h.alloc((64 << 10) - 32).is_some());
+        assert_eq!(h.live_bytes(), 0, "case {case}");
+        assert!(h.alloc((64 << 10) - 32).is_some(), "case {case}");
     }
 }

@@ -1,7 +1,7 @@
 //! End-to-end execution tests: Cee source → AST → bytecode → VM.
 
-use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
 use dse_ir::loops::ParMode;
+use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
 use dse_runtime::{Value, Vm, VmConfig, VmError};
 
 /// Compiles and runs `src` serially, returning `main`'s value.
@@ -33,13 +33,28 @@ fn run_err(src: &str) -> VmError {
 fn run_parallel(src: &str, n: u32, mode: ParMode) -> i64 {
     let ast = dse_lang::compile_to_ast(src).expect("frontend");
     let cands = dse_ir::loops::find_candidate_loops(&ast).expect("candidates");
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     for c in &cands {
-        opts.par.insert(c.label.clone(), ParLoopSpec { mode, sync_window: None });
+        opts.par.insert(
+            c.label.clone(),
+            ParLoopSpec {
+                mode,
+                sync_window: None,
+            },
+        );
     }
     let compiled = dse_ir::lower_program(&ast, &opts).expect("lowering");
-    let mut vm = Vm::new(compiled, VmConfig { nthreads: n, ..Default::default() })
-        .expect("vm");
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: n,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
     let report = vm.run().expect("run");
     match report.return_value {
         Some(Value::I(v)) => v,
@@ -70,8 +85,14 @@ fn bitwise_and_shifts() {
 
 #[test]
 fn comparisons_and_logic() {
-    assert_eq!(run("int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }"), 3);
-    assert_eq!(run("int main() { return (1 && 2) + (0 || 3 > 2) + !5 + !0; }"), 3);
+    assert_eq!(
+        run("int main() { return (3 < 4) + (4 <= 4) + (5 > 4) + (4 >= 5); }"),
+        3
+    );
+    assert_eq!(
+        run("int main() { return (1 && 2) + (0 || 3 > 2) + !5 + !0; }"),
+        3
+    );
 }
 
 #[test]
@@ -85,7 +106,10 @@ fn short_circuit_avoids_side_effects() {
 
 #[test]
 fn ternary_and_nested_ifs() {
-    assert_eq!(run("int main() { int a; a = 7; return a > 5 ? a * 2 : a; }"), 14);
+    assert_eq!(
+        run("int main() { int a; a = 7; return a > 5 ? a * 2 : a; }"),
+        14
+    );
     assert_eq!(
         run("int main() { int a; a = 3;
               if (a == 1) { return 10; } else if (a == 3) { return 30; }
@@ -158,8 +182,14 @@ fn char_and_short_truncate_and_sign_extend() {
 
 #[test]
 fn float_arithmetic_and_conversion() {
-    assert_eq!(run("int main() { float x; x = 7.5; return (int)(x * 2.0); }"), 15);
-    assert_eq!(run("int main() { float x; x = 1; return (int)((x + 0.5) * 4.0); }"), 6);
+    assert_eq!(
+        run("int main() { float x; x = 7.5; return (int)(x * 2.0); }"),
+        15
+    );
+    assert_eq!(
+        run("int main() { float x; x = 1; return (int)((x + 0.5) * 4.0); }"),
+        6
+    );
     assert_eq!(run("int main() { return (int)fsqrt(144.0); }"), 12);
     assert_eq!(run("int main() { return (int)fabs(0.0 - 8.5); }"), 8);
 }
@@ -180,8 +210,10 @@ fn float_comparisons_drive_branches() {
 #[test]
 fn function_calls_and_recursion() {
     assert_eq!(
-        run("int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
-             int main() { return fib(15); }"),
+        run(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+             int main() { return fib(15); }"
+        ),
         610
     );
 }
@@ -193,8 +225,8 @@ fn mutual_recursion() {
              int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); }
              int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); }
              int main() { return is_even(10) * 10 + is_odd(7); }"
-        .replace("int is_odd(int n);", "")
-        .as_str()),
+            .replace("int is_odd(int n);", "")
+            .as_str()),
         11
     );
 }
@@ -470,15 +502,27 @@ fn doacross_ordered_updates_match_serial() {
         return r; }";
     let serial = run(src);
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "chain".into(),
-        ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((0, 0)) },
+        ParLoopSpec {
+            mode: ParMode::DoAcross,
+            sync_window: Some((0, 0)),
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
     for n in [2, 4, 8] {
-        let mut vm =
-            Vm::new(compiled.clone(), VmConfig { nthreads: n, ..Default::default() }).unwrap();
+        let mut vm = Vm::new(
+            compiled.clone(),
+            VmConfig {
+                nthreads: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = vm.run().unwrap();
         assert_eq!(report.return_value, Some(Value::I(serial)), "n={n}");
         assert!(report.counters.sync_ops > 0);
@@ -533,13 +577,26 @@ fn worker_trap_propagates() {
         free(a);
         return 0; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
-        ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+        ParLoopSpec {
+            mode: ParMode::DoAll,
+            sync_window: None,
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
-    let mut vm = Vm::new(compiled, VmConfig { nthreads: 4, ..Default::default() }).unwrap();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let e = vm.run().expect_err("expected trap");
     assert!(e.msg.contains("division"), "{e}");
 }
@@ -552,13 +609,26 @@ fn doacross_worker_trap_does_not_deadlock() {
         for (int i = 0; i < 50; i++) { g = g + 10 / (z + (i < 25)); }
         return g; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
-        ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((0, 0)) },
+        ParLoopSpec {
+            mode: ParMode::DoAcross,
+            sync_window: Some((0, 0)),
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
-    let mut vm = Vm::new(compiled, VmConfig { nthreads: 4, ..Default::default() }).unwrap();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let e = vm.run().expect_err("expected trap");
     assert!(e.msg.contains("division"), "{e}");
 }
@@ -580,14 +650,15 @@ fn counters_report_work() {
 
 #[test]
 fn instruction_budget_traps() {
-    let ast = dse_lang::compile_to_ast(
-        "int main() { int i; i = 0; while (1) { i++; } return i; }",
-    )
-    .unwrap();
+    let ast = dse_lang::compile_to_ast("int main() { int i; i = 0; while (1) { i++; } return i; }")
+        .unwrap();
     let compiled = dse_ir::lower_program(&ast, &LowerOptions::default()).unwrap();
     let mut vm = Vm::new(
         compiled,
-        VmConfig { max_instructions: 10_000, ..Default::default() },
+        VmConfig {
+            max_instructions: 10_000,
+            ..Default::default()
+        },
     )
     .unwrap();
     let e = vm.run().expect_err("expected trap");
@@ -620,10 +691,17 @@ fn localize_translates_heap_accesses() {
     for (_, info) in compiled_plain.sites.iter() {
         localize.insert((info.eid, info.kind));
     }
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, localize, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        localize,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
-        ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((0, 1)) },
+        ParLoopSpec {
+            mode: ParMode::DoAcross,
+            sync_window: Some((0, 1)),
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
     let mut vm = Vm::new(compiled, VmConfig::default()).unwrap();
@@ -652,10 +730,16 @@ fn fused_frame_addr_tid_semantics() {
         for (int t = 0; t < 4; t++) { s += slots[t]; }
         return s; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
-        ParLoopSpec { mode: ParMode::DoAll, sync_window: None },
+        ParLoopSpec {
+            mode: ParMode::DoAll,
+            sync_window: None,
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
     assert!(
@@ -666,9 +750,14 @@ fn fused_frame_addr_tid_semantics() {
         "peephole should fire for slots[__tid()]"
     );
     for n in [1u32, 2, 4] {
-        let mut vm =
-            Vm::new(compiled.clone(), VmConfig { nthreads: n, ..Default::default() })
-                .unwrap();
+        let mut vm = Vm::new(
+            compiled.clone(),
+            VmConfig {
+                nthreads: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = vm.run().unwrap();
         assert_eq!(report.return_value, Some(Value::I(40)), "n={n}");
     }
@@ -676,6 +765,13 @@ fn fused_frame_addr_tid_semantics() {
 
 /// The `__tid() * S / Z` constant-span offset folds to TidScaled and the
 /// naive-redirection flag restores the long form; both compute the same.
+///
+/// The whole body runs as the ordered section (sync window spans every
+/// statement): this program is *unexpanded*, so its body locals (`base`,
+/// `a`, the inner `k`s) live in the master's shared frame and would race
+/// under overlapped iterations. Full ordering makes both runs
+/// deterministic while preserving what the test measures — the peephole's
+/// output equivalence and instruction-count advantage.
 #[test]
 fn tid_scaled_peephole_matches_naive() {
     let src = "int main() {
@@ -702,11 +798,20 @@ fn tid_scaled_peephole_matches_naive() {
         };
         opts.par.insert(
             "hot".into(),
-            ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((4, 4)) },
+            ParLoopSpec {
+                mode: ParMode::DoAcross,
+                sync_window: Some((0, 6)),
+            },
         );
         let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
-        let mut vm =
-            Vm::new(compiled, VmConfig { nthreads: 3, ..Default::default() }).unwrap();
+        let mut vm = Vm::new(
+            compiled,
+            VmConfig {
+                nthreads: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = vm.run().unwrap();
         results.push((vm.outputs_int(), report.counters.work));
     }
@@ -744,7 +849,14 @@ fn realloc_expanded_moves_every_copy() {
         return ok; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
     let compiled = dse_ir::lower_program(&ast, &LowerOptions::default()).unwrap();
-    let mut vm = Vm::new(compiled, VmConfig { nthreads: 3, ..Default::default() }).unwrap();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 3,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(vm.run().unwrap().return_value, Some(Value::I(1)));
 }
 
@@ -799,15 +911,24 @@ fn iteration_cost_recording_segments() {
         free(a);
         return r; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
-        ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((1, 1)) },
+        ParLoopSpec {
+            mode: ParMode::DoAcross,
+            sync_window: Some((1, 1)),
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
     let mut vm = Vm::new(
         compiled,
-        VmConfig { record_iteration_costs: true, ..Default::default() },
+        VmConfig {
+            record_iteration_costs: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     vm.run().unwrap();
@@ -845,18 +966,29 @@ fn doacross_ordered_append_is_in_order() {
           free(seq);
           return ok; }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
-    let mut opts = LowerOptions { mode: LowerMode::Parallel, ..Default::default() };
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
     opts.par.insert(
         "hot".into(),
         // The window covers the two append statements only: the spin work
         // overlaps across threads, the appends are ordered.
-        ParLoopSpec { mode: ParMode::DoAcross, sync_window: Some((3, 4)) },
+        ParLoopSpec {
+            mode: ParMode::DoAcross,
+            sync_window: Some((3, 4)),
+        },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
     for n in [2u32, 4, 8] {
-        let mut vm =
-            Vm::new(compiled.clone(), VmConfig { nthreads: n, ..Default::default() })
-                .unwrap();
+        let mut vm = Vm::new(
+            compiled.clone(),
+            VmConfig {
+                nthreads: n,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let report = vm.run().unwrap();
         assert_eq!(report.return_value, Some(Value::I(1)), "n={n}");
         assert!(report.counters.sync_ops > 0);
@@ -870,6 +1002,13 @@ fn tid_and_nthreads_outside_parallel() {
     let src = "int main() { return (int)(__tid() * 100 + __nthreads()); }";
     let ast = dse_lang::compile_to_ast(src).unwrap();
     let compiled = dse_ir::lower_program(&ast, &LowerOptions::default()).unwrap();
-    let mut vm = Vm::new(compiled, VmConfig { nthreads: 6, ..Default::default() }).unwrap();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 6,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(vm.run().unwrap().return_value, Some(Value::I(6)));
 }

@@ -1,0 +1,30 @@
+//! Telemetry for the expansion pipeline.
+//!
+//! Three pieces, all dependency-free (the JSON layer is hand-rolled so the
+//! workspace builds offline):
+//!
+//! * [`phase`] — a nestable wall-clock timer. The compiler records one
+//!   [`phase::PhaseSpan`] per pipeline stage (parse, lower, profile,
+//!   classify, plan, xform), each carrying size stats such as AST nodes or
+//!   instruction counts.
+//! * [`metrics`] — [`metrics::RunMetrics`], a serializable snapshot of one
+//!   `dsec` invocation: phase timeline, the VM's aggregate and per-thread
+//!   Figure-12 counters, peak heap, per-loop profile stats, and the
+//!   expansion tallies.
+//! * [`trace`] — [`trace::TraceObserver`], a [`dse_runtime::Observer`]
+//!   that streams every sited access, candidate-loop event and heap event
+//!   as one JSON object per line (JSONL).
+//!
+//! The serialization format is documented in `DESIGN.md` ("Observability")
+//! and is stable enough to diff across runs: object keys are emitted in a
+//! fixed order and all times are integer nanoseconds.
+
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod trace;
+
+pub use json::Json;
+pub use metrics::{ExpansionStats, LoopStat, RunMetrics};
+pub use phase::{PhaseSpan, PhaseTimer};
+pub use trace::TraceObserver;

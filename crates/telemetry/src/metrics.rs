@@ -1,0 +1,395 @@
+//! [`RunMetrics`]: a serializable snapshot of one pipeline invocation.
+//!
+//! Built by `dsec` (and the figures harness) from the phase timeline, the
+//! dependence profile, the expansion report and — when the program is
+//! executed — the VM's [`RunReport`]. Emitted as a single JSON document
+//! via [`RunMetrics::to_json`]; [`RunMetrics::from_json`] reconstructs it
+//! for tooling and tests.
+
+use crate::json::Json;
+use crate::phase::PhaseSpan;
+use dse_runtime::vm::{Counters, RunReport};
+
+/// Profile-time stats for one candidate loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopStat {
+    /// Candidate loop id (stable across the pipeline).
+    pub loop_id: u32,
+    /// Human-readable label from the frontend.
+    pub label: String,
+    /// Iterations observed during the profiling run.
+    pub iterations: u64,
+    /// Sited memory accesses observed inside the loop.
+    pub accesses: u64,
+    /// VM instructions attributed to the loop.
+    pub instructions: u64,
+}
+
+/// Expansion-transform tallies (mirrors `dse-core`'s report; kept as plain
+/// counters here so telemetry does not depend on the compiler crate).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExpansionStats {
+    /// Expanded heap allocation sites.
+    pub expanded_allocs: u64,
+    /// Expanded globals.
+    pub expanded_globals: u64,
+    /// Expanded aggregate locals.
+    pub expanded_locals: u64,
+    /// Expanded scalar locals (classic scalar expansion).
+    pub expanded_scalar_locals: u64,
+    /// Promoted (fat) pointer types.
+    pub fat_pointer_types: u64,
+    /// Promoted span-carrying integers.
+    pub fat_int_vars: u64,
+    /// Private access sites redirected to `v[tid]` addressing.
+    pub private_accesses_redirected: u64,
+    /// Span stores emitted.
+    pub span_stores_emitted: u64,
+    /// Span stores elided by the `p = p ± c` rule.
+    pub span_stores_elided: u64,
+}
+
+impl ExpansionStats {
+    /// Distinct data structures privatized (allocs + globals + aggregate
+    /// locals).
+    pub fn privatized_structures(&self) -> u64 {
+        self.expanded_allocs + self.expanded_globals + self.expanded_locals
+    }
+}
+
+/// VM execution stats: Figure-12 counters in aggregate and per thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Counters summed over all threads.
+    pub totals: Counters,
+    /// Counters by worker index (`per_thread[tid]`; index 0 = master).
+    pub per_thread: Vec<Counters>,
+    /// High-water mark of live heap bytes.
+    pub peak_heap_bytes: u64,
+}
+
+impl VmStats {
+    /// Snapshot of a finished run.
+    pub fn from_report(report: &RunReport) -> VmStats {
+        VmStats {
+            totals: report.counters,
+            per_thread: report.per_thread.clone(),
+            peak_heap_bytes: report.peak_heap_bytes,
+        }
+    }
+}
+
+/// The full telemetry snapshot for one invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunMetrics {
+    /// Source program path or name.
+    pub program: String,
+    /// Thread count the program was transformed/run for.
+    pub threads: u32,
+    /// Optimization level (`"none"` or `"full"`).
+    pub opt: String,
+    /// Phase timeline: parse, lower, profile, classify, plan, xform.
+    pub phases: Vec<PhaseSpan>,
+    /// Per-candidate-loop profile stats.
+    pub loops: Vec<LoopStat>,
+    /// Expansion tallies; `None` when the transform was not run.
+    pub expansion: Option<ExpansionStats>,
+    /// Execution stats; `None` without `--run`.
+    pub vm: Option<VmStats>,
+}
+
+/// Serializes Figure-12 counters as a flat object.
+pub fn counters_to_json(c: &Counters) -> Json {
+    Json::obj(vec![
+        ("work", Json::Int(c.work as i64)),
+        ("wait_spins", Json::Int(c.wait_spins as i64)),
+        ("sync_ops", Json::Int(c.sync_ops as i64)),
+        ("localize_calls", Json::Int(c.localize_calls as i64)),
+        (
+            "localize_copied_bytes",
+            Json::Int(c.localize_copied_bytes as i64),
+        ),
+        ("private_direct", Json::Int(c.private_direct as i64)),
+    ])
+}
+
+/// Parses [`counters_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the name of the first missing or mistyped field.
+pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| format!("counters missing integer field '{name}'"))
+    };
+    Ok(Counters {
+        work: field("work")?,
+        wait_spins: field("wait_spins")?,
+        sync_ops: field("sync_ops")?,
+        localize_calls: field("localize_calls")?,
+        localize_copied_bytes: field("localize_copied_bytes")?,
+        private_direct: field("private_direct")?,
+    })
+}
+
+impl RunMetrics {
+    /// Serializes the snapshot as a single JSON document.
+    pub fn to_json(&self) -> Json {
+        let loops = self
+            .loops
+            .iter()
+            .map(|l| {
+                Json::obj(vec![
+                    ("loop_id", Json::Int(l.loop_id as i64)),
+                    ("label", Json::Str(l.label.clone())),
+                    ("iterations", Json::Int(l.iterations as i64)),
+                    ("accesses", Json::Int(l.accesses as i64)),
+                    ("instructions", Json::Int(l.instructions as i64)),
+                ])
+            })
+            .collect();
+        let expansion = match &self.expansion {
+            None => Json::Null,
+            Some(e) => Json::obj(vec![
+                ("expanded_allocs", Json::Int(e.expanded_allocs as i64)),
+                ("expanded_globals", Json::Int(e.expanded_globals as i64)),
+                ("expanded_locals", Json::Int(e.expanded_locals as i64)),
+                (
+                    "expanded_scalar_locals",
+                    Json::Int(e.expanded_scalar_locals as i64),
+                ),
+                ("fat_pointer_types", Json::Int(e.fat_pointer_types as i64)),
+                ("fat_int_vars", Json::Int(e.fat_int_vars as i64)),
+                (
+                    "private_accesses_redirected",
+                    Json::Int(e.private_accesses_redirected as i64),
+                ),
+                (
+                    "span_stores_emitted",
+                    Json::Int(e.span_stores_emitted as i64),
+                ),
+                ("span_stores_elided", Json::Int(e.span_stores_elided as i64)),
+                (
+                    "privatized_structures",
+                    Json::Int(e.privatized_structures() as i64),
+                ),
+            ]),
+        };
+        let vm = match &self.vm {
+            None => Json::Null,
+            Some(s) => Json::obj(vec![
+                ("totals", counters_to_json(&s.totals)),
+                (
+                    "per_thread",
+                    Json::Arr(s.per_thread.iter().map(counters_to_json).collect()),
+                ),
+                ("peak_heap_bytes", Json::Int(s.peak_heap_bytes as i64)),
+            ]),
+        };
+        Json::obj(vec![
+            ("program", Json::Str(self.program.clone())),
+            ("threads", Json::Int(self.threads as i64)),
+            ("opt", Json::Str(self.opt.clone())),
+            (
+                "phases",
+                Json::Arr(self.phases.iter().map(PhaseSpan::to_json).collect()),
+            ),
+            ("loops", Json::Arr(loops)),
+            ("expansion", expansion),
+            ("vm", vm),
+        ])
+    }
+
+    /// Reconstructs a snapshot from [`RunMetrics::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<RunMetrics, String> {
+        let str_field = |name: &str| -> Result<String, String> {
+            v.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("metrics missing string field '{name}'"))
+        };
+        let phases = v
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("metrics missing array 'phases'")?
+            .iter()
+            .map(PhaseSpan::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let loops = v
+            .get("loops")
+            .and_then(Json::as_arr)
+            .ok_or("metrics missing array 'loops'")?
+            .iter()
+            .map(|l| {
+                let int = |name: &str| -> Result<u64, String> {
+                    l.get(name)
+                        .and_then(Json::as_i64)
+                        .map(|n| n.max(0) as u64)
+                        .ok_or_else(|| format!("loop stat missing integer '{name}'"))
+                };
+                Ok(LoopStat {
+                    loop_id: int("loop_id")? as u32,
+                    label: l
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or("loop stat missing 'label'")?
+                        .to_string(),
+                    iterations: int("iterations")?,
+                    accesses: int("accesses")?,
+                    instructions: int("instructions")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let expansion = match v.get("expansion") {
+            None | Some(Json::Null) => None,
+            Some(e) => {
+                let int = |name: &str| -> Result<u64, String> {
+                    e.get(name)
+                        .and_then(Json::as_i64)
+                        .map(|n| n.max(0) as u64)
+                        .ok_or_else(|| format!("expansion missing integer '{name}'"))
+                };
+                Some(ExpansionStats {
+                    expanded_allocs: int("expanded_allocs")?,
+                    expanded_globals: int("expanded_globals")?,
+                    expanded_locals: int("expanded_locals")?,
+                    expanded_scalar_locals: int("expanded_scalar_locals")?,
+                    fat_pointer_types: int("fat_pointer_types")?,
+                    fat_int_vars: int("fat_int_vars")?,
+                    private_accesses_redirected: int("private_accesses_redirected")?,
+                    span_stores_emitted: int("span_stores_emitted")?,
+                    span_stores_elided: int("span_stores_elided")?,
+                })
+            }
+        };
+        let vm = match v.get("vm") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(VmStats {
+                totals: counters_from_json(s.get("totals").ok_or("vm stats missing 'totals'")?)?,
+                per_thread: s
+                    .get("per_thread")
+                    .and_then(Json::as_arr)
+                    .ok_or("vm stats missing array 'per_thread'")?
+                    .iter()
+                    .map(counters_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+                peak_heap_bytes: s
+                    .get("peak_heap_bytes")
+                    .and_then(Json::as_i64)
+                    .ok_or("vm stats missing 'peak_heap_bytes'")?
+                    .max(0) as u64,
+            }),
+        };
+        Ok(RunMetrics {
+            program: str_field("program")?,
+            threads: v
+                .get("threads")
+                .and_then(Json::as_i64)
+                .ok_or("metrics missing integer 'threads'")?
+                .max(0) as u32,
+            opt: str_field("opt")?,
+            phases,
+            loops,
+            expansion,
+            vm,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn sample() -> RunMetrics {
+        let counters = |base: u64| Counters {
+            work: base,
+            wait_spins: base + 1,
+            sync_ops: base + 2,
+            localize_calls: base + 3,
+            localize_copied_bytes: base + 4,
+            private_direct: base + 5,
+        };
+        RunMetrics {
+            program: "examples/scratch.cee".into(),
+            threads: 4,
+            opt: "full".into(),
+            phases: vec![PhaseSpan {
+                name: "parse".into(),
+                duration: Duration::from_nanos(98_765),
+                stats: vec![("ast_nodes".into(), 42)],
+                children: vec![],
+            }],
+            loops: vec![LoopStat {
+                loop_id: 0,
+                label: "main#0".into(),
+                iterations: 100,
+                accesses: 5_000,
+                instructions: 60_000,
+            }],
+            expansion: Some(ExpansionStats {
+                expanded_allocs: 1,
+                expanded_globals: 2,
+                expanded_locals: 3,
+                expanded_scalar_locals: 4,
+                fat_pointer_types: 5,
+                fat_int_vars: 6,
+                private_accesses_redirected: 7,
+                span_stores_emitted: 8,
+                span_stores_elided: 9,
+            }),
+            vm: Some(VmStats {
+                totals: counters(1000),
+                per_thread: vec![counters(400), counters(600)],
+                peak_heap_bytes: 4096,
+            }),
+        }
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let m = sample();
+        let text = m.to_json().to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(RunMetrics::from_json(&parsed).unwrap(), m);
+    }
+
+    #[test]
+    fn metrics_without_run_round_trips() {
+        let mut m = sample();
+        m.vm = None;
+        m.expansion = None;
+        let text = m.to_json().to_string();
+        assert_eq!(
+            RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn counters_round_trip() {
+        let c = Counters {
+            work: 9,
+            wait_spins: 8,
+            sync_ops: 7,
+            localize_calls: 6,
+            localize_copied_bytes: 5,
+            private_direct: 4,
+        };
+        let v = counters_to_json(&c);
+        assert_eq!(counters_from_json(&v).unwrap(), c);
+    }
+
+    #[test]
+    fn privatized_structures_counts_data_structures_only() {
+        let e = sample().expansion.unwrap();
+        assert_eq!(e.privatized_structures(), 6);
+    }
+}

@@ -1,0 +1,260 @@
+//! Nestable wall-clock phase timing.
+//!
+//! [`PhaseTimer`] maintains a stack of open spans; finished spans attach
+//! to their parent (or to the top-level list), producing a tree of
+//! [`PhaseSpan`]s. Spans carry integer *stats* (AST nodes, instruction
+//! counts, candidate loops, …) so a timeline is also a size profile of
+//! the pipeline.
+
+use crate::json::Json;
+use std::time::{Duration, Instant};
+
+/// One completed, possibly-nested timing span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSpan {
+    /// Phase name (e.g. `parse`, `lower`, `profile`).
+    pub name: String,
+    /// Wall-clock duration.
+    pub duration: Duration,
+    /// Integer size stats attached via [`PhaseTimer::stat`], in insertion
+    /// order.
+    pub stats: Vec<(String, i64)>,
+    /// Sub-phases timed while this span was open.
+    pub children: Vec<PhaseSpan>,
+}
+
+impl PhaseSpan {
+    /// Serializes the span (and its subtree) to JSON:
+    /// `{"phase": ..., "ns": ..., "ms": ..., "stats": {...}, "children": [...]}`.
+    /// `ns` is authoritative (integer nanoseconds); `ms` is a rounded
+    /// convenience for human readers and is ignored by [`PhaseSpan::from_json`].
+    pub fn to_json(&self) -> Json {
+        let ns = self.duration.as_nanos().min(i64::MAX as u128) as i64;
+        Json::obj(vec![
+            ("phase", Json::Str(self.name.clone())),
+            ("ns", Json::Int(ns)),
+            ("ms", Json::Float(ns as f64 / 1e6)),
+            (
+                "stats",
+                Json::Obj(
+                    self.stats
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Int(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "children",
+                Json::Arr(self.children.iter().map(PhaseSpan::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a span from [`PhaseSpan::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(v: &Json) -> Result<PhaseSpan, String> {
+        let name = v
+            .get("phase")
+            .and_then(Json::as_str)
+            .ok_or("span missing string field 'phase'")?
+            .to_string();
+        let ns = v
+            .get("ns")
+            .and_then(Json::as_i64)
+            .ok_or("span missing integer 'ns'")?;
+        let stats = match v.get("stats") {
+            Some(Json::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, val)| {
+                    val.as_i64()
+                        .map(|n| (k.clone(), n))
+                        .ok_or_else(|| format!("stat '{k}' is not an integer"))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("'stats' is not an object".into()),
+        };
+        let children = match v.get("children") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(PhaseSpan::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            None => Vec::new(),
+            Some(_) => return Err("'children' is not an array".into()),
+        };
+        Ok(PhaseSpan {
+            name,
+            duration: Duration::from_nanos(ns.max(0) as u64),
+            stats,
+            children,
+        })
+    }
+
+    /// Renders the subtree as indented `name  time  (stats)` lines, the
+    /// human form printed by `dsec --timing`.
+    pub fn render(&self, indent: usize, out: &mut String) {
+        let ms = self.duration.as_secs_f64() * 1e3;
+        out.push_str(&format!("{:indent$}{:<10} {:>9.3} ms", "", self.name, ms));
+        if !self.stats.is_empty() {
+            let stats: Vec<String> = self.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("  ({})", stats.join(", ")));
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render(indent + 2, out);
+        }
+    }
+}
+
+struct OpenSpan {
+    span: PhaseSpan,
+    started: Instant,
+}
+
+/// Records a tree of [`PhaseSpan`]s via a start/finish stack.
+///
+/// ```
+/// use dse_telemetry::PhaseTimer;
+/// let mut t = PhaseTimer::new();
+/// t.start("parse");
+/// t.stat("ast_nodes", 120);
+/// t.finish();
+/// let spans = t.into_spans();
+/// assert_eq!(spans[0].name, "parse");
+/// ```
+#[derive(Default)]
+pub struct PhaseTimer {
+    open: Vec<OpenSpan>,
+    finished: Vec<PhaseSpan>,
+}
+
+impl PhaseTimer {
+    /// A timer with no spans.
+    pub fn new() -> PhaseTimer {
+        PhaseTimer::default()
+    }
+
+    /// Opens a span; nested under the currently open span, if any.
+    pub fn start(&mut self, name: &str) {
+        self.open.push(OpenSpan {
+            span: PhaseSpan {
+                name: name.to_string(),
+                duration: Duration::ZERO,
+                stats: Vec::new(),
+                children: Vec::new(),
+            },
+            started: Instant::now(),
+        });
+    }
+
+    /// Attaches a size stat to the innermost open span. With no span open
+    /// (stat computed after the phase ended), attaches to the most
+    /// recently finished top-level span instead.
+    pub fn stat(&mut self, key: &str, value: i64) {
+        let stats = match self.open.last_mut() {
+            Some(o) => &mut o.span.stats,
+            None => match self.finished.last_mut() {
+                Some(s) => &mut s.stats,
+                None => return,
+            },
+        };
+        stats.push((key.to_string(), value));
+    }
+
+    /// Closes the innermost open span, recording its duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open (indicates mismatched start/finish).
+    pub fn finish(&mut self) {
+        let o = self
+            .open
+            .pop()
+            .expect("PhaseTimer::finish with no open span");
+        let mut span = o.span;
+        span.duration = o.started.elapsed();
+        match self.open.last_mut() {
+            Some(parent) => parent.span.children.push(span),
+            None => self.finished.push(span),
+        }
+    }
+
+    /// Times `f` as a span named `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.start(name);
+        let out = f();
+        self.finish();
+        out
+    }
+
+    /// The completed top-level spans, in completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a span is still open.
+    pub fn into_spans(self) -> Vec<PhaseSpan> {
+        assert!(self.open.is_empty(), "PhaseTimer dropped with open spans");
+        self.finished
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nests_spans_and_attaches_stats() {
+        let mut t = PhaseTimer::new();
+        t.start("outer");
+        t.stat("items", 3);
+        t.time("inner", || std::hint::black_box(2 + 2));
+        t.finish();
+        t.start("after");
+        t.finish();
+        t.stat("late", 1);
+        let spans = t.into_spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "outer");
+        assert_eq!(spans[0].stats, vec![("items".to_string(), 3)]);
+        assert_eq!(spans[0].children.len(), 1);
+        assert_eq!(spans[0].children[0].name, "inner");
+        assert_eq!(spans[1].stats, vec![("late".to_string(), 1)]);
+        assert!(spans[0].duration >= spans[0].children[0].duration);
+    }
+
+    #[test]
+    fn span_json_round_trips() {
+        let span = PhaseSpan {
+            name: "profile".into(),
+            duration: Duration::from_nanos(1_234_567),
+            stats: vec![("loops".into(), 4), ("accesses".into(), 99)],
+            children: vec![PhaseSpan {
+                name: "ddg".into(),
+                duration: Duration::from_nanos(456),
+                stats: vec![],
+                children: vec![],
+            }],
+        };
+        let v = span.to_json();
+        let text = v.to_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(PhaseSpan::from_json(&parsed).unwrap(), span);
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let mut t = PhaseTimer::new();
+        t.start("a");
+        t.time("b", || ());
+        t.finish();
+        let spans = t.into_spans();
+        let mut out = String::new();
+        spans[0].render(0, &mut out);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].starts_with('a'));
+        assert!(lines[1].starts_with("  b"));
+    }
+}

@@ -24,8 +24,10 @@
 
 use dse_ir::loops::ParMode;
 use dse_runtime::VmConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+
+pub mod rng;
+
+use rng::Rng;
 
 /// Input size class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,7 +73,7 @@ pub struct Workload {
 impl Workload {
     /// Deterministic integer inputs at the given scale.
     pub fn inputs(&self, scale: Scale) -> Vec<i64> {
-        let mut rng = StdRng::seed_from_u64(0xD5E0 + self.name.len() as u64);
+        let mut rng = Rng::seed_from_u64(0xD5E0 + self.name.len() as u64);
         match self.name {
             "dijkstra" => {
                 let (n, npairs) = match scale {
@@ -81,7 +83,11 @@ impl Workload {
                 let mut v = vec![n, npairs];
                 for _ in 0..n * n {
                     // ~35% edges with weights 1..100.
-                    let w = if rng.gen_ratio(35, 100) { rng.gen_range(1..100) } else { 0 };
+                    let w = if rng.gen_ratio(35, 100) {
+                        rng.gen_range(1, 100)
+                    } else {
+                        0
+                    };
                     v.push(w);
                 }
                 v
@@ -93,7 +99,7 @@ impl Workload {
                 };
                 let mut v = vec![nmsg, nblocks];
                 for _ in 0..nmsg {
-                    v.push(rng.gen_range(1..0x7fff_ffff));
+                    v.push(rng.gen_range(1, 0x7fff_ffff));
                 }
                 v
             }
@@ -102,16 +108,16 @@ impl Workload {
                     Scale::Profile => (1, 2, 2, 2),
                     Scale::Bench => (2, 4, 6, 5),
                 };
-                vec![frames, rows, cols, search, rng.gen_range(1..1 << 30)]
+                vec![frames, rows, cols, search, rng.gen_range(1, 1 << 30)]
             }
             "mpeg2dec" => {
                 let (pics, blocks) = match scale {
                     Scale::Profile => (2, 6),
                     Scale::Bench => (6, 330),
                 };
-                let mut v = vec![pics, blocks, rng.gen_range(1..1 << 30)];
+                let mut v = vec![pics, blocks, rng.gen_range(1, 1 << 30)];
                 for _ in 0..64 {
-                    v.push(rng.gen_range(1..32));
+                    v.push(rng.gen_range(1, 32));
                 }
                 v
             }
@@ -120,23 +126,23 @@ impl Workload {
                     Scale::Profile => (1, 3, 2),
                     Scale::Bench => (3, 20, 6),
                 };
-                vec![frames, nmb, search, rng.gen_range(1..1 << 30)]
+                vec![frames, nmb, search, rng.gen_range(1, 1 << 30)]
             }
             "bzip2" => {
                 let (streams, blocks, minblk, varblk) = match scale {
                     Scale::Profile => (1, 6, 40, 30),
                     Scale::Bench => (2, 90, 600, 500),
                 };
-                vec![streams, blocks, minblk, varblk, rng.gen_range(1..1 << 30)]
+                vec![streams, blocks, minblk, varblk, rng.gen_range(1, 1 << 30)]
             }
             "hmmer" => {
                 let (reps, nseq, maxlen, nstates) = match scale {
                     Scale::Profile => (1, 6, 8, 4),
                     Scale::Bench => (2, 60, 48, 12),
                 };
-                let mut v = vec![reps, nseq, maxlen, nstates, rng.gen_range(1..1 << 30)];
+                let mut v = vec![reps, nseq, maxlen, nstates, rng.gen_range(1, 1 << 30)];
                 for _ in 0..nstates * 3 {
-                    v.push(rng.gen_range(-8..8));
+                    v.push(rng.gen_range(-8, 8));
                 }
                 v
             }
@@ -145,7 +151,7 @@ impl Workload {
                     Scale::Profile => (2, 24),
                     Scale::Bench => (12, 4000),
                 };
-                vec![steps, cells, rng.gen_range(1..1 << 30)]
+                vec![steps, cells, rng.gen_range(1, 1 << 30)]
             }
             other => unreachable!("unknown workload {other}"),
         }
@@ -297,8 +303,7 @@ mod tests {
     #[test]
     fn all_workloads_compile() {
         for w in all() {
-            dse_lang::compile_to_ast(w.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            dse_lang::compile_to_ast(w.source).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         }
     }
 
@@ -332,8 +337,7 @@ mod tests {
         for w in all() {
             let p = dse_lang::compile_to_ast(w.source).unwrap();
             let c = dse_ir::lower_program(&p, &Default::default()).unwrap();
-            let mut vm =
-                dse_runtime::Vm::new(c, w.vm_config(Scale::Profile)).unwrap();
+            let mut vm = dse_runtime::Vm::new(c, w.vm_config(Scale::Profile)).unwrap();
             let report = vm.run().unwrap_or_else(|e| panic!("{}: {e}", w.name));
             assert!(
                 !vm.outputs_int().is_empty(),

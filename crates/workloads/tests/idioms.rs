@@ -4,7 +4,6 @@
 
 use dse_core::{Analysis, OptLevel};
 use dse_depprof::DepKind;
-use dse_runtime::VmConfig;
 use dse_workloads::{by_name, Scale};
 
 fn analysis(name: &str) -> Analysis {

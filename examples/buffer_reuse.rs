@@ -58,11 +58,19 @@ fn run_and_report(name: &str, src: &str) -> Result<(), Box<dyn std::error::Error
     let t = analysis.transform(OptLevel::Full, 4)?;
     let mut serial = Vm::new(analysis.serial.clone(), VmConfig::default())?;
     serial.run()?;
-    let mut par =
-        Vm::new(t.parallel, VmConfig { nthreads: 4, ..Default::default() })?;
+    let mut par = Vm::new(
+        t.parallel,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    )?;
     par.run()?;
     assert_eq!(serial.outputs_int(), par.outputs_int());
-    println!("{name}: 4-thread run matches serial ({:?})", par.outputs_int());
+    println!(
+        "{name}: 4-thread run matches serial ({:?})",
+        par.outputs_int()
+    );
     Ok(())
 }
 

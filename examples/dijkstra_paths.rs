@@ -29,7 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ddg.site_counts.len(),
         ddg.edges.len()
     );
-    let carried_anti_out = ddg.sites_in_carried(&[DepKind::Anti, DepKind::Output]).len();
+    let carried_anti_out = ddg
+        .sites_in_carried(&[DepKind::Anti, DepKind::Output])
+        .len();
     println!("sites in loop-carried anti/output dependences: {carried_anti_out}");
 
     let cls = analysis.classification("main_loop").expect("classified");
@@ -55,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut par = Vm::new(t.parallel.clone(), cfg)?;
     par.run()?;
     assert_eq!(serial.outputs_int(), par.outputs_int());
-    println!("8-thread total path cost matches serial: {:?}", par.outputs_int());
+    println!(
+        "8-thread total path cost matches serial: {:?}",
+        par.outputs_int()
+    );
 
     // Simulate the 8-core schedule from measured per-iteration costs.
     let mut cfg = w.vm_config(Scale::Profile);

@@ -31,8 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ddg.total_accesses
         );
         for kind in [DepKind::Flow, DepKind::Anti, DepKind::Output] {
-            let carried = ddg.edges.iter().filter(|e| e.kind == kind && e.carried).count();
-            let indep = ddg.edges.iter().filter(|e| e.kind == kind && !e.carried).count();
+            let carried = ddg
+                .edges
+                .iter()
+                .filter(|e| e.kind == kind && e.carried)
+                .count();
+            let indep = ddg
+                .edges
+                .iter()
+                .filter(|e| e.kind == kind && !e.carried)
+                .count();
             println!("  {kind:?}: {indep} loop-independent, {carried} loop-carried");
         }
         println!(

@@ -54,10 +54,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     serial.run()?;
     let mut parallel = Vm::new(
         transformed.parallel,
-        VmConfig { nthreads: 4, ..Default::default() },
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
     )?;
     parallel.run()?;
     assert_eq!(serial.outputs_int(), parallel.outputs_int());
-    println!("parallel result matches serial: {:?}", parallel.outputs_int());
+    println!(
+        "parallel result matches serial: {:?}",
+        parallel.outputs_int()
+    );
     Ok(())
 }

@@ -42,8 +42,14 @@ const KITCHEN_SINK: &str = "
     }";
 
 fn outputs(compiled: dse_ir::bytecode::CompiledProgram, n: u32) -> Vec<i64> {
-    let mut vm =
-        Vm::new(compiled, VmConfig { nthreads: n, ..Default::default() }).unwrap();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: n,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     vm.run().unwrap();
     vm.outputs_int()
 }
@@ -82,7 +88,10 @@ fn kitchen_sink_report_covers_all_idiom_kinds() {
 fn simulated_schedule_beats_serial_only_with_narrow_window() {
     let analysis = Analysis::from_source(KITCHEN_SINK, VmConfig::default()).unwrap();
     let t = analysis.transform(OptLevel::Full, 4).unwrap();
-    let mut cfg = VmConfig { record_iteration_costs: true, ..Default::default() };
+    let mut cfg = VmConfig {
+        record_iteration_costs: true,
+        ..Default::default()
+    };
     cfg.nthreads = 1;
     let mut vm = Vm::new(t.parallel.clone(), cfg).unwrap();
     let report = vm.run().unwrap();
@@ -99,7 +108,10 @@ fn simulated_schedule_beats_serial_only_with_narrow_window() {
     // The accumulator window is one statement at the end of the body: the
     // loop must pipeline well.
     let speedup = s1.total_time / s4.total_time;
-    assert!(speedup > 2.0, "expected pipelined speedup, got {speedup:.2}");
+    assert!(
+        speedup > 2.0,
+        "expected pipelined speedup, got {speedup:.2}"
+    );
 }
 
 /// Programs without candidate loops pass through the pipeline unchanged.
@@ -124,4 +136,71 @@ fn transform_is_deterministic() {
     let t2 = a2.transform(OptLevel::Full, 4).unwrap();
     assert_eq!(t1.program, t2.program);
     assert_eq!(t1.report, t2.report);
+}
+
+/// Locates the `dsec` binary built alongside this test executable
+/// (`target/<profile>/dsec`); the workspace builds every bin target
+/// before integration tests run.
+fn dsec_binary() -> std::path::PathBuf {
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop(); // the test binary's own name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let bin = dir.join(format!("dsec{}", std::env::consts::EXE_SUFFIX));
+    assert!(
+        bin.exists(),
+        "dsec not found at {} — build the workspace first",
+        bin.display()
+    );
+    bin
+}
+
+#[test]
+fn dsec_metrics_agree_with_vm_report() {
+    use dse_telemetry::{Json, RunMetrics};
+
+    let dir = std::env::temp_dir().join(format!("dse-e2e-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let prog = dir.join("sink.cee");
+    std::fs::write(&prog, KITCHEN_SINK).unwrap();
+
+    let out = std::process::Command::new(dsec_binary())
+        .args([
+            prog.to_str().unwrap(),
+            "--run",
+            "--threads",
+            "4",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .expect("spawn dsec");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(out.status.success(), "dsec failed:\n{stderr}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with('{'))
+        .expect("metrics JSON on stdout");
+    let m = RunMetrics::from_json(&Json::parse(line).expect("parseable JSON"))
+        .expect("well-formed metrics");
+
+    // The per-thread Figure-12 counters must sum to the aggregate the VM
+    // reported (the `[N instructions, ...]` stderr line).
+    let vm = m.vm.expect("--run populates vm stats");
+    let per_thread_work: u64 = vm.per_thread.iter().map(|c| c.work).sum();
+    assert_eq!(per_thread_work, vm.totals.work);
+    let reported: u64 = stderr
+        .lines()
+        .find_map(|l| l.strip_prefix('[')?.split(' ').next()?.parse().ok())
+        .expect("instruction count on stderr");
+    assert_eq!(vm.totals.work, reported);
+
+    // DOACROSS scheduling of the kitchen sink shows up as sync activity.
+    assert!(vm.per_thread.len() == 4);
+    assert!(vm.totals.sync_ops > 0, "ordered window executed Wait/Post");
+
+    std::fs::remove_dir_all(&dir).ok();
 }
