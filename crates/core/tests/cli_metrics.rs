@@ -66,6 +66,23 @@ fn metrics_cover_phases_and_per_thread_counters() {
         .expect("instruction count on stderr");
     assert_eq!(vm.totals.work, reported);
 
+    // Allocator contention counters ride along: every heap allocation is
+    // either a front-end cache hit or a miss, and the example program
+    // allocates, so the counters are live (not just present-but-zero).
+    assert!(
+        metrics_line(&stdout).contains("heap_contention"),
+        "metrics JSON carries the allocator contention block"
+    );
+    let hc = &vm.heap_contention;
+    assert!(
+        hc.cache_hits + hc.cache_misses > 0,
+        "allocations flow through the front-end caches: {hc:?}"
+    );
+    assert!(
+        hc.cache_misses == 0 || hc.backend_locks > 0,
+        "every miss takes the backend lock: {hc:?}"
+    );
+
     // The expansion happened and is accounted for.
     let e = m
         .expansion

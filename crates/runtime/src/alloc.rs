@@ -1,0 +1,627 @@
+//! The scalable heap allocator: size-class segregated free lists with
+//! sharded front-end caches and a sharded allocation registry.
+//!
+//! Every expanded access the transformation emits (Table 2 redirection and
+//! the Section 3.3 heap-prefix fast path) funnels through this subsystem,
+//! so its hot paths must not serialize workers:
+//!
+//! * **Allocation** rounds the request up to one of [`NCLASSES`] size
+//!   classes and pops a block from a *front-end magazine* — a small
+//!   per-shard stack keyed by the calling thread. The common case touches
+//!   one uncontended shard lock and is O(1). Magazine misses refill a
+//!   batch of blocks from the shared backend under a single lock
+//!   acquisition, amortizing the lock over [`REFILL_BATCH`] allocations.
+//! * **The registry** (live allocations, for `containing`/`at_base`
+//!   interior-pointer lookup) is sharded by address region with a
+//!   read-write lock per shard, so concurrent lookups from redirected
+//!   accesses proceed in parallel. A bitmap of occupied shards lets
+//!   lookups skip empty regions without locking them.
+//! * **Free** pushes the block back onto the caller's magazine; overflow
+//!   is flushed to the backend in batches. Address-space *coalescing*
+//!   happens lazily: when an allocation cannot be satisfied, the heap
+//!   *scavenges* — drains every magazine and bin into the coalesced free
+//!   map — and retries, so freeing everything always permits a
+//!   full-arena reallocation (the invariant the property tests assert).
+//!
+//! Contention telemetry (magazine hits/misses, backend lock acquisitions,
+//! scavenges) is exposed via [`Heap::contention`] and flows into
+//! `RunReport`/`dse-telemetry` metrics.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+
+/// Alignment of every heap allocation.
+pub const HEAP_ALIGN: u64 = 16;
+
+/// One live heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base address.
+    pub base: u64,
+    /// Requested size in bytes.
+    pub size: u64,
+    /// Size of the block actually carved for the request (the requested
+    /// size rounded up to the allocator's size class). `[base, base+block)`
+    /// is owned by this allocation: interior-pointer lookup, freeing and
+    /// live-byte accounting all use this single bound.
+    pub block: u64,
+    /// Monotonic id, unique per allocation over the program's lifetime.
+    pub id: u64,
+}
+
+impl Allocation {
+    /// One past the last address owned by this allocation.
+    pub fn end(&self) -> u64 {
+        self.base + self.block
+    }
+}
+
+/// Number of segregated size classes.
+pub const NCLASSES: usize = 28;
+
+/// Block size of each class: 16-byte steps up to 128, then four classes
+/// per power of two (worst-case internal fragmentation 1/8).
+pub const CLASS_SIZES: [u64; NCLASSES] = [
+    16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 224, 256, 320, 384, 448, 512, 640, 768, 896, 1024,
+    1280, 1536, 1792, 2048, 2560, 3072, 3584, 4096,
+];
+
+/// Largest size served from a class; bigger requests go to the backend
+/// first-fit directly.
+const MAX_CLASS: u64 = 4096;
+
+/// Blocks fetched from the backend per magazine refill.
+const REFILL_BATCH: usize = 8;
+
+/// Magazine capacity per class; overflow flushes half back to the backend.
+const MAG_CAP: usize = 64;
+
+/// Front-end cache shards (threads are assigned round-robin).
+const NSHARDS: usize = 16;
+
+/// Registry shards (address-region partitioned; must stay <= 64 so the
+/// occupancy bitmap fits one word).
+const NREG: usize = 64;
+
+/// The smallest class whose block size is >= `want`, or `None` for large
+/// requests. `want` must already be `HEAP_ALIGN`-rounded.
+fn class_of(want: u64) -> Option<usize> {
+    if want > MAX_CLASS {
+        return None;
+    }
+    Some(CLASS_SIZES.partition_point(|&c| c < want))
+}
+
+/// Round-robin front-shard assignment, fixed per OS thread on first use.
+fn front_shard() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed) % NSHARDS;
+        s.set(v);
+        v
+    })
+}
+
+/// Allocator contention counters, exposed through `RunReport` and the
+/// telemetry `RunMetrics` document (`dsec --metrics`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HeapContention {
+    /// Allocations served from a front-end magazine (O(1) fast path).
+    pub cache_hits: u64,
+    /// Allocations that missed the magazine and refilled from the backend.
+    pub cache_misses: u64,
+    /// Acquisitions of the shared backend lock (refills, large requests,
+    /// magazine flushes, scavenges).
+    pub backend_locks: u64,
+    /// Full scavenges (drain magazines + bins, coalesce) before retrying a
+    /// failed allocation.
+    pub scavenges: u64,
+}
+
+/// The shared slow-path state: coalesced free address space plus
+/// uncoalesced per-class bins of flushed magazine blocks.
+#[derive(Debug)]
+struct Backend {
+    /// Free space by base address -> size, fully coalesced.
+    free: BTreeMap<u64, u64>,
+    /// Per-class stacks of blocks returned by magazine overflow; reused by
+    /// refills without touching the free map.
+    bins: Vec<Vec<u64>>,
+}
+
+impl Backend {
+    /// Inserts `[base, base+size)` into the free map, coalescing with both
+    /// neighbors.
+    fn insert_free(&mut self, base: u64, size: u64) {
+        let mut nbase = base;
+        let mut nsize = size;
+        if let Some((&pb, &ps)) = self.free.range(..base).next_back() {
+            if pb + ps == nbase {
+                self.free.remove(&pb);
+                nbase = pb;
+                nsize += ps;
+            }
+        }
+        if let Some((&sb, &ss)) = self.free.range(nbase + nsize..).next() {
+            if nbase + nsize == sb {
+                self.free.remove(&sb);
+                nsize += ss;
+            }
+        }
+        self.free.insert(nbase, nsize);
+    }
+
+    /// First-fit carve of exactly `want` bytes from the free map.
+    fn carve_first_fit(&mut self, want: u64) -> Option<u64> {
+        let (&fbase, &fsize) = self.free.iter().find(|(_, &s)| s >= want)?;
+        self.free.remove(&fbase);
+        if fsize > want {
+            self.free.insert(fbase + want, fsize - want);
+        }
+        Some(fbase)
+    }
+
+    /// Carves up to `max` contiguous blocks of `class_size` from the first
+    /// fitting free range, pushing them onto `out` with the lowest address
+    /// last (so `pop` hands out ascending addresses).
+    fn carve_batch(&mut self, class_size: u64, max: usize, out: &mut Vec<u64>) {
+        let Some((&fbase, &fsize)) = self.free.iter().find(|(_, &s)| s >= class_size) else {
+            return;
+        };
+        let n = ((fsize / class_size) as usize).min(max) as u64;
+        self.free.remove(&fbase);
+        if fsize > n * class_size {
+            self.free
+                .insert(fbase + n * class_size, fsize - n * class_size);
+        }
+        for i in (0..n).rev() {
+            out.push(fbase + i * class_size);
+        }
+    }
+}
+
+/// A front-end cache shard: one magazine (stack of free blocks) per class.
+/// Cache-line aligned so neighboring shards do not false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct FrontShard {
+    mags: Mutex<Vec<Vec<u64>>>,
+}
+
+/// A registry shard: the live allocations whose base falls in this shard's
+/// address region.
+#[repr(align(64))]
+#[derive(Debug)]
+struct RegShard {
+    live: RwLock<BTreeMap<u64, Allocation>>,
+}
+
+/// Thread-scalable heap allocator with an allocation registry supporting
+/// interior-pointer lookup (the paper's "heap prefix" fast path).
+#[derive(Debug)]
+pub struct Heap {
+    base: u64,
+    limit: u64,
+    /// Address-region width of one registry shard.
+    region: u64,
+    backend: Mutex<Backend>,
+    fronts: Vec<FrontShard>,
+    regs: Vec<RegShard>,
+    /// Bit `s` set while registry shard `s` is (probably) non-empty;
+    /// maintained under the shard's write lock, read without it.
+    occupied: AtomicU64,
+    next_id: AtomicU64,
+    live_bytes: AtomicU64,
+    peak_live: AtomicU64,
+    total_allocs: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    backend_locks: AtomicU64,
+    scavenges: AtomicU64,
+}
+
+impl Heap {
+    /// Creates a heap managing `[base, limit)`.
+    pub fn new(base: u64, limit: u64) -> Self {
+        let base = dse_lang::types::round_up(base, HEAP_ALIGN);
+        let mut free = BTreeMap::new();
+        if limit > base {
+            free.insert(base, limit - base);
+        }
+        let region = (limit.saturating_sub(base)).div_ceil(NREG as u64).max(1);
+        Heap {
+            base,
+            limit,
+            region,
+            backend: Mutex::new(Backend {
+                free,
+                bins: (0..NCLASSES).map(|_| Vec::new()).collect(),
+            }),
+            fronts: (0..NSHARDS)
+                .map(|_| FrontShard {
+                    mags: Mutex::new((0..NCLASSES).map(|_| Vec::new()).collect()),
+                })
+                .collect(),
+            regs: (0..NREG)
+                .map(|_| RegShard {
+                    live: RwLock::new(BTreeMap::new()),
+                })
+                .collect(),
+            occupied: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            live_bytes: AtomicU64::new(0),
+            peak_live: AtomicU64::new(0),
+            total_allocs: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            backend_locks: AtomicU64::new(0),
+            scavenges: AtomicU64::new(0),
+        }
+    }
+
+    /// Start of the heap region (for address classification).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// End of the heap region.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Registry shard index of `addr` (which must be >= `self.base`).
+    fn reg_index(&self, addr: u64) -> usize {
+        (((addr - self.base) / self.region) as usize).min(NREG - 1)
+    }
+
+    /// Allocates `size` bytes (`size == 0` behaves like `size == 1`).
+    /// Returns the allocation record, or `None` when out of memory.
+    pub fn alloc(&self, size: u64) -> Option<Allocation> {
+        let want = dse_lang::types::round_up(size.max(1), HEAP_ALIGN);
+        let (base, block) = match class_of(want) {
+            Some(c) => (self.alloc_class(c)?, CLASS_SIZES[c]),
+            None => (self.alloc_large(want)?, want),
+        };
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let a = Allocation {
+            base,
+            size,
+            block,
+            id,
+        };
+        let s = self.reg_index(base);
+        {
+            let mut live = self.regs[s].live.write().unwrap();
+            live.insert(base, a);
+            self.occupied.fetch_or(1 << s, Ordering::SeqCst);
+        }
+        let live_now = self.live_bytes.fetch_add(block, Ordering::Relaxed) + block;
+        self.peak_live.fetch_max(live_now, Ordering::Relaxed);
+        self.total_allocs.fetch_add(1, Ordering::Relaxed);
+        Some(a)
+    }
+
+    /// Class-sized allocation: magazine pop, then batched backend refill,
+    /// then scavenge-and-retry.
+    fn alloc_class(&self, c: usize) -> Option<u64> {
+        let f = front_shard();
+        {
+            let mut mags = self.fronts[f].mags.lock().unwrap();
+            if let Some(b) = mags[c].pop() {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(b);
+            }
+        }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let mut batch = Vec::with_capacity(REFILL_BATCH);
+        self.refill(c, &mut batch);
+        if batch.is_empty() {
+            self.scavenge();
+            self.refill(c, &mut batch);
+        }
+        let ret = batch.pop();
+        if !batch.is_empty() {
+            let mut mags = self.fronts[f].mags.lock().unwrap();
+            mags[c].append(&mut batch);
+        }
+        ret
+    }
+
+    /// Pulls up to a batch of class-`c` blocks from the backend (bins
+    /// first, then a contiguous carve) under one lock acquisition.
+    fn refill(&self, c: usize, out: &mut Vec<u64>) {
+        self.backend_locks.fetch_add(1, Ordering::Relaxed);
+        let mut bk = self.backend.lock().unwrap();
+        while out.len() < REFILL_BATCH {
+            match bk.bins[c].pop() {
+                Some(b) => out.push(b),
+                None => break,
+            }
+        }
+        if out.is_empty() {
+            bk.carve_batch(CLASS_SIZES[c], REFILL_BATCH, out);
+        }
+    }
+
+    /// Large allocation: straight first-fit on the backend, with one
+    /// scavenge-and-retry before giving up.
+    fn alloc_large(&self, want: u64) -> Option<u64> {
+        self.backend_locks.fetch_add(1, Ordering::Relaxed);
+        if let Some(b) = self.backend.lock().unwrap().carve_first_fit(want) {
+            return Some(b);
+        }
+        self.scavenge();
+        self.backend_locks.fetch_add(1, Ordering::Relaxed);
+        self.backend.lock().unwrap().carve_first_fit(want)
+    }
+
+    /// Drains every magazine and backend bin into the coalesced free map.
+    /// Called before declaring out-of-memory so that freed-but-cached
+    /// blocks can merge back into large contiguous ranges.
+    fn scavenge(&self) {
+        self.scavenges.fetch_add(1, Ordering::Relaxed);
+        let mut drained: Vec<(u64, u64)> = Vec::new();
+        for fs in &self.fronts {
+            let mut mags = fs.mags.lock().unwrap();
+            for (c, m) in mags.iter_mut().enumerate() {
+                drained.extend(m.drain(..).map(|b| (b, CLASS_SIZES[c])));
+            }
+        }
+        self.backend_locks.fetch_add(1, Ordering::Relaxed);
+        let mut bk = self.backend.lock().unwrap();
+        for (c, &class_size) in CLASS_SIZES.iter().enumerate() {
+            let bin = std::mem::take(&mut bk.bins[c]);
+            for b in bin {
+                bk.insert_free(b, class_size);
+            }
+        }
+        for (b, s) in drained {
+            bk.insert_free(b, s);
+        }
+    }
+
+    /// Frees the allocation starting exactly at `base`. Returns the freed
+    /// record, or `None` if `base` is not a live allocation base.
+    pub fn free(&self, base: u64) -> Option<Allocation> {
+        if base < self.base {
+            return None;
+        }
+        let s = self.reg_index(base);
+        let a = {
+            let mut live = self.regs[s].live.write().unwrap();
+            let a = live.remove(&base)?;
+            if live.is_empty() {
+                self.occupied.fetch_and(!(1u64 << s), Ordering::SeqCst);
+            }
+            a
+        };
+        self.live_bytes.fetch_sub(a.block, Ordering::Relaxed);
+        match class_of(a.block) {
+            Some(c) => self.free_class(base, c),
+            None => {
+                self.backend_locks.fetch_add(1, Ordering::Relaxed);
+                self.backend.lock().unwrap().insert_free(base, a.block);
+            }
+        }
+        Some(a)
+    }
+
+    /// Returns a class block to the caller's magazine, flushing half to the
+    /// backend bins on overflow.
+    fn free_class(&self, base: u64, c: usize) {
+        let f = front_shard();
+        let mut overflow = Vec::new();
+        {
+            let mut mags = self.fronts[f].mags.lock().unwrap();
+            mags[c].push(base);
+            if mags[c].len() > MAG_CAP {
+                overflow = mags[c].split_off(MAG_CAP / 2);
+            }
+        }
+        if !overflow.is_empty() {
+            self.backend_locks.fetch_add(1, Ordering::Relaxed);
+            self.backend.lock().unwrap().bins[c].append(&mut overflow);
+        }
+    }
+
+    /// Finds the live allocation containing `addr` (interior pointers ok,
+    /// anywhere inside the allocation's `block`).
+    ///
+    /// Walks registry shards from `addr`'s region downward; the first shard
+    /// holding a base `<= addr` holds the unique candidate (allocations
+    /// never overlap). Empty shards are skipped via the occupancy bitmap
+    /// without locking.
+    pub fn containing(&self, addr: u64) -> Option<Allocation> {
+        if addr < self.base {
+            return None;
+        }
+        let start = self.reg_index(addr);
+        let occ = self.occupied.load(Ordering::SeqCst);
+        for s in (0..=start).rev() {
+            if occ & (1 << s) == 0 {
+                continue;
+            }
+            let live = self.regs[s].live.read().unwrap();
+            if let Some((_, a)) = live.range(..=addr).next_back() {
+                return (addr < a.end()).then_some(*a);
+            }
+            // Occupied but every base here is > addr: only possible in
+            // `start` itself; earlier shards hold strictly smaller bases.
+        }
+        None
+    }
+
+    /// The live allocation starting exactly at `base`.
+    pub fn at_base(&self, base: u64) -> Option<Allocation> {
+        if base < self.base {
+            return None;
+        }
+        let s = self.reg_index(base);
+        self.regs[s].live.read().unwrap().get(&base).copied()
+    }
+
+    /// Current live heap bytes (block granularity).
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live heap bytes.
+    pub fn peak_live_bytes(&self) -> u64 {
+        self.peak_live.load(Ordering::Relaxed)
+    }
+
+    /// Total number of allocations ever made.
+    pub fn total_allocs(&self) -> u64 {
+        self.total_allocs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the allocator contention counters.
+    pub fn contention(&self) -> HeapContention {
+        HeapContention {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            backend_locks: self.backend_locks.load(Ordering::Relaxed),
+            scavenges: self.scavenges.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_table_is_sorted_and_aligned() {
+        for w in CLASS_SIZES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for &c in &CLASS_SIZES {
+            assert_eq!(c % HEAP_ALIGN, 0);
+        }
+        assert_eq!(CLASS_SIZES[NCLASSES - 1], MAX_CLASS);
+    }
+
+    #[test]
+    fn class_of_picks_smallest_fitting() {
+        assert_eq!(class_of(16), Some(0));
+        assert_eq!(class_of(128), Some(7));
+        assert_eq!(class_of(144), Some(8)); // -> 160
+        assert_eq!(class_of(4096), Some(NCLASSES - 1));
+        assert_eq!(class_of(4112), None);
+    }
+
+    #[test]
+    fn heap_alloc_free_reuse() {
+        let h = Heap::new(0, 1024);
+        let a = h.alloc(100).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_ne!(a.base, b.base);
+        assert_ne!(a.id, b.id);
+        h.free(a.base).unwrap();
+        let c = h.alloc(100).unwrap();
+        assert_eq!(c.base, a.base, "magazine LIFO reuses the freed block");
+    }
+
+    #[test]
+    fn heap_coalescing_allows_full_reuse() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(64).unwrap();
+        let b = h.alloc(64).unwrap();
+        let c = h.alloc(64).unwrap();
+        h.free(b.base);
+        h.free(a.base);
+        h.free(c.base);
+        // After scavenging + coalescing we can allocate the whole arena.
+        assert!(h.alloc(240).is_some());
+    }
+
+    #[test]
+    fn heap_oom_returns_none() {
+        let h = Heap::new(0, 64);
+        assert!(h.alloc(128).is_none());
+    }
+
+    #[test]
+    fn large_allocations_bypass_classes() {
+        let h = Heap::new(0, 64 << 10);
+        let a = h.alloc(10_000).unwrap();
+        assert_eq!(a.block, dse_lang::types::round_up(10_000, HEAP_ALIGN));
+        assert!(h.free(a.base).is_some());
+        assert!(h.alloc((64 << 10) - 16).is_some(), "space fully recycled");
+    }
+
+    #[test]
+    fn containing_uses_block_bounds() {
+        let h = Heap::new(0, 4096);
+        let a = h.alloc(100).unwrap();
+        assert_eq!(a.block, 112, "100 bytes rounds to the 112 class");
+        assert_eq!(h.containing(a.base), Some(a));
+        assert_eq!(h.containing(a.base + 99), Some(a));
+        // Alignment padding belongs to the allocation (consistent with
+        // free/live_bytes granularity)...
+        assert_eq!(h.containing(a.base + a.block - 1), Some(a));
+        // ...and one-past-the-block does not.
+        assert_eq!(h.containing(a.base + a.block), None);
+    }
+
+    #[test]
+    fn containing_walks_back_across_registry_shards() {
+        // A large allocation spans many address regions; interior pointers
+        // deep inside it must still resolve to the allocation, whose base
+        // is registered shards away.
+        let h = Heap::new(0, 1 << 20);
+        let a = h.alloc((1 << 20) - 16).unwrap();
+        assert_eq!(h.containing(a.base + a.block - 1), Some(a));
+        assert_eq!(h.containing(a.base + a.block / 2), Some(a));
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let h = Heap::new(0, 64 << 10);
+        let a = h.alloc(1000).unwrap();
+        let b = h.alloc(1000).unwrap();
+        h.free(a.base);
+        h.free(b.base);
+        assert_eq!(h.live_bytes(), 0);
+        assert!(h.peak_live_bytes() >= 2000);
+        assert_eq!(h.total_allocs(), 2);
+    }
+
+    #[test]
+    fn double_free_returns_none() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(10).unwrap();
+        assert!(h.free(a.base).is_some());
+        assert!(h.free(a.base).is_none());
+    }
+
+    #[test]
+    fn zero_size_alloc_is_valid_and_unique() {
+        let h = Heap::new(0, 256);
+        let a = h.alloc(0).unwrap();
+        let b = h.alloc(0).unwrap();
+        assert_ne!(a.base, b.base);
+        assert_eq!(a.block, HEAP_ALIGN);
+    }
+
+    #[test]
+    fn contention_counters_move() {
+        let h = Heap::new(0, 64 << 10);
+        let a = h.alloc(32).unwrap();
+        h.free(a.base);
+        let _b = h.alloc(32).unwrap();
+        let c = h.contention();
+        assert!(c.cache_misses >= 1, "first alloc misses the magazine");
+        assert!(c.cache_hits >= 1, "freed block is re-served from cache");
+        assert!(c.backend_locks >= 1);
+    }
+}

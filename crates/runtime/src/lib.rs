@@ -3,8 +3,12 @@
 //! A multi-threaded virtual machine for the `dse-ir` bytecode, standing in
 //! for the paper's native x86 execution environment:
 //!
-//! * [`mem`] — byte-addressable shared memory over atomic words, plus a
-//!   first-fit heap with an allocation registry (interior-pointer lookup,
+//! * [`mem`] — byte-addressable shared memory over atomic words (word-level
+//!   bulk copy/zero at any alignment), plus the retained first-fit baseline
+//!   allocator used by the microbenchmarks.
+//! * [`alloc`] — the production heap: size-class segregated free lists with
+//!   sharded front-end caches (O(1), mostly uncontended alloc/free) and a
+//!   sharded allocation registry (parallel interior-pointer lookup,
 //!   live/peak accounting for the Figure 14 memory experiments).
 //! * [`vm`] — the interpreter: operand stack, call frames on in-VM stacks,
 //!   builtins (`malloc`..`free`, host I/O, `__tid`/`__nthreads` and the
@@ -31,12 +35,14 @@
 //! # }
 //! ```
 
+pub mod alloc;
 pub mod exec;
 pub mod mem;
 pub mod observer;
 pub mod privatize;
 pub mod vm;
 
-pub use mem::{Allocation, Heap, SharedMem};
+pub use alloc::{Allocation, Heap, HeapContention};
+pub use mem::{FirstFitHeap, SharedMem};
 pub use observer::{NullObserver, Observer};
 pub use vm::{Counters, RunReport, ThreadCtx, Value, Vm, VmConfig, VmError};

@@ -1,4 +1,5 @@
-//! Byte-addressable shared virtual memory and the heap allocator.
+//! Byte-addressable shared virtual memory, plus the retained first-fit
+//! heap baseline.
 //!
 //! The memory is a flat array of `AtomicU64` words. All accesses use
 //! `Relaxed` atomics — the expansion transformation (like the paper's) is
@@ -8,13 +9,23 @@
 //! Cross-thread ordering for DOACROSS loops is established by the
 //! executor's release/acquire `post`/`wait` counter, not here.
 //!
-//! The heap allocator is a first-fit free list with coalescing and an
-//! allocation registry supporting interior-pointer lookup (needed by the
-//! paper's "heap prefix" runtime-privatization fast path and by `realloc`).
+//! Bulk operations (`copy`, `zero`) move whole words regardless of the
+//! relative alignment of source and destination: reads may straddle a word
+//! boundary (two loads), while stores are aligned single-word writes, so
+//! an unaligned 1 KiB copy costs ~128 word operations instead of 1024
+//! CAS-spliced byte writes.
+//!
+//! The production allocator lives in [`crate::alloc`] (size-class
+//! segregated free lists, sharded front-end caches, sharded registry);
+//! [`FirstFitHeap`] here is the original global-mutex first-fit allocator,
+//! kept as the microbenchmark baseline and as a differential-testing
+//! oracle for the allocator property tests.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+pub use crate::alloc::{Allocation, Heap, HEAP_ALIGN};
 
 /// Flat byte-addressable memory backed by atomic words.
 #[derive(Debug)]
@@ -114,58 +125,75 @@ impl SharedMem {
 
     /// Copies `len` bytes from `src` to `dst` with `memmove` semantics:
     /// overlapping regions copy correctly in either direction.
+    ///
+    /// Moves whole words for any relative alignment of `src` and `dst`:
+    /// each chunk is fully read (one or two word loads) before it is
+    /// written, the destination is walked to a word boundary with a single
+    /// sub-word splice, and the bulk runs as aligned word stores.
     pub fn copy(&self, src: u64, dst: u64, len: u64) {
         assert!(
             self.in_bounds(src, len) && self.in_bounds(dst, len),
             "oob copy"
         );
+        if len == 0 || src == dst {
+            return;
+        }
         if dst > src && dst < src + len {
-            // Overlapping forward copy: go backwards so sources are read
-            // before they are overwritten.
+            // Overlapping forward copy: walk backwards in word chunks so
+            // sources are read before they are overwritten. Each chunk's
+            // writes land strictly above everything later chunks read.
             let mut i = len;
-            while i > 0 {
-                i -= 1;
-                let b = self.read(src + i, 1);
-                self.write(dst + i, 1, b);
+            while i >= 8 {
+                i -= 8;
+                let w = self.read(src + i, 8);
+                self.write(dst + i, 8, w);
+            }
+            if i > 0 {
+                let w = self.read(src, i as u32);
+                self.write(dst, i as u32, w);
             }
             return;
         }
+        // Forward copy (disjoint, or overlapping with dst < src): align the
+        // destination, then stream whole words.
+        let head = ((8 - dst % 8) % 8).min(len);
         let mut i = 0;
-        // Word-at-a-time when both are aligned.
-        if src % 8 == dst % 8 {
-            while !(src + i).is_multiple_of(8) && i < len {
-                let b = self.read(src + i, 1);
-                self.write(dst + i, 1, b);
-                i += 1;
-            }
-            while i + 8 <= len {
-                let w = self.read(src + i, 8);
-                self.write(dst + i, 8, w);
-                i += 8;
-            }
+        if head > 0 {
+            let w = self.read(src, head as u32);
+            self.write(dst, head as u32, w);
+            i = head;
         }
-        while i < len {
-            let b = self.read(src + i, 1);
-            self.write(dst + i, 1, b);
-            i += 1;
+        while i + 8 <= len {
+            let w = self.read(src + i, 8);
+            self.write(dst + i, 8, w);
+            i += 8;
+        }
+        if i < len {
+            let tail = (len - i) as u32;
+            let w = self.read(src + i, tail);
+            self.write(dst + i, tail, w);
         }
     }
 
-    /// Zeroes `len` bytes starting at `addr`.
+    /// Zeroes `len` bytes starting at `addr`: one splice to the word
+    /// boundary, aligned word stores for the bulk, one splice for the tail.
     pub fn zero(&self, addr: u64, len: u64) {
         assert!(self.in_bounds(addr, len), "oob zero");
+        if len == 0 {
+            return;
+        }
+        let head = ((8 - addr % 8) % 8).min(len);
         let mut i = 0;
-        while !(addr + i).is_multiple_of(8) && i < len {
-            self.write(addr + i, 1, 0);
-            i += 1;
+        if head > 0 {
+            self.write(addr, head as u32, 0);
+            i = head;
         }
         while i + 8 <= len {
             self.write(addr + i, 8, 0);
             i += 8;
         }
-        while i < len {
-            self.write(addr + i, 1, 0);
-            i += 1;
+        if i < len {
+            self.write(addr + i, (len - i) as u32, 0);
         }
     }
 }
@@ -192,22 +220,11 @@ pub fn sign_extend(raw: u64, width: u32) -> i64 {
 }
 
 // ---------------------------------------------------------------------------
-// allocator
+// first-fit baseline allocator
 // ---------------------------------------------------------------------------
 
-/// One live heap allocation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Allocation {
-    /// Base address.
-    pub base: u64,
-    /// Requested size in bytes.
-    pub size: u64,
-    /// Monotonic id, unique per allocation over the program's lifetime.
-    pub id: u64,
-}
-
 #[derive(Debug)]
-struct HeapState {
+struct FirstFitState {
     /// Free blocks by base address -> size (coalesced).
     free: BTreeMap<u64, u64>,
     /// Live allocations by base address.
@@ -218,18 +235,21 @@ struct HeapState {
     total_allocs: u64,
 }
 
-/// Thread-safe first-fit heap allocator with an allocation registry.
+/// The original global-mutex first-fit allocator: every operation takes one
+/// big lock and allocation is a linear scan of the free list.
+///
+/// Retained as the baseline for the `alloc_churn` microbenchmarks (the
+/// centralized design whose serialization the sharded [`Heap`] removes)
+/// and as a differential-testing oracle in the allocator property tests.
+/// The production VM uses [`Heap`].
 #[derive(Debug)]
-pub struct Heap {
-    state: Mutex<HeapState>,
+pub struct FirstFitHeap {
+    state: Mutex<FirstFitState>,
     base: u64,
     limit: u64,
 }
 
-/// Alignment of every heap allocation.
-pub const HEAP_ALIGN: u64 = 16;
-
-impl Heap {
+impl FirstFitHeap {
     /// Creates a heap managing `[base, limit)`.
     pub fn new(base: u64, limit: u64) -> Self {
         let base = dse_lang::types::round_up(base, HEAP_ALIGN);
@@ -237,8 +257,8 @@ impl Heap {
         if limit > base {
             free.insert(base, limit - base);
         }
-        Heap {
-            state: Mutex::new(HeapState {
+        FirstFitHeap {
+            state: Mutex::new(FirstFitState {
                 free,
                 live: BTreeMap::new(),
                 next_id: 1,
@@ -251,7 +271,7 @@ impl Heap {
         }
     }
 
-    /// Start of the heap region (for address classification).
+    /// Start of the heap region.
     pub fn base(&self) -> u64 {
         self.base
     }
@@ -262,7 +282,6 @@ impl Heap {
     }
 
     /// Allocates `size` bytes (`size == 0` behaves like `size == 1`).
-    /// Returns the allocation record, or `None` when out of memory.
     pub fn alloc(&self, size: u64) -> Option<Allocation> {
         let want = dse_lang::types::round_up(size.max(1), HEAP_ALIGN);
         let mut st = self.state.lock().unwrap();
@@ -276,6 +295,7 @@ impl Heap {
         let a = Allocation {
             base: fbase,
             size,
+            block: want,
             id,
         };
         st.live.insert(fbase, a);
@@ -285,16 +305,14 @@ impl Heap {
         Some(a)
     }
 
-    /// Frees the allocation starting exactly at `base`. Returns the freed
-    /// record, or `None` if `base` is not a live allocation base.
+    /// Frees the allocation starting exactly at `base`.
     pub fn free(&self, base: u64) -> Option<Allocation> {
         let mut st = self.state.lock().unwrap();
         let a = st.live.remove(&base)?;
-        let want = dse_lang::types::round_up(a.size.max(1), HEAP_ALIGN);
-        st.live_bytes -= want;
+        st.live_bytes -= a.block;
         // Insert and coalesce with neighbors.
         let mut nbase = base;
-        let mut nsize = want;
+        let mut nsize = a.block;
         if let Some((&pb, &ps)) = st.free.range(..base).next_back() {
             if pb + ps == nbase {
                 st.free.remove(&pb);
@@ -312,11 +330,12 @@ impl Heap {
         Some(a)
     }
 
-    /// Finds the live allocation containing `addr` (interior pointers ok).
+    /// Finds the live allocation containing `addr` (block-bound, matching
+    /// [`Heap::containing`]).
     pub fn containing(&self, addr: u64) -> Option<Allocation> {
         let st = self.state.lock().unwrap();
         let (_, a) = st.live.range(..=addr).next_back()?;
-        (addr < a.base + a.size.max(1)).then_some(*a)
+        (addr < a.end()).then_some(*a)
     }
 
     /// The live allocation starting exactly at `base`.
@@ -324,7 +343,7 @@ impl Heap {
         self.state.lock().unwrap().live.get(&base).copied()
     }
 
-    /// Current live heap bytes (rounded to allocator granularity).
+    /// Current live heap bytes (block granularity).
     pub fn live_bytes(&self) -> u64 {
         self.state.lock().unwrap().live_bytes
     }
@@ -406,79 +425,69 @@ mod tests {
     }
 
     #[test]
+    fn misaligned_bulk_copy_every_phase() {
+        // All 8x8 relative alignments, with a length that exercises head,
+        // word bulk, and tail.
+        for s in 0..8u64 {
+            for d in 0..8u64 {
+                let m = SharedMem::new(256);
+                for i in 0..40 {
+                    m.write(s + i, 1, (i + 1) & 0xFF);
+                }
+                m.copy(s, 128 + d, 40);
+                for i in 0..40 {
+                    assert_eq!(m.read(128 + d + i, 1), (i + 1) & 0xFF, "s={s} d={d} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_copies_both_directions() {
+        // Forward overlap (dst inside [src, src+len)) with a sub-word gap.
+        let m = SharedMem::new(128);
+        for i in 0..24 {
+            m.write(i, 1, i + 1);
+        }
+        m.copy(0, 3, 24);
+        for i in 0..24 {
+            assert_eq!(m.read(3 + i, 1), i + 1, "forward overlap byte {i}");
+        }
+        // Backward overlap (dst < src).
+        let m = SharedMem::new(128);
+        for i in 0..24 {
+            m.write(8 + i, 1, i + 1);
+        }
+        m.copy(8, 3, 24);
+        for i in 0..24 {
+            assert_eq!(m.read(3 + i, 1), i + 1, "backward overlap byte {i}");
+        }
+    }
+
+    #[test]
+    fn unaligned_zero() {
+        let m = SharedMem::new(64);
+        for i in 0..40 {
+            m.write(i, 1, 0xAB);
+        }
+        m.zero(3, 29);
+        for i in 0..3 {
+            assert_eq!(m.read(i, 1), 0xAB);
+        }
+        for i in 3..32 {
+            assert_eq!(m.read(i, 1), 0);
+        }
+        for i in 32..40 {
+            assert_eq!(m.read(i, 1), 0xAB);
+        }
+    }
+
+    #[test]
     fn bounds_checking() {
         let m = SharedMem::new(16);
         assert!(m.in_bounds(8, 8));
         assert!(!m.in_bounds(9, 8));
         assert!(!m.in_bounds(u64::MAX, 2));
-    }
-
-    #[test]
-    fn heap_alloc_free_reuse() {
-        let h = Heap::new(0, 1024);
-        let a = h.alloc(100).unwrap();
-        let b = h.alloc(100).unwrap();
-        assert_ne!(a.base, b.base);
-        assert_ne!(a.id, b.id);
-        h.free(a.base).unwrap();
-        let c = h.alloc(50).unwrap();
-        assert_eq!(c.base, a.base, "first-fit reuses the freed block");
-    }
-
-    #[test]
-    fn heap_coalescing_allows_full_reuse() {
-        let h = Heap::new(0, 256);
-        let a = h.alloc(64).unwrap();
-        let b = h.alloc(64).unwrap();
-        let c = h.alloc(64).unwrap();
-        h.free(b.base);
-        h.free(a.base);
-        h.free(c.base);
-        // After coalescing we can allocate the whole arena again.
-        assert!(h.alloc(240).is_some());
-    }
-
-    #[test]
-    fn heap_oom_returns_none() {
-        let h = Heap::new(0, 64);
-        assert!(h.alloc(128).is_none());
-    }
-
-    #[test]
-    fn containing_finds_interior_pointers() {
-        let h = Heap::new(0, 1024);
-        let a = h.alloc(100).unwrap();
-        assert_eq!(h.containing(a.base), Some(a));
-        assert_eq!(h.containing(a.base + 99), Some(a));
-        assert_eq!(h.containing(a.base + 100), None);
-    }
-
-    #[test]
-    fn peak_tracking() {
-        let h = Heap::new(0, 4096);
-        let a = h.alloc(1000).unwrap();
-        let b = h.alloc(1000).unwrap();
-        h.free(a.base);
-        h.free(b.base);
-        assert_eq!(h.live_bytes(), 0);
-        assert!(h.peak_live_bytes() >= 2000);
-        assert_eq!(h.total_allocs(), 2);
-    }
-
-    #[test]
-    fn double_free_returns_none() {
-        let h = Heap::new(0, 256);
-        let a = h.alloc(10).unwrap();
-        assert!(h.free(a.base).is_some());
-        assert!(h.free(a.base).is_none());
-    }
-
-    #[test]
-    fn zero_size_alloc_is_valid_and_unique() {
-        let h = Heap::new(0, 256);
-        let a = h.alloc(0).unwrap();
-        let b = h.alloc(0).unwrap();
-        assert_ne!(a.base, b.base);
     }
 
     #[test]
@@ -501,5 +510,20 @@ mod tests {
         for t in 0..8u64 {
             assert_eq!(m.read(t, 1), t + 1);
         }
+    }
+
+    #[test]
+    fn first_fit_baseline_reuses_and_coalesces() {
+        let h = FirstFitHeap::new(0, 1024);
+        let a = h.alloc(100).unwrap();
+        let b = h.alloc(100).unwrap();
+        assert_ne!(a.base, b.base);
+        h.free(a.base).unwrap();
+        let c = h.alloc(50).unwrap();
+        assert_eq!(c.base, a.base, "first-fit reuses the freed block");
+        h.free(b.base);
+        h.free(c.base);
+        assert!(h.alloc(1008).is_some(), "full arena coalesces");
+        assert_eq!(h.containing(5), h.at_base(0));
     }
 }

@@ -5,6 +5,7 @@
 //! stack, stack region, counters). The master thread runs `main`; parallel
 //! loop regions are driven by the executor in [`crate::exec`].
 
+use crate::alloc::HeapContention;
 use crate::mem::{sign_extend, Heap, SharedMem};
 use crate::observer::Observer;
 use crate::privatize::PrivCopy;
@@ -56,6 +57,9 @@ pub struct Counters {
     /// Spin iterations inside `Wait`/post ordering and scheduler barriers
     /// (the paper's `do_wait` + `cpu_relax` bucket).
     pub wait_spins: u64,
+    /// Spin-to-yield transitions: waits that exhausted their spin budget
+    /// and fell back to `yield_now` (each yield counts once).
+    pub wait_yields: u64,
     /// `Wait`/`Post` instructions executed (synchronization calls).
     pub sync_ops: u64,
     /// Runtime-privatization address translations performed.
@@ -73,6 +77,7 @@ impl Counters {
     pub fn merge(&mut self, other: &Counters) {
         self.work += other.work;
         self.wait_spins += other.wait_spins;
+        self.wait_yields += other.wait_yields;
         self.sync_ops += other.sync_ops;
         self.localize_calls += other.localize_calls;
         self.localize_copied_bytes += other.localize_copied_bytes;
@@ -168,6 +173,37 @@ impl LoopSync {
     }
 }
 
+/// Spin iterations before a waiting worker starts yielding its timeslice.
+/// Short waits (the common DOACROSS case: the predecessor is one ordered
+/// window away) stay on the cheap `spin_loop` hint; long waits — more
+/// workers than cores, or a slow predecessor — back off to `yield_now` so
+/// the runnable thread that will unblock us gets the CPU.
+const SPIN_BEFORE_YIELD: u64 = 128;
+
+/// Adaptive spin-then-yield backoff for the DOACROSS `Wait`/post loops.
+/// One `step` call per failed re-check of the condition; counters record
+/// both the raw spins and each spin-to-yield transition.
+pub(crate) struct Backoff {
+    spins: u64,
+}
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff { spins: 0 }
+    }
+
+    pub(crate) fn step(&mut self, counters: &mut Counters) {
+        counters.wait_spins += 1;
+        self.spins += 1;
+        if self.spins < SPIN_BEFORE_YIELD {
+            std::hint::spin_loop();
+        } else {
+            counters.wait_yields += 1;
+            std::thread::yield_now();
+        }
+    }
+}
+
 pub(crate) struct Frame {
     /// Return pc; `None` marks a region/toplevel sentinel.
     pub ret_pc: Option<u32>,
@@ -252,6 +288,9 @@ pub struct RunReport {
     pub per_thread: Vec<Counters>,
     /// High-water mark of live heap bytes during the run.
     pub peak_heap_bytes: u64,
+    /// Allocator contention counters (magazine hits/misses, backend lock
+    /// acquisitions, scavenges) accumulated over the run.
+    pub heap_contention: HeapContention,
 }
 
 /// The virtual machine: memory, heap, program, and I/O channels.
@@ -378,6 +417,7 @@ impl Vm {
             counters,
             per_thread,
             peak_heap_bytes: self.heap.peak_live_bytes(),
+            heap_contention: self.heap.contention(),
         })
     }
 
@@ -767,12 +807,12 @@ impl Vm {
                         Some((_, s)) => Arc::clone(s),
                         None => trap!("Wait outside parallel loop"),
                     };
+                    let mut backoff = Backoff::new();
                     while sync.done.load(std::sync::atomic::Ordering::Acquire) < my {
                         if sync.abort.load(std::sync::atomic::Ordering::Relaxed) {
                             trap!("aborted while waiting (another worker trapped)");
                         }
-                        ctx.counters.wait_spins += 1;
-                        std::hint::spin_loop();
+                        backoff.step(&mut ctx.counters);
                     }
                     pc += 1;
                 }
@@ -809,14 +849,14 @@ impl Vm {
         if ctx.posted {
             return;
         }
+        let mut backoff = Backoff::new();
         while sync.done.load(std::sync::atomic::Ordering::Acquire) < my {
             if sync.abort.load(std::sync::atomic::Ordering::Relaxed) {
                 // A peer trapped and will never post; bail without posting
                 // (the worker notices the abort at its next boundary).
                 return;
             }
-            ctx.counters.wait_spins += 1;
-            std::hint::spin_loop();
+            backoff.step(&mut ctx.counters);
         }
         sync.done
             .store(my + 1, std::sync::atomic::Ordering::Release);
@@ -868,10 +908,15 @@ impl Vm {
             Builtin::Calloc => {
                 let m = pop_i!();
                 let n = pop_i!();
-                let total = n.checked_mul(m).filter(|&t| t >= 0);
-                let total = match total {
+                // Check signs before multiplying: negative * negative is a
+                // positive product, so a post-multiplication `t >= 0` filter
+                // would happily allocate for calloc(-2, -3).
+                if n < 0 || m < 0 {
+                    trap!("calloc with negative operand ({n}, {m})");
+                }
+                let total = match n.checked_mul(m) {
                     Some(t) => t as u64,
-                    None => trap!("calloc size overflow"),
+                    None => trap!("calloc size overflow ({n} * {m})"),
                 };
                 let a = match self.heap.alloc(total) {
                     Some(a) => a,
@@ -939,14 +984,31 @@ impl Vm {
                     None => trap!("out of memory in expanded realloc"),
                 };
                 self.mem.zero(a.base, a.size.max(1));
-                // Move each thread's copy to its new position.
+                // Move each thread's copy to its new position. A replica
+                // whose span runs past the recorded allocation keeps its
+                // in-bounds prefix (the old code dropped the whole copy —
+                // silent data loss for the last thread whenever
+                // `old_span * nthreads` exceeded the allocation); a replica
+                // starting entirely outside the allocation means the span
+                // metadata is inconsistent with the allocation, so trap.
                 let keep = (old_span as u64).min(n as u64);
+                let old_end = old.base + old.size;
                 for t in 0..factor {
                     let src = old.base + t * old_span as u64;
                     let dst = a.base + t * n as u64;
-                    if src + keep <= old.base + old.size {
-                        self.mem.copy(src, dst, keep);
+                    if src >= old_end {
+                        if keep > 0 {
+                            trap!(
+                                "__realloc_expanded: replica {t} at offset {} lies outside \
+                                 the old allocation of {} bytes (inconsistent span {old_span})",
+                                t * old_span as u64,
+                                old.size
+                            );
+                        }
+                        continue;
                     }
+                    let avail = old_end - src;
+                    self.mem.copy(src, dst, keep.min(avail));
                 }
                 self.heap.free(old.base);
                 obs.on_free(old);

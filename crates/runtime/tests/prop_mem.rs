@@ -18,7 +18,7 @@ enum Op {
 }
 
 fn gen_op(rng: &mut Rng) -> Op {
-    match rng.gen_index(3) {
+    match rng.gen_index(4) {
         0 => Op::Write {
             addr: rng.gen_range(0, (MEM - 8) as i64) as u64,
             width: [1u32, 2, 4, 8][rng.gen_index(4)],
@@ -29,6 +29,16 @@ fn gen_op(rng: &mut Rng) -> Op {
             dst: rng.gen_range((MEM / 2) as i64, (MEM - 64) as i64) as u64,
             len: rng.gen_range(0, 64) as u64,
         },
+        2 => {
+            // Unconstrained ranges: src and dst may overlap in either
+            // direction (memmove semantics), at any relative alignment.
+            let len = rng.gen_range(0, 96) as u64;
+            Op::Copy {
+                src: rng.gen_range(0, (MEM - 96) as i64) as u64,
+                dst: rng.gen_range(0, (MEM - 96) as i64) as u64,
+                len,
+            }
+        }
         _ => Op::Zero {
             addr: rng.gen_range(0, (MEM - 64) as i64) as u64,
             len: rng.gen_range(0, 64) as u64,

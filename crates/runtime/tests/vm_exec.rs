@@ -22,9 +22,13 @@ fn run_with(src: &str, config: VmConfig) -> (i64, Vm) {
 }
 
 fn run_err(src: &str) -> VmError {
+    run_err_with(src, VmConfig::default())
+}
+
+fn run_err_with(src: &str, config: VmConfig) -> VmError {
     let ast = dse_lang::compile_to_ast(src).expect("frontend");
     let compiled = dse_ir::lower_program(&ast, &LowerOptions::default()).expect("lowering");
-    let mut vm = Vm::new(compiled, VmConfig::default()).expect("vm");
+    let mut vm = Vm::new(compiled, config).expect("vm");
     vm.run().expect_err("expected trap")
 }
 
@@ -289,6 +293,31 @@ fn calloc_zeroes() {
               free(p); return (int)s; }"),
         0
     );
+}
+
+/// Regression: `calloc(-2, -3)` multiplied to +6 and passed the old
+/// `t >= 0` overflow filter, silently allocating 6 bytes. Negative
+/// operands must trap before the multiplication.
+#[test]
+fn calloc_negative_operands_trap() {
+    let e = run_err("int main() { int *p; p = calloc(-2, -3); return 0; }");
+    assert!(
+        e.msg.contains("calloc with negative operand"),
+        "unexpected trap: {}",
+        e.msg
+    );
+    let e = run_err("int main() { int *p; p = calloc(4, -1); return 0; }");
+    assert!(
+        e.msg.contains("calloc with negative operand"),
+        "unexpected trap: {}",
+        e.msg
+    );
+}
+
+#[test]
+fn calloc_overflow_still_traps() {
+    let e = run_err("int main() { long *p; p = calloc(4611686018427387904, 4); return 0; }");
+    assert!(e.msg.contains("calloc size overflow"), "{}", e.msg);
 }
 
 #[test]
@@ -860,6 +889,50 @@ fn realloc_expanded_moves_every_copy() {
     assert_eq!(vm.run().unwrap().return_value, Some(Value::I(1)));
 }
 
+/// Regression: a replica whose `src + keep` ran past the old allocation
+/// was skipped entirely, losing the last thread's in-bounds bytes whenever
+/// `old_span * nthreads` exceeded the recorded size. The in-bounds prefix
+/// must be copied.
+#[test]
+fn realloc_expanded_copies_partial_last_replica() {
+    // 44-byte allocation, span 12, 4 threads: replica 3 starts at offset 36
+    // with only 8 in-bounds bytes (ints p[9], p[10]). They must survive.
+    let src = "int main() {
+        int *p; p = malloc(44);
+        p[0] = 5; p[9] = 77; p[10] = 88;
+        int *r; r = (int*)__realloc_expanded(p, 24, 12);
+        return r[0] * 1000000 + r[18] * 1000 + r[19]; }";
+    let (v, _) = run_with(
+        src,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    );
+    assert_eq!(v, 5_077_088, "replica 0 and replica 3 prefixes preserved");
+}
+
+/// Regression: a replica starting entirely outside the old allocation
+/// means the span metadata disagrees with the allocation; the old code
+/// silently skipped it, now it traps.
+#[test]
+fn realloc_expanded_inconsistent_span_traps() {
+    // 20-byte allocation cannot hold 4 replicas of span 12: replica 2
+    // would start at offset 24, past the end.
+    let src = "int main() {
+        int *p; p = malloc(20);
+        int *r; r = (int*)__realloc_expanded(p, 24, 12);
+        return 0; }";
+    let e = run_err_with(
+        src,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    );
+    assert!(e.msg.contains("inconsistent span"), "{}", e.msg);
+}
+
 /// `__memcpy` copies bytes between heap blocks.
 #[test]
 fn memcpy_builtin() {
@@ -919,7 +992,9 @@ fn iteration_cost_recording_segments() {
         "hot".into(),
         ParLoopSpec {
             mode: ParMode::DoAcross,
-            sync_window: Some((1, 1)),
+            // Statement indices count the bare `int t;` declaration:
+            // 0 decl, 1 `t = i * 3`, 2 `g = g + t`, 3 `a[i] = g`.
+            sync_window: Some((2, 2)),
         },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();
@@ -973,10 +1048,15 @@ fn doacross_ordered_append_is_in_order() {
     opts.par.insert(
         "hot".into(),
         // The window covers the two append statements only: the spin work
-        // overlaps across threads, the appends are ordered.
+        // overlaps across threads, the appends are ordered. Statement
+        // indices count the bare declarations: 0 `int spin;`, 1 the spin
+        // assignment, 2 `int t;`, 3 `t = 0`, 4 the inner loop, 5 and 6 the
+        // appends. (This window was previously (3, 4), which left the
+        // appends *outside* the ordered section — a race that surfaced
+        // rarely as an out-of-order sequence under scheduler pressure.)
         ParLoopSpec {
             mode: ParMode::DoAcross,
-            sync_window: Some((3, 4)),
+            sync_window: Some((5, 6)),
         },
     );
     let compiled = dse_ir::lower_program(&ast, &opts).unwrap();

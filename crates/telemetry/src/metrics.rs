@@ -9,6 +9,7 @@
 use crate::json::Json;
 use crate::phase::PhaseSpan;
 use dse_runtime::vm::{Counters, RunReport};
+use dse_runtime::HeapContention;
 
 /// Profile-time stats for one candidate loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +67,9 @@ pub struct VmStats {
     pub per_thread: Vec<Counters>,
     /// High-water mark of live heap bytes.
     pub peak_heap_bytes: u64,
+    /// Allocator contention counters (magazine hits/misses, backend lock
+    /// acquisitions, scavenges).
+    pub heap_contention: HeapContention,
 }
 
 impl VmStats {
@@ -75,6 +79,7 @@ impl VmStats {
             totals: report.counters,
             per_thread: report.per_thread.clone(),
             peak_heap_bytes: report.peak_heap_bytes,
+            heap_contention: report.heap_contention,
         }
     }
 }
@@ -103,6 +108,7 @@ pub fn counters_to_json(c: &Counters) -> Json {
     Json::obj(vec![
         ("work", Json::Int(c.work as i64)),
         ("wait_spins", Json::Int(c.wait_spins as i64)),
+        ("wait_yields", Json::Int(c.wait_yields as i64)),
         ("sync_ops", Json::Int(c.sync_ops as i64)),
         ("localize_calls", Json::Int(c.localize_calls as i64)),
         (
@@ -111,6 +117,36 @@ pub fn counters_to_json(c: &Counters) -> Json {
         ),
         ("private_direct", Json::Int(c.private_direct as i64)),
     ])
+}
+
+/// Serializes allocator contention counters as a flat object.
+pub fn contention_to_json(c: &HeapContention) -> Json {
+    Json::obj(vec![
+        ("cache_hits", Json::Int(c.cache_hits as i64)),
+        ("cache_misses", Json::Int(c.cache_misses as i64)),
+        ("backend_locks", Json::Int(c.backend_locks as i64)),
+        ("scavenges", Json::Int(c.scavenges as i64)),
+    ])
+}
+
+/// Parses [`contention_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the name of the first missing or mistyped field.
+pub fn contention_from_json(v: &Json) -> Result<HeapContention, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| format!("heap contention missing integer field '{name}'"))
+    };
+    Ok(HeapContention {
+        cache_hits: field("cache_hits")?,
+        cache_misses: field("cache_misses")?,
+        backend_locks: field("backend_locks")?,
+        scavenges: field("scavenges")?,
+    })
 }
 
 /// Parses [`counters_to_json`] output.
@@ -128,6 +164,7 @@ pub fn counters_from_json(v: &Json) -> Result<Counters, String> {
     Ok(Counters {
         work: field("work")?,
         wait_spins: field("wait_spins")?,
+        wait_yields: field("wait_yields")?,
         sync_ops: field("sync_ops")?,
         localize_calls: field("localize_calls")?,
         localize_copied_bytes: field("localize_copied_bytes")?,
@@ -187,6 +224,7 @@ impl RunMetrics {
                     Json::Arr(s.per_thread.iter().map(counters_to_json).collect()),
                 ),
                 ("peak_heap_bytes", Json::Int(s.peak_heap_bytes as i64)),
+                ("heap_contention", contention_to_json(&s.heap_contention)),
             ]),
         };
         Json::obj(vec![
@@ -285,6 +323,10 @@ impl RunMetrics {
                     .and_then(Json::as_i64)
                     .ok_or("vm stats missing 'peak_heap_bytes'")?
                     .max(0) as u64,
+                heap_contention: contention_from_json(
+                    s.get("heap_contention")
+                        .ok_or("vm stats missing 'heap_contention'")?,
+                )?,
             }),
         };
         Ok(RunMetrics {
@@ -312,6 +354,7 @@ mod tests {
         let counters = |base: u64| Counters {
             work: base,
             wait_spins: base + 1,
+            wait_yields: base + 6,
             sync_ops: base + 2,
             localize_calls: base + 3,
             localize_copied_bytes: base + 4,
@@ -349,6 +392,12 @@ mod tests {
                 totals: counters(1000),
                 per_thread: vec![counters(400), counters(600)],
                 peak_heap_bytes: 4096,
+                heap_contention: HeapContention {
+                    cache_hits: 120,
+                    cache_misses: 8,
+                    backend_locks: 9,
+                    scavenges: 1,
+                },
             }),
         }
     }
@@ -378,6 +427,7 @@ mod tests {
         let c = Counters {
             work: 9,
             wait_spins: 8,
+            wait_yields: 3,
             sync_ops: 7,
             localize_calls: 6,
             localize_copied_bytes: 5,
@@ -385,6 +435,18 @@ mod tests {
         };
         let v = counters_to_json(&c);
         assert_eq!(counters_from_json(&v).unwrap(), c);
+    }
+
+    #[test]
+    fn contention_round_trip() {
+        let c = HeapContention {
+            cache_hits: 11,
+            cache_misses: 2,
+            backend_locks: 3,
+            scavenges: 1,
+        };
+        let v = contention_to_json(&c);
+        assert_eq!(contention_from_json(&v).unwrap(), c);
     }
 
     #[test]

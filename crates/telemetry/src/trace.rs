@@ -134,6 +134,7 @@ mod tests {
             Allocation {
                 base: 8192,
                 size: 64,
+                block: 64,
                 id: 9,
             },
             12,
@@ -141,6 +142,7 @@ mod tests {
         obs.on_free(Allocation {
             base: 8192,
             size: 64,
+            block: 64,
             id: 9,
         });
         assert_eq!(obs.events(), 4);
