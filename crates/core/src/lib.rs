@@ -129,6 +129,15 @@ pub struct Transformed {
     pub report: ExpansionReport,
     /// Chosen mode per loop label.
     pub modes: HashMap<String, ParMode>,
+    /// The expansion plan the transform executed (inspectable; consumed by
+    /// the `dse-verify` invariant checker).
+    pub plan: ExpansionPlan,
+    /// Per candidate-loop label: the DOACROSS `Wait`/`Post` window over
+    /// transformed top-level body statement indices.
+    pub sync_windows: HashMap<String, Option<(usize, usize)>>,
+    /// Transformed expression id → original expression id for rebuilt
+    /// access/allocation nodes (see [`XformResult::eid_provenance`]).
+    pub eid_provenance: HashMap<u32, u32>,
     /// Wall-clock spans of the transform phases (plan, xform).
     pub phases: Vec<PhaseSpan>,
 }
@@ -334,6 +343,9 @@ impl Analysis {
             parallel,
             report: result.report,
             modes,
+            plan,
+            sync_windows: result.sync_windows,
+            eid_provenance: result.eid_provenance,
             phases: timer.into_spans(),
         })
     }
@@ -374,6 +386,9 @@ impl Analysis {
             parallel,
             report: result.report,
             modes,
+            plan,
+            sync_windows: result.sync_windows,
+            eid_provenance: result.eid_provenance,
             phases: Vec::new(),
         })
     }

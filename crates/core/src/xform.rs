@@ -103,6 +103,11 @@ pub struct XformResult {
     /// Per candidate-loop label: the DOACROSS `Wait`/`Post` window over
     /// *transformed* top-level body statement indices.
     pub sync_windows: HashMap<String, Option<(usize, usize)>>,
+    /// Transformed expression id → originating expression id in the input
+    /// program, for every rebuilt node that corresponds 1:1 to a source
+    /// access or allocation. Synthesized bookkeeping nodes (span stores,
+    /// copy indices, prologue code) have no entry.
+    pub eid_provenance: HashMap<u32, u32>,
     /// Accounting.
     pub report: ExpansionReport,
 }
@@ -301,10 +306,24 @@ pub fn expand_program(
     // Internal consistency gate: the transformed program must type-check.
     dse_lang::sema::check(&mut out)
         .map_err(|e| XformError(format!("transformed program failed sema: {e}")))?;
+    // Rebuilt access nodes still carry their *source* eids (stamped by the
+    // rewriter); collect them in the exact order `number_exprs` visits so
+    // the renumbered ids can be paired back to their origins.
+    let mut source_eids = Vec::new();
+    for f in &mut out.functions {
+        visit_exprs_in_block(&mut f.body, &mut |e| source_eids.push(e.eid));
+    }
     dse_lang::ast::number_exprs(&mut out);
+    let eid_provenance: HashMap<u32, u32> = source_eids
+        .iter()
+        .enumerate()
+        .filter(|&(_, &old)| old != NO_EID)
+        .map(|(new, &old)| (new as u32, old))
+        .collect();
     Ok(XformResult {
         program: out,
         sync_windows,
+        eid_provenance,
         report,
     })
 }
@@ -503,6 +522,16 @@ fn sp_name(name: &str) -> String {
     format!("__sp_{name}")
 }
 
+/// Carries the source node's expression id and span onto a rebuilt node, so
+/// transformed sites can be mapped back to the original access (consumed by
+/// the `dse-verify` invariant checker after renumbering) and diagnostics
+/// point at real source locations.
+fn stamp(mut e: Expr, src: &Expr) -> Expr {
+    e.eid = src.eid;
+    e.span = src.span;
+    e
+}
+
 // ---------------------------------------------------------------------------
 // the rewriter
 // ---------------------------------------------------------------------------
@@ -632,7 +661,9 @@ impl<'a> Xf<'a> {
                     }
                     if let Some(init) = init {
                         let k = self.copy_index(init.eid);
-                        let lv_cell = idx(var(name), k);
+                        // The decl-init store site is keyed by the
+                        // initializer's eid in both programs.
+                        let lv_cell = stamp(idx(var(name), k), init);
                         if is_fat_ptr {
                             out.extend(self.emit_ptr_assign_cell(lv_cell, init)?);
                         } else if ty.is_aggregate() {
@@ -1080,7 +1111,13 @@ impl<'a> Xf<'a> {
                             decl("__pa_s", Type::Long.array_of(n), None),
                             estmt(assign(idx(var("__pa_t"), tid()), r)),
                             estmt(assign(idx(var("__pa_s"), tid()), sp)),
-                            estmt(assign(fld(cell.clone(), "ptr"), idx(var("__pa_t"), tid()))),
+                            // The `.ptr` store is the site that replaces the
+                            // original assignment's store; the `.span` store
+                            // is pure bookkeeping and stays synthetic.
+                            estmt(assign(
+                                stamp(fld(cell.clone(), "ptr"), &cell),
+                                idx(var("__pa_t"), tid()),
+                            )),
                             estmt(assign(fld(cell, "span"), idx(var("__pa_s"), tid()))),
                         ],
                     }),
@@ -1096,7 +1133,10 @@ impl<'a> Xf<'a> {
                             decl("__pa_s", Type::Long.array_of(n), None),
                             decl("__pa_t", ptr_ty.array_of(n), None),
                             estmt(assign(idx(var("__pa_t"), tid()), callexpr)),
-                            estmt(assign(fld(cell.clone(), "ptr"), idx(var("__pa_t"), tid()))),
+                            estmt(assign(
+                                stamp(fld(cell.clone(), "ptr"), &cell),
+                                idx(var("__pa_t"), tid()),
+                            )),
                             estmt(assign(fld(cell, "span"), idx(var("__pa_s"), tid()))),
                         ],
                     }),
@@ -1309,7 +1349,9 @@ impl<'a> Xf<'a> {
             | ExprKind::Deref(_) => {
                 let place = self.rewrite_place(e)?;
                 if self.plan.is_fat(&e.ty().decayed()) && self.place_is_fat_cell(e) {
-                    Ok(fld(place, "ptr"))
+                    // The `.ptr` projection is the node lowering sites, so
+                    // it inherits the access's identity.
+                    Ok(stamp(fld(place, "ptr"), e))
                 } else {
                     Ok(place)
                 }
@@ -1330,7 +1372,7 @@ impl<'a> Xf<'a> {
                 // (Table 3 "Pointer arithmetic 1") but target the ptr field
                 // when the storage is a fat cell.
                 if self.plan.is_fat(&lhs.ty().decayed()) && self.place_is_fat_cell(lhs) {
-                    place = fld(place, "ptr");
+                    place = stamp(fld(place, "ptr"), lhs);
                 }
                 Ok(u(ExprKind::Assign {
                     op: *op,
@@ -1368,7 +1410,7 @@ impl<'a> Xf<'a> {
                 let place = self.rewrite_place(target)?;
                 let place =
                     if self.plan.is_fat(&target.ty().decayed()) && self.place_is_fat_cell(target) {
-                        fld(place, "ptr")
+                        stamp(fld(place, "ptr"), target)
                     } else {
                         place
                     };
@@ -1412,7 +1454,7 @@ impl<'a> Xf<'a> {
                     let first = new_args.remove(0);
                     new_args.insert(0, mul(first, n));
                 }
-                Ok(call(name, new_args))
+                Ok(stamp(call(name, new_args), e))
             }
             "realloc" => {
                 if self.plan.alloc_expanded(e.eid) {
@@ -1420,13 +1462,13 @@ impl<'a> Xf<'a> {
                     let old_span = self.span_expr(&args[0])?;
                     let p = self.rewrite_expr(&args[0])?;
                     let n = self.rewrite_expr(&args[1])?;
-                    Ok(call("__realloc_expanded", vec![p, n, old_span]))
+                    Ok(stamp(call("__realloc_expanded", vec![p, n, old_span]), e))
                 } else {
                     let new_args = args
                         .iter()
                         .map(|a| self.rewrite_expr(a))
                         .collect::<Result<_, _>>()?;
-                    Ok(call(name, new_args))
+                    Ok(stamp(call(name, new_args), e))
                 }
             }
             _ => {
@@ -1467,13 +1509,13 @@ impl<'a> Xf<'a> {
     /// access's own classification — except for interleaved arrays, whose
     /// copy index goes innermost (`v[i][tid]`, Fig. 2b).
     fn rewrite_place(&mut self, e: &Expr) -> Result<Expr, XformError> {
-        self.rewrite_place_entry(e, false)
+        Ok(stamp(self.rewrite_place_entry(e, false)?, e))
     }
 
     /// Like [`Xf::rewrite_place`], but forced shared (used under `&`):
     /// addresses always name copy 0.
     fn rewrite_place_shared(&mut self, e: &Expr) -> Result<Expr, XformError> {
-        self.rewrite_place_entry(e, true)
+        Ok(stamp(self.rewrite_place_entry(e, true)?, e))
     }
 
     fn rewrite_place_entry(&mut self, e: &Expr, force_shared: bool) -> Result<Expr, XformError> {

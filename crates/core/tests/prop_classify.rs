@@ -2,7 +2,7 @@
 //! the thread-private test (Definition 5) over generated dependence
 //! graphs, driven by the workspace's deterministic PRNG.
 
-use dse_core::classify::{classify_loop, SiteClass};
+use dse_core::classify::{classify_loop, SiteClass, UnionFind};
 use dse_depprof::{DepEdge, DepKind, LoopDdg};
 use dse_workloads::rng::Rng;
 use std::collections::{HashMap, HashSet};
@@ -141,6 +141,93 @@ fn mode_matches_shared_carried() {
         for s in &cls.shared_carried_sites {
             assert!(carried.contains(s), "case {case}");
             assert_eq!(cls.site_class[s], SiteClass::Shared, "case {case}");
+        }
+    }
+}
+
+/// Naive partition oracle for the union-find properties: merge by
+/// relabelling, no trees involved.
+#[derive(Clone, PartialEq, Eq)]
+struct NaivePartition(HashMap<u32, u32>);
+
+impl NaivePartition {
+    fn new(n: u32) -> Self {
+        NaivePartition((0..n).map(|s| (s, s)).collect())
+    }
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.0[&a], self.0[&b]);
+        for v in self.0.values_mut() {
+            if *v == rb {
+                *v = ra;
+            }
+        }
+    }
+    fn same(&self, a: u32, b: u32) -> bool {
+        self.0[&a] == self.0[&b]
+    }
+}
+
+fn gen_unions(seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = Rng::seed_from_u64(seed);
+    (0..rng.gen_range(0, 30))
+        .map(|_| {
+            (
+                rng.gen_index(NSITES as usize) as u32,
+                rng.gen_index(NSITES as usize) as u32,
+            )
+        })
+        .collect()
+}
+
+/// After any union sequence, `find` agrees with the naive oracle on every
+/// same-class query, and is idempotent (path compression included).
+#[test]
+fn union_find_matches_naive_partition() {
+    for case in 0..CASES {
+        let pairs = gen_unions(0x0F1D + case);
+        let mut uf = UnionFind::new();
+        let mut oracle = NaivePartition::new(NSITES);
+        for &(a, b) in &pairs {
+            uf.union(a, b);
+            oracle.union(a, b);
+        }
+        for a in 0..NSITES {
+            let r = uf.find(a);
+            assert_eq!(uf.find(a), r, "case {case}: find is idempotent");
+            assert_eq!(uf.find(r), r, "case {case}: roots are fixpoints");
+            for b in 0..NSITES {
+                assert_eq!(
+                    uf.find(a) == uf.find(b),
+                    oracle.same(a, b),
+                    "case {case}, sites {a} {b}"
+                );
+            }
+        }
+    }
+}
+
+/// The partition is insensitive to argument order and to the order unions
+/// are applied in (commutativity and associativity of the merge).
+#[test]
+fn union_is_commutative_and_associative() {
+    for case in 0..CASES {
+        let pairs = gen_unions(0xACC0 + case);
+        let mut forward = UnionFind::new();
+        for &(a, b) in &pairs {
+            forward.union(a, b);
+        }
+        let mut swapped_reversed = UnionFind::new();
+        for &(a, b) in pairs.iter().rev() {
+            swapped_reversed.union(b, a);
+        }
+        for a in 0..NSITES {
+            for b in 0..NSITES {
+                assert_eq!(
+                    forward.find(a) == forward.find(b),
+                    swapped_reversed.find(a) == swapped_reversed.find(b),
+                    "case {case}, sites {a} {b}"
+                );
+            }
         }
     }
 }

@@ -58,6 +58,19 @@ impl ExpansionStats {
     }
 }
 
+/// Verifier lint counts (the `dsec check` pass that runs before every
+/// transform). Mirrors `dse-verify`'s per-severity report counts; kept as
+/// plain counters so telemetry does not depend on the verifier crate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Findings at `error` severity.
+    pub errors: u64,
+    /// Findings at `warning` severity.
+    pub warnings: u64,
+    /// Findings at `info` severity.
+    pub infos: u64,
+}
+
 /// VM execution stats: Figure-12 counters in aggregate and per thread.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VmStats {
@@ -99,6 +112,8 @@ pub struct RunMetrics {
     pub loops: Vec<LoopStat>,
     /// Expansion tallies; `None` when the transform was not run.
     pub expansion: Option<ExpansionStats>,
+    /// Verifier lint counts; `None` when the check pass was not run.
+    pub lints: Option<LintStats>,
     /// Execution stats; `None` without `--run`.
     pub vm: Option<VmStats>,
 }
@@ -215,6 +230,14 @@ impl RunMetrics {
                 ),
             ]),
         };
+        let lints = match &self.lints {
+            None => Json::Null,
+            Some(l) => Json::obj(vec![
+                ("errors", Json::Int(l.errors as i64)),
+                ("warnings", Json::Int(l.warnings as i64)),
+                ("infos", Json::Int(l.infos as i64)),
+            ]),
+        };
         let vm = match &self.vm {
             None => Json::Null,
             Some(s) => Json::obj(vec![
@@ -237,6 +260,7 @@ impl RunMetrics {
             ),
             ("loops", Json::Arr(loops)),
             ("expansion", expansion),
+            ("lints", lints),
             ("vm", vm),
         ])
     }
@@ -307,6 +331,22 @@ impl RunMetrics {
                 })
             }
         };
+        let lints = match v.get("lints") {
+            None | Some(Json::Null) => None,
+            Some(l) => {
+                let int = |name: &str| -> Result<u64, String> {
+                    l.get(name)
+                        .and_then(Json::as_i64)
+                        .map(|n| n.max(0) as u64)
+                        .ok_or_else(|| format!("lints missing integer '{name}'"))
+                };
+                Some(LintStats {
+                    errors: int("errors")?,
+                    warnings: int("warnings")?,
+                    infos: int("infos")?,
+                })
+            }
+        };
         let vm = match v.get("vm") {
             None | Some(Json::Null) => None,
             Some(s) => Some(VmStats {
@@ -340,6 +380,7 @@ impl RunMetrics {
             phases,
             loops,
             expansion,
+            lints,
             vm,
         })
     }
@@ -388,6 +429,11 @@ mod tests {
                 span_stores_emitted: 8,
                 span_stores_elided: 9,
             }),
+            lints: Some(LintStats {
+                errors: 0,
+                warnings: 2,
+                infos: 1,
+            }),
             vm: Some(VmStats {
                 totals: counters(1000),
                 per_thread: vec![counters(400), counters(600)],
@@ -415,6 +461,7 @@ mod tests {
         let mut m = sample();
         m.vm = None;
         m.expansion = None;
+        m.lints = None;
         let text = m.to_json().to_string();
         assert_eq!(
             RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap(),

@@ -4,6 +4,8 @@
 //! dsec <program.cee> [--threads N] [--opt none|noconst|full] [--baseline]
 //!      [--emit source|report|ddg|bytecode|trace] [--run] [--serial]
 //!      [--timing] [--metrics <path|->] [--in <ints,comma,separated>]
+//! dsec check <program.cee> [--strict] [--json] [--threads N]
+//!      [--opt none|noconst|full] [--in <ints,comma,separated>]
 //! ```
 //!
 //! Examples:
@@ -15,7 +17,19 @@
 //! dsec prog.cee --run --serial                # reference run
 //! dsec prog.cee --run --timing --metrics -    # telemetry JSON on stdout
 //! dsec prog.cee --emit trace > trace.jsonl    # serial execution as JSONL
+//! dsec check prog.cee                         # soundness lints, text
+//! dsec check prog.cee --strict --json         # CI gate, machine-readable
 //! ```
+//!
+//! `dsec check` runs the privatization-soundness verifier (see DESIGN.md,
+//! "Verification"): pass 1 cross-checks the profiled classifications
+//! against a conservative static dependence approximation, pass 2 checks
+//! the transformed output against the Table 1–3 invariants. The same
+//! verifier runs automatically before `--emit source|report|bytecode`,
+//! `--run` and `--metrics`; error-severity findings abort the drive.
+//!
+//! Exit codes: `0` clean; `1` verifier errors (or warnings under
+//! `--strict`), compile or runtime failures; `2` usage or I/O errors.
 //!
 //! `--timing` prints the phase timeline (parse, lower, profile, classify,
 //! plan, xform) to stderr. `--metrics` writes a `RunMetrics` JSON document
@@ -26,9 +40,15 @@
 
 use dse_core::{Analysis, OptLevel, Transformed};
 use dse_runtime::{Vm, VmConfig};
-use dse_telemetry::{RunMetrics, TraceObserver};
+use dse_telemetry::{LintStats, RunMetrics, TraceObserver};
+use dse_verify::diag::{Report, Severity};
 use std::io::Write;
 use std::process::ExitCode;
+
+/// Verifier errors (or strict-mode warnings), compile and runtime failures.
+const EXIT_DIAG: u8 = 1;
+/// Bad command line, unreadable input, unwritable output.
+const EXIT_USAGE: u8 = 2;
 
 struct Opts {
     path: String,
@@ -43,16 +63,42 @@ struct Opts {
     inputs: Vec<i64>,
 }
 
+/// A drive failure, split by which exit code it maps to.
+enum Fail {
+    /// File system problem: exit 2.
+    Io(String),
+    /// Compile or runtime problem: exit 1.
+    Other(String),
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
          [--baseline] [--emit source|report|ddg|bytecode|trace] [--run] [--serial] \
-         [--timing] [--metrics <path|->] [--in 1,2,3]"
+         [--timing] [--metrics <path|->] [--in 1,2,3]\n\
+         \x20      dsec check <program.cee> [--strict] [--json] [--threads N] \
+         [--opt none|noconst|full] [--in 1,2,3]"
     );
-    std::process::exit(2)
+    std::process::exit(EXIT_USAGE as i32)
 }
 
-fn parse_opts() -> Opts {
+fn parse_opt_level(s: Option<&str>) -> OptLevel {
+    match s {
+        Some("none") => OptLevel::None,
+        Some("noconst") => OptLevel::NoConstSpan,
+        Some("full") => OptLevel::Full,
+        _ => usage(),
+    }
+}
+
+fn parse_inputs(list: &str) -> Vec<i64> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+        .collect()
+}
+
+fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         path: String::new(),
         threads: 4,
@@ -65,7 +111,7 @@ fn parse_opts() -> Opts {
         metrics: None,
         inputs: Vec::new(),
     };
-    let mut args = std::env::args().skip(1);
+    let mut args = args.iter();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--threads" => {
@@ -74,23 +120,16 @@ fn parse_opts() -> Opts {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            "--opt" => {
-                o.opt = match args.next().as_deref() {
-                    Some("none") => OptLevel::None,
-                    Some("noconst") => OptLevel::NoConstSpan,
-                    Some("full") => OptLevel::Full,
-                    _ => usage(),
-                }
-            }
+            "--opt" => o.opt = parse_opt_level(args.next().map(String::as_str)),
             "--baseline" => o.baseline = true,
             "--emit" => {
-                let what = args.next().unwrap_or_else(|| usage());
+                let what = args.next().unwrap_or_else(|| usage()).clone();
                 if !matches!(
                     what.as_str(),
                     "source" | "report" | "ddg" | "bytecode" | "trace"
                 ) {
                     eprintln!("dsec: unknown --emit `{what}`");
-                    std::process::exit(2);
+                    std::process::exit(EXIT_USAGE as i32);
                 }
                 // A repeated value would just print the same artifact twice.
                 if !o.emit.contains(&what) {
@@ -100,15 +139,8 @@ fn parse_opts() -> Opts {
             "--run" => o.run = true,
             "--serial" => o.serial = true,
             "--timing" => o.timing = true,
-            "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage())),
-            "--in" => {
-                let list = args.next().unwrap_or_else(|| usage());
-                o.inputs = list
-                    .split(',')
-                    .filter(|s| !s.is_empty())
-                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
-                    .collect();
-            }
+            "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage()).clone()),
+            "--in" => o.inputs = parse_inputs(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
             _ => usage(),
@@ -121,23 +153,121 @@ fn parse_opts() -> Opts {
 }
 
 fn main() -> ExitCode {
-    let o = parse_opts();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("check") {
+        return check_main(&args[1..]);
+    }
+    let o = parse_opts(&args);
     match drive(&o) {
         Ok(code) => code,
-        Err(e) => {
-            eprintln!("dsec: {e}");
-            ExitCode::from(1)
+        Err(Fail::Io(msg)) => {
+            eprintln!("dsec: {msg}");
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(Fail::Other(msg)) => {
+            eprintln!("dsec: {msg}");
+            ExitCode::from(EXIT_DIAG)
         }
     }
 }
 
-fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
-    let source = std::fs::read_to_string(&o.path).map_err(|e| format!("{}: {e}", o.path))?;
+/// `dsec check <file>`: run the verifier and print the report.
+fn check_main(args: &[String]) -> ExitCode {
+    let mut path = String::new();
+    let mut strict = false;
+    let mut json = false;
+    let mut threads: u32 = 4;
+    let mut opt = OptLevel::Full;
+    let mut inputs: Vec<i64> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--strict" => strict = true,
+            "--json" => json = true,
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--opt" => opt = parse_opt_level(it.next().map(String::as_str)),
+            "--in" => inputs = parse_inputs(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
+            _ => usage(),
+        }
+    }
+    if path.is_empty() {
+        usage();
+    }
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dsec: {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let cfg = VmConfig {
+        inputs_int: inputs,
+        ..Default::default()
+    };
+    let analysis = match Analysis::from_source(&source, cfg) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dsec: {e}");
+            return ExitCode::from(EXIT_DIAG);
+        }
+    };
+    // Pass 2 checks the transform's output, so the check transforms too.
+    // A transform failure still reports pass 1 before failing.
+    let transformed = analysis.transform(opt, threads);
+    let report = dse_verify::check_all(&analysis, transformed.as_ref().ok());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if let Err(e) = &transformed {
+        eprintln!("dsec: transform failed: {e}");
+        return ExitCode::from(EXIT_DIAG);
+    }
+    if report.should_fail(strict) {
+        ExitCode::from(EXIT_DIAG)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The implicit verification pass before any use of the transform: prints
+/// findings to stderr and fails the drive on error-severity ones.
+fn verify_transform(analysis: &Analysis, t: &Transformed, path: &str) -> Result<LintStats, Fail> {
+    let report: Report = dse_verify::check_all(analysis, Some(t));
+    for d in &report.diagnostics {
+        eprintln!("dsec: {}", d.render());
+    }
+    let stats = LintStats {
+        errors: report.count(Severity::Error) as u64,
+        warnings: report.count(Severity::Warning) as u64,
+        infos: report.count(Severity::Info) as u64,
+    };
+    if report.should_fail(false) {
+        return Err(Fail::Other(format!(
+            "verification failed with {} error(s); see `dsec check {path}`",
+            stats.errors
+        )));
+    }
+    Ok(stats)
+}
+
+fn drive(o: &Opts) -> Result<ExitCode, Fail> {
+    let source =
+        std::fs::read_to_string(&o.path).map_err(|e| Fail::Io(format!("{}: {e}", o.path)))?;
     let cfg = VmConfig {
         inputs_int: o.inputs.clone(),
         ..Default::default()
     };
-    let analysis = Analysis::from_source(&source, cfg.clone())?;
+    let analysis =
+        Analysis::from_source(&source, cfg.clone()).map_err(|e| Fail::Other(e.to_string()))?;
 
     // Transform exactly once and share the result between every `--emit`
     // consumer, the executed program, and the telemetry snapshot.
@@ -150,9 +280,23 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
     let transformed: Option<Transformed> = if !needs_transform {
         None
     } else if o.baseline {
-        Some(analysis.baseline_parallel(o.threads)?)
+        Some(
+            analysis
+                .baseline_parallel(o.threads)
+                .map_err(|e| Fail::Other(e.to_string()))?,
+        )
     } else {
-        Some(analysis.transform(o.opt, o.threads)?)
+        Some(
+            analysis
+                .transform(o.opt, o.threads)
+                .map_err(|e| Fail::Other(e.to_string()))?,
+        )
+    };
+
+    // Every transform is verified before its output is used.
+    let lints: Option<LintStats> = match &transformed {
+        Some(t) => Some(verify_transform(&analysis, t, &o.path)?),
+        None => None,
     };
 
     for emit in &o.emit {
@@ -214,12 +358,14 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
             "trace" => {
                 // The observer sees what the profiler sees: a serial
                 // execution (parallel regions run unobserved by design).
-                let mut vm = Vm::new(analysis.serial.clone(), cfg.clone())?;
+                let mut vm = Vm::new(analysis.serial.clone(), cfg.clone())
+                    .map_err(|e| Fail::Other(e.to_string()))?;
                 let stdout = std::io::stdout();
                 let mut obs = TraceObserver::new(std::io::BufWriter::new(stdout.lock()));
-                vm.run_with_observer(&mut obs)?;
+                vm.run_with_observer(&mut obs)
+                    .map_err(|e| Fail::Other(e.to_string()))?;
                 let events = obs.events();
-                obs.finish()?;
+                obs.finish().map_err(|e| Fail::Other(e.to_string()))?;
                 eprintln!("[trace: {events} events]");
             }
             other => unreachable!("--emit values validated in parse_opts: {other}"),
@@ -246,8 +392,9 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
                 inputs_int: o.inputs.clone(),
                 ..Default::default()
             },
-        )?;
-        let report = vm.run()?;
+        )
+        .map_err(|e| Fail::Other(e.to_string()))?;
+        let report = vm.run().map_err(|e| Fail::Other(e.to_string()))?;
         print!("{}", vm.console());
         let outs = vm.outputs_int();
         if !outs.is_empty() {
@@ -296,6 +443,7 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
             phases,
             loops: analysis.loop_stats(),
             expansion: transformed.as_ref().map(|t| t.report.telemetry_stats()),
+            lints,
             vm: run_report
                 .as_ref()
                 .map(dse_telemetry::metrics::VmStats::from_report),
@@ -305,9 +453,15 @@ fn drive(o: &Opts) -> Result<ExitCode, Box<dyn std::error::Error>> {
         if dest == "-" {
             std::io::stdout().write_all(text.as_bytes())?;
         } else {
-            std::fs::write(dest, text).map_err(|e| format!("{dest}: {e}"))?;
+            std::fs::write(dest, text).map_err(|e| Fail::Io(format!("{dest}: {e}")))?;
         }
     }
 
     Ok(exit)
+}
+
+impl From<std::io::Error> for Fail {
+    fn from(e: std::io::Error) -> Fail {
+        Fail::Io(e.to_string())
+    }
 }

@@ -1,0 +1,670 @@
+//! Pass 2: mechanical verification of the transform's invariants.
+//!
+//! The expansion pass promises exactly what Tables 1–3 of the paper specify.
+//! This pass re-checks the promises over the *output* — the transformed AST
+//! and its parallel bytecode — rather than trusting the transform:
+//!
+//! * **Redirection (Table 2, `DSE003`/`DSE004`)** — an abstract
+//!   interpretation over the bytecode tracks, per operand-stack slot,
+//!   whether a value is derived from the worker id (`__tid()` and its
+//!   strength-reduced forms). Every access whose provenance maps to a
+//!   thread-private source access must compute its address from the tid;
+//!   every other provenanced access must not (shared accesses resolve to
+//!   replica 0).
+//! * **Span maintenance (Table 3, `DSE005`)** — over the transformed AST:
+//!   a store to a promoted pointer (shadow `__sp_x` in scope) must be paired
+//!   with a span store, come from a span-returning call, or be a
+//!   span-preserving self-update; a store to a fat cell's `.ptr` must have a
+//!   sibling `.span` store on the same cell.
+//! * **DOACROSS windows (`DSE006`)** — each DOACROSS body region must
+//!   contain exactly one `Wait` before one `Post`, with every ordered shared
+//!   access between them; DOALL bodies must contain no synchronization.
+
+use std::collections::{HashMap, HashSet};
+
+use dse_analysis::PtObj;
+use dse_core::{Analysis, Transformed};
+use dse_ir::bytecode::{Builtin, CompiledProgram, Instr, Pc, RetKind};
+use dse_ir::loops::ParMode;
+use dse_ir::sites::{SiteId, NO_SITE};
+use dse_lang::ast::*;
+use dse_lang::printer;
+use dse_lang::source::SourceSpan;
+use dse_lang::types::Type;
+
+use crate::diag::{Code, Diagnostic, Report};
+use crate::walk;
+
+/// Runs all transform-invariant checks, appending findings to `report`.
+pub fn check(analysis: &Analysis, t: &Transformed, report: &mut Report) {
+    let spans = source_spans(&analysis.program);
+    check_redirection(analysis, t, &spans, report);
+    check_span_maintenance(t, report);
+    check_sync_windows(analysis, t, &spans, report);
+}
+
+/// eid → span index over the original program, for pointing diagnostics at
+/// the source access a transformed site descends from.
+fn source_spans(program: &Program) -> HashMap<u32, SourceSpan> {
+    walk::eid_index(program)
+        .into_iter()
+        .map(|(eid, e)| (eid, e.span))
+        .collect()
+}
+
+// ---- Table 2: redirection (DSE003 / DSE004) --------------------------------
+
+/// Per-pc abstract state: one taint flag per operand-stack slot (top last).
+type Stack = Vec<bool>;
+
+/// Fixpoint of the tid-taint dataflow over the whole code array. Regions are
+/// rooted at every function entry and every parallel-loop body entry with an
+/// empty stack (matching how the VM enters them).
+fn taint_fixpoint(prog: &CompiledProgram) -> HashMap<Pc, Stack> {
+    let mut states: HashMap<Pc, Stack> = HashMap::new();
+    let mut work: Vec<Pc> = Vec::new();
+    for f in &prog.funcs {
+        states.insert(f.entry, Vec::new());
+        work.push(f.entry);
+    }
+    for l in &prog.loops {
+        if l.mode.is_some() {
+            states.insert(l.body_entry, Vec::new());
+            work.push(l.body_entry);
+        }
+    }
+    while let Some(pc) = work.pop() {
+        let Some(stack) = states.get(&pc).cloned() else {
+            continue;
+        };
+        let (next, succs) = step(prog, pc, stack);
+        for s in succs {
+            let changed = match states.get_mut(&s) {
+                Some(old) => merge(old, &next),
+                None => {
+                    states.insert(s, next.clone());
+                    true
+                }
+            };
+            if changed {
+                work.push(s);
+            }
+        }
+    }
+    states
+}
+
+/// Joins `incoming` into `old` (pointwise OR, aligned from the stack top).
+/// Returns true when `old` changed.
+fn merge(old: &mut Stack, incoming: &Stack) -> bool {
+    let mut changed = false;
+    if old.len() > incoming.len() {
+        // Mismatched depths cannot happen in well-formed lowering output;
+        // keep the common top-aligned suffix to stay defined regardless.
+        let drop = old.len() - incoming.len();
+        old.drain(..drop);
+        changed = true;
+    }
+    let skip = incoming.len() - old.len();
+    for (o, i) in old.iter_mut().zip(incoming[skip..].iter()) {
+        if *i && !*o {
+            *o = true;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Executes one instruction abstractly: returns the outgoing stack and the
+/// successor pcs.
+fn step(prog: &CompiledProgram, pc: Pc, mut st: Stack) -> (Stack, Vec<Pc>) {
+    let pop = |st: &mut Stack| st.pop().unwrap_or(false);
+    let next = vec![pc + 1];
+    let succs = match prog.code[pc as usize] {
+        Instr::PushI(_) | Instr::PushF(_) => {
+            st.push(false);
+            next
+        }
+        Instr::Dup => {
+            let t = *st.last().unwrap_or(&false);
+            st.push(t);
+            next
+        }
+        Instr::Drop => {
+            pop(&mut st);
+            next
+        }
+        Instr::Tuck => {
+            // [a, b] -> [b, a, b]
+            let b = pop(&mut st);
+            let a = pop(&mut st);
+            st.push(b);
+            st.push(a);
+            st.push(b);
+            next
+        }
+        Instr::FrameAddr(_) | Instr::GlobalAddr(_) | Instr::IterIdx(_) => {
+            st.push(false);
+            next
+        }
+        Instr::TidScaled(_) => {
+            st.push(true);
+            next
+        }
+        Instr::TidSpanScaled(_) => {
+            pop(&mut st);
+            st.push(true);
+            next
+        }
+        Instr::FrameAddrTid { .. } | Instr::GlobalAddrTid { .. } => {
+            st.push(true);
+            next
+        }
+        Instr::Load { .. } => {
+            pop(&mut st);
+            st.push(false);
+            next
+        }
+        Instr::Store { .. } => {
+            pop(&mut st);
+            pop(&mut st);
+            next
+        }
+        Instr::MemCpy { .. } => {
+            pop(&mut st);
+            pop(&mut st);
+            next
+        }
+        Instr::IBin(_) | Instr::FBin(_) | Instr::ICmp(_) | Instr::FCmp(_) => {
+            let b = pop(&mut st);
+            let a = pop(&mut st);
+            st.push(a || b);
+            next
+        }
+        Instr::INeg
+        | Instr::FNeg
+        | Instr::BNot
+        | Instr::LNot
+        | Instr::I2F
+        | Instr::F2I
+        | Instr::SextTrunc(_) => {
+            let t = pop(&mut st);
+            st.push(t);
+            next
+        }
+        Instr::Jump(t) => vec![t],
+        Instr::JumpIfZ(t) | Instr::JumpIfNZ(t) => {
+            pop(&mut st);
+            vec![t, pc + 1]
+        }
+        Instr::Call(f) => {
+            for _ in 0..prog.func(f).params.len() {
+                pop(&mut st);
+            }
+            // The callee's return value arrives via the shared operand
+            // stack; redirection offsets are applied at access sites, so a
+            // returned value is treated as tid-clean.
+            if prog.func(f).ret == RetKind::Scalar {
+                st.push(false);
+            }
+            next
+        }
+        Instr::CallBuiltin(b) => {
+            for _ in 0..b.arity() {
+                pop(&mut st);
+            }
+            if b.has_result() {
+                st.push(b == Builtin::Tid);
+            }
+            next
+        }
+        Instr::Ret | Instr::Halt => Vec::new(),
+        Instr::LoopMark(..) => next,
+        Instr::ParLoop(_) => {
+            pop(&mut st);
+            pop(&mut st);
+            next
+        }
+        Instr::Wait(_) | Instr::Post(_) => next,
+        Instr::Localize { .. } => {
+            // The runtime-privatization hook translates an address into the
+            // current worker's private copy — tid-derived by definition.
+            pop(&mut st);
+            st.push(true);
+            next
+        }
+    };
+    (st, succs)
+}
+
+/// Taint of the address operand of the access at `pc`, given the incoming
+/// stack. `Load` pops the address from the top; `Store` pops value, then
+/// address; `MemCpy` pops destination, then source.
+fn addr_taints(instr: Instr, st: &Stack) -> Vec<(SiteId, bool)> {
+    let at = |depth: usize| st.iter().rev().nth(depth).copied().unwrap_or(false);
+    match instr {
+        Instr::Load { site, .. } => vec![(site, at(0))],
+        Instr::Store { site, .. } => vec![(site, at(1))],
+        Instr::MemCpy {
+            load_site,
+            store_site,
+            ..
+        } => vec![(store_site, at(0)), (load_site, at(1))],
+        _ => Vec::new(),
+    }
+}
+
+fn check_redirection(
+    analysis: &Analysis,
+    t: &Transformed,
+    spans: &HashMap<u32, SourceSpan>,
+    report: &mut Report,
+) {
+    let states = taint_fixpoint(&t.parallel);
+    let orig_index = walk::eid_index(&analysis.program);
+    // One finding per original access, not per bytecode occurrence.
+    let mut flagged: HashSet<(u32, Code)> = HashSet::new();
+    for (&pc, st) in &states {
+        let instr = t.parallel.code[pc as usize];
+        for (site, tainted) in addr_taints(instr, st) {
+            if site == NO_SITE {
+                continue;
+            }
+            let teid = t.parallel.sites.info(site).eid;
+            if teid == NO_EID {
+                continue;
+            }
+            let Some(&orig) = t.eid_provenance.get(&teid) else {
+                continue;
+            };
+            let private = t.plan.private_eids.contains(&orig);
+            if private {
+                if tainted || !must_redirect(analysis, t, orig) {
+                    continue;
+                }
+                if flagged.insert((orig, Code::PrivateNotRedirected)) {
+                    let mut d = Diagnostic::new(
+                        Code::PrivateNotRedirected,
+                        format!(
+                            "thread-private access `{}` is not redirected through \
+                             the thread id after expansion (Table 2 violation)",
+                            describe(orig, &orig_index, &analysis.program)
+                        ),
+                    );
+                    if let Some(sp) = spans.get(&orig) {
+                        d = d.with_span(*sp);
+                    }
+                    report.push(d);
+                }
+            } else if tainted && flagged.insert((orig, Code::SharedNotReplicaZero)) {
+                let mut d = Diagnostic::new(
+                    Code::SharedNotReplicaZero,
+                    format!(
+                        "shared access `{}` computes its address from the thread \
+                         id; shared accesses must resolve to replica 0 \
+                         (Table 2 violation)",
+                        describe(orig, &orig_index, &analysis.program)
+                    ),
+                );
+                if let Some(sp) = spans.get(&orig) {
+                    d = d.with_span(*sp);
+                }
+                report.push(d);
+            }
+        }
+    }
+}
+
+/// Whether a private access is actually required to carry a tid offset:
+/// indirect accesses always are; direct accesses only when their variable
+/// was expanded (pruned variables keep their single copy).
+fn must_redirect(analysis: &Analysis, t: &Transformed, orig_eid: u32) -> bool {
+    if analysis.pt.site_is_indirect(orig_eid) {
+        return true;
+    }
+    analysis
+        .pt
+        .objects_of_site(orig_eid)
+        .iter()
+        .any(|o| matches!(o, PtObj::Var(_)) && t.plan.expanded.contains(o))
+}
+
+fn describe(eid: u32, index: &HashMap<u32, &Expr>, program: &Program) -> String {
+    index
+        .get(&eid)
+        .map(|e| printer::expr(e, program))
+        .unwrap_or_else(|| format!("eid#{eid}"))
+}
+
+// ---- Table 3: span maintenance (DSE005) ------------------------------------
+
+fn check_span_maintenance(t: &Transformed, report: &mut Report) {
+    let p = &t.program;
+    // Promoted pointers are recognizable by their shadow span slots.
+    let global_shadows: HashSet<String> = p
+        .globals
+        .iter()
+        .filter_map(|g| g.name.strip_prefix("__sp_").map(str::to_string))
+        .collect();
+    for f in &p.functions {
+        let mut shadows = global_shadows.clone();
+        for prm in &f.params {
+            if let Some(x) = prm.name.strip_prefix("__sp_") {
+                shadows.insert(x.to_string());
+            }
+        }
+        collect_local_shadows(&f.body, &mut shadows);
+        check_block_spans(&f.body, &shadows, p, report);
+    }
+}
+
+fn collect_local_shadows(b: &Block, out: &mut HashSet<String>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Decl { name, .. } => {
+                if let Some(x) = name.strip_prefix("__sp_") {
+                    out.insert(x.to_string());
+                }
+            }
+            StmtKind::If { then, els, .. } => {
+                collect_local_shadows(then, out);
+                if let Some(e) = els {
+                    collect_local_shadows(e, out);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => collect_local_shadows(body, out),
+            StmtKind::Block(inner) => collect_local_shadows(inner, out),
+            _ => {}
+        }
+    }
+}
+
+fn check_block_spans(b: &Block, shadows: &HashSet<String>, p: &Program, report: &mut Report) {
+    for (i, s) in b.stmts.iter().enumerate() {
+        match &s.kind {
+            StmtKind::Expr(e) => check_stmt_expr(e, i, b, shadows, p, report),
+            StmtKind::If { then, els, .. } => {
+                check_block_spans(then, shadows, p, report);
+                if let Some(els) = els {
+                    check_block_spans(els, shadows, p, report);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. } => check_block_spans(body, shadows, p, report),
+            StmtKind::Block(inner) => check_block_spans(inner, shadows, p, report),
+            _ => {}
+        }
+    }
+}
+
+fn check_stmt_expr(
+    e: &Expr,
+    idx: usize,
+    block: &Block,
+    shadows: &HashSet<String>,
+    p: &Program,
+    report: &mut Report,
+) {
+    let ExprKind::Assign {
+        op: AssignOp::Set,
+        lhs,
+        rhs,
+    } = &e.kind
+    else {
+        return;
+    };
+    match &lhs.kind {
+        // Promoted scalar pointer / difference integer: `x = rhs` with a
+        // `__sp_x` shadow in scope.
+        ExprKind::Var { name, .. } if shadows.contains(name) => {
+            let ok = later_stores_shadow(block, idx, name)
+                || call_writes_shadow(rhs, name)
+                || self_update(rhs, name);
+            if !ok {
+                report.push(
+                    Diagnostic::new(
+                        Code::SpanNotMaintained,
+                        format!(
+                            "promoted pointer `{name}` is assigned without updating \
+                             its span shadow `__sp_{name}` (Table 3 violation)"
+                        ),
+                    )
+                    .with_span(e.span),
+                );
+            }
+        }
+        // Fat cell: `cell.ptr = rhs` needs a sibling `cell.span = ...`.
+        ExprKind::Field { base, field } if field == "ptr" && is_fat_struct(base, p) => {
+            let key = printer::expr(base, p);
+            let paired = block.stmts.iter().any(|s| {
+                if let StmtKind::Expr(e2) = &s.kind {
+                    if let ExprKind::Assign {
+                        op: AssignOp::Set,
+                        lhs: l2,
+                        ..
+                    } = &e2.kind
+                    {
+                        if let ExprKind::Field {
+                            base: b2,
+                            field: f2,
+                        } = &l2.kind
+                        {
+                            return f2 == "span" && printer::expr(b2, p) == key;
+                        }
+                    }
+                }
+                false
+            });
+            if !paired {
+                report.push(
+                    Diagnostic::new(
+                        Code::SpanNotMaintained,
+                        format!(
+                            "fat cell `{key}` has its `.ptr` field stored without a \
+                             sibling `.span` store (Table 3 violation)"
+                        ),
+                    )
+                    .with_span(e.span),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Is `base` a value of one of the transform's `__fat_*` record types?
+fn is_fat_struct(base: &Expr, p: &Program) -> bool {
+    match base.ty.as_ref() {
+        Some(Type::Struct(id)) => p.types.struct_def(*id).name.starts_with("__fat_"),
+        _ => false,
+    }
+}
+
+/// Does a later statement of the same block store `__sp_<name>` (directly or
+/// as an expanded span cell `__sp_<name>[...]`)?
+fn later_stores_shadow(block: &Block, idx: usize, name: &str) -> bool {
+    let shadow = format!("__sp_{name}");
+    block.stmts.iter().skip(idx + 1).any(|s| {
+        if let StmtKind::Expr(e) = &s.kind {
+            if let ExprKind::Assign {
+                op: AssignOp::Set,
+                lhs,
+                ..
+            } = &e.kind
+            {
+                let root = match &lhs.kind {
+                    ExprKind::Index { base, .. } => base,
+                    _ => lhs,
+                };
+                return matches!(&root.kind, ExprKind::Var { name: n, .. } if *n == shadow);
+            }
+        }
+        false
+    })
+}
+
+/// Is the right-hand side a call that receives `&__sp_<name>` as its span
+/// out-parameter?
+fn call_writes_shadow(rhs: &Expr, name: &str) -> bool {
+    let shadow = format!("__sp_{name}");
+    let ExprKind::Call { args, .. } = &rhs.kind else {
+        return false;
+    };
+    args.iter().any(|a| {
+        if let ExprKind::AddrOf(inner) = &a.kind {
+            return matches!(&inner.kind, ExprKind::Var { name: n, .. } if *n == shadow);
+        }
+        false
+    })
+}
+
+/// `x = x ± c` keeps the span (Table 3 "Pointer arithmetic 1"); the
+/// transform elides the redundant span store under `-O full`.
+fn self_update(rhs: &Expr, name: &str) -> bool {
+    match &rhs.kind {
+        ExprKind::Cast(_, inner) => self_update(inner, name),
+        ExprKind::Binary(BinOp::Add | BinOp::Sub, l, r) => {
+            let is_dst = |x: &Expr| matches!(&x.kind, ExprKind::Var { name: n, .. } if n == name);
+            (is_dst(l) && matches!(r.kind, ExprKind::IntLit(_)))
+                || (is_dst(r) && matches!(l.kind, ExprKind::IntLit(_)))
+        }
+        _ => false,
+    }
+}
+
+// ---- DOACROSS sync windows (DSE006) ----------------------------------------
+
+fn check_sync_windows(
+    analysis: &Analysis,
+    t: &Transformed,
+    spans: &HashMap<u32, SourceSpan>,
+    report: &mut Report,
+) {
+    let ordered = analysis.shared_carried_eids();
+    let orig_index = walk::eid_index(&analysis.program);
+    for (loop_id, l) in t.parallel.loops.iter().enumerate() {
+        let Some(mode) = l.mode else { continue };
+        let region = body_region(&t.parallel, l.body_entry);
+        let mut waits: Vec<Pc> = Vec::new();
+        let mut posts: Vec<Pc> = Vec::new();
+        let mut accesses: Vec<(Pc, u32)> = Vec::new();
+        let ordered_eids = ordered.get(&l.label).cloned().unwrap_or_default();
+        for pc in region.clone() {
+            match t.parallel.code[pc as usize] {
+                Instr::Wait(id) if id as usize == loop_id => waits.push(pc),
+                Instr::Post(id) if id as usize == loop_id => posts.push(pc),
+                Instr::Load { site, .. } | Instr::Store { site, .. } if site != NO_SITE => {
+                    let teid = t.parallel.sites.info(site).eid;
+                    if let Some(&orig) = t.eid_provenance.get(&teid) {
+                        if ordered_eids.contains(&orig) {
+                            accesses.push((pc, orig));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        match mode {
+            ParMode::DoAll => {
+                if !waits.is_empty() || !posts.is_empty() {
+                    report.push(
+                        Diagnostic::new(
+                            Code::SyncWindowViolation,
+                            "DOALL body contains Wait/Post synchronization",
+                        )
+                        .with_loop(&l.label),
+                    );
+                }
+            }
+            ParMode::DoAcross => {
+                if waits.len() != 1 || posts.len() != 1 || waits[0] >= posts[0] {
+                    report.push(
+                        Diagnostic::new(
+                            Code::SyncWindowViolation,
+                            format!(
+                                "DOACROSS body must contain exactly one Wait before \
+                                 one Post (found {} Wait, {} Post)",
+                                waits.len(),
+                                posts.len()
+                            ),
+                        )
+                        .with_loop(&l.label),
+                    );
+                    continue;
+                }
+                let (w, p) = (waits[0], posts[0]);
+                for (pc, orig) in accesses {
+                    if pc <= w || pc >= p {
+                        let mut d = Diagnostic::new(
+                            Code::SyncWindowViolation,
+                            format!(
+                                "ordered shared access `{}` lies outside the \
+                                 Wait/Post window of its DOACROSS loop",
+                                describe(orig, &orig_index, &analysis.program)
+                            ),
+                        )
+                        .with_loop(&l.label);
+                        if let Some(sp) = spans.get(&orig) {
+                            d = d.with_span(*sp);
+                        }
+                        report.push(d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The contiguous pc range of an outlined loop body: from its entry to the
+/// first `Ret` at or beyond every jump target seen so far.
+fn body_region(prog: &CompiledProgram, entry: Pc) -> std::ops::Range<Pc> {
+    let mut max_target = entry;
+    let mut pc = entry;
+    loop {
+        match prog.code[pc as usize] {
+            Instr::Jump(t) | Instr::JumpIfZ(t) | Instr::JumpIfNZ(t) => {
+                max_target = max_target.max(t);
+            }
+            Instr::Ret if pc >= max_target => return entry..pc + 1,
+            _ => {}
+        }
+        pc += 1;
+        if pc as usize >= prog.code.len() {
+            return entry..pc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_pointwise_or_from_top() {
+        let mut a = vec![false, false];
+        assert!(merge(&mut a, &vec![true, false, true]));
+        assert_eq!(a, vec![false, true]);
+        assert!(!merge(&mut a, &vec![false, false]));
+    }
+
+    #[test]
+    fn self_update_recognizes_pointer_bump() {
+        let p = Expr::new(
+            ExprKind::Var {
+                name: "p".into(),
+                binding: None,
+            },
+            Default::default(),
+        );
+        let one = Expr::new(ExprKind::IntLit(1), Default::default());
+        let rhs = Expr::new(
+            ExprKind::Binary(BinOp::Add, Box::new(p), Box::new(one)),
+            Default::default(),
+        );
+        assert!(self_update(&rhs, "p"));
+        assert!(!self_update(&rhs, "q"));
+    }
+}

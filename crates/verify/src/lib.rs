@@ -1,0 +1,112 @@
+//! # dse-verify — static privatization-soundness verifier and lint framework
+//!
+//! The expansion pipeline trusts two oracles: the *profiler* (whose
+//! classifications are only as sound as the profiling input, §2 of the
+//! paper) and the *transform* (whose Table 1–3 rewrites are assumed
+//! correct). This crate cross-examines both:
+//!
+//! 1. **Profile soundness ([`staticdep`], pass 1)** — a conservative static
+//!    approximation of may-dependences, built from the points-to analysis
+//!    and the source tree, is compared against the profiled DDG. A class
+//!    the profile calls thread-private that the static pass cannot confirm
+//!    is flagged `DSE001` (warning by default, failing under `--strict`).
+//! 2. **Transform invariants ([`invariants`], pass 2)** — the transformed
+//!    AST and parallel bytecode are mechanically checked against Tables
+//!    1–3: tid redirection of private sites (`DSE003`), replica-0
+//!    resolution of shared sites (`DSE004`), span maintenance (`DSE005`),
+//!    and DOACROSS synchronization windows (`DSE006`).
+//! 3. **Lint framework ([`diag`])** — findings carry stable `DSE0xx` codes,
+//!    severities, and spans; reports render as text or JSON and roll up
+//!    counts for telemetry. The `dsec check` subcommand (and the implicit
+//!    pre-transform check in `dsec --transform`/`--run`) is built on it.
+
+pub mod diag;
+pub mod invariants;
+pub mod staticdep;
+pub mod walk;
+
+use std::collections::HashMap;
+
+use dse_core::{Analysis, SiteClass, Transformed};
+use dse_lang::ast::NO_EID;
+
+use diag::{Code, Diagnostic, Report};
+
+/// Policy knobs for a verifier run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VerifyOptions {
+    /// Treat warnings as failures (`dsec check --strict`).
+    pub strict: bool,
+}
+
+/// Pass 1: checks the profiled classifications against the static
+/// approximation (`DSE001`/`DSE002`/`DSE008`) and for cross-loop
+/// consistency (`DSE007`). Runs before planning, on the [`Analysis`] alone.
+pub fn check_analysis(analysis: &Analysis, report: &mut Report) {
+    staticdep::check(analysis, report);
+    check_classification_conflicts(analysis, report);
+}
+
+/// Pass 2: checks the transform's output against its Table 1–3 invariants
+/// (`DSE003`–`DSE006`).
+pub fn check_transformed(analysis: &Analysis, t: &Transformed, report: &mut Report) {
+    invariants::check(analysis, t, report);
+}
+
+/// Runs every applicable pass and returns the sorted report: pass 1 always,
+/// pass 2 when a transformed program is supplied.
+pub fn check_all(analysis: &Analysis, transformed: Option<&Transformed>) -> Report {
+    let mut report = Report::default();
+    check_analysis(analysis, &mut report);
+    if let Some(t) = transformed {
+        check_transformed(analysis, t, &mut report);
+    }
+    report.sort();
+    report
+}
+
+/// `DSE007`: the same source access must not be classified thread-private
+/// by one candidate loop and shared by another — plan merging refuses such
+/// programs, so surfacing the conflict as a lint keeps `dsec check` ahead
+/// of the transform's hard error.
+fn check_classification_conflicts(analysis: &Analysis, report: &mut Report) {
+    let index = walk::eid_index(&analysis.program);
+    let mut seen: HashMap<u32, (SiteClass, String)> = HashMap::new();
+    let mut conflicted: Vec<u32> = Vec::new();
+    for c in &analysis.classifications {
+        for (&site, &class) in &c.site_class {
+            let eid = analysis.serial.sites.info(site).eid;
+            if eid == NO_EID {
+                continue;
+            }
+            match seen.get(&eid) {
+                None => {
+                    seen.insert(eid, (class, c.label.clone()));
+                }
+                Some((prev, prev_label)) if *prev != class => {
+                    if !conflicted.contains(&eid) {
+                        conflicted.push(eid);
+                        let (shared_in, private_in) = if *prev == SiteClass::Shared {
+                            (prev_label.clone(), c.label.clone())
+                        } else {
+                            (c.label.clone(), prev_label.clone())
+                        };
+                        let mut d = Diagnostic::new(
+                            Code::ClassificationConflict,
+                            format!(
+                                "access is thread-private in loop `{private_in}` but \
+                                 shared in loop `{shared_in}`; the merged expansion \
+                                 plan cannot satisfy both"
+                            ),
+                        );
+                        if let Some(e) = index.get(&eid) {
+                            d = d.with_span(e.span);
+                        }
+                        report.push(d);
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}

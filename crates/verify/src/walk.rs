@@ -1,0 +1,190 @@
+//! Read-only AST traversal helpers.
+//!
+//! `dse_lang::ast` ships mutable visitors (they exist to renumber eids);
+//! the verifier only inspects programs, so these walkers borrow the tree
+//! immutably and can hand out `&'a Expr` references that outlive the
+//! traversal.
+
+use dse_lang::ast::*;
+use dse_lang::source::SourceSpan;
+
+/// Calls `f` on `e` and every expression below it, parents before children.
+pub fn exprs<'a>(e: &'a Expr, f: &mut impl FnMut(&'a Expr)) {
+    f(e);
+    match &e.kind {
+        ExprKind::IntLit(_)
+        | ExprKind::FloatLit(_)
+        | ExprKind::Var { .. }
+        | ExprKind::SizeofType(_) => {}
+        ExprKind::Unary(_, a)
+        | ExprKind::Deref(a)
+        | ExprKind::AddrOf(a)
+        | ExprKind::Cast(_, a)
+        | ExprKind::SizeofExpr(a)
+        | ExprKind::IncDec { target: a, .. } => exprs(a, f),
+        ExprKind::Binary(_, a, b)
+        | ExprKind::Assign { lhs: a, rhs: b, .. }
+        | ExprKind::Index { base: a, index: b } => {
+            exprs(a, f);
+            exprs(b, f);
+        }
+        ExprKind::Cond(a, b, c) => {
+            exprs(a, f);
+            exprs(b, f);
+            exprs(c, f);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                exprs(a, f);
+            }
+        }
+        ExprKind::Field { base, .. } => exprs(base, f),
+    }
+}
+
+/// Calls `f` on every expression in the statement, in program order.
+pub fn exprs_in_stmt<'a>(stmt: &'a Stmt, f: &mut impl FnMut(&'a Expr)) {
+    match &stmt.kind {
+        StmtKind::Decl { init, .. } => {
+            if let Some(e) = init {
+                exprs(e, f);
+            }
+        }
+        StmtKind::Expr(e) => exprs(e, f),
+        StmtKind::If { cond, then, els } => {
+            exprs(cond, f);
+            exprs_in_block(then, f);
+            if let Some(b) = els {
+                exprs_in_block(b, f);
+            }
+        }
+        StmtKind::While { cond, body, .. } => {
+            exprs(cond, f);
+            exprs_in_block(body, f);
+        }
+        StmtKind::DoWhile { body, cond, .. } => {
+            exprs_in_block(body, f);
+            exprs(cond, f);
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            if let Some(s) = init {
+                exprs_in_stmt(s, f);
+            }
+            if let Some(c) = cond {
+                exprs(c, f);
+            }
+            if let Some(s) = step {
+                exprs(s, f);
+            }
+            exprs_in_block(body, f);
+        }
+        StmtKind::Return(Some(e)) => exprs(e, f),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+        StmtKind::Block(b) => exprs_in_block(b, f),
+    }
+}
+
+/// Calls `f` on every expression in the block, in program order.
+pub fn exprs_in_block<'a>(block: &'a Block, f: &mut impl FnMut(&'a Expr)) {
+    for s in &block.stmts {
+        exprs_in_stmt(s, f);
+    }
+}
+
+/// Builds an eid → expression index over a whole program.
+pub fn eid_index(program: &Program) -> std::collections::HashMap<u32, &Expr> {
+    let mut map = std::collections::HashMap::new();
+    for f in &program.functions {
+        exprs_in_block(&f.body, &mut |e| {
+            if e.eid != NO_EID {
+                map.insert(e.eid, e);
+            }
+        });
+    }
+    map
+}
+
+/// A `#pragma candidate` loop located in the AST.
+pub struct CandidateLoop<'a> {
+    /// Loop label (explicit, or `fn#ordinal` like the lowering assigns).
+    pub label: String,
+    /// Index of the enclosing function in `program.functions`.
+    pub func: usize,
+    /// The `for` init statement, if any.
+    pub init: Option<&'a Stmt>,
+    /// The `for` condition, if any.
+    pub cond: Option<&'a Expr>,
+    /// The `for` step expression, if any.
+    pub step: Option<&'a Expr>,
+    /// Loop body.
+    pub body: &'a Block,
+    /// Source location of the loop statement.
+    pub span: SourceSpan,
+}
+
+/// Finds every candidate loop, assigning the same `fn#ordinal` fallback
+/// labels the lowering uses (one ordinal counter across the whole program,
+/// pre-order).
+pub fn candidate_loops(program: &Program) -> Vec<CandidateLoop<'_>> {
+    fn scan<'a>(
+        block: &'a Block,
+        func: usize,
+        fn_name: &str,
+        ordinal: &mut usize,
+        out: &mut Vec<CandidateLoop<'a>>,
+    ) {
+        for s in &block.stmts {
+            match &s.kind {
+                StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    mark,
+                } => {
+                    if mark.candidate {
+                        let this = *ordinal;
+                        *ordinal += 1;
+                        let label = mark
+                            .label
+                            .clone()
+                            .unwrap_or_else(|| format!("{fn_name}#{this}"));
+                        out.push(CandidateLoop {
+                            label,
+                            func,
+                            init: init.as_deref(),
+                            cond: cond.as_ref(),
+                            step: step.as_ref(),
+                            body,
+                            span: s.span,
+                        });
+                    }
+                    scan(body, func, fn_name, ordinal, out);
+                }
+                StmtKind::If { then, els, .. } => {
+                    scan(then, func, fn_name, ordinal, out);
+                    if let Some(b) = els {
+                        scan(b, func, fn_name, ordinal, out);
+                    }
+                }
+                StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                    scan(body, func, fn_name, ordinal, out)
+                }
+                StmtKind::Block(b) => scan(b, func, fn_name, ordinal, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    let mut ordinal = 0usize;
+    for (fi, f) in program.functions.iter().enumerate() {
+        scan(&f.body, fi, &f.name, &mut ordinal, &mut out);
+    }
+    out
+}

@@ -1,0 +1,59 @@
+//! The verifier runs over every transformed test program: the eight
+//! Table-4 workload models and the shipped example, at every optimization
+//! level. The transform must satisfy its own Table 1–3 invariants
+//! everywhere — any `DSE003`–`DSE007` error here is a transform bug, not a
+//! property of the input program.
+
+use dse_core::{Analysis, OptLevel};
+use dse_runtime::VmConfig;
+use dse_verify::diag::Severity;
+use dse_workloads::Scale;
+
+const LEVELS: [OptLevel; 3] = [OptLevel::None, OptLevel::NoConstSpan, OptLevel::Full];
+
+fn assert_no_errors(name: &str, analysis: &Analysis, opt: OptLevel) {
+    let t = analysis
+        .transform(opt, 4)
+        .unwrap_or_else(|e| panic!("{name} @ {opt:?}: transform failed: {e}"));
+    let report = dse_verify::check_all(analysis, Some(&t));
+    let errors: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "{name} @ {opt:?}: transform violates its invariants:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn workloads_verify_at_every_opt_level() {
+    for w in dse_workloads::all() {
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+            .unwrap_or_else(|e| panic!("{}: analysis failed: {e}", w.name));
+        for opt in LEVELS {
+            assert_no_errors(w.name, &analysis, opt);
+        }
+    }
+}
+
+#[test]
+fn shipped_example_verifies_clean() {
+    let path = format!("{}/../../examples/scratch.cee", env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(path).unwrap();
+    let analysis = Analysis::from_source(&source, VmConfig::default()).unwrap();
+    for opt in LEVELS {
+        let t = analysis.transform(opt, 4).unwrap();
+        let report = dse_verify::check_all(&analysis, Some(&t));
+        // The example is the quickstart's face: not just error-free but
+        // entirely lint-free.
+        assert!(
+            report.diagnostics.is_empty(),
+            "scratch.cee @ {opt:?} should be lint-free:\n{}",
+            report.render_text()
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Negative tests: each invariant checker must actually fire when its
+//! invariant is broken. A checker that passes every workload (see
+//! `invariants_all.rs`) proves nothing unless deliberately corrupted
+//! output fails — these tests corrupt one promise at a time.
+
+use dse_core::{Analysis, OptLevel, Transformed};
+use dse_ir::bytecode::{Instr, LoopEvent};
+use dse_lang::ast::{AssignOp, ExprKind, StmtKind};
+use dse_verify::diag::Code;
+use dse_workloads::Scale;
+
+fn transformed(name: &str) -> (Analysis, Transformed) {
+    let w = dse_workloads::by_name(name).expect("known workload");
+    let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile)).unwrap();
+    let t = analysis.transform(OptLevel::Full, 4).unwrap();
+    (analysis, t)
+}
+
+fn codes(analysis: &Analysis, t: &Transformed) -> Vec<Code> {
+    dse_verify::check_all(analysis, Some(t))
+        .diagnostics
+        .iter()
+        .map(|d| d.code)
+        .collect()
+}
+
+/// Un-redirecting a private access (TidScaled offset replaced by a constant
+/// zero) must raise `DSE003`.
+#[test]
+fn unredirected_private_access_is_flagged() {
+    let (analysis, mut t) = transformed("dijkstra");
+    assert!(!codes(&analysis, &t).contains(&Code::PrivateNotRedirected));
+    // Strip every tid-derived addressing form, each replaced by a
+    // stack-neutral tid-free equivalent.
+    let mut broke = false;
+    for i in &mut t.parallel.code {
+        let replacement = match *i {
+            Instr::TidScaled(_) => Instr::PushI(0),
+            Instr::TidSpanScaled(_) => Instr::SextTrunc(8),
+            Instr::FrameAddrTid { offset, .. } => Instr::FrameAddr(offset),
+            Instr::GlobalAddrTid { addr, .. } => Instr::GlobalAddr(addr),
+            _ => continue,
+        };
+        *i = replacement;
+        broke = true;
+    }
+    assert!(broke, "expected tid-derived redirection in the output");
+    assert!(codes(&analysis, &t).contains(&Code::PrivateNotRedirected));
+}
+
+/// Claiming every private access is shared must raise `DSE004` for the
+/// tid-redirected sites (a shared access must resolve to replica 0).
+#[test]
+fn tid_addressed_shared_access_is_flagged() {
+    let (analysis, mut t) = transformed("dijkstra");
+    assert!(!codes(&analysis, &t).contains(&Code::SharedNotReplicaZero));
+    t.plan.private_eids.clear();
+    assert!(codes(&analysis, &t).contains(&Code::SharedNotReplicaZero));
+}
+
+/// Deleting the span bookkeeping after a promoted-pointer assignment must
+/// raise `DSE005`.
+#[test]
+fn dropped_span_store_is_flagged() {
+    let (analysis, mut t) = transformed("dijkstra");
+    assert!(!codes(&analysis, &t).contains(&Code::SpanNotMaintained));
+    let mut dropped = false;
+    for f in &mut t.program.functions {
+        fn strip(b: &mut dse_lang::ast::Block, dropped: &mut bool) {
+            b.stmts.retain(|s| {
+                if let StmtKind::Expr(e) = &s.kind {
+                    if let ExprKind::Assign {
+                        op: AssignOp::Set,
+                        lhs,
+                        ..
+                    } = &e.kind
+                    {
+                        if matches!(&lhs.kind,
+                            ExprKind::Var { name, .. } if name.starts_with("__sp_"))
+                        {
+                            *dropped = true;
+                            return false;
+                        }
+                    }
+                }
+                true
+            });
+            for s in &mut b.stmts {
+                match &mut s.kind {
+                    StmtKind::If { then, els, .. } => {
+                        strip(then, dropped);
+                        if let Some(e) = els {
+                            strip(e, dropped);
+                        }
+                    }
+                    StmtKind::While { body, .. }
+                    | StmtKind::DoWhile { body, .. }
+                    | StmtKind::For { body, .. } => strip(body, dropped),
+                    StmtKind::Block(inner) => strip(inner, dropped),
+                    _ => {}
+                }
+            }
+        }
+        strip(&mut f.body, &mut dropped);
+    }
+    assert!(dropped, "expected span stores in the output");
+    assert!(codes(&analysis, &t).contains(&Code::SpanNotMaintained));
+}
+
+/// Erasing the Wait of a DOACROSS loop must raise `DSE006`.
+#[test]
+fn missing_wait_is_flagged() {
+    // Find a workload whose transform schedules a DOACROSS loop.
+    let name = dse_workloads::all()
+        .into_iter()
+        .map(|w| w.name)
+        .find(|n| {
+            let (_, t) = transformed(n);
+            t.parallel.code.iter().any(|i| matches!(i, Instr::Wait(_)))
+        })
+        .expect("some workload runs DOACROSS");
+    let (analysis, mut t) = transformed(name);
+    assert!(!codes(&analysis, &t).contains(&Code::SyncWindowViolation));
+    for i in &mut t.parallel.code {
+        if matches!(i, Instr::Wait(_)) {
+            *i = Instr::LoopMark(LoopEvent::IterStart, 0);
+        }
+    }
+    assert!(codes(&analysis, &t).contains(&Code::SyncWindowViolation));
+}

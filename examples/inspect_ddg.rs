@@ -1,5 +1,6 @@
-//! Tooling demo: print a loop's data dependence graph, access classes and
-//! Figure-8-style breakdown for a program of your own.
+//! Tooling demo: print a loop's data dependence graph, access classes,
+//! Figure-8-style breakdown, and the static-vs-profiled dependence diff
+//! for a program of your own.
 //!
 //! ```text
 //! cargo run --release --example inspect_ddg [path/to/program.cee]
@@ -63,6 +64,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             100.0 * e,
             100.0 * c
         );
+    }
+
+    // Where the profiled classification and the static approximation agree —
+    // and where the profile's claim rests on input coverage alone.
+    println!("\n== static vs profiled dependences ==");
+    for diff in dse_verify::staticdep::loop_diffs(&analysis) {
+        println!(
+            "loop `{}` ({} iterations, {:?}):",
+            diff.label, diff.iterations, diff.mode
+        );
+        for class in &diff.classes {
+            let verdict = match (class.profiled_private, class.statically_confirmed) {
+                (true, true) => "private, statically confirmed".to_string(),
+                (true, false) => format!(
+                    "private BY PROFILE ONLY ({})",
+                    class.reason.as_deref().unwrap_or("unconfirmed")
+                ),
+                (false, _) => "shared".to_string(),
+            };
+            println!(
+                "  class `{}` ({} site{}): {verdict}",
+                class.repr,
+                class.eids.len(),
+                if class.eids.len() == 1 { "" } else { "s" }
+            );
+        }
     }
     Ok(())
 }
