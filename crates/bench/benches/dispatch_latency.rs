@@ -1,0 +1,137 @@
+//! Executor dispatch microbenchmarks.
+//!
+//! * back-to-back dispatch: a serial loop driving 200 tiny parallel loops
+//!   at 8 threads, persistent pool vs the spawn-per-loop baseline — the
+//!   "sustained traffic" shape where thread-creation churn dominates the
+//!   seed executor.
+//! * steal imbalance: a skewed workload (first eighth of the iterations
+//!   carry ~800x the work) under work stealing vs static chunking. Wall
+//!   time only separates the schedules on a multi-core host, so the
+//!   *modeled makespan* — the maximum per-worker instruction count, i.e.
+//!   the finish time on ideal cores — is reported alongside.
+
+use dse_bench::harness;
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::loops::ParMode;
+use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
+use dse_runtime::{DoallSchedule, ExecBackend, Vm, VmConfig};
+
+const NTHREADS: u32 = 8;
+
+/// 200 back-to-back dispatches of a 64-iteration loop: almost no work per
+/// dispatch, so the measurement is the dispatch machinery itself.
+const DISPATCH_SRC: &str = "int main() {
+    int *a; a = malloc(64 * sizeof(int));
+    for (int r = 0; r < 200; r++) {
+        #pragma candidate tiny
+        for (int i = 0; i < 64; i++) { a[i] = a[i] + r; }
+    }
+    int s; s = 0;
+    for (int i = 0; i < 64; i++) { s += a[i]; }
+    free(a);
+    return s % 256; }";
+
+/// Skewed DOALL: iterations 0..64 run an ~800x inner loop, the remaining
+/// 448 are trivial, so a static 8-way split leaves one worker with nearly
+/// all the work. The work sits in a function so its locals live on each
+/// worker's private stack.
+const SKEW_SRC: &str = "int burn(int i) {
+        int w; w = i < 64 ? 800 : 1;
+        int acc; acc = 0;
+        for (int k = 0; k < w; k++) { acc = acc + i + k; }
+        return acc;
+    }
+    int main() {
+    int *a; a = malloc(512 * sizeof(int));
+    #pragma candidate skew
+    for (int i = 0; i < 512; i++) { a[i] = burn(i); }
+    int s; s = 0;
+    for (int i = 0; i < 512; i++) { s += a[i]; }
+    free(a);
+    return s % 100000; }";
+
+fn compile_parallel(src: &str) -> CompiledProgram {
+    let ast = dse_lang::compile_to_ast(src).expect("frontend");
+    let cands = dse_ir::loops::find_candidate_loops(&ast).expect("candidates");
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
+    for c in &cands {
+        opts.par.insert(
+            c.label.clone(),
+            ParLoopSpec {
+                mode: ParMode::DoAll,
+                sync_window: None,
+            },
+        );
+    }
+    dse_ir::lower_program(&ast, &opts).expect("lowering")
+}
+
+/// Lean arena so `Vm::new` cost stays off the timed path (the VM is built
+/// once per case and `run` repeatedly — both programs free everything).
+fn config(backend: ExecBackend, schedule: DoallSchedule) -> VmConfig {
+    VmConfig {
+        mem_bytes: 16 << 20,
+        stack_bytes: 256 << 10,
+        nthreads: NTHREADS,
+        exec_backend: backend,
+        doall_schedule: schedule,
+        ..Default::default()
+    }
+}
+
+/// Modeled makespan of the skew loop under `schedule`: the maximum
+/// per-worker instruction count of one run (finish time on ideal cores).
+fn skew_makespan(compiled: &CompiledProgram, schedule: DoallSchedule) -> u64 {
+    let mut vm = Vm::new(compiled.clone(), config(ExecBackend::Pool, schedule)).expect("vm");
+    let report = vm.run().expect("run");
+    report.per_thread.iter().map(|c| c.work).max().unwrap_or(0)
+}
+
+fn main() {
+    let group = harness::group("dispatch_latency");
+
+    // -- back-to-back dispatch: pool vs spawn-per-loop -----------------------
+    let compiled = compile_parallel(DISPATCH_SRC);
+    let mut vm_pool = Vm::new(
+        compiled.clone(),
+        config(ExecBackend::Pool, DoallSchedule::Stealing),
+    )
+    .expect("vm");
+    let pool = group.bench("back_to_back_200/pool", || {
+        vm_pool.run().expect("run");
+    });
+    let mut vm_spawn = Vm::new(
+        compiled,
+        config(ExecBackend::SpawnPerLoop, DoallSchedule::Stealing),
+    )
+    .expect("vm");
+    let spawn = group.bench("back_to_back_200/spawn_per_loop", || {
+        vm_spawn.run().expect("run");
+    });
+    println!(
+        "dispatch_latency/back_to_back_200 speedup (spawn_per_loop / pool): {:.2}x",
+        spawn.as_secs_f64() / pool.as_secs_f64()
+    );
+
+    // -- steal imbalance: stealing vs static on skewed work ------------------
+    let skew = compile_parallel(SKEW_SRC);
+    for (label, schedule) in [
+        ("stealing", DoallSchedule::Stealing),
+        ("static", DoallSchedule::Static),
+    ] {
+        let mut vm = Vm::new(skew.clone(), config(ExecBackend::Pool, schedule)).expect("vm");
+        group.bench(&format!("skew_512/{label}"), || {
+            vm.run().expect("run");
+        });
+    }
+    let steal_span = skew_makespan(&skew, DoallSchedule::Stealing);
+    let static_span = skew_makespan(&skew, DoallSchedule::Static);
+    println!(
+        "dispatch_latency/skew_512 modeled makespan: stealing {steal_span} vs static \
+         {static_span} instructions ({:.2}x better balanced)",
+        static_span as f64 / steal_span.max(1) as f64
+    );
+}

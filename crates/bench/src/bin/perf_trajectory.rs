@@ -1,0 +1,360 @@
+//! The recorded cross-PR performance trajectory.
+//!
+//! Runs the headline benches (allocator churn, dispatch latency, steal
+//! imbalance, simulated figure speedups) and writes `BENCH_NNN.json` —
+//! one document per PR, kept at the repo root so the numbers are diffable
+//! across the stack. The schema is documented in EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_trajectory [OUT.json]        # run benches, write the document
+//! perf_trajectory --check DOC.json  # validate an existing document
+//! ```
+//!
+//! Sample count comes from `DSE_BENCH_SAMPLES` (default 5 here).
+
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::loops::ParMode;
+use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
+use dse_runtime::{DoallSchedule, ExecBackend, FirstFitHeap, Heap, Vm, VmConfig};
+use dse_telemetry::Json;
+use dse_workloads::rng::Rng;
+use dse_workloads::Scale;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// Document schema identifier; bump on incompatible layout changes.
+const SCHEMA: &str = "dse-bench-trajectory-v1";
+/// The PR this binary's numbers belong to.
+const PR: i64 = 6;
+const DEFAULT_OUT: &str = "BENCH_006.json";
+
+fn samples() -> usize {
+    std::env::var("DSE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5)
+}
+
+/// Median wall seconds of `f` over [`samples`] runs (one discarded warmup).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..samples())
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+// -- allocator churn (the PR 4/5 number, re-recorded each PR) ---------------
+
+const ARENA: u64 = 256 << 20;
+const CHURN_OPS: usize = 40_000;
+const CHURN_THREADS: usize = 8;
+
+/// Mixed-size alloc/free churn with randomized free order (the
+/// fragmenting pattern of `benches/alloc_churn.rs`).
+fn churn(seed: u64, ops: usize, alloc: &(dyn Fn(u64) -> u64 + Sync), free: &(dyn Fn(u64) + Sync)) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::with_capacity(1024);
+    for _ in 0..ops {
+        if live.len() < 1024 && rng.gen_index(5) < 3 {
+            let size = if rng.gen_index(16) == 0 {
+                rng.gen_range(4097, 16 << 10) as u64
+            } else {
+                rng.gen_range(1, 2048) as u64
+            };
+            live.push(alloc(size));
+        } else if !live.is_empty() {
+            let i = rng.gen_index(live.len());
+            free(live.swap_remove(i));
+        }
+    }
+    for base in live {
+        free(base);
+    }
+}
+
+fn churn_mt(run: &(dyn Fn(u64, usize) + Sync)) {
+    std::thread::scope(|scope| {
+        for t in 0..CHURN_THREADS {
+            scope.spawn(move || run(0x100 + t as u64, CHURN_OPS / CHURN_THREADS));
+        }
+    });
+}
+
+// -- executor benches --------------------------------------------------------
+
+const NTHREADS: u32 = 8;
+
+/// Same shapes as `benches/dispatch_latency.rs`.
+const DISPATCH_SRC: &str = "int main() {
+    int *a; a = malloc(64 * sizeof(int));
+    for (int r = 0; r < 200; r++) {
+        #pragma candidate tiny
+        for (int i = 0; i < 64; i++) { a[i] = a[i] + r; }
+    }
+    int s; s = 0;
+    for (int i = 0; i < 64; i++) { s += a[i]; }
+    free(a);
+    return s % 256; }";
+
+const SKEW_SRC: &str = "int burn(int i) {
+        int w; w = i < 64 ? 800 : 1;
+        int acc; acc = 0;
+        for (int k = 0; k < w; k++) { acc = acc + i + k; }
+        return acc;
+    }
+    int main() {
+    int *a; a = malloc(512 * sizeof(int));
+    #pragma candidate skew
+    for (int i = 0; i < 512; i++) { a[i] = burn(i); }
+    int s; s = 0;
+    for (int i = 0; i < 512; i++) { s += a[i]; }
+    free(a);
+    return s % 100000; }";
+
+fn compile_parallel(src: &str) -> CompiledProgram {
+    let ast = dse_lang::compile_to_ast(src).expect("frontend");
+    let cands = dse_ir::loops::find_candidate_loops(&ast).expect("candidates");
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
+    for c in &cands {
+        opts.par.insert(
+            c.label.clone(),
+            ParLoopSpec {
+                mode: ParMode::DoAll,
+                sync_window: None,
+            },
+        );
+    }
+    dse_ir::lower_program(&ast, &opts).expect("lowering")
+}
+
+fn vm_config(backend: ExecBackend, schedule: DoallSchedule) -> VmConfig {
+    VmConfig {
+        mem_bytes: 16 << 20,
+        stack_bytes: 256 << 10,
+        nthreads: NTHREADS,
+        exec_backend: backend,
+        doall_schedule: schedule,
+        ..Default::default()
+    }
+}
+
+/// Maximum per-worker instruction count of one skew-loop run: the finish
+/// time on ideal cores, which separates the schedules even on a
+/// single-core host.
+fn skew_makespan(compiled: &CompiledProgram, schedule: DoallSchedule) -> u64 {
+    let mut vm = Vm::new(compiled.clone(), vm_config(ExecBackend::Pool, schedule)).expect("vm");
+    let report = vm.run().expect("run");
+    report.per_thread.iter().map(|c| c.work).max().unwrap_or(0)
+}
+
+// -- the document ------------------------------------------------------------
+
+struct BenchValue {
+    name: &'static str,
+    unit: &'static str,
+    value: f64,
+}
+
+fn build_document(benches: &[BenchValue]) -> Json {
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.into())),
+        ("pr", Json::Int(PR)),
+        (
+            "benches",
+            Json::Arr(
+                benches
+                    .iter()
+                    .map(|b| {
+                        Json::obj(vec![
+                            ("name", Json::Str(b.name.into())),
+                            ("unit", Json::Str(b.unit.into())),
+                            ("value", Json::Float(b.value)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Validates a trajectory document: schema string, positive PR number, and
+/// a non-empty benches array of `{name, unit, value}` entries.
+fn validate(text: &str) -> Result<usize, String> {
+    let v = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let schema = v
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != SCHEMA {
+        return Err(format!("unknown schema '{schema}' (expected '{SCHEMA}')"));
+    }
+    let pr = v
+        .get("pr")
+        .and_then(Json::as_i64)
+        .ok_or("missing integer field 'pr'")?;
+    if pr < 1 {
+        return Err(format!("'pr' must be positive, got {pr}"));
+    }
+    let benches = v
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("missing array field 'benches'")?;
+    if benches.is_empty() {
+        return Err("'benches' is empty".into());
+    }
+    for (i, b) in benches.iter().enumerate() {
+        b.get("name")
+            .and_then(Json::as_str)
+            .ok_or(format!("benches[{i}] missing string 'name'"))?;
+        b.get("unit")
+            .and_then(Json::as_str)
+            .ok_or(format!("benches[{i}] missing string 'unit'"))?;
+        let val = b
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or(format!("benches[{i}] missing number 'value'"))?;
+        if !val.is_finite() {
+            return Err(format!("benches[{i}] value is not finite"));
+        }
+    }
+    Ok(benches.len())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--check") {
+        let path = args.get(1).map(String::as_str).unwrap_or(DEFAULT_OUT);
+        return match std::fs::read_to_string(path) {
+            Ok(text) => match validate(&text) {
+                Ok(n) => {
+                    println!("{path}: ok ({n} benches)");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{path}: malformed trajectory document: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let out = args.first().map(String::as_str).unwrap_or(DEFAULT_OUT);
+    let mut benches = Vec::new();
+
+    // Allocator churn, 8 contending threads: sharded heap vs first-fit.
+    eprintln!("[1/4] alloc churn ({CHURN_THREADS} threads)...");
+    let sharded = median_secs(|| {
+        let h = Heap::new(0, ARENA);
+        churn_mt(&|seed, ops| {
+            churn(seed, ops, &|s| h.alloc(s).unwrap().base, &|b| {
+                h.free(b).unwrap();
+            })
+        });
+    });
+    let first_fit = median_secs(|| {
+        let h = FirstFitHeap::new(0, ARENA);
+        churn_mt(&|seed, ops| {
+            churn(seed, ops, &|s| h.alloc(s).unwrap().base, &|b| {
+                h.free(b).unwrap();
+            })
+        });
+    });
+    benches.push(BenchValue {
+        name: "alloc_churn_mt8_sharded_ms",
+        unit: "ms",
+        value: sharded * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "alloc_churn_mt8_speedup_vs_first_fit",
+        unit: "ratio",
+        value: first_fit / sharded,
+    });
+
+    // Back-to-back dispatch latency: persistent pool vs spawn-per-loop.
+    eprintln!("[2/4] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
+    let compiled = compile_parallel(DISPATCH_SRC);
+    let mut vm_pool = Vm::new(
+        compiled.clone(),
+        vm_config(ExecBackend::Pool, DoallSchedule::Stealing),
+    )
+    .expect("vm");
+    let pool = median_secs(|| {
+        vm_pool.run().expect("run");
+    });
+    let mut vm_spawn = Vm::new(
+        compiled,
+        vm_config(ExecBackend::SpawnPerLoop, DoallSchedule::Stealing),
+    )
+    .expect("vm");
+    let spawn = median_secs(|| {
+        vm_spawn.run().expect("run");
+    });
+    benches.push(BenchValue {
+        name: "dispatch_200_pool_ms",
+        unit: "ms",
+        value: pool * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "dispatch_200_spawn_per_loop_ms",
+        unit: "ms",
+        value: spawn * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "dispatch_speedup_pool_vs_spawn",
+        unit: "ratio",
+        value: spawn / pool,
+    });
+
+    // Steal imbalance: modeled makespan (ideal-core finish time) of the
+    // skewed workload, static / stealing.
+    eprintln!("[3/4] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
+    let skew = compile_parallel(SKEW_SRC);
+    let steal_span = skew_makespan(&skew, DoallSchedule::Stealing);
+    let static_span = skew_makespan(&skew, DoallSchedule::Static);
+    benches.push(BenchValue {
+        name: "skew_makespan_stealing_minstr",
+        unit: "Minstr",
+        value: steal_span as f64 / 1e6,
+    });
+    benches.push(BenchValue {
+        name: "skew_speedup_stealing_vs_static",
+        unit: "ratio",
+        value: static_span as f64 / steal_span.max(1) as f64,
+    });
+
+    // Figure 11 (simulated): harmonic-mean total speedup on 8 cores over
+    // the full workload suite.
+    eprintln!("[4/4] figure speedups (simulated, 8 cores)...");
+    let rows = dse_bench::fig11_sim(&dse_workloads::all(), Scale::Profile);
+    let hmean = dse_bench::harmonic_mean(rows.iter().map(|r| *r.total.last().unwrap()));
+    benches.push(BenchValue {
+        name: "fig11_sim_total_speedup_8c_hmean",
+        unit: "ratio",
+        value: hmean,
+    });
+
+    let doc = build_document(&benches);
+    let text = doc.to_string();
+    validate(&text).expect("generated document validates");
+    std::fs::write(out, format!("{text}\n")).expect("write trajectory document");
+    println!("wrote {out}:");
+    for b in &benches {
+        println!("  {:<40} {:>10.3} {}", b.name, b.value, b.unit);
+    }
+    ExitCode::SUCCESS
+}

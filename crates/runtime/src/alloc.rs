@@ -94,12 +94,24 @@ fn class_of(want: u64) -> Option<usize> {
     Some(CLASS_SIZES.partition_point(|&c| c < want))
 }
 
-/// Round-robin front-shard assignment, fixed per OS thread on first use.
+thread_local! {
+    /// This OS thread's front-shard assignment (`usize::MAX` = unassigned).
+    static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// Pins the calling OS thread's front-end cache shard. The executor pool
+/// pins each persistent worker to its pool worker id (and the master to 0)
+/// so magazine caches stay thread-affine across every loop of a run —
+/// blocks a worker freed in loop `k` are the blocks it reallocates in loop
+/// `k+1`, with no cross-shard migration.
+pub(crate) fn pin_front_shard(shard: usize) {
+    SHARD.with(|s| s.set(shard % NSHARDS));
+}
+
+/// This thread's front-shard: the pinned one, or a round-robin assignment
+/// fixed on first use (threads outside the executor pool).
 fn front_shard() -> usize {
     static NEXT: AtomicUsize = AtomicUsize::new(0);
-    thread_local! {
-        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
-    }
     SHARD.with(|s| {
         let v = s.get();
         if v != usize::MAX {

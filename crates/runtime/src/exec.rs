@@ -2,23 +2,33 @@
 //!
 //! `ParLoop` hands an iteration range to the loop runner:
 //!
-//! * **DOALL** uses static chunk scheduling — the range is split into N
-//!   contiguous chunks, one per worker (paper Section 4.3).
+//! * **DOALL** uses chunked dynamic scheduling with work stealing by
+//!   default: the range is split into one contiguous share per worker,
+//!   owners claim chunks from the front, and idle workers steal the back
+//!   half of a victim's remaining share (see [`crate::pool`]). The seed's
+//!   one-static-chunk-per-worker split is kept as
+//!   [`crate::pool::DoallSchedule::Static`] for the imbalance baseline.
 //! * **DOACROSS** uses dynamic scheduling with chunk size 1: workers claim
 //!   iterations in order from a shared counter; `Wait`/`Post` (or the
 //!   automatic end-of-iteration post) enforce cross-iteration ordering.
 //!
+//! Worker threads come from the persistent pool `Vm::run` keeps parked
+//! between loops ([`crate::pool::ExecBackend::Pool`], the default) or are
+//! spawned fresh per loop (`SpawnPerLoop`, the seed behavior retained as
+//! the dispatch-latency baseline).
+//!
 //! Thread 0 is the master: it participates as a worker with its own
 //! existing context (so its frame pointer still addresses the enclosing
-//! function's frame), while workers 1..N get fresh contexts that share the
-//! master's `frame_base` but run on their own stack regions — the
-//! "thread-private stacks" of real OpenMP threads.
+//! function's frame), while workers 1..N run on their own stack regions
+//! that share the master's `frame_base` — the "thread-private stacks" of
+//! real OpenMP threads.
 //!
 //! Nested `ParLoop`s (or runs configured with one thread) execute inline on
 //! the current thread, preserving semantics and letting the overhead
 //! experiments of Figure 9 run transformed code serially.
 
 use crate::observer::{NullObserver, Observer};
+use crate::pool::{DoallSchedule, ExecBackend, LoopDispatch, StealQueue};
 use crate::vm::{Frame, LoopSync, ThreadCtx, Vm, VmError};
 use dse_ir::loops::ParMode;
 use std::sync::atomic::Ordering;
@@ -28,6 +38,17 @@ use std::sync::Mutex;
 /// Marker in abort-induced errors, so a worker's real trap is preferred
 /// over the "I was told to stop" errors of its peers.
 const ABORTED: &str = "aborted: another worker trapped";
+
+/// Chunks each worker's initial DOALL share is claimed in: enough splits
+/// that stealing can rebalance, coarse enough that the per-chunk lock is
+/// amortized over real work.
+const CHUNKS_PER_WORKER: i64 = 8;
+
+/// Owner-claim granularity for a loop of `total` iterations on `n`
+/// threads.
+fn chunk_size(total: i64, n: u32) -> i64 {
+    (total / (n as i64 * CHUNKS_PER_WORKER)).max(1)
+}
 
 fn record_error(slot: &Mutex<Option<VmError>>, e: VmError) {
     let mut g = slot.lock().unwrap();
@@ -56,169 +77,274 @@ impl Vm {
         let sync = Arc::new(LoopSync::new(lo));
 
         if ctx.in_parallel || self.config.nthreads == 1 {
-            // Inline serial execution on the current thread. The loop is
-            // marked "in parallel" for its duration so nested candidate
-            // loops neither re-enter the scheduler nor record their own
-            // iteration costs (their cost is part of this loop's
-            // iterations; double-recording would skew the simulator's
-            // serial-remainder accounting).
-            let record = self.config.record_iteration_costs && !ctx.in_parallel;
-            if record {
-                self.iter_trace
-                    .lock()
-                    .unwrap()
-                    .entry(id)
-                    .or_default()
-                    .push(Vec::new());
-            }
-            let was_in_parallel = ctx.in_parallel;
-            ctx.in_parallel = true;
-            ctx.sync_stack.push((id, Arc::clone(&sync)));
-            let mut obs = NullObserver;
-            let mut result = Ok(());
-            for i in lo..hi {
-                ctx.iter_stack.push(i);
-                ctx.posted = false;
-                let start = ctx.counters;
-                ctx.wait_mark = None;
-                ctx.post_mark = None;
-                let r = self.exec_region(ctx, body, &mut obs);
-                ctx.iter_stack.pop();
-                if record {
-                    let end = ctx.counters.work;
-                    let wait = ctx.wait_mark.unwrap_or(end).clamp(start.work, end);
-                    let post = ctx.post_mark.unwrap_or(end).clamp(wait, end);
-                    let cost = crate::vm::IterCost {
-                        pre: wait - start.work,
-                        window: post - wait,
-                        post: end - post,
-                        localize_calls: ctx.counters.localize_calls - start.localize_calls,
-                        localize_bytes: ctx.counters.localize_copied_bytes
-                            - start.localize_copied_bytes,
-                        private_direct: ctx.counters.private_direct - start.private_direct,
-                    };
-                    let mut tr = self.iter_trace.lock().unwrap();
-                    tr.get_mut(&id)
-                        .and_then(|v| v.last_mut())
-                        .expect("entry pushed above")
-                        .push(cost);
-                }
-                if let Err(e) = r {
-                    result = Err(e);
-                    break;
-                }
-                self.post_iteration(ctx, &sync, i);
-            }
-            ctx.sync_stack.pop();
-            ctx.in_parallel = was_in_parallel;
-            self.commit_private_copies(ctx);
-            return result;
+            return self.run_inline(ctx, id, body, lo, hi, &sync);
         }
 
-        let frame_base = ctx.frame_base;
-        let err_slot: Mutex<Option<VmError>> = Mutex::new(None);
-        std::thread::scope(|scope| {
-            for t in 1..self.config.nthreads {
-                let sync = Arc::clone(&sync);
-                let err_slot = &err_slot;
-                scope.spawn(move || {
-                    let mut wctx =
-                        ThreadCtx::new(t, self.stack_base_of(t), self.config.stack_bytes);
-                    wctx.frame_base = frame_base;
-                    wctx.in_parallel = true;
-                    wctx.sync_stack.push((id, Arc::clone(&sync)));
-                    let r = self.worker_loop(&mut wctx, mode, body, lo, hi, &sync);
-                    wctx.sync_stack.pop();
-                    self.commit_private_copies(&mut wctx);
-                    self.agg.lock().unwrap().merge(&wctx.counters);
-                    self.per_thread.lock().unwrap()[t as usize].merge(&wctx.counters);
-                    if let Err(e) = r {
-                        record_error(err_slot, e);
+        let n = self.config.nthreads;
+        let queues =
+            if mode == ParMode::DoAll && self.config.doall_schedule == DoallSchedule::Stealing {
+                StealQueue::split(lo, hi, n)
+            } else {
+                Vec::new()
+            };
+        let d = Arc::new(LoopDispatch {
+            id,
+            mode,
+            body,
+            lo,
+            hi,
+            frame_base: ctx.frame_base,
+            chunk: chunk_size(hi - lo, n),
+            schedule: self.config.doall_schedule,
+            sync: Arc::clone(&sync),
+            queues,
+            err: Mutex::new(None),
+        });
+
+        let pool = match self.config.exec_backend {
+            // The pool is open for the duration of `Vm::run`; a `ParLoop`
+            // reaching here outside a run (or under the baseline backend)
+            // falls back to per-loop spawning.
+            ExecBackend::Pool => self.pool().filter(|p| p.is_open()),
+            ExecBackend::SpawnPerLoop => None,
+        };
+        match pool {
+            Some(pool) => {
+                pool.begin(Arc::clone(&d));
+                self.master_share(ctx, &d);
+                pool.wait_done();
+            }
+            None => {
+                std::thread::scope(|scope| {
+                    for t in 1..n {
+                        let d = &d;
+                        scope.spawn(move || {
+                            let mut wctx =
+                                ThreadCtx::new(t, self.stack_base_of(t), self.config.stack_bytes);
+                            self.worker_share(&mut wctx, d, t);
+                        });
                     }
+                    self.master_share(ctx, &d);
                 });
             }
-            // The master participates as worker 0.
-            ctx.in_parallel = true;
-            ctx.sync_stack.push((id, Arc::clone(&sync)));
-            let r = self.worker_loop(ctx, mode, body, lo, hi, &sync);
-            ctx.sync_stack.pop();
-            ctx.in_parallel = false;
-            self.commit_private_copies(ctx);
-            if let Err(e) = r {
-                record_error(&err_slot, e);
-            }
-        });
-        match err_slot.into_inner().unwrap() {
+        }
+        let first_err = d.err.lock().unwrap().take();
+        match first_err {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
 
-    /// One worker's share of the loop. Sets the abort flag before returning
-    /// an error so peers spinning in `Wait` escape.
-    fn worker_loop(
+    /// Inline serial execution on the current thread (nested loops and
+    /// single-threaded runs). The loop is marked "in parallel" for its
+    /// duration so nested candidate loops neither re-enter the scheduler
+    /// nor record their own iteration costs (their cost is part of this
+    /// loop's iterations; double-recording would skew the simulator's
+    /// serial-remainder accounting).
+    fn run_inline(
         &self,
         ctx: &mut ThreadCtx,
-        mode: ParMode,
+        id: u32,
         body: u32,
         lo: i64,
         hi: i64,
-        sync: &LoopSync,
+        sync: &Arc<LoopSync>,
     ) -> Result<(), VmError> {
+        let record = self.config.record_iteration_costs && !ctx.in_parallel;
+        // Costs are buffered locally and flushed once per loop: the trace
+        // map's mutex is off the per-iteration path.
+        let mut costs: Vec<crate::vm::IterCost> = Vec::new();
+        let was_in_parallel = ctx.in_parallel;
+        ctx.in_parallel = true;
+        ctx.sync_stack.push((id, Arc::clone(sync)));
         let mut obs = NullObserver;
-        let res = match mode {
-            ParMode::DoAll => {
-                let n = self.config.nthreads as i64;
-                let total = hi - lo;
-                let chunk = (total + n - 1) / n;
-                let start = lo + ctx.tid as i64 * chunk;
-                let end = (start + chunk).min(hi);
-                let mut r = Ok(());
-                for i in start..end {
-                    if sync.abort.load(Ordering::Relaxed) {
-                        r = Err(VmError::new(u32::MAX as usize, ABORTED));
-                        break;
-                    }
-                    ctx.iter_stack.push(i);
-                    let step = self.exec_region(ctx, body, &mut obs);
-                    ctx.iter_stack.pop();
-                    if let Err(e) = step {
-                        r = Err(e);
-                        break;
-                    }
-                }
-                r
+        let mut result = Ok(());
+        for i in lo..hi {
+            ctx.iter_stack.push(i);
+            ctx.posted = false;
+            let start = ctx.counters;
+            ctx.wait_mark = None;
+            ctx.post_mark = None;
+            let r = self.exec_region(ctx, body, &mut obs);
+            ctx.iter_stack.pop();
+            if record {
+                let end = ctx.counters.work;
+                let wait = ctx.wait_mark.unwrap_or(end).clamp(start.work, end);
+                let post = ctx.post_mark.unwrap_or(end).clamp(wait, end);
+                costs.push(crate::vm::IterCost {
+                    pre: wait - start.work,
+                    window: post - wait,
+                    post: end - post,
+                    localize_calls: ctx.counters.localize_calls - start.localize_calls,
+                    localize_bytes: ctx.counters.localize_copied_bytes
+                        - start.localize_copied_bytes,
+                    private_direct: ctx.counters.private_direct - start.private_direct,
+                });
             }
-            ParMode::DoAcross => {
-                let mut r = Ok(());
-                loop {
-                    let i = sync.next.fetch_add(1, Ordering::Relaxed);
-                    if i >= hi {
-                        break;
-                    }
-                    if sync.abort.load(Ordering::Relaxed) {
-                        r = Err(VmError::new(u32::MAX as usize, ABORTED));
-                        break;
-                    }
-                    ctx.iter_stack.push(i);
-                    ctx.posted = false;
-                    let step = self.exec_region(ctx, body, &mut obs);
-                    if step.is_ok() {
-                        self.post_iteration(ctx, sync, i);
-                    }
-                    ctx.iter_stack.pop();
-                    if let Err(e) = step {
-                        r = Err(e);
-                        break;
-                    }
-                }
-                r
+            if let Err(e) = r {
+                result = Err(e);
+                break;
             }
+            self.post_iteration(ctx, sync, i);
+        }
+        if record {
+            // One vector per dynamic entry, partial on error (matching the
+            // iterations that actually ran).
+            self.iter_trace
+                .lock()
+                .unwrap()
+                .entry(id)
+                .or_default()
+                .push(costs);
+        }
+        ctx.sync_stack.pop();
+        ctx.in_parallel = was_in_parallel;
+        self.commit_private_copies(ctx);
+        result
+    }
+
+    /// The master's participation in a dispatched loop (worker 0, on its
+    /// own live context).
+    fn master_share(&self, ctx: &mut ThreadCtx, d: &LoopDispatch) {
+        ctx.in_parallel = true;
+        ctx.sync_stack.push((d.id, Arc::clone(&d.sync)));
+        let r = self.worker_loop(ctx, d, 0);
+        ctx.sync_stack.pop();
+        ctx.in_parallel = false;
+        self.commit_private_copies(ctx);
+        if let Err(e) = r {
+            record_error(&d.err, e);
+        }
+    }
+
+    /// One non-master worker's participation: reset the (fresh or pooled)
+    /// context for this dispatch, run, commit privatized copies, flush
+    /// counters to the lock-free per-worker slot.
+    fn worker_share(&self, wctx: &mut ThreadCtx, d: &LoopDispatch, wid: u32) {
+        wctx.reset_for_dispatch(d.frame_base);
+        wctx.sync_stack.push((d.id, Arc::clone(&d.sync)));
+        let r = self.worker_loop(wctx, d, wid);
+        wctx.sync_stack.pop();
+        self.commit_private_copies(wctx);
+        self.flush_worker_counters(wid, wctx);
+        if let Err(e) = r {
+            record_error(&d.err, e);
+        }
+    }
+
+    /// Pool-dispatch entry: runs `worker_share` on worker `wid`'s
+    /// persistent context (called from [`crate::pool::worker_entry`]).
+    pub(crate) fn run_dispatch_worker(&self, wid: u32, d: &LoopDispatch) {
+        let pool = self.pool().expect("pool dispatch without a pool");
+        let mut wctx = pool.ctx(wid).lock().unwrap();
+        self.worker_share(&mut wctx, d, wid);
+    }
+
+    /// One worker's share of the loop. Sets the abort flag before returning
+    /// an error so peers spinning in `Wait` escape.
+    fn worker_loop(&self, ctx: &mut ThreadCtx, d: &LoopDispatch, wid: u32) -> Result<(), VmError> {
+        let res = match d.mode {
+            ParMode::DoAll => match d.schedule {
+                DoallSchedule::Stealing => self.doall_stealing(ctx, d, wid),
+                DoallSchedule::Static => self.doall_static(ctx, d),
+            },
+            ParMode::DoAcross => self.doacross(ctx, d),
         };
         if res.is_err() {
-            sync.abort.store(true, Ordering::Relaxed);
+            d.sync.abort.store(true, Ordering::Relaxed);
         }
         res
+    }
+
+    /// Runs the chunk `[s, e)` of a DOALL loop, checking the abort flag
+    /// before each iteration.
+    fn run_chunk(
+        &self,
+        ctx: &mut ThreadCtx,
+        d: &LoopDispatch,
+        s: i64,
+        e: i64,
+    ) -> Result<(), VmError> {
+        let mut obs = NullObserver;
+        for i in s..e {
+            if d.sync.abort.load(Ordering::Relaxed) {
+                return Err(VmError::new(u32::MAX as usize, ABORTED));
+            }
+            ctx.iter_stack.push(i);
+            let step = self.exec_region(ctx, d.body, &mut obs);
+            ctx.iter_stack.pop();
+            step?;
+        }
+        Ok(())
+    }
+
+    /// DOALL with chunked dynamic scheduling plus work stealing: drain the
+    /// own queue front-to-back in `chunk`-sized claims; when empty, steal
+    /// the back half of the first non-empty victim (scanning round-robin
+    /// from the next worker) and keep going. When no victim has a stealable
+    /// share the remaining iterations are all being executed — done.
+    fn doall_stealing(
+        &self,
+        ctx: &mut ThreadCtx,
+        d: &LoopDispatch,
+        wid: u32,
+    ) -> Result<(), VmError> {
+        let nq = d.queues.len();
+        let own = &d.queues[wid as usize];
+        loop {
+            while let Some((s, e)) = own.pop_front(d.chunk) {
+                self.run_chunk(ctx, d, s, e)?;
+            }
+            let mut stole = false;
+            for off in 1..nq {
+                let victim = &d.queues[(wid as usize + off) % nq];
+                if let Some((s, e)) = victim.steal_half() {
+                    if let Some(pool) = self.pool() {
+                        pool.counters.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    own.install(s, e);
+                    stole = true;
+                    break;
+                }
+            }
+            if !stole {
+                return Ok(());
+            }
+        }
+    }
+
+    /// DOALL with the seed's static split: one fixed contiguous chunk per
+    /// worker (kept as the load-imbalance baseline).
+    fn doall_static(&self, ctx: &mut ThreadCtx, d: &LoopDispatch) -> Result<(), VmError> {
+        let n = self.config.nthreads as i64;
+        let total = d.hi - d.lo;
+        let chunk = (total + n - 1) / n;
+        let start = d.lo + ctx.tid as i64 * chunk;
+        let end = (start + chunk).min(d.hi);
+        self.run_chunk(ctx, d, start, end.max(start))
+    }
+
+    /// DOACROSS: ordered chunk-1 claiming through the shared counter, with
+    /// `Wait`/post cross-iteration ordering.
+    fn doacross(&self, ctx: &mut ThreadCtx, d: &LoopDispatch) -> Result<(), VmError> {
+        let mut obs = NullObserver;
+        loop {
+            let i = d.sync.next.fetch_add(1, Ordering::Relaxed);
+            if i >= d.hi {
+                return Ok(());
+            }
+            if d.sync.abort.load(Ordering::Relaxed) {
+                return Err(VmError::new(u32::MAX as usize, ABORTED));
+            }
+            ctx.iter_stack.push(i);
+            ctx.posted = false;
+            let step = self.exec_region(ctx, d.body, &mut obs);
+            if step.is_ok() {
+                self.post_iteration(ctx, &d.sync, i);
+            }
+            ctx.iter_stack.pop();
+            step?;
+        }
     }
 
     /// Runs the outlined body region at `entry` to its `Ret`.

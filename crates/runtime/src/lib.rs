@@ -14,8 +14,12 @@
 //!   builtins (`malloc`..`free`, host I/O, `__tid`/`__nthreads` and the
 //!   expansion pass's `__realloc_expanded`), and per-thread cost counters
 //!   in the categories of the paper's Figure 12.
-//! * [`exec`] — the parallel executor: DOALL static chunking, DOACROSS
-//!   dynamic chunk-1 scheduling with post/wait ordering (GOMP stand-in).
+//! * [`exec`] — the parallel executor: DOALL chunked dynamic scheduling
+//!   with work stealing, DOACROSS dynamic chunk-1 scheduling with
+//!   post/wait ordering (GOMP stand-in).
+//! * [`pool`] — the persistent worker pool behind [`exec`]: one spawn per
+//!   run, condvar-parked workers woken by loop-dispatch descriptors,
+//!   reusable per-worker contexts with thread-affine heap magazines.
 //! * [`privatize`] — the SpiceC-style runtime-privatization baseline
 //!   (Section 4.2.1): copy-in on first touch, address translation per
 //!   access, commit at loop end.
@@ -39,10 +43,12 @@ pub mod alloc;
 pub mod exec;
 pub mod mem;
 pub mod observer;
+pub mod pool;
 pub mod privatize;
 pub mod vm;
 
 pub use alloc::{Allocation, Heap, HeapContention};
 pub use mem::{FirstFitHeap, SharedMem};
 pub use observer::{NullObserver, Observer};
+pub use pool::{DoallSchedule, ExecBackend, PoolStats};
 pub use vm::{Counters, RunReport, ThreadCtx, Value, Vm, VmConfig, VmError};

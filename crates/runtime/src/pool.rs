@@ -1,0 +1,408 @@
+//! The persistent work-stealing loop executor.
+//!
+//! The seed executor spawned fresh scoped threads for every `ParLoop` —
+//! fine for one figure run, wrong for a server executing back-to-back
+//! loops, where thread-creation churn and cold per-thread state dominate
+//! the measurement. This module replaces it with a long-lived pool:
+//!
+//! * **One spawn per run.** [`crate::vm::Vm::run`] opens a single thread
+//!   scope for the whole program; workers `1..N` park on a condvar between
+//!   loops and are woken by a [`LoopDispatch`] descriptor (loop id, range,
+//!   mode, shared [`LoopSync`]). The master participates as worker 0
+//!   exactly as before, so its frame pointer still addresses the enclosing
+//!   function's frame.
+//! * **Reusable contexts.** Each worker owns a persistent
+//!   [`ThreadCtx`] (stack region, counters, sync stack) held in
+//!   [`PoolState`]; a dispatch resets the per-loop fields and keeps
+//!   everything else warm.
+//! * **Thread-affine heap magazines.** Worker `w` pins its allocator
+//!   front-end shard to `w` on thread start
+//!   ([`crate::alloc::pin_front_shard`]), so the PR 4 magazine caches are
+//!   *guaranteed* (not accidentally) reused across loops: the blocks a
+//!   worker freed in loop `k` are the blocks it allocates in loop `k+1`.
+//! * **Dynamic DOALL scheduling.** Instead of one fixed static chunk per
+//!   worker, the iteration range is split into per-worker chunk queues
+//!   ([`StealQueue`]); owners claim chunks from the front, idle workers
+//!   steal the back half of a victim's remaining range (leaving the owner
+//!   at least one iteration). DOACROSS keeps its ordered chunk-1 claiming
+//!   through the shared counter.
+//!
+//! Dispatch/steal/park/wakeup counts are recorded in [`PoolStats`] and
+//! flow into `RunReport` → `dse-telemetry` → `dsec --metrics`.
+
+use crate::vm::{LoopSync, ThreadCtx, VmError};
+use dse_ir::loops::ParMode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How DOALL iterations are divided among workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DoallSchedule {
+    /// Chunked dynamic scheduling with work stealing (the default).
+    Stealing,
+    /// One fixed contiguous chunk per worker (the seed behavior, kept as
+    /// the imbalance baseline for `dse-bench`).
+    Static,
+}
+
+/// How parallel loops acquire their worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Persistent pool: threads spawned once per run, parked between
+    /// loops (the default).
+    Pool,
+    /// Fresh scoped threads for every loop (the seed behavior, kept as
+    /// the dispatch-latency baseline for `dse-bench`).
+    SpawnPerLoop,
+}
+
+/// Pool counters, snapshotted into `RunReport::pool`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// OS threads spawned for the pool over the run (`nthreads - 1` for a
+    /// pooled run regardless of how many loops executed — the no-churn
+    /// invariant the lifecycle tests assert).
+    pub workers: u64,
+    /// Loop dispatches handed to the pool.
+    pub dispatches: u64,
+    /// Successful steals of a victim's back half (DOALL stealing mode).
+    pub steals: u64,
+    /// Times a worker blocked on the dispatch condvar (re-checks after a
+    /// spurious wakeup count again).
+    pub parks: u64,
+    /// Dispatches a pool worker woke up to execute.
+    pub wakeups: u64,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct PoolCounters {
+    pub(crate) spawned: AtomicU64,
+    pub(crate) dispatches: AtomicU64,
+    pub(crate) steals: AtomicU64,
+    pub(crate) parks: AtomicU64,
+    pub(crate) wakeups: AtomicU64,
+}
+
+/// One parallel loop's worth of work, published to the pool (and to the
+/// scoped-spawn baseline) as a single shared descriptor.
+#[derive(Debug)]
+pub(crate) struct LoopDispatch {
+    /// Candidate loop id.
+    pub id: u32,
+    /// Scheduling mode of the loop.
+    pub mode: ParMode,
+    /// Entry pc of the outlined body region.
+    pub body: u32,
+    /// Iteration range `lo..hi`.
+    pub lo: i64,
+    pub hi: i64,
+    /// The master's frame base, shared by all workers.
+    pub frame_base: u64,
+    /// DOALL owner-claim granularity (iterations per `pop_front`).
+    pub chunk: i64,
+    /// DOALL schedule for this dispatch.
+    pub schedule: DoallSchedule,
+    /// Cross-iteration synchronization (shared counter, done fence, abort).
+    pub sync: Arc<LoopSync>,
+    /// Per-worker chunk queues (empty unless DOALL + stealing).
+    pub queues: Vec<StealQueue>,
+    /// First real error of any worker (abort-induced errors lose).
+    pub err: Mutex<Option<VmError>>,
+}
+
+/// A worker's share of a DOALL range: a contiguous span claimed from the
+/// front by its owner in `chunk`-sized pieces and halved from the back by
+/// thieves. Equivalent to a deque of contiguous iteration chunks, stored
+/// as its two bounds. Cache-line aligned so neighboring workers' queues
+/// do not false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+pub(crate) struct StealQueue {
+    range: Mutex<(i64, i64)>,
+}
+
+impl StealQueue {
+    fn new(lo: i64, hi: i64) -> Self {
+        StealQueue {
+            range: Mutex::new((lo, hi)),
+        }
+    }
+
+    /// Splits `lo..hi` into one contiguous initial range per worker (the
+    /// same split static scheduling uses, so balanced loads keep their
+    /// locality and stealing only kicks in under imbalance).
+    pub(crate) fn split(lo: i64, hi: i64, nworkers: u32) -> Vec<StealQueue> {
+        let n = nworkers as i64;
+        let per = (hi - lo + n - 1) / n;
+        (0..n)
+            .map(|t| {
+                let s = (lo + t * per).min(hi);
+                let e = (s + per).min(hi);
+                StealQueue::new(s, e)
+            })
+            .collect()
+    }
+
+    /// The owner claims the next `chunk` iterations from the front.
+    pub(crate) fn pop_front(&self, chunk: i64) -> Option<(i64, i64)> {
+        let mut r = self.range.lock().unwrap();
+        if r.0 >= r.1 {
+            return None;
+        }
+        let s = r.0;
+        let e = (s + chunk).min(r.1);
+        r.0 = e;
+        Some((s, e))
+    }
+
+    /// A thief takes the back half of the remaining range. Always leaves
+    /// the owner at least one iteration, so every worker with a non-empty
+    /// initial share executes work (and repeated steals terminate).
+    pub(crate) fn steal_half(&self) -> Option<(i64, i64)> {
+        let mut r = self.range.lock().unwrap();
+        let len = r.1 - r.0;
+        if len < 2 {
+            return None;
+        }
+        let take = len / 2;
+        let s = r.1 - take;
+        let e = r.1;
+        r.1 = s;
+        Some((s, e))
+    }
+
+    /// Installs a stolen range as the (empty) owner's new share, making it
+    /// stealable in turn.
+    pub(crate) fn install(&self, lo: i64, hi: i64) {
+        let mut r = self.range.lock().unwrap();
+        debug_assert!(r.0 >= r.1, "install over a non-empty queue");
+        *r = (lo, hi);
+    }
+}
+
+#[derive(Debug)]
+struct DispatchState {
+    /// Bumped once per dispatch; workers run each epoch exactly once.
+    epoch: u64,
+    /// The descriptor for the current epoch (cleared after completion).
+    job: Option<Arc<LoopDispatch>>,
+    /// Workers that have not yet finished the current epoch.
+    remaining: u32,
+    /// Cleared while the owning run's worker scope is up.
+    shutdown: bool,
+}
+
+/// The pool's shared state. Owned by the `Vm`; the worker *threads* live
+/// inside the scope `Vm::run` opens, so borrows of the VM stay safe with
+/// no unsafe code, while contexts, counters and dispatch state persist in
+/// the VM across loops.
+pub(crate) struct PoolState {
+    state: Mutex<DispatchState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    pub(crate) counters: PoolCounters,
+    /// Reusable per-worker contexts, indexed by `wid - 1`.
+    ctxs: Vec<Mutex<ThreadCtx>>,
+    nworkers: u32,
+}
+
+impl PoolState {
+    /// Builds pool state for workers `1..nthreads`, each with its fixed
+    /// stack region.
+    pub(crate) fn new(nthreads: u32, stacks_base: u64, stack_bytes: u64) -> PoolState {
+        PoolState {
+            state: Mutex::new(DispatchState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: true,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            counters: PoolCounters::default(),
+            ctxs: (1..nthreads)
+                .map(|t| {
+                    Mutex::new(ThreadCtx::new(
+                        t,
+                        stacks_base + t as u64 * stack_bytes,
+                        stack_bytes,
+                    ))
+                })
+                .collect(),
+            nworkers: nthreads - 1,
+        }
+    }
+
+    /// Number of pool workers (the master is not one).
+    pub(crate) fn nworkers(&self) -> u32 {
+        self.nworkers
+    }
+
+    /// Worker `wid`'s persistent context.
+    pub(crate) fn ctx(&self, wid: u32) -> &Mutex<ThreadCtx> {
+        &self.ctxs[wid as usize - 1]
+    }
+
+    /// Marks the pool open for a run and returns the epoch workers must
+    /// treat as "already seen" (read *before* any dispatch can happen, so
+    /// a late-starting worker never skips a published job).
+    pub(crate) fn open(&self) -> u64 {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = false;
+        st.epoch
+    }
+
+    /// Whether a run's worker scope is currently up.
+    pub(crate) fn is_open(&self) -> bool {
+        !self.state.lock().unwrap().shutdown
+    }
+
+    /// Tells every parked worker to exit (end of run).
+    pub(crate) fn shutdown(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.shutdown = true;
+        drop(st);
+        self.work_cv.notify_all();
+    }
+
+    /// Returns a guard that shuts the pool down when dropped, so worker
+    /// threads exit (and the run's scope can join them) even if the master
+    /// unwinds.
+    pub(crate) fn guard(&self) -> ShutdownGuard<'_> {
+        ShutdownGuard(self)
+    }
+
+    /// Publishes `job` to all workers and wakes them. The caller (master)
+    /// must run its own share and then [`PoolState::wait_done`].
+    pub(crate) fn begin(&self, job: Arc<LoopDispatch>) {
+        let mut st = self.state.lock().unwrap();
+        debug_assert_eq!(st.remaining, 0, "dispatch while a loop is in flight");
+        st.job = Some(job);
+        st.epoch += 1;
+        st.remaining = self.nworkers;
+        drop(st);
+        self.counters.dispatches.fetch_add(1, Ordering::Relaxed);
+        self.work_cv.notify_all();
+    }
+
+    /// Blocks until every worker finished the current dispatch.
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+    }
+
+    /// Snapshot of the pool counters.
+    pub(crate) fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.counters.spawned.load(Ordering::Relaxed),
+            dispatches: self.counters.dispatches.load(Ordering::Relaxed),
+            steals: self.counters.steals.load(Ordering::Relaxed),
+            parks: self.counters.parks.load(Ordering::Relaxed),
+            wakeups: self.counters.wakeups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shuts the pool down on drop (see [`PoolState::guard`]).
+pub(crate) struct ShutdownGuard<'a>(&'a PoolState);
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+/// A pool worker's thread body: pin the heap magazine shard, then loop
+/// parking on the dispatch condvar and executing each published epoch
+/// exactly once until shutdown.
+pub(crate) fn worker_entry(vm: &crate::vm::Vm, wid: u32, mut seen_epoch: u64) {
+    crate::alloc::pin_front_shard(wid as usize);
+    let pool = vm.pool().expect("worker_entry without a pool");
+    pool.counters.spawned.fetch_add(1, Ordering::Relaxed);
+    loop {
+        let job = {
+            let mut st = pool.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    break;
+                }
+                pool.counters.parks.fetch_add(1, Ordering::Relaxed);
+                st = pool.work_cv.wait(st).unwrap();
+            }
+            seen_epoch = st.epoch;
+            Arc::clone(st.job.as_ref().expect("job published with its epoch"))
+        };
+        pool.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        vm.run_dispatch_worker(wid, &job);
+        let mut st = pool.state.lock().unwrap();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            pool.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_range_exactly_once() {
+        for (lo, hi, n) in [(0, 7, 8), (0, 0, 4), (3, 5, 8), (0, 64, 3), (-5, 9, 4)] {
+            let qs = StealQueue::split(lo, hi, n);
+            assert_eq!(qs.len(), n as usize);
+            let mut seen = Vec::new();
+            for q in &qs {
+                while let Some((s, e)) = q.pop_front(1) {
+                    seen.extend(s..e);
+                }
+            }
+            seen.sort_unstable();
+            let want: Vec<i64> = (lo..hi).collect();
+            assert_eq!(seen, want, "split({lo}, {hi}, {n})");
+        }
+    }
+
+    #[test]
+    fn steal_half_leaves_owner_one_iteration() {
+        let q = StealQueue::new(0, 10);
+        let (s, e) = q.steal_half().unwrap();
+        assert_eq!((s, e), (5, 10));
+        assert_eq!(q.steal_half(), Some((3, 5)));
+        assert_eq!(q.steal_half(), Some((2, 3)));
+        // One iteration left: not stealable, only poppable by the owner.
+        assert_eq!(q.steal_half(), Some((1, 2)));
+        assert_eq!(q.steal_half(), None);
+        assert_eq!(q.pop_front(4), Some((0, 1)));
+        assert_eq!(q.pop_front(4), None);
+    }
+
+    #[test]
+    fn pop_and_steal_partition_the_range() {
+        let q = StealQueue::new(0, 100);
+        let mut mine = Vec::new();
+        let mut stolen = Vec::new();
+        loop {
+            let popped = q.pop_front(3);
+            if let Some((s, e)) = popped {
+                mine.extend(s..e);
+            }
+            if let Some((s, e)) = q.steal_half() {
+                stolen.extend(s..e);
+            } else if popped.is_none() {
+                break;
+            }
+        }
+        let mut all = mine.clone();
+        all.extend(&stolen);
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i64>>());
+        assert!(!stolen.is_empty());
+    }
+}

@@ -8,12 +8,13 @@
 use crate::alloc::HeapContention;
 use crate::mem::{sign_extend, Heap, SharedMem};
 use crate::observer::Observer;
+use crate::pool::{DoallSchedule, ExecBackend, PoolState, PoolStats};
 use crate::privatize::PrivCopy;
 use dse_ir::bytecode::*;
 use dse_ir::sites::{AccessKind, NO_SITE};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicI64};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 
@@ -85,6 +86,48 @@ impl Counters {
     }
 }
 
+/// A worker's lock-free counter slot: workers add their dispatch-local
+/// deltas at loop end, the master reads a snapshot at report time. One
+/// cache line per worker so flushes do not false-share.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+pub(crate) struct AtomicCounters {
+    work: AtomicU64,
+    wait_spins: AtomicU64,
+    wait_yields: AtomicU64,
+    sync_ops: AtomicU64,
+    localize_calls: AtomicU64,
+    localize_copied_bytes: AtomicU64,
+    private_direct: AtomicU64,
+}
+
+impl AtomicCounters {
+    pub(crate) fn add(&self, c: &Counters) {
+        self.work.fetch_add(c.work, Ordering::Relaxed);
+        self.wait_spins.fetch_add(c.wait_spins, Ordering::Relaxed);
+        self.wait_yields.fetch_add(c.wait_yields, Ordering::Relaxed);
+        self.sync_ops.fetch_add(c.sync_ops, Ordering::Relaxed);
+        self.localize_calls
+            .fetch_add(c.localize_calls, Ordering::Relaxed);
+        self.localize_copied_bytes
+            .fetch_add(c.localize_copied_bytes, Ordering::Relaxed);
+        self.private_direct
+            .fetch_add(c.private_direct, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> Counters {
+        Counters {
+            work: self.work.load(Ordering::Relaxed),
+            wait_spins: self.wait_spins.load(Ordering::Relaxed),
+            wait_yields: self.wait_yields.load(Ordering::Relaxed),
+            sync_ops: self.sync_ops.load(Ordering::Relaxed),
+            localize_calls: self.localize_calls.load(Ordering::Relaxed),
+            localize_copied_bytes: self.localize_copied_bytes.load(Ordering::Relaxed),
+            private_direct: self.private_direct.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A VM trap (runtime error) with the program counter where it occurred.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VmError {
@@ -135,6 +178,12 @@ pub struct VmConfig {
     /// single-threaded execution, for the multicore schedule simulator
     /// (the host may not have 8 physical cores; the paper's Opteron did).
     pub record_iteration_costs: bool,
+    /// Worker-thread acquisition: persistent pool (default) or fresh
+    /// scoped threads per loop (the dispatch-latency baseline).
+    pub exec_backend: ExecBackend,
+    /// DOALL iteration division: work stealing (default) or the static
+    /// one-chunk-per-worker split (the imbalance baseline).
+    pub doall_schedule: DoallSchedule,
 }
 
 impl Default for VmConfig {
@@ -148,6 +197,8 @@ impl Default for VmConfig {
             max_instructions: u64::MAX,
             priv_commit: true,
             record_iteration_costs: false,
+            exec_backend: ExecBackend::Pool,
+            doall_schedule: DoallSchedule::Stealing,
         }
     }
 }
@@ -215,6 +266,9 @@ pub(crate) struct Frame {
 pub struct ThreadCtx {
     /// Worker index (0 = master).
     pub tid: u32,
+    /// Base of this thread's fixed stack region (`sp` resets here between
+    /// pool dispatches).
+    pub(crate) stack_base: u64,
     pub(crate) frame_base: u64,
     pub(crate) sp: u64,
     pub(crate) stack_limit: u64,
@@ -238,6 +292,7 @@ impl ThreadCtx {
     pub(crate) fn new(tid: u32, stack_base: u64, stack_bytes: u64) -> Self {
         ThreadCtx {
             tid,
+            stack_base,
             frame_base: stack_base,
             sp: stack_base,
             stack_limit: stack_base + stack_bytes,
@@ -252,6 +307,27 @@ impl ThreadCtx {
             priv_map: HashMap::new(),
             counters: Counters::default(),
         }
+    }
+
+    /// Readies a (fresh or pooled) worker context for a loop dispatch: the
+    /// frame pointer adopts the master's frame, the stack pointer rewinds
+    /// to this worker's own region, and per-loop execution state is
+    /// cleared — a previous dispatch may have ended in a trap with frames
+    /// and operands still live. Counters were flushed at the end of the
+    /// previous dispatch and the privatization map drained by
+    /// `commit_private_copies`, so both carry over empty.
+    pub(crate) fn reset_for_dispatch(&mut self, frame_base: u64) {
+        self.frame_base = frame_base;
+        self.sp = self.stack_base;
+        self.ops.clear();
+        self.frames.clear();
+        self.iter_stack.clear();
+        self.sync_stack.clear();
+        self.wait_mark = None;
+        self.post_mark = None;
+        self.posted = false;
+        self.in_parallel = true;
+        debug_assert!(self.priv_map.is_empty(), "private copies leaked a loop");
     }
 }
 
@@ -291,6 +367,8 @@ pub struct RunReport {
     /// Allocator contention counters (magazine hits/misses, backend lock
     /// acquisitions, scavenges) accumulated over the run.
     pub heap_contention: HeapContention,
+    /// Executor pool counters (all zero for serial or spawn-per-loop runs).
+    pub pool: PoolStats,
 }
 
 /// The virtual machine: memory, heap, program, and I/O channels.
@@ -303,10 +381,14 @@ pub struct Vm {
     pub(crate) outputs_int: Mutex<Vec<i64>>,
     pub(crate) outputs_float: Mutex<Vec<f64>>,
     pub(crate) console: Mutex<String>,
-    /// Counters merged from finished worker threads.
-    pub(crate) agg: Mutex<Counters>,
-    /// Same merges as `agg`, broken down by worker index.
-    pub(crate) per_thread: Mutex<Vec<Counters>>,
+    /// Lock-free per-worker counter slots (`per_thread[tid]`), flushed by
+    /// workers at the end of each dispatch. The master's counters live on
+    /// its context and merge at report time.
+    pub(crate) per_thread: Vec<AtomicCounters>,
+    /// Persistent executor pool state (contexts, dispatch condvars,
+    /// counters); present when the run is parallel and pool-backed. The
+    /// worker *threads* live inside the scope `run` opens.
+    pool: Option<PoolState>,
     /// Per loop id: one cost vector per dynamic loop entry (recorded when
     /// [`VmConfig::record_iteration_costs`] is set).
     pub(crate) iter_trace: Mutex<HashMap<u32, Vec<Vec<IterCost>>>>,
@@ -343,6 +425,8 @@ impl Vm {
             }
         }
         let nthreads = config.nthreads as usize;
+        let pool = (config.nthreads > 1 && config.exec_backend == ExecBackend::Pool)
+            .then(|| PoolState::new(config.nthreads, stacks_base, config.stack_bytes));
         Ok(Vm {
             program,
             config,
@@ -352,10 +436,22 @@ impl Vm {
             outputs_int: Mutex::new(Vec::new()),
             outputs_float: Mutex::new(Vec::new()),
             console: Mutex::new(String::new()),
-            agg: Mutex::new(Counters::default()),
-            per_thread: Mutex::new(vec![Counters::default(); nthreads]),
+            per_thread: (0..nthreads).map(|_| AtomicCounters::default()).collect(),
+            pool,
             iter_trace: Mutex::new(HashMap::new()),
         })
+    }
+
+    /// The executor pool state, when this run is pool-backed.
+    pub(crate) fn pool(&self) -> Option<&PoolState> {
+        self.pool.as_ref()
+    }
+
+    /// Adds a worker's dispatch-local counter deltas into its lock-free
+    /// slot and resets the context's accumulator for the next dispatch.
+    pub(crate) fn flush_worker_counters(&self, wid: u32, ctx: &mut ThreadCtx) {
+        self.per_thread[wid as usize].add(&ctx.counters);
+        ctx.counters = Counters::default();
     }
 
     /// The compiled program being executed.
@@ -395,6 +491,10 @@ impl Vm {
     ///
     /// Propagates the first VM trap from any thread.
     pub fn run_with_observer(&mut self, obs: &mut dyn Observer) -> Result<RunReport, VmError> {
+        // The master is pool worker 0; pin its allocator front-end shard to
+        // match (pool workers pin theirs on thread start), so each worker's
+        // magazine cache stays hot across every loop of the run.
+        crate::alloc::pin_front_shard(0);
         let mut ctx = ThreadCtx::new(0, self.stack_base_of(0), self.config.stack_bytes);
         let main = self.program.main;
         let entry = self.program.func(main).entry;
@@ -407,17 +507,42 @@ impl Vm {
         ctx.frame_base = ctx.sp;
         ctx.sp += fsize;
         self.mem.zero(ctx.frame_base, fsize);
-        let ret = self.exec(&mut ctx, entry, obs)?;
-        let mut counters = { *self.agg.lock().unwrap() };
-        counters.merge(&ctx.counters);
-        let mut per_thread = self.per_thread.lock().unwrap().clone();
+        let this: &Vm = self;
+        let ret = match &this.pool {
+            // Pool-backed run: one thread scope for the whole program.
+            // Workers park between loops; the shutdown guard releases them
+            // (so the scope can join) whether `main` returns or traps. The
+            // pre-spawn epoch snapshot guarantees a late-starting worker
+            // still runs a job dispatched before it first parked.
+            Some(pool) => {
+                let epoch0 = pool.open();
+                std::thread::scope(|scope| {
+                    let _guard = pool.guard();
+                    for wid in 1..=pool.nworkers() {
+                        scope.spawn(move || crate::pool::worker_entry(this, wid, epoch0));
+                    }
+                    this.exec(&mut ctx, entry, obs)
+                })
+            }
+            None => this.exec(&mut ctx, entry, obs),
+        }?;
+        let mut per_thread: Vec<Counters> = self
+            .per_thread
+            .iter()
+            .map(AtomicCounters::snapshot)
+            .collect();
         per_thread[0].merge(&ctx.counters);
+        let mut counters = Counters::default();
+        for c in &per_thread {
+            counters.merge(c);
+        }
         Ok(RunReport {
             return_value: ret,
             counters,
             per_thread,
             peak_heap_bytes: self.heap.peak_live_bytes(),
             heap_contention: self.heap.contention(),
+            pool: self.pool.as_ref().map(PoolState::stats).unwrap_or_default(),
         })
     }
 

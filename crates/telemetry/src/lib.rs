@@ -25,6 +25,6 @@ pub mod phase;
 pub mod trace;
 
 pub use json::Json;
-pub use metrics::{ExpansionStats, LintStats, LoopStat, RunMetrics};
+pub use metrics::{ExpansionStats, LintStats, LoopStat, RunMetrics, VmStats};
 pub use phase::{PhaseSpan, PhaseTimer};
 pub use trace::TraceObserver;

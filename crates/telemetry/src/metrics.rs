@@ -9,7 +9,7 @@
 use crate::json::Json;
 use crate::phase::PhaseSpan;
 use dse_runtime::vm::{Counters, RunReport};
-use dse_runtime::HeapContention;
+use dse_runtime::{HeapContention, PoolStats};
 
 /// Profile-time stats for one candidate loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,6 +83,9 @@ pub struct VmStats {
     /// Allocator contention counters (magazine hits/misses, backend lock
     /// acquisitions, scavenges).
     pub heap_contention: HeapContention,
+    /// Executor pool counters (spawned workers, dispatches, steals, parks,
+    /// wakeups); all zero for serial or spawn-per-loop runs.
+    pub pool: PoolStats,
 }
 
 impl VmStats {
@@ -93,6 +96,7 @@ impl VmStats {
             per_thread: report.per_thread.clone(),
             peak_heap_bytes: report.peak_heap_bytes,
             heap_contention: report.heap_contention,
+            pool: report.pool,
         }
     }
 }
@@ -142,6 +146,38 @@ pub fn contention_to_json(c: &HeapContention) -> Json {
         ("backend_locks", Json::Int(c.backend_locks as i64)),
         ("scavenges", Json::Int(c.scavenges as i64)),
     ])
+}
+
+/// Serializes executor pool counters as a flat object.
+pub fn pool_to_json(p: &PoolStats) -> Json {
+    Json::obj(vec![
+        ("workers", Json::Int(p.workers as i64)),
+        ("dispatches", Json::Int(p.dispatches as i64)),
+        ("steals", Json::Int(p.steals as i64)),
+        ("parks", Json::Int(p.parks as i64)),
+        ("wakeups", Json::Int(p.wakeups as i64)),
+    ])
+}
+
+/// Parses [`pool_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the name of the first missing or mistyped field.
+pub fn pool_from_json(v: &Json) -> Result<PoolStats, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| format!("pool stats missing integer field '{name}'"))
+    };
+    Ok(PoolStats {
+        workers: field("workers")?,
+        dispatches: field("dispatches")?,
+        steals: field("steals")?,
+        parks: field("parks")?,
+        wakeups: field("wakeups")?,
+    })
 }
 
 /// Parses [`contention_to_json`] output.
@@ -248,6 +284,7 @@ impl RunMetrics {
                 ),
                 ("peak_heap_bytes", Json::Int(s.peak_heap_bytes as i64)),
                 ("heap_contention", contention_to_json(&s.heap_contention)),
+                ("pool", pool_to_json(&s.pool)),
             ]),
         };
         Json::obj(vec![
@@ -367,6 +404,11 @@ impl RunMetrics {
                     s.get("heap_contention")
                         .ok_or("vm stats missing 'heap_contention'")?,
                 )?,
+                // Absent in pre-pool documents: default to all-zero.
+                pool: match s.get("pool") {
+                    None | Some(Json::Null) => PoolStats::default(),
+                    Some(p) => pool_from_json(p)?,
+                },
             }),
         };
         Ok(RunMetrics {
@@ -444,6 +486,13 @@ mod tests {
                     backend_locks: 9,
                     scavenges: 1,
                 },
+                pool: PoolStats {
+                    workers: 3,
+                    dispatches: 2,
+                    steals: 5,
+                    parks: 7,
+                    wakeups: 6,
+                },
             }),
         }
     }
@@ -494,6 +543,30 @@ mod tests {
         };
         let v = contention_to_json(&c);
         assert_eq!(contention_from_json(&v).unwrap(), c);
+    }
+
+    #[test]
+    fn pool_stats_round_trip_and_default_when_absent() {
+        let p = PoolStats {
+            workers: 7,
+            dispatches: 40,
+            steals: 13,
+            parks: 52,
+            wakeups: 47,
+        };
+        assert_eq!(pool_from_json(&pool_to_json(&p)).unwrap(), p);
+
+        // Documents written before the pool existed parse with zeroed pool
+        // stats rather than erroring.
+        let mut m = sample();
+        let text = m.to_json().to_string().replace(
+            "\"pool\":{\"workers\":3,\"dispatches\":2,\"steals\":5,\"parks\":7,\"wakeups\":6}",
+            "\"pool\":null",
+        );
+        assert_ne!(text, m.to_json().to_string(), "pool object was replaced");
+        let parsed = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
+        m.vm.as_mut().unwrap().pool = PoolStats::default();
+        assert_eq!(parsed, m);
     }
 
     #[test]

@@ -408,6 +408,16 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
             "[{} instructions, peak heap {} bytes]",
             report.counters.work, report.peak_heap_bytes
         );
+        if report.pool.workers > 0 {
+            eprintln!(
+                "[pool: {} workers, {} dispatches, {} steals, {} parks, {} wakeups]",
+                report.pool.workers,
+                report.pool.dispatches,
+                report.pool.steals,
+                report.pool.parks,
+                report.pool.wakeups
+            );
+        }
         if let Some(dse_runtime::Value::I(code)) = report.return_value {
             exit = ExitCode::from((code & 0xff) as u8);
         }

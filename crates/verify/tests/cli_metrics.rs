@@ -83,6 +83,28 @@ fn metrics_cover_phases_and_per_thread_counters() {
         "every miss takes the backend lock: {hc:?}"
     );
 
+    // Executor pool counters: a 4-thread run keeps 3 persistent workers,
+    // every parallel loop goes through the dispatcher, and each dispatch
+    // wakes each worker exactly once.
+    let pool = &vm.pool;
+    assert_eq!(
+        pool.workers, 3,
+        "N-1 persistent workers, no churn: {pool:?}"
+    );
+    assert!(
+        pool.dispatches >= 1,
+        "the hot loop was dispatched: {pool:?}"
+    );
+    assert_eq!(
+        pool.wakeups,
+        pool.dispatches * pool.workers,
+        "each dispatch wakes each worker once: {pool:?}"
+    );
+    assert!(
+        stderr.lines().any(|l| l.starts_with("[pool:")),
+        "pool stats line on stderr"
+    );
+
     // The expansion happened and is accounted for.
     let e = m
         .expansion
