@@ -27,8 +27,8 @@ use std::time::Instant;
 /// Document schema identifier; bump on incompatible layout changes.
 const SCHEMA: &str = "dse-bench-trajectory-v1";
 /// The PR this binary's numbers belong to.
-const PR: i64 = 6;
-const DEFAULT_OUT: &str = "BENCH_006.json";
+const PR: i64 = 7;
+const DEFAULT_OUT: &str = "BENCH_007.json";
 
 fn samples() -> usize {
     std::env::var("DSE_BENCH_SAMPLES")
@@ -159,6 +159,92 @@ fn skew_makespan(compiled: &CompiledProgram, schedule: DoallSchedule) -> u64 {
     report.per_thread.iter().map(|c| c.work).max().unwrap_or(0)
 }
 
+// -- daemon benches ----------------------------------------------------------
+
+/// The daemon bench workload: DOACROSS accumulation with a privatizable
+/// scratch buffer — every pipeline phase does real work.
+const DAEMON_SRC: &str = "int main() {
+    long *acc; acc = malloc(1 * sizeof(long));
+    int *scratch; scratch = malloc(8 * sizeof(int));
+    acc[0] = 0;
+    #pragma candidate ordered
+    for (int i = 0; i < 50; i++) {
+        for (int k = 0; k < 8; k++) { scratch[k] = i * k + 3; }
+        int s; s = 0;
+        for (int k = 0; k < 8; k++) { s += scratch[k]; }
+        acc[0] = acc[0] + s;
+    }
+    out_long(acc[0]);
+    free(acc); free(scratch);
+    return 0; }";
+
+const DAEMON_CLIENTS: usize = 8;
+
+fn daemon_request(id: &str, cmd: dse_server::Cmd, source: &str) -> dse_server::Request {
+    let mut req = dse_server::Request::new(id, cmd);
+    req.source = Some(source.to_string());
+    req.threads = 2;
+    req
+}
+
+/// Wall seconds of one compile request against a fresh daemon (cold
+/// cache: every phase computed). Compile isolates the pipeline — a run
+/// request adds a constant VM-execution cost on both sides of the
+/// cold/warm comparison.
+fn daemon_cold_secs() -> f64 {
+    let mut times: Vec<f64> = (0..samples())
+        .map(|_| {
+            let server = dse_server::Server::new(&dse_server::ServerConfig::default());
+            let t0 = Instant::now();
+            let resp = server.handle(&daemon_request(
+                "cold",
+                dse_server::Cmd::Compile,
+                DAEMON_SRC,
+            ));
+            assert!(resp.ok, "cold request failed: {:?}", resp.error);
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Wall seconds of one compile request against a warm daemon (every
+/// phase a content-hash lookup).
+fn daemon_warm_secs(server: &dse_server::Server) -> f64 {
+    median_secs(|| {
+        let resp = server.handle(&daemon_request(
+            "warm",
+            dse_server::Cmd::Compile,
+            DAEMON_SRC,
+        ));
+        assert!(resp.ok, "warm request failed: {:?}", resp.error);
+    })
+}
+
+/// Requests per second with 8 concurrent clients hammering a shared warm
+/// daemon through its task pool.
+fn daemon_rps(server: &std::sync::Arc<dse_server::Server>) -> f64 {
+    const PER_CLIENT: usize = 12;
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..DAEMON_CLIENTS {
+            let server = std::sync::Arc::clone(server);
+            scope.spawn(move || {
+                for r in 0..PER_CLIENT {
+                    let resp = server.handle(&daemon_request(
+                        &format!("c{c}-{r}"),
+                        dse_server::Cmd::Run,
+                        DAEMON_SRC,
+                    ));
+                    assert!(resp.ok);
+                }
+            });
+        }
+    });
+    (DAEMON_CLIENTS * PER_CLIENT) as f64 / t0.elapsed().as_secs_f64()
+}
+
 // -- the document ------------------------------------------------------------
 
 struct BenchValue {
@@ -257,7 +343,7 @@ fn main() -> ExitCode {
     let mut benches = Vec::new();
 
     // Allocator churn, 8 contending threads: sharded heap vs first-fit.
-    eprintln!("[1/4] alloc churn ({CHURN_THREADS} threads)...");
+    eprintln!("[1/5] alloc churn ({CHURN_THREADS} threads)...");
     let sharded = median_secs(|| {
         let h = Heap::new(0, ARENA);
         churn_mt(&|seed, ops| {
@@ -286,7 +372,7 @@ fn main() -> ExitCode {
     });
 
     // Back-to-back dispatch latency: persistent pool vs spawn-per-loop.
-    eprintln!("[2/4] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
+    eprintln!("[2/5] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
     let compiled = compile_parallel(DISPATCH_SRC);
     let mut vm_pool = Vm::new(
         compiled.clone(),
@@ -322,7 +408,7 @@ fn main() -> ExitCode {
 
     // Steal imbalance: modeled makespan (ideal-core finish time) of the
     // skewed workload, static / stealing.
-    eprintln!("[3/4] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
+    eprintln!("[3/5] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
     let skew = compile_parallel(SKEW_SRC);
     let steal_span = skew_makespan(&skew, DoallSchedule::Stealing);
     let static_span = skew_makespan(&skew, DoallSchedule::Static);
@@ -337,9 +423,56 @@ fn main() -> ExitCode {
         value: static_span as f64 / steal_span.max(1) as f64,
     });
 
+    // The dsed daemon: cold vs warm request latency, throughput at 8
+    // concurrent clients, and the warm cache-hit ratio.
+    eprintln!("[4/5] daemon latency and throughput ({DAEMON_CLIENTS} clients)...");
+    let cold = daemon_cold_secs();
+    let server = std::sync::Arc::new(dse_server::Server::new(&dse_server::ServerConfig::default()));
+    // Prime the cache, then measure steady state.
+    assert!(
+        server
+            .handle(&daemon_request(
+                "prime",
+                dse_server::Cmd::Compile,
+                DAEMON_SRC
+            ))
+            .ok
+    );
+    let warm = daemon_warm_secs(&server);
+    let rps = daemon_rps(&server);
+    let stats = server.stats();
+    let (hits, lookups) = stats.phases.iter().fold((0u64, 0u64), |(h, t), p| {
+        (h + p.hits + p.dedups, t + p.hits + p.dedups + p.misses)
+    });
+    benches.push(BenchValue {
+        name: "daemon_cold_request_ms",
+        unit: "ms",
+        value: cold * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "daemon_warm_request_ms",
+        unit: "ms",
+        value: warm * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "daemon_warm_speedup",
+        unit: "ratio",
+        value: cold / warm,
+    });
+    benches.push(BenchValue {
+        name: "daemon_rps_8_clients",
+        unit: "req/s",
+        value: rps,
+    });
+    benches.push(BenchValue {
+        name: "daemon_warm_hit_ratio",
+        unit: "ratio",
+        value: hits as f64 / lookups.max(1) as f64,
+    });
+
     // Figure 11 (simulated): harmonic-mean total speedup on 8 cores over
     // the full workload suite.
-    eprintln!("[4/4] figure speedups (simulated, 8 cores)...");
+    eprintln!("[5/5] figure speedups (simulated, 8 cores)...");
     let rows = dse_bench::fig11_sim(&dse_workloads::all(), Scale::Profile);
     let hmean = dse_bench::harmonic_mean(rows.iter().map(|r| *r.total.last().unwrap()));
     benches.push(BenchValue {

@@ -50,11 +50,15 @@
 //! ```
 
 pub mod access;
+pub mod cache;
 pub mod classify;
+pub mod phases;
 pub mod plan;
 pub mod xform;
 
+pub use cache::{ArtifactStore, CacheOutcome, PhaseOutcome, Trace};
 pub use classify::{classify_loop, AccessBreakdown, LoopClassification, SiteClass};
+pub use phases::{AnalysisArt, Pipeline, TransformArt};
 pub use plan::{build_plan, ExpansionPlan, LayoutMode, OptLevel, PlanError, PlanInputs};
 pub use xform::{expand_program, ExpansionReport, XformError, XformResult};
 
@@ -150,59 +154,17 @@ impl Analysis {
     ///
     /// Propagates frontend, lowering and VM errors.
     pub fn from_source(source: &str, profile_config: VmConfig) -> Result<Analysis, DseError> {
-        let mut timer = PhaseTimer::new();
-
-        let program = timer.time("parse", || dse_lang::compile_to_ast(source))?;
-        timer.stat("source_bytes", source.len() as i64);
-        timer.stat("functions", program.functions.len() as i64);
-
-        let serial = timer.time("lower", || {
-            dse_ir::lower_program(&program, &LowerOptions::default())
-        })?;
-        timer.stat("instructions", serial.code.len() as i64);
-        timer.stat("sites", serial.sites.len() as i64);
-        timer.stat("candidate_loops", serial.loops.len() as i64);
-
-        let (profile, _vm) = timer.time("profile", || {
-            dse_depprof::profile_program(serial.clone(), profile_config)
-        })?;
-        timer.stat("loops_profiled", profile.loops.len() as i64);
-        let (iterations, accesses, edges) = profile.totals();
-        timer.stat("iterations", iterations as i64);
-        timer.stat("accesses", accesses as i64);
-        timer.stat("edges", edges as i64);
-
-        let (classifications, pt, alloc_sizes) = timer.time("classify", || {
-            let classifications: Vec<LoopClassification> =
-                profile.loops.iter().map(classify_loop).collect();
-            let pt = dse_analysis::analyze(&program);
-            let alloc_sizes = dse_analysis::consteval::alloc_size_infos(&program);
-            (classifications, pt, alloc_sizes)
-        });
-        timer.stat(
-            "doall",
-            classifications
-                .iter()
-                .filter(|c| c.mode == ParMode::DoAll)
-                .count() as i64,
-        );
-        timer.stat(
-            "doacross",
-            classifications
-                .iter()
-                .filter(|c| c.mode == ParMode::DoAcross)
-                .count() as i64,
-        );
-
-        Ok(Analysis {
+        let (program, parse_span) = phases::parse_phase(source)?;
+        let (serial, lower_span) = phases::lower_phase(&program)?;
+        let (profile, profile_span) = phases::profile_phase(serial.clone(), profile_config)?;
+        let (classified, classify_span) = phases::classify_phase(&program, &profile);
+        Ok(phases::assemble_analysis(
             program,
             serial,
             profile,
-            classifications,
-            pt,
-            alloc_sizes,
-            phases: timer.into_spans(),
-        })
+            classified,
+            vec![parse_span, lower_span, profile_span, classify_span],
+        ))
     }
 
     /// The classification for a loop label.
@@ -300,17 +262,31 @@ impl Analysis {
         layout: LayoutMode,
     ) -> Result<Transformed, DseError> {
         let mut timer = PhaseTimer::new();
-
         let plan = timer.time("plan", || self.plan_with_layout(opt, nthreads, layout))?;
         timer.stat("nthreads", nthreads as i64);
+        let mut t = self.apply_plan(plan, opt)?;
+        let mut phases = timer.into_spans();
+        phases.append(&mut t.phases);
+        t.phases = phases;
+        Ok(t)
+    }
 
+    /// The xform phase: executes an already-built expansion plan
+    /// (expansion + promotion + redirection) and lowers the result with
+    /// parallel scheduling. `opt` only selects the redirection codegen
+    /// here — `OptLevel::None` also means naive (non-strength-reduced)
+    /// addressing, per Figure 9a.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transformation and lowering failures.
+    pub fn apply_plan(&self, plan: ExpansionPlan, opt: OptLevel) -> Result<Transformed, DseError> {
+        let mut timer = PhaseTimer::new();
         timer.start("xform");
         let sync_eids = self.shared_carried_eids();
         let result = expand_program(&self.program, &plan, &sync_eids)?;
         let mut opts = LowerOptions {
             mode: LowerMode::Parallel,
-            // "Without optimizations" (Figure 9a) also means naive
-            // redirection codegen: no strength-reduced addressing.
             naive_redirection: opt == OptLevel::None,
             ..Default::default()
         };
@@ -362,35 +338,7 @@ impl Analysis {
     /// Propagates planning, transformation and lowering failures.
     pub fn baseline_parallel(&self, nthreads: u32) -> Result<Transformed, DseError> {
         let plan = self.baseline_plan(nthreads)?;
-        let sync_eids = self.shared_carried_eids();
-        let result = expand_program(&self.program, &plan, &sync_eids)?;
-        let mut opts = LowerOptions {
-            mode: LowerMode::Parallel,
-            ..Default::default()
-        };
-        let mut modes = HashMap::new();
-        for cls in &self.classifications {
-            let window = result.sync_windows.get(&cls.label).copied().flatten();
-            opts.par.insert(
-                cls.label.clone(),
-                ParLoopSpec {
-                    mode: cls.mode,
-                    sync_window: window,
-                },
-            );
-            modes.insert(cls.label.clone(), cls.mode);
-        }
-        let parallel = dse_ir::lower_program(&result.program, &opts)?;
-        Ok(Transformed {
-            program: result.program,
-            parallel,
-            report: result.report,
-            modes,
-            plan,
-            sync_windows: result.sync_windows,
-            eid_provenance: result.eid_provenance,
-            phases: Vec::new(),
-        })
+        self.apply_plan(plan, OptLevel::Full)
     }
 
     /// Per-candidate-loop profile stats in telemetry form (for

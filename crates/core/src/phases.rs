@@ -1,0 +1,400 @@
+//! The pipeline split into explicit, independently cacheable phases.
+//!
+//! [`Analysis::from_source`] and [`Analysis::transform`] used to be
+//! monolithic drives; this module factors them into one function per
+//! phase — parse, lower, profile, classify, plan, xform — each returning
+//! its artifact plus a [`PhaseSpan`]. The standalone driver composes them
+//! directly (so single-process reuse is free), while [`Pipeline`] composes
+//! them through a shared [`ArtifactStore`] keyed by content hashes:
+//!
+//! ```text
+//! parse    key = H("parse", source)
+//! lower    key = H("lower", ast_hash)             ast_hash    = H(printed AST)
+//! profile  key = H("profile", code_hash, inputs)  code_hash   = H(disassembly)
+//! classify key = H("classify", ast, code, prof)   prof_hash   = H(canonical DDG summary)
+//! plan     key = H("plan", classify_key, opt, threads, baseline)
+//! xform    key = H("xform", plan_key)
+//! verify   key = H("verify", xform_key)           (dse-verify adds this layer)
+//! ```
+//!
+//! Downstream keys chain through *content* hashes of the upstream
+//! artifacts, not through the raw source hash — that gives early cutoff: a
+//! comment-only edit re-parses, rediscovers the same `ast_hash`, and every
+//! later phase is a cache hit.
+
+use crate::cache::{ArtifactStore, Trace};
+use crate::classify::{classify_loop, LoopClassification};
+use crate::plan::{ExpansionPlan, OptLevel};
+use crate::{Analysis, DseError, Transformed};
+use dse_depprof::ProfileResult;
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::loops::ParMode;
+use dse_lang::ast::Program;
+use dse_runtime::VmConfig;
+use dse_telemetry::hash::{ContentHash, ContentHasher};
+use dse_telemetry::{PhaseSpan, PhaseTimer};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Everything the classify phase produces beyond the classifications
+/// themselves: the points-to results and allocation-size facts the planner
+/// consumes.
+pub struct Classified {
+    /// Per-candidate-loop classifications, parallel to the profile's loops.
+    pub classifications: Vec<LoopClassification>,
+    /// Points-to results.
+    pub pt: dse_analysis::PointsTo,
+    /// Allocation-size facts.
+    pub alloc_sizes: HashMap<u32, dse_analysis::consteval::AllocSizeInfo>,
+}
+
+/// Phase 1: source text → typed AST.
+///
+/// # Errors
+///
+/// Propagates frontend errors.
+pub fn parse_phase(source: &str) -> Result<(Program, PhaseSpan), DseError> {
+    let mut timer = PhaseTimer::new();
+    let program = timer.time("parse", || dse_lang::compile_to_ast(source))?;
+    timer.stat("source_bytes", source.len() as i64);
+    timer.stat("functions", program.functions.len() as i64);
+    Ok((program, timer.into_spans().remove(0)))
+}
+
+/// Phase 2: typed AST → serial bytecode (with profiler loop marks).
+///
+/// # Errors
+///
+/// Propagates lowering errors.
+pub fn lower_phase(program: &Program) -> Result<(CompiledProgram, PhaseSpan), DseError> {
+    let mut timer = PhaseTimer::new();
+    let serial = timer.time("lower", || {
+        dse_ir::lower_program(program, &dse_ir::lower::LowerOptions::default())
+    })?;
+    timer.stat("instructions", serial.code.len() as i64);
+    timer.stat("sites", serial.sites.len() as i64);
+    timer.stat("candidate_loops", serial.loops.len() as i64);
+    Ok((serial, timer.into_spans().remove(0)))
+}
+
+/// Phase 3: serial bytecode → per-loop dependence graphs, by running the
+/// program under the profiler on the given inputs.
+///
+/// # Errors
+///
+/// Propagates VM errors.
+pub fn profile_phase(
+    serial: CompiledProgram,
+    profile_config: VmConfig,
+) -> Result<(ProfileResult, PhaseSpan), DseError> {
+    let mut timer = PhaseTimer::new();
+    let (profile, _vm) = timer.time("profile", || {
+        dse_depprof::profile_program(serial, profile_config)
+    })?;
+    timer.stat("loops_profiled", profile.loops.len() as i64);
+    let (iterations, accesses, edges) = profile.totals();
+    timer.stat("iterations", iterations as i64);
+    timer.stat("accesses", accesses as i64);
+    timer.stat("edges", edges as i64);
+    Ok((profile, timer.into_spans().remove(0)))
+}
+
+/// Phase 4: profile → access-class classifications, plus the points-to and
+/// allocation-size side analyses.
+pub fn classify_phase(program: &Program, profile: &ProfileResult) -> (Classified, PhaseSpan) {
+    let mut timer = PhaseTimer::new();
+    let classified = timer.time("classify", || {
+        let classifications: Vec<LoopClassification> =
+            profile.loops.iter().map(classify_loop).collect();
+        let pt = dse_analysis::analyze(program);
+        let alloc_sizes = dse_analysis::consteval::alloc_size_infos(program);
+        Classified {
+            classifications,
+            pt,
+            alloc_sizes,
+        }
+    });
+    timer.stat(
+        "doall",
+        classified
+            .classifications
+            .iter()
+            .filter(|c| c.mode == ParMode::DoAll)
+            .count() as i64,
+    );
+    timer.stat(
+        "doacross",
+        classified
+            .classifications
+            .iter()
+            .filter(|c| c.mode == ParMode::DoAcross)
+            .count() as i64,
+    );
+    (classified, timer.into_spans().remove(0))
+}
+
+/// Assembles an [`Analysis`] from the four analysis-phase artifacts.
+pub fn assemble_analysis(
+    program: Program,
+    serial: CompiledProgram,
+    profile: ProfileResult,
+    classified: Classified,
+    phases: Vec<PhaseSpan>,
+) -> Analysis {
+    Analysis {
+        program,
+        serial,
+        profile,
+        classifications: classified.classifications,
+        pt: classified.pt,
+        alloc_sizes: classified.alloc_sizes,
+        phases,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// content fingerprints
+// ---------------------------------------------------------------------------
+
+/// Content hash of a parsed program: its canonical printed form. Stable
+/// across processes; insensitive to comments and whitespace in the source.
+pub fn ast_fingerprint(program: &Program) -> ContentHash {
+    ContentHasher::new("ast")
+        .str(&dse_lang::printer::print_program(program))
+        .finish()
+}
+
+/// Content hash of a lowered program: its disassembly plus the site and
+/// candidate-loop table sizes.
+pub fn code_fingerprint(serial: &CompiledProgram) -> ContentHash {
+    ContentHasher::new("code")
+        .str(&dse_ir::disasm::disassemble(serial))
+        .u64(serial.sites.len() as u64)
+        .u64(serial.loops.len() as u64)
+        .finish()
+}
+
+/// Content hash of a dependence profile: its canonical sorted summary.
+pub fn profile_fingerprint(profile: &ProfileResult) -> ContentHash {
+    ContentHasher::new("profile-content")
+        .str(&profile.canonical_summary())
+        .finish()
+}
+
+// ---------------------------------------------------------------------------
+// the cached pipeline
+// ---------------------------------------------------------------------------
+
+/// The parse artifact: the program plus its content fingerprint.
+pub struct ParseArt {
+    /// The typed AST.
+    pub program: Program,
+    /// Fingerprint of the printed AST (the lower key's input).
+    pub ast_hash: ContentHash,
+    /// The phase's original timing span.
+    pub span: PhaseSpan,
+}
+
+/// The lower artifact.
+pub struct LowerArt {
+    /// Serial bytecode.
+    pub serial: CompiledProgram,
+    /// Fingerprint of the disassembly (the profile key's input).
+    pub code_hash: ContentHash,
+    /// The phase's original timing span.
+    pub span: PhaseSpan,
+}
+
+/// The profile artifact.
+pub struct ProfileArt {
+    /// Per-loop dependence graphs.
+    pub profile: ProfileResult,
+    /// Fingerprint of the canonical profile summary.
+    pub profile_hash: ContentHash,
+    /// The phase's original timing span.
+    pub span: PhaseSpan,
+}
+
+/// The classify artifact: the fully assembled [`Analysis`] (its `phases`
+/// carry the original parse/lower/profile/classify spans) plus its chained
+/// content key, which downstream plan/xform/verify keys build on.
+pub struct AnalysisArt {
+    /// The assembled analysis.
+    pub analysis: Analysis,
+    /// The classify phase's content key.
+    pub key: ContentHash,
+}
+
+/// The plan artifact.
+pub struct PlanArt {
+    /// The expansion plan.
+    pub plan: ExpansionPlan,
+    /// The phase's original timing span.
+    pub span: PhaseSpan,
+}
+
+/// The xform artifact: the transformed program plus its chained content
+/// key (the verify key's input).
+pub struct TransformArt {
+    /// The transformed program (its `phases` carry plan and xform spans).
+    pub transformed: Transformed,
+    /// The xform phase's content key.
+    pub key: ContentHash,
+}
+
+/// Drives the phase functions through a shared [`ArtifactStore`]. Requests
+/// for identical content collapse onto one computation; edits only re-run
+/// the phases downstream of the change.
+pub struct Pipeline<'a> {
+    store: &'a ArtifactStore,
+}
+
+impl<'a> Pipeline<'a> {
+    /// A pipeline over the given store.
+    pub fn new(store: &'a ArtifactStore) -> Pipeline<'a> {
+        Pipeline { store }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ArtifactStore {
+        self.store
+    }
+
+    /// parse → lower → profile → classify, each through the cache.
+    /// `profile_config` supplies the profiling inputs (which are part of
+    /// the profile key).
+    ///
+    /// # Errors
+    ///
+    /// Propagates frontend, lowering and VM errors; failures are not
+    /// cached.
+    pub fn analyze(
+        &self,
+        source: &str,
+        profile_config: &VmConfig,
+        trace: &mut Trace,
+    ) -> Result<Arc<AnalysisArt>, DseError> {
+        let parse_key = ContentHasher::new("parse").str(source).finish();
+        let parsed: Arc<ParseArt> = self.store.get_or_compute("parse", parse_key, trace, || {
+            let (program, span) = parse_phase(source)?;
+            let ast_hash = ast_fingerprint(&program);
+            Ok::<_, DseError>(ParseArt {
+                program,
+                ast_hash,
+                span,
+            })
+        })?;
+
+        let lower_key = ContentHasher::new("lower").hash(parsed.ast_hash).finish();
+        let lowered: Arc<LowerArt> =
+            self.store.get_or_compute("lower", lower_key, trace, || {
+                let (serial, span) = lower_phase(&parsed.program)?;
+                let code_hash = code_fingerprint(&serial);
+                Ok::<_, DseError>(LowerArt {
+                    serial,
+                    code_hash,
+                    span,
+                })
+            })?;
+
+        let profile_key = ContentHasher::new("profile")
+            .hash(lowered.code_hash)
+            .i64s(&profile_config.inputs_int)
+            .f64s(&profile_config.inputs_float)
+            .finish();
+        let profiled: Arc<ProfileArt> =
+            self.store
+                .get_or_compute("profile", profile_key, trace, || {
+                    let (profile, span) =
+                        profile_phase(lowered.serial.clone(), profile_config.clone())?;
+                    let profile_hash = profile_fingerprint(&profile);
+                    Ok::<_, DseError>(ProfileArt {
+                        profile,
+                        profile_hash,
+                        span,
+                    })
+                })?;
+
+        let classify_key = ContentHasher::new("classify")
+            .hash(parsed.ast_hash)
+            .hash(lowered.code_hash)
+            .hash(profiled.profile_hash)
+            .finish();
+        self.store
+            .get_or_compute("classify", classify_key, trace, || {
+                let (classified, span) = classify_phase(&parsed.program, &profiled.profile);
+                let phases = vec![
+                    parsed.span.clone(),
+                    lowered.span.clone(),
+                    profiled.span.clone(),
+                    span,
+                ];
+                Ok::<_, DseError>(AnalysisArt {
+                    analysis: assemble_analysis(
+                        parsed.program.clone(),
+                        lowered.serial.clone(),
+                        profiled.profile.clone(),
+                        classified,
+                        phases,
+                    ),
+                    key: classify_key,
+                })
+            })
+    }
+
+    /// plan → xform through the cache, on top of a cached analysis.
+    /// `baseline` selects the runtime-privatization baseline plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, transformation and lowering failures.
+    pub fn transform(
+        &self,
+        art: &AnalysisArt,
+        opt: OptLevel,
+        nthreads: u32,
+        baseline: bool,
+        trace: &mut Trace,
+    ) -> Result<Arc<TransformArt>, DseError> {
+        let opt_name = match opt {
+            OptLevel::None => "none",
+            OptLevel::NoConstSpan => "noconst",
+            OptLevel::Full => "full",
+        };
+        let plan_key = ContentHasher::new("plan")
+            .hash(art.key)
+            .str(opt_name)
+            .u64(nthreads as u64)
+            .bool(baseline)
+            .finish();
+        let planned: Arc<PlanArt> = self.store.get_or_compute("plan", plan_key, trace, || {
+            let mut timer = PhaseTimer::new();
+            let plan = timer.time("plan", || {
+                if baseline {
+                    art.analysis.baseline_plan(nthreads)
+                } else {
+                    art.analysis.plan(opt, nthreads)
+                }
+            })?;
+            timer.stat("nthreads", nthreads as i64);
+            Ok::<_, DseError>(PlanArt {
+                plan,
+                span: timer.into_spans().remove(0),
+            })
+        })?;
+
+        // The baseline plan privatizes through the `__localize` runtime
+        // regardless of `opt`; the transform itself then runs at full
+        // optimization, exactly as the standalone baseline path always has.
+        let apply_opt = if baseline { OptLevel::Full } else { opt };
+        let xform_key = ContentHasher::new("xform").hash(plan_key).finish();
+        self.store.get_or_compute("xform", xform_key, trace, || {
+            let mut t = art.analysis.apply_plan(planned.plan.clone(), apply_opt)?;
+            t.phases.insert(0, planned.span.clone());
+            Ok::<_, DseError>(TransformArt {
+                transformed: t,
+                key: xform_key,
+            })
+        })
+    }
+}

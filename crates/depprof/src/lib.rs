@@ -151,6 +151,60 @@ impl ProfileResult {
             )
         })
     }
+
+    /// A deterministic textual rendering of the whole profile: every loop's
+    /// edges, exposure sets and per-site facts in sorted order. Two
+    /// profiles of the same program on the same inputs produce identical
+    /// summaries, so the artifact cache can use its hash as the profile's
+    /// content fingerprint (the set/map iteration order of [`LoopDdg`] is
+    /// not itself stable).
+    pub fn canonical_summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for l in &self.loops {
+            writeln!(
+                out,
+                "loop {} `{}` iters={} accesses={} instructions={}",
+                l.loop_id, l.label, l.iterations, l.total_accesses, l.instructions
+            )
+            .unwrap();
+            let mut edges: Vec<&DepEdge> = l.edges.iter().collect();
+            edges.sort();
+            for e in edges {
+                writeln!(
+                    out,
+                    "  edge {}->{} {:?} carried={}",
+                    e.src, e.dst, e.kind, e.carried
+                )
+                .unwrap();
+            }
+            let mut sorted: Vec<SiteId> = l.upward_exposed.iter().copied().collect();
+            sorted.sort_unstable();
+            writeln!(out, "  upward={sorted:?}").unwrap();
+            let mut sorted: Vec<SiteId> = l.downward_exposed.iter().copied().collect();
+            sorted.sort_unstable();
+            writeln!(out, "  downward={sorted:?}").unwrap();
+            let mut sites: Vec<SiteId> = l.site_counts.keys().copied().collect();
+            sites.sort_unstable();
+            for s in sites {
+                let count = l.site_counts[&s];
+                let mut allocs: Vec<u32> = l
+                    .site_allocs
+                    .get(&s)
+                    .map(|a| a.iter().copied().collect())
+                    .unwrap_or_default();
+                allocs.sort_unstable();
+                let r = l.site_regions.get(&s).copied().unwrap_or_default();
+                writeln!(
+                    out,
+                    "  site {s} count={count} allocs={allocs:?} heap={} global={} stack={}",
+                    r.heap, r.global, r.stack
+                )
+                .unwrap();
+            }
+        }
+        out
+    }
 }
 
 /// Profiles `compiled` (which must be serially lowered, so candidate loops

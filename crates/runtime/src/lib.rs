@@ -45,10 +45,12 @@ pub mod mem;
 pub mod observer;
 pub mod pool;
 pub mod privatize;
+pub mod taskpool;
 pub mod vm;
 
 pub use alloc::{Allocation, Heap, HeapContention};
 pub use mem::{FirstFitHeap, SharedMem};
 pub use observer::{NullObserver, Observer};
 pub use pool::{DoallSchedule, ExecBackend, PoolStats};
+pub use taskpool::{TaskPool, TaskPoolStats};
 pub use vm::{Counters, RunReport, ThreadCtx, Value, Vm, VmConfig, VmError};

@@ -1,0 +1,196 @@
+//! A small persistent task executor for request-level concurrency.
+//!
+//! [`crate::pool`] parallelizes *inside* one program run (loop iterations
+//! across a `Vm`'s workers). The daemon in `dse-server` needs the
+//! orthogonal axis: many independent compile-and-run requests in flight at
+//! once, each of which may itself spin up a per-`Vm` loop pool. This is a
+//! plain fixed-size thread pool over boxed closures — no stealing, no
+//! shared loop state — deliberately separate from the loop executor so the
+//! two kinds of parallelism stay independently tunable.
+//!
+//! Workers block on a condvar-guarded queue; `Drop` closes the queue and
+//! joins every worker, so a daemon shutdown drains in-flight requests
+//! before the listener thread exits.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    tasks: VecDeque<Task>,
+    closed: bool,
+    submitted: u64,
+    completed: u64,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+/// Snapshot of a [`TaskPool`]'s lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskPoolStats {
+    /// Worker threads owned by the pool.
+    pub workers: u64,
+    /// Tasks accepted by [`TaskPool::submit`].
+    pub submitted: u64,
+    /// Tasks that finished running (panicked tasks count too).
+    pub completed: u64,
+}
+
+/// A fixed-size pool of worker threads executing boxed closures in FIFO
+/// order. See the module docs for how this relates to the per-`Vm` loop
+/// pool.
+pub struct TaskPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TaskPool {
+    /// Spawns `workers` threads (at least one).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                closed: false,
+                submitted: 0,
+                completed: 0,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dse-task-{w}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn task pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a task. Panics if called after the pool started shutting
+    /// down (only possible via a leaked reference across `Drop`).
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, task: F) {
+        let mut q = self.shared.queue.lock().unwrap();
+        assert!(!q.closed, "submit on a closed TaskPool");
+        q.submitted += 1;
+        q.tasks.push_back(Box::new(task));
+        drop(q);
+        self.shared.available.notify_one();
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> TaskPoolStats {
+        let q = self.shared.queue.lock().unwrap();
+        TaskPoolStats {
+            workers: self.workers.len() as u64,
+            submitted: q.submitted,
+            completed: q.completed,
+        }
+    }
+
+    /// Blocks until every submitted task has completed.
+    pub fn wait_idle(&self) {
+        let mut q = self.shared.queue.lock().unwrap();
+        while q.completed < q.submitted {
+            q = self.shared.available.wait(q).unwrap();
+        }
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().closed = true;
+        self.shared.available.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    break t;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.available.wait(q).unwrap();
+            }
+        };
+        // A panicking request must not take the worker down with it; the
+        // catch keeps the pool serving subsequent requests.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        let mut q = shared.queue.lock().unwrap();
+        q.completed += 1;
+        drop(q);
+        // completed moved: wake wait_idle() blockers as well as workers.
+        shared.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_all_tasks_across_workers() {
+        let pool = TaskPool::new(4);
+        let sum = Arc::new(AtomicU64::new(0));
+        for n in 1..=100u64 {
+            let sum = Arc::clone(&sum);
+            pool.submit(move || {
+                sum.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+        pool.wait_idle();
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+        let s = pool.stats();
+        assert_eq!((s.workers, s.submitted, s.completed), (4, 100, 100));
+    }
+
+    #[test]
+    fn drop_joins_after_draining() {
+        let done = Arc::new(AtomicU64::new(0));
+        {
+            let pool = TaskPool::new(2);
+            for _ in 0..16 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        assert_eq!(done.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_workers() {
+        let pool = TaskPool::new(1);
+        pool.submit(|| panic!("request blew up"));
+        let ok = Arc::new(AtomicU64::new(0));
+        let ok2 = Arc::clone(&ok);
+        pool.submit(move || {
+            ok2.store(1, Ordering::Relaxed);
+        });
+        pool.wait_idle();
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+        assert_eq!(pool.stats().completed, 2);
+    }
+}

@@ -1,0 +1,100 @@
+//! `dsed` — the compile-and-run daemon.
+//!
+//! ```text
+//! dsed --socket <path> [--workers N] [--capacity N] [--telemetry <path|->]
+//! dsed --batch         [--workers N] [--capacity N] [--telemetry <path|->]
+//! ```
+//!
+//! `--socket` listens on a unix socket; clients (`dsec --daemon <path>`,
+//! or anything speaking the newline-delimited JSON protocol in DESIGN.md)
+//! connect and exchange one JSON object per line. A `shutdown` request
+//! stops the daemon after in-flight requests drain.
+//!
+//! `--batch` reads requests from stdin and writes responses to stdout,
+//! still executing concurrently on the worker pool — responses come back
+//! in completion order, correlated by `id`. At EOF the daemon drains and
+//! prints the cumulative stats as one JSON line on stderr.
+//!
+//! `--telemetry` streams one JSONL line per request (id, command, wall
+//! time, per-phase cache outcomes) to a file, or to stderr with `-`.
+
+use dse_server::{Server, ServerConfig};
+use std::io::Write;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dsed --socket <path> [--workers N] [--capacity N] [--telemetry <path|->]\n\
+         \x20      dsed --batch [--workers N] [--capacity N] [--telemetry <path|->]"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<String> = None;
+    let mut batch = false;
+    let mut config = ServerConfig::default();
+    let mut telemetry: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--batch" => batch = true,
+            "--workers" => {
+                config.workers = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--capacity" => {
+                config.capacity = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--telemetry" => telemetry = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if batch == socket.is_some() {
+        usage(); // exactly one front end
+    }
+
+    let mut server = Server::new(&config);
+    if let Some(dest) = telemetry {
+        let sink: Box<dyn Write + Send> = if dest == "-" {
+            Box::new(std::io::stderr())
+        } else {
+            match std::fs::File::create(&dest) {
+                Ok(f) => Box::new(f),
+                Err(e) => {
+                    eprintln!("dsed: {dest}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        server = server.with_telemetry(sink);
+    }
+    let server = Arc::new(server);
+
+    let served = if batch {
+        server.serve_batch(std::io::stdin().lock(), std::io::stdout())
+    } else {
+        let path = socket.expect("checked above");
+        eprintln!("dsed: listening on {path}");
+        server.serve_socket(&path)
+    };
+    match served {
+        Ok(stats) => {
+            eprintln!("{}", dse_telemetry::metrics::server_to_json(&stats));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("dsed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # dse-server — the `dsed` compile-and-run daemon
+//!
+//! A long-running service over the expansion pipeline. Clients submit
+//! newline-delimited JSON requests (see [`protocol`]) over a unix socket,
+//! or over stdin/stdout in `--batch` mode; each request compiles, checks
+//! and optionally executes one Cee program. What makes the daemon more
+//! than a loop around `dsec` is the shared state:
+//!
+//! * **One [`dse_core::ArtifactStore`] for every request.** Phases are
+//!   keyed by content hashes that chain through artifact *content*
+//!   (DESIGN.md, "The dsed daemon"), so a re-submitted program is a pure
+//!   cache hit, an edited program only re-runs the phases downstream of
+//!   the edit, and two concurrent submissions of the same program collapse
+//!   onto one computation.
+//! * **One [`dse_runtime::TaskPool`] for every request.** Request-level
+//!   concurrency is a fixed pool of worker threads, orthogonal to the
+//!   per-`Vm` loop pool a `run` request spins up internally.
+//! * **Shared telemetry.** Each response carries its per-phase cache
+//!   outcomes; `--telemetry` streams one JSONL line per request, and the
+//!   `stats` command (or the end-of-batch summary) reports the cumulative
+//!   [`dse_telemetry::ServerStats`].
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{Cmd, PhaseLine, Request, Response};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,250 @@
+//! End-to-end daemon smoke: the real `dsed` binary, batch and socket
+//! front ends, concurrent clients, shared cache.
+
+use dse_server::Response;
+use dse_telemetry::Json;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const PROG_SUM: &str = r#"
+int main() {
+  long *acc; acc = malloc(1 * sizeof(long));
+  int *scratch; scratch = malloc(8 * sizeof(int));
+  int *out; out = malloc(50 * sizeof(int));
+  acc[0] = 0;
+  #pragma candidate ordered
+  for (int i = 0; i < 50; i++) {
+    for (int k = 0; k < 8; k++) { scratch[k] = i * k + 3; }
+    int s; s = 0;
+    for (int k = 0; k < 8; k++) { s += scratch[k]; }
+    acc[0] = acc[0] + s;
+    out[i] = s;
+  }
+  out_long(acc[0]);
+  free(acc); free(scratch); free(out);
+  return 0;
+}
+"#;
+
+const PROG_FILL: &str = r#"
+int main() {
+  int *buf; buf = malloc(16 * sizeof(int));
+  long total; total = 0;
+  #pragma candidate fill
+  for (int i = 0; i < 32; i++) {
+    for (int k = 0; k < 16; k++) { buf[k] = i + k; }
+    int s; s = 0;
+    for (int k = 0; k < 16; k++) { s += buf[k]; }
+    out_long(s);
+  }
+  free(buf);
+  return 0;
+}
+"#;
+
+fn req(id: &str, cmd: &str, source: &str, threads: i64) -> String {
+    Json::obj(vec![
+        ("id", Json::Str(id.into())),
+        ("cmd", Json::Str(cmd.into())),
+        ("source", Json::Str(source.into())),
+        ("threads", Json::Int(threads)),
+    ])
+    .to_string()
+}
+
+fn parse_response(line: &str) -> Response {
+    let j = Json::parse(line.trim()).unwrap_or_else(|e| panic!("bad JSON `{line}`: {e}"));
+    Response::from_json(&j).expect("well-formed response")
+}
+
+/// Eight concurrent mixed requests over two programs and their edits,
+/// through the batch front end: every response ok, and the shared cache
+/// served a nonzero number of phase artifacts.
+#[test]
+fn batch_eight_concurrent_mixed_requests() {
+    let telemetry = std::env::temp_dir().join(format!("dsed-batch-{}.jsonl", std::process::id()));
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsed"))
+        .args(["--batch", "--workers", "8"])
+        .arg("--telemetry")
+        .arg(&telemetry)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dsed");
+
+    let sum_comment = format!("// edited\n{PROG_SUM}");
+    let fill_bigger = PROG_FILL.replace("i < 32", "i < 33");
+    let requests = [
+        req("sum-run-1", "run", PROG_SUM, 4),
+        req("sum-run-2", "run", PROG_SUM, 4),
+        req("sum-comment", "run", &sum_comment, 4),
+        req("sum-check", "check", PROG_SUM, 4),
+        req("fill-run-1", "run", PROG_FILL, 2),
+        req("fill-run-2", "run", PROG_FILL, 2),
+        req("fill-edit", "run", &fill_bigger, 2),
+        req("fill-compile", "compile", PROG_FILL, 2),
+    ];
+    {
+        let mut stdin = child.stdin.take().expect("stdin");
+        for r in &requests {
+            writeln!(stdin, "{r}").unwrap();
+        }
+        // Dropping stdin is the EOF that drains and stops the daemon.
+    }
+    let out = child.wait_with_output().expect("dsed exit");
+    assert!(out.status.success(), "dsed failed: {out:?}");
+
+    let responses: Vec<Response> = String::from_utf8(out.stdout)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_response)
+        .collect();
+    assert_eq!(responses.len(), requests.len());
+    let mut ids: Vec<&str> = responses.iter().map(|r| r.id.as_str()).collect();
+    ids.sort_unstable();
+    let mut expected = [
+        "sum-run-1",
+        "sum-run-2",
+        "sum-comment",
+        "sum-check",
+        "fill-run-1",
+        "fill-run-2",
+        "fill-edit",
+        "fill-compile",
+    ];
+    expected.sort_unstable();
+    assert_eq!(ids, expected);
+    for r in &responses {
+        assert!(r.ok, "request `{}` failed: {:?}", r.id, r.error);
+    }
+    // Identical programs resolve to identical keys, so across the batch
+    // the cache must have served artifacts (hit or dedup).
+    let hits: usize = responses.iter().map(Response::cache_hits).sum();
+    assert!(hits > 0, "no cache hits across a batch with duplicates");
+    // The run responses carry the program's outputs.
+    let sum_run = responses.iter().find(|r| r.id == "sum-run-1").unwrap();
+    assert_eq!(sum_run.out_long, vec![35500]);
+    let comment_run = responses.iter().find(|r| r.id == "sum-comment").unwrap();
+    assert_eq!(comment_run.out_long, vec![35500]);
+
+    // The final stderr line is the cumulative ServerStats document.
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let stats_line = stderr
+        .lines()
+        .rev()
+        .find(|l| l.trim_start().starts_with('{'))
+        .expect("stats line on stderr");
+    let stats =
+        dse_telemetry::metrics::server_from_json(&Json::parse(stats_line.trim()).unwrap()).unwrap();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.failures, 0);
+    let total_hits: u64 = stats.phases.iter().map(|p| p.hits + p.dedups).sum();
+    assert!(total_hits > 0);
+
+    // Telemetry JSONL: one line per request, each with a phases array.
+    let telem = std::fs::read_to_string(&telemetry).unwrap();
+    let lines: Vec<&str> = telem.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 8);
+    for l in lines {
+        let j = Json::parse(l).unwrap();
+        assert!(j.get("phases").and_then(Json::as_arr).is_some());
+    }
+    let _ = std::fs::remove_file(&telemetry);
+}
+
+fn wait_for_socket(path: &std::path::Path, child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !path.exists() {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            panic!("dsed exited before binding: {status}");
+        }
+        assert!(Instant::now() < deadline, "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Socket front end: concurrent clients over a unix socket, then a stats
+/// request, then shutdown.
+#[test]
+fn socket_concurrent_clients_and_shutdown() {
+    use std::os::unix::net::UnixStream;
+    let sock = std::env::temp_dir().join(format!("dsed-e2e-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsed"))
+        .arg("--socket")
+        .arg(&sock)
+        .args(["--workers", "8"])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dsed");
+    wait_for_socket(&sock, &mut child);
+
+    let roundtrip = |line: String| -> Response {
+        let mut conn = UnixStream::connect(&sock).expect("connect");
+        writeln!(conn, "{line}").unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        parse_response(&resp)
+    };
+
+    let clients: Vec<_> = (0..8)
+        .map(|n| {
+            let sock = sock.clone();
+            std::thread::spawn(move || {
+                let mut conn = UnixStream::connect(&sock).expect("connect");
+                writeln!(conn, "{}", req(&format!("s{n}"), "run", PROG_SUM, 2)).unwrap();
+                let mut reader = BufReader::new(conn);
+                let mut resp = String::new();
+                reader.read_line(&mut resp).unwrap();
+                parse_response(&resp)
+            })
+        })
+        .collect();
+    for c in clients {
+        let r = c.join().unwrap();
+        assert!(r.ok, "socket request `{}` failed: {:?}", r.id, r.error);
+        assert_eq!(r.out_long, vec![35500]);
+    }
+
+    let stats_resp = roundtrip(
+        Json::obj(vec![
+            ("id", Json::Str("st".into())),
+            ("cmd", Json::Str("stats".into())),
+        ])
+        .to_string(),
+    );
+    assert!(stats_resp.ok);
+    let stats = stats_resp.stats.expect("stats payload");
+    assert_eq!(stats.requests, 9); // 8 runs + this stats request
+    for ph in &stats.phases {
+        assert_eq!(ph.misses, 1, "phase `{}` computed twice", ph.phase);
+    }
+
+    let bye = roundtrip(
+        Json::obj(vec![
+            ("id", Json::Str("bye".into())),
+            ("cmd", Json::Str("shutdown".into())),
+        ])
+        .to_string(),
+    );
+    assert!(bye.ok);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            assert!(status.success(), "dsed shutdown status {status}");
+            break;
+        }
+        if Instant::now() >= deadline {
+            let _ = child.kill();
+            panic!("dsed did not exit after shutdown");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(!sock.exists(), "socket file not cleaned up");
+}

@@ -19,12 +19,16 @@
 //! and is stable enough to diff across runs: object keys are emitted in a
 //! fixed order and all times are integer nanoseconds.
 
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod trace;
 
+pub use hash::{ContentHash, ContentHasher};
 pub use json::Json;
-pub use metrics::{ExpansionStats, LintStats, LoopStat, RunMetrics, VmStats};
+pub use metrics::{
+    ExpansionStats, LintStats, LoopStat, PhaseCacheStat, RunMetrics, ServerStats, VmStats,
+};
 pub use phase::{PhaseSpan, PhaseTimer};
 pub use trace::TraceObserver;

@@ -71,6 +71,53 @@ pub struct LintStats {
     pub infos: u64,
 }
 
+/// One pipeline phase's artifact-cache counters (daemon or in-process).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseCacheStat {
+    /// Phase name (`parse`, `lower`, `profile`, `classify`, `plan`,
+    /// `xform`, `verify`).
+    pub phase: String,
+    /// Requests served from a ready cached artifact.
+    pub hits: u64,
+    /// Requests that computed the artifact.
+    pub misses: u64,
+    /// Requests that waited on a concurrent identical computation instead
+    /// of duplicating it.
+    pub dedups: u64,
+    /// Artifacts evicted by the LRU bound.
+    pub evictions: u64,
+}
+
+/// Compile-service counters: requests served and per-phase artifact-cache
+/// behavior. Produced by `dsed` (and by standalone `dsec`, whose
+/// in-process pipeline shares the same cache machinery).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests served (all commands).
+    pub requests: u64,
+    /// Requests that failed (compile, verify or runtime errors).
+    pub failures: u64,
+    /// Ready artifacts currently resident in the store.
+    pub cache_entries: u64,
+    /// LRU capacity bound (ready-artifact count).
+    pub cache_capacity: u64,
+    /// Per-phase hit/miss/dedup/eviction counters.
+    pub phases: Vec<PhaseCacheStat>,
+}
+
+impl ServerStats {
+    /// Total cache hits across phases (dedup waits count as hits: the
+    /// requester got the artifact without computing it).
+    pub fn total_hits(&self) -> u64 {
+        self.phases.iter().map(|p| p.hits + p.dedups).sum()
+    }
+
+    /// Total cache misses across phases.
+    pub fn total_misses(&self) -> u64 {
+        self.phases.iter().map(|p| p.misses).sum()
+    }
+}
+
 /// VM execution stats: Figure-12 counters in aggregate and per thread.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct VmStats {
@@ -120,6 +167,81 @@ pub struct RunMetrics {
     pub lints: Option<LintStats>,
     /// Execution stats; `None` without `--run`.
     pub vm: Option<VmStats>,
+    /// Compile-service cache stats; `None` for pre-daemon documents.
+    pub server: Option<ServerStats>,
+}
+
+/// Serializes compile-service cache counters.
+pub fn server_to_json(s: &ServerStats) -> Json {
+    Json::obj(vec![
+        ("requests", Json::Int(s.requests as i64)),
+        ("failures", Json::Int(s.failures as i64)),
+        ("cache_entries", Json::Int(s.cache_entries as i64)),
+        ("cache_capacity", Json::Int(s.cache_capacity as i64)),
+        (
+            "phases",
+            Json::Arr(
+                s.phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("phase", Json::Str(p.phase.clone())),
+                            ("hits", Json::Int(p.hits as i64)),
+                            ("misses", Json::Int(p.misses as i64)),
+                            ("dedups", Json::Int(p.dedups as i64)),
+                            ("evictions", Json::Int(p.evictions as i64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses [`server_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the name of the first missing or mistyped field.
+pub fn server_from_json(v: &Json) -> Result<ServerStats, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| format!("server stats missing integer field '{name}'"))
+    };
+    let phases = v
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("server stats missing array 'phases'")?
+        .iter()
+        .map(|p| {
+            let int = |name: &str| -> Result<u64, String> {
+                p.get(name)
+                    .and_then(Json::as_i64)
+                    .map(|n| n.max(0) as u64)
+                    .ok_or_else(|| format!("phase cache stat missing integer '{name}'"))
+            };
+            Ok(PhaseCacheStat {
+                phase: p
+                    .get("phase")
+                    .and_then(Json::as_str)
+                    .ok_or("phase cache stat missing 'phase'")?
+                    .to_string(),
+                hits: int("hits")?,
+                misses: int("misses")?,
+                dedups: int("dedups")?,
+                evictions: int("evictions")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ServerStats {
+        requests: field("requests")?,
+        failures: field("failures")?,
+        cache_entries: field("cache_entries")?,
+        cache_capacity: field("cache_capacity")?,
+        phases,
+    })
 }
 
 /// Serializes Figure-12 counters as a flat object.
@@ -299,6 +421,13 @@ impl RunMetrics {
             ("expansion", expansion),
             ("lints", lints),
             ("vm", vm),
+            (
+                "server",
+                match &self.server {
+                    None => Json::Null,
+                    Some(s) => server_to_json(s),
+                },
+            ),
         ])
     }
 
@@ -411,6 +540,11 @@ impl RunMetrics {
                 },
             }),
         };
+        // Absent in pre-daemon documents: default to None.
+        let server = match v.get("server") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(server_from_json(s)?),
+        };
         Ok(RunMetrics {
             program: str_field("program")?,
             threads: v
@@ -424,6 +558,7 @@ impl RunMetrics {
             expansion,
             lints,
             vm,
+            server,
         })
     }
 }
@@ -494,6 +629,28 @@ mod tests {
                     wakeups: 6,
                 },
             }),
+            server: Some(ServerStats {
+                requests: 12,
+                failures: 1,
+                cache_entries: 9,
+                cache_capacity: 256,
+                phases: vec![
+                    PhaseCacheStat {
+                        phase: "parse".into(),
+                        hits: 10,
+                        misses: 2,
+                        dedups: 1,
+                        evictions: 0,
+                    },
+                    PhaseCacheStat {
+                        phase: "verify".into(),
+                        hits: 11,
+                        misses: 1,
+                        dedups: 0,
+                        evictions: 3,
+                    },
+                ],
+            }),
         }
     }
 
@@ -511,6 +668,7 @@ mod tests {
         m.vm = None;
         m.expansion = None;
         m.lints = None;
+        m.server = None;
         let text = m.to_json().to_string();
         assert_eq!(
             RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap(),
@@ -566,6 +724,23 @@ mod tests {
         assert_ne!(text, m.to_json().to_string(), "pool object was replaced");
         let parsed = RunMetrics::from_json(&Json::parse(&text).unwrap()).unwrap();
         m.vm.as_mut().unwrap().pool = PoolStats::default();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn server_stats_round_trip_and_default_when_absent() {
+        let s = sample().server.unwrap();
+        assert_eq!(server_from_json(&server_to_json(&s)).unwrap(), s);
+        assert_eq!(s.total_hits(), 22);
+        assert_eq!(s.total_misses(), 3);
+
+        // Documents written before the daemon existed parse with no server
+        // block rather than erroring.
+        let mut m = sample();
+        let text = m.to_json().to_string();
+        let (head, _) = text.rsplit_once(",\"server\":").unwrap();
+        let parsed = RunMetrics::from_json(&Json::parse(&format!("{head}}}")).unwrap()).unwrap();
+        m.server = None;
         assert_eq!(parsed, m);
     }
 

@@ -4,8 +4,10 @@
 //! dsec <program.cee> [--threads N] [--opt none|noconst|full] [--baseline]
 //!      [--emit source|report|ddg|bytecode|trace] [--run] [--serial]
 //!      [--timing] [--metrics <path|->] [--in <ints,comma,separated>]
+//!      [--daemon <socket>]
 //! dsec check <program.cee> [--strict] [--json] [--threads N]
 //!      [--opt none|noconst|full] [--in <ints,comma,separated>]
+//!      [--daemon <socket>]
 //! ```
 //!
 //! Examples:
@@ -17,6 +19,7 @@
 //! dsec prog.cee --run --serial                # reference run
 //! dsec prog.cee --run --timing --metrics -    # telemetry JSON on stdout
 //! dsec prog.cee --emit trace > trace.jsonl    # serial execution as JSONL
+//! dsec prog.cee --run --daemon /tmp/dsed.sock # execute via a dsed daemon
 //! dsec check prog.cee                         # soundness lints, text
 //! dsec check prog.cee --strict --json         # CI gate, machine-readable
 //! ```
@@ -37,13 +40,21 @@
 //! `--emit trace` executes the *serial* program under a trace observer and
 //! streams each sited access, loop event and heap event as one JSON object
 //! per line on stdout.
+//!
+//! Every drive runs through the content-addressed pipeline
+//! ([`dse_core::Pipeline`]): phases are computed once per process and
+//! shared by every consumer (`--emit` handlers, the executed program, the
+//! verifier, the telemetry snapshot). `--daemon <socket>` sends the request
+//! to a running `dsed` daemon instead (see DESIGN.md, "The dsed daemon"),
+//! where the same cache is shared across *processes and requests*.
 
-use dse_core::{Analysis, OptLevel, Transformed};
+use dse_core::{Analysis, ArtifactStore, OptLevel, Pipeline, Trace, TransformArt};
 use dse_runtime::{Vm, VmConfig};
-use dse_telemetry::{LintStats, RunMetrics, TraceObserver};
-use dse_verify::diag::{Report, Severity};
+use dse_telemetry::{Json, LintStats, RunMetrics, TraceObserver};
+use dse_verify::diag::Severity;
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Verifier errors (or strict-mode warnings), compile and runtime failures.
 const EXIT_DIAG: u8 = 1;
@@ -61,6 +72,7 @@ struct Opts {
     timing: bool,
     metrics: Option<String>,
     inputs: Vec<i64>,
+    daemon: Option<String>,
 }
 
 /// A drive failure, split by which exit code it maps to.
@@ -75,9 +87,9 @@ fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
          [--baseline] [--emit source|report|ddg|bytecode|trace] [--run] [--serial] \
-         [--timing] [--metrics <path|->] [--in 1,2,3]\n\
+         [--timing] [--metrics <path|->] [--in 1,2,3] [--daemon <socket>]\n\
          \x20      dsec check <program.cee> [--strict] [--json] [--threads N] \
-         [--opt none|noconst|full] [--in 1,2,3]"
+         [--opt none|noconst|full] [--in 1,2,3] [--daemon <socket>]"
     );
     std::process::exit(EXIT_USAGE as i32)
 }
@@ -88,6 +100,14 @@ fn parse_opt_level(s: Option<&str>) -> OptLevel {
         Some("noconst") => OptLevel::NoConstSpan,
         Some("full") => OptLevel::Full,
         _ => usage(),
+    }
+}
+
+fn opt_name(opt: OptLevel) -> &'static str {
+    match opt {
+        OptLevel::None => "none",
+        OptLevel::NoConstSpan => "noconst",
+        OptLevel::Full => "full",
     }
 }
 
@@ -110,6 +130,7 @@ fn parse_opts(args: &[String]) -> Opts {
         timing: false,
         metrics: None,
         inputs: Vec::new(),
+        daemon: None,
     };
     let mut args = args.iter();
     while let Some(a) = args.next() {
@@ -141,6 +162,7 @@ fn parse_opts(args: &[String]) -> Opts {
             "--timing" => o.timing = true,
             "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage()).clone()),
             "--in" => o.inputs = parse_inputs(args.next().unwrap_or_else(|| usage())),
+            "--daemon" => o.daemon = Some(args.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => usage(),
             other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
             _ => usage(),
@@ -158,7 +180,11 @@ fn main() -> ExitCode {
         return check_main(&args[1..]);
     }
     let o = parse_opts(&args);
-    match drive(&o) {
+    let result = match &o.daemon {
+        Some(sock) => daemon_drive(&o, sock),
+        None => drive(&o),
+    };
+    match result {
         Ok(code) => code,
         Err(Fail::Io(msg)) => {
             eprintln!("dsec: {msg}");
@@ -179,6 +205,7 @@ fn check_main(args: &[String]) -> ExitCode {
     let mut threads: u32 = 4;
     let mut opt = OptLevel::Full;
     let mut inputs: Vec<i64> = Vec::new();
+    let mut daemon: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -192,6 +219,7 @@ fn check_main(args: &[String]) -> ExitCode {
             }
             "--opt" => opt = parse_opt_level(it.next().map(String::as_str)),
             "--in" => inputs = parse_inputs(it.next().unwrap_or_else(|| usage())),
+            "--daemon" => daemon = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => usage(),
             other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
             _ => usage(),
@@ -207,11 +235,46 @@ fn check_main(args: &[String]) -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    if let Some(sock) = daemon {
+        let req = Json::obj(vec![
+            ("id", Json::Str("dsec-check".into())),
+            ("cmd", Json::Str("check".into())),
+            ("source", Json::Str(source)),
+            ("threads", Json::Int(threads as i64)),
+            ("opt", Json::Str(opt_name(opt).into())),
+            ("strict", Json::Bool(strict)),
+            (
+                "in",
+                Json::Arr(inputs.iter().map(|&n| Json::Int(n)).collect()),
+            ),
+        ]);
+        return match daemon_request(&sock, &req) {
+            Ok(resp) => {
+                // `check` renders the report on stdout like the standalone
+                // path; failures already carry exit 1 in the response.
+                for d in diagnostics_of(&resp) {
+                    println!("{d}");
+                }
+                exit_of(&resp)
+            }
+            Err(Fail::Io(msg)) => {
+                eprintln!("dsec: {msg}");
+                ExitCode::from(EXIT_USAGE)
+            }
+            Err(Fail::Other(msg)) => {
+                eprintln!("dsec: {msg}");
+                ExitCode::from(EXIT_DIAG)
+            }
+        };
+    }
     let cfg = VmConfig {
         inputs_int: inputs,
         ..Default::default()
     };
-    let analysis = match Analysis::from_source(&source, cfg) {
+    let store = ArtifactStore::new();
+    let pipeline = Pipeline::new(&store);
+    let mut trace = Trace::new();
+    let art = match pipeline.analyze(&source, &cfg, &mut trace) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("dsec: {e}");
@@ -220,8 +283,11 @@ fn check_main(args: &[String]) -> ExitCode {
     };
     // Pass 2 checks the transform's output, so the check transforms too.
     // A transform failure still reports pass 1 before failing.
-    let transformed = analysis.transform(opt, threads);
-    let report = dse_verify::check_all(&analysis, transformed.as_ref().ok());
+    let transformed = pipeline.transform(&art, opt, threads, false, &mut trace);
+    let report = match &transformed {
+        Ok(t) => (*dse_verify::check_cached(&store, &art.analysis, t, &mut trace)).clone(),
+        Err(_) => dse_verify::check_all(&art.analysis, None),
+    };
     if json {
         println!("{}", report.to_json());
     } else {
@@ -239,9 +305,16 @@ fn check_main(args: &[String]) -> ExitCode {
 }
 
 /// The implicit verification pass before any use of the transform: prints
-/// findings to stderr and fails the drive on error-severity ones.
-fn verify_transform(analysis: &Analysis, t: &Transformed, path: &str) -> Result<LintStats, Fail> {
-    let report: Report = dse_verify::check_all(analysis, Some(t));
+/// findings to stderr and fails the drive on error-severity ones. Cached by
+/// the transform's content key, like every other phase.
+fn verify_transform(
+    store: &ArtifactStore,
+    analysis: &Analysis,
+    xform: &TransformArt,
+    path: &str,
+    trace: &mut Trace,
+) -> Result<LintStats, Fail> {
+    let report = dse_verify::check_cached(store, analysis, xform, trace);
     for d in &report.diagnostics {
         eprintln!("dsec: {}", d.render());
     }
@@ -266,36 +339,36 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
         inputs_int: o.inputs.clone(),
         ..Default::default()
     };
-    let analysis =
-        Analysis::from_source(&source, cfg.clone()).map_err(|e| Fail::Other(e.to_string()))?;
+    // One process-local artifact store: every consumer below (emit
+    // handlers, the executed program, the verifier, telemetry) shares the
+    // same phase artifacts instead of recomputing them.
+    let store = ArtifactStore::new();
+    let pipeline = Pipeline::new(&store);
+    let mut trace = Trace::new();
+    let art = pipeline
+        .analyze(&source, &cfg, &mut trace)
+        .map_err(|e| Fail::Other(e.to_string()))?;
+    let analysis = &art.analysis;
 
-    // Transform exactly once and share the result between every `--emit`
-    // consumer, the executed program, and the telemetry snapshot.
     let needs_transform = (o.run && !o.serial)
         || o.timing
         || o.metrics.is_some()
         || o.emit
             .iter()
             .any(|e| matches!(e.as_str(), "report" | "source" | "bytecode"));
-    let transformed: Option<Transformed> = if !needs_transform {
-        None
-    } else if o.baseline {
+    let transformed: Option<Arc<TransformArt>> = if needs_transform {
         Some(
-            analysis
-                .baseline_parallel(o.threads)
+            pipeline
+                .transform(&art, o.opt, o.threads, o.baseline, &mut trace)
                 .map_err(|e| Fail::Other(e.to_string()))?,
         )
     } else {
-        Some(
-            analysis
-                .transform(o.opt, o.threads)
-                .map_err(|e| Fail::Other(e.to_string()))?,
-        )
+        None
     };
 
     // Every transform is verified before its output is used.
     let lints: Option<LintStats> = match &transformed {
-        Some(t) => Some(verify_transform(&analysis, t, &o.path)?),
+        Some(t) => Some(verify_transform(&store, analysis, t, &o.path, &mut trace)?),
         None => None,
     };
 
@@ -322,7 +395,10 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                 }
             }
             "report" => {
-                let t = transformed.as_ref().expect("transform computed above");
+                let t = &transformed
+                    .as_ref()
+                    .expect("transform computed above")
+                    .transformed;
                 let r = &t.report;
                 println!("expansion report (N = {}, {:?}):", o.threads, o.opt);
                 println!(
@@ -348,11 +424,17 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                 }
             }
             "source" => {
-                let t = transformed.as_ref().expect("transform computed above");
+                let t = &transformed
+                    .as_ref()
+                    .expect("transform computed above")
+                    .transformed;
                 print!("{}", dse_lang::printer::print_program(&t.program));
             }
             "bytecode" => {
-                let t = transformed.as_ref().expect("transform computed above");
+                let t = &transformed
+                    .as_ref()
+                    .expect("transform computed above")
+                    .transformed;
                 print!("{}", dse_ir::disasm::disassemble(&t.parallel));
             }
             "trace" => {
@@ -381,6 +463,7 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
             transformed
                 .as_ref()
                 .expect("transform computed above")
+                .transformed
                 .parallel
                 .clone()
         };
@@ -428,7 +511,7 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     let phases: Vec<dse_telemetry::PhaseSpan> = analysis
         .phases
         .iter()
-        .chain(transformed.iter().flat_map(|t| t.phases.iter()))
+        .chain(transformed.iter().flat_map(|t| t.transformed.phases.iter()))
         .cloned()
         .collect();
 
@@ -441,22 +524,22 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     }
 
     if let Some(dest) = &o.metrics {
+        let mut server = store.stats();
+        server.requests = 1;
         let metrics = RunMetrics {
             program: o.path.clone(),
             threads: if o.serial { 1 } else { o.threads },
-            opt: match o.opt {
-                OptLevel::None => "none",
-                OptLevel::NoConstSpan => "noconst",
-                OptLevel::Full => "full",
-            }
-            .to_string(),
+            opt: opt_name(o.opt).to_string(),
             phases,
             loops: analysis.loop_stats(),
-            expansion: transformed.as_ref().map(|t| t.report.telemetry_stats()),
+            expansion: transformed
+                .as_ref()
+                .map(|t| t.transformed.report.telemetry_stats()),
             lints,
             vm: run_report
                 .as_ref()
                 .map(dse_telemetry::metrics::VmStats::from_report),
+            server: Some(server),
         };
         let mut text = metrics.to_json().to_string();
         text.push('\n');
@@ -468,6 +551,104 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     }
 
     Ok(exit)
+}
+
+// ---------------------------------------------------------------------------
+// the daemon client
+// ---------------------------------------------------------------------------
+
+/// `dsec ... --daemon <socket>`: sends the request to a running `dsed`
+/// instead of driving the pipeline in-process. Unsupported-over-the-wire
+/// flags (`--emit`, `--timing`, `--metrics`) are rejected up front.
+fn daemon_drive(o: &Opts, sock: &str) -> Result<ExitCode, Fail> {
+    if !o.emit.is_empty() || o.timing || o.metrics.is_some() {
+        return Err(Fail::Io(
+            "--daemon supports plain compile/run requests; \
+             use the standalone driver for --emit/--timing/--metrics"
+                .into(),
+        ));
+    }
+    let source =
+        std::fs::read_to_string(&o.path).map_err(|e| Fail::Io(format!("{}: {e}", o.path)))?;
+    let req = Json::obj(vec![
+        ("id", Json::Str("dsec".into())),
+        (
+            "cmd",
+            Json::Str(if o.run { "run" } else { "compile" }.into()),
+        ),
+        ("source", Json::Str(source)),
+        ("threads", Json::Int(o.threads as i64)),
+        ("opt", Json::Str(opt_name(o.opt).into())),
+        ("baseline", Json::Bool(o.baseline)),
+        ("serial", Json::Bool(o.serial)),
+        (
+            "in",
+            Json::Arr(o.inputs.iter().map(|&n| Json::Int(n)).collect()),
+        ),
+    ]);
+    let resp = daemon_request(sock, &req)?;
+    for d in diagnostics_of(&resp) {
+        eprintln!("dsec: {d}");
+    }
+    if let Some(err) = resp.get("error").and_then(Json::as_str) {
+        eprintln!("dsec: {err}");
+    }
+    if let Some(console) = resp.get("console").and_then(Json::as_str) {
+        print!("{console}");
+    }
+    if let Some(outs) = resp.get("out_long").and_then(Json::as_arr) {
+        if !outs.is_empty() {
+            let outs: Vec<i64> = outs.iter().filter_map(Json::as_i64).collect();
+            println!("out_long: {outs:?}");
+        }
+    }
+    if let Some(fouts) = resp.get("out_float").and_then(Json::as_arr) {
+        if !fouts.is_empty() {
+            let fouts: Vec<f64> = fouts.iter().filter_map(Json::as_f64).collect();
+            println!("out_float: {fouts:?}");
+        }
+    }
+    Ok(exit_of(&resp))
+}
+
+/// One request/response round trip over the daemon's unix socket.
+fn daemon_request(sock: &str, req: &Json) -> Result<Json, Fail> {
+    use std::io::{BufRead, BufReader};
+    let mut stream = std::os::unix::net::UnixStream::connect(sock)
+        .map_err(|e| Fail::Io(format!("{sock}: {e}")))?;
+    let mut line = req.to_string();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .map_err(|e| Fail::Io(format!("{sock}: {e}")))?;
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader
+        .read_line(&mut resp)
+        .map_err(|e| Fail::Io(format!("{sock}: {e}")))?;
+    if resp.trim().is_empty() {
+        return Err(Fail::Other(
+            "daemon closed the connection without a response".into(),
+        ));
+    }
+    Json::parse(resp.trim()).map_err(|e| Fail::Other(format!("bad daemon response: {e}")))
+}
+
+fn diagnostics_of(resp: &Json) -> Vec<String> {
+    resp.get("diagnostics")
+        .and_then(Json::as_arr)
+        .map(|a| {
+            a.iter()
+                .filter_map(Json::as_str)
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn exit_of(resp: &Json) -> ExitCode {
+    let code = resp.get("exit").and_then(Json::as_i64).unwrap_or(1);
+    ExitCode::from((code & 0xff) as u8)
 }
 
 impl From<std::io::Error> for Fail {

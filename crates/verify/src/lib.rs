@@ -26,9 +26,13 @@ pub mod staticdep;
 pub mod walk;
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dse_core::{Analysis, SiteClass, Transformed};
+use dse_core::cache::Trace;
+use dse_core::phases::TransformArt;
+use dse_core::{Analysis, ArtifactStore, SiteClass, Transformed};
 use dse_lang::ast::NO_EID;
+use dse_telemetry::ContentHasher;
 
 use diag::{Code, Diagnostic, Report};
 
@@ -63,6 +67,25 @@ pub fn check_all(analysis: &Analysis, transformed: Option<&Transformed>) -> Repo
     }
     report.sort();
     report
+}
+
+/// [`check_all`] through the artifact store: the verify pass is itself a
+/// cached phase, keyed `H("verify", xform_key)`. The xform key chains
+/// through the plan, classification, profile, bytecode and AST hashes, so
+/// any input that could change the report changes the key; a repeated
+/// request re-uses the sorted report without re-running either pass.
+pub fn check_cached(
+    store: &ArtifactStore,
+    analysis: &Analysis,
+    xform: &TransformArt,
+    trace: &mut Trace,
+) -> Arc<Report> {
+    let key = ContentHasher::new("verify").hash(xform.key).finish();
+    store
+        .get_or_compute("verify", key, trace, || {
+            Ok::<_, std::convert::Infallible>(check_all(analysis, Some(&xform.transformed)))
+        })
+        .unwrap_or_else(|e| match e {})
 }
 
 /// `DSE007`: the same source access must not be classified thread-private
