@@ -1,7 +1,8 @@
 //! The recorded cross-PR performance trajectory.
 //!
 //! Runs the headline benches (allocator churn, dispatch latency, steal
-//! imbalance, simulated figure speedups) and writes `BENCH_NNN.json` —
+//! imbalance, daemon latency/throughput, tracing overhead, simulated
+//! figure speedups) and writes `BENCH_NNN.json` —
 //! one document per PR, kept at the repo root so the numbers are diffable
 //! across the stack. The schema is documented in EXPERIMENTS.md.
 //!
@@ -27,8 +28,13 @@ use std::time::Instant;
 /// Document schema identifier; bump on incompatible layout changes.
 const SCHEMA: &str = "dse-bench-trajectory-v1";
 /// The PR this binary's numbers belong to.
-const PR: i64 = 7;
-const DEFAULT_OUT: &str = "BENCH_007.json";
+const PR: i64 = 8;
+const DEFAULT_OUT: &str = "BENCH_008.json";
+/// The previous PR's document, used for the tracing-off overhead gate.
+const PREV_OUT: &str = "BENCH_007.json";
+/// Tracing compiled in but disabled may cost at most this much relative
+/// to the pre-instrumentation dispatch bench.
+const TRACE_OFF_BUDGET: f64 = 1.02;
 
 fn samples() -> usize {
     std::env::var("DSE_BENCH_SAMPLES")
@@ -275,8 +281,23 @@ fn build_document(benches: &[BenchValue]) -> Json {
     ])
 }
 
+/// Reads one bench value out of a previous trajectory document; `None`
+/// when the file or the bench is absent (first run on a fresh machine).
+fn prev_bench(path: &str, name: &str) -> Option<f64> {
+    let v = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    v.get("benches")?
+        .as_arr()?
+        .iter()
+        .find(|b| b.get("name").and_then(Json::as_str) == Some(name))?
+        .get("value")?
+        .as_f64()
+}
+
 /// Validates a trajectory document: schema string, positive PR number, and
-/// a non-empty benches array of `{name, unit, value}` entries.
+/// a non-empty benches array of `{name, unit, value}` entries. From PR 8
+/// on, the document must carry the tracing-off overhead ratio and it must
+/// be within budget — the observability layer is required to be free while
+/// disabled.
 fn validate(text: &str) -> Result<usize, String> {
     let v = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     let schema = v
@@ -315,6 +336,20 @@ fn validate(text: &str) -> Result<usize, String> {
             return Err(format!("benches[{i}] value is not finite"));
         }
     }
+    if pr >= 8 {
+        let ratio = benches
+            .iter()
+            .find(|b| {
+                b.get("name").and_then(Json::as_str) == Some("dispatch_200_trace_off_overhead")
+            })
+            .and_then(|b| b.get("value").and_then(Json::as_f64))
+            .ok_or("PR >= 8 must record 'dispatch_200_trace_off_overhead'")?;
+        if ratio > TRACE_OFF_BUDGET {
+            return Err(format!(
+                "tracing-off overhead {ratio:.4} exceeds the {TRACE_OFF_BUDGET} budget"
+            ));
+        }
+    }
     Ok(benches.len())
 }
 
@@ -343,7 +378,7 @@ fn main() -> ExitCode {
     let mut benches = Vec::new();
 
     // Allocator churn, 8 contending threads: sharded heap vs first-fit.
-    eprintln!("[1/5] alloc churn ({CHURN_THREADS} threads)...");
+    eprintln!("[1/6] alloc churn ({CHURN_THREADS} threads)...");
     let sharded = median_secs(|| {
         let h = Heap::new(0, ARENA);
         churn_mt(&|seed, ops| {
@@ -372,7 +407,7 @@ fn main() -> ExitCode {
     });
 
     // Back-to-back dispatch latency: persistent pool vs spawn-per-loop.
-    eprintln!("[2/5] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
+    eprintln!("[2/6] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
     let compiled = compile_parallel(DISPATCH_SRC);
     let mut vm_pool = Vm::new(
         compiled.clone(),
@@ -408,7 +443,7 @@ fn main() -> ExitCode {
 
     // Steal imbalance: modeled makespan (ideal-core finish time) of the
     // skewed workload, static / stealing.
-    eprintln!("[3/5] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
+    eprintln!("[3/6] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
     let skew = compile_parallel(SKEW_SRC);
     let steal_span = skew_makespan(&skew, DoallSchedule::Stealing);
     let static_span = skew_makespan(&skew, DoallSchedule::Static);
@@ -425,7 +460,7 @@ fn main() -> ExitCode {
 
     // The dsed daemon: cold vs warm request latency, throughput at 8
     // concurrent clients, and the warm cache-hit ratio.
-    eprintln!("[4/5] daemon latency and throughput ({DAEMON_CLIENTS} clients)...");
+    eprintln!("[4/6] daemon latency and throughput ({DAEMON_CLIENTS} clients)...");
     let cold = daemon_cold_secs();
     let server = std::sync::Arc::new(dse_server::Server::new(&dse_server::ServerConfig::default()));
     // Prime the cache, then measure steady state.
@@ -470,9 +505,65 @@ fn main() -> ExitCode {
         value: hits as f64 / lookups.max(1) as f64,
     });
 
+    // Tracing overhead on the dispatch bench: instruments compiled in but
+    // off (this PR's hot path) vs the pre-instrumentation PR 7 number,
+    // and the cost of actually turning tracing + profiling on.
+    eprintln!("[5/6] tracing overhead (dispatch_200, {NTHREADS} threads)...");
+    let trace_off_ms = pool * 1e3;
+    let compiled = compile_parallel(DISPATCH_SRC);
+    let mut vm_traced = Vm::new(
+        compiled,
+        VmConfig {
+            trace: true,
+            opcode_profile: true,
+            ..vm_config(ExecBackend::Pool, DoallSchedule::Stealing)
+        },
+    )
+    .expect("vm");
+    let trace_on = median_secs(|| {
+        vm_traced.run().expect("run");
+        // Draining is part of the tracing cost.
+        let _ = vm_traced.take_trace();
+    });
+    let prev_pool_ms = prev_bench(PREV_OUT, "dispatch_200_pool_ms").unwrap_or(trace_off_ms);
+    benches.push(BenchValue {
+        name: "dispatch_200_trace_off_ms",
+        unit: "ms",
+        value: trace_off_ms,
+    });
+    benches.push(BenchValue {
+        name: "dispatch_200_trace_on_ms",
+        unit: "ms",
+        value: trace_on * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "dispatch_200_trace_off_overhead",
+        unit: "ratio",
+        value: trace_off_ms / prev_pool_ms,
+    });
+    benches.push(BenchValue {
+        name: "dispatch_200_trace_on_overhead",
+        unit: "ratio",
+        value: trace_on * 1e3 / trace_off_ms,
+    });
+    // Histogram record cost: the daemon calls this on every request.
+    let mut hist = dse_telemetry::LogHistogram::new();
+    let mut rng = Rng::seed_from_u64(0xbe_0008);
+    const HIST_OPS: usize = 1_000_000;
+    let hist_secs = median_secs(|| {
+        for _ in 0..HIST_OPS {
+            hist.record(rng.next_u64() >> 20);
+        }
+    });
+    benches.push(BenchValue {
+        name: "hist_record_ns",
+        unit: "ns",
+        value: hist_secs * 1e9 / HIST_OPS as f64,
+    });
+
     // Figure 11 (simulated): harmonic-mean total speedup on 8 cores over
     // the full workload suite.
-    eprintln!("[5/5] figure speedups (simulated, 8 cores)...");
+    eprintln!("[6/6] figure speedups (simulated, 8 cores)...");
     let rows = dse_bench::fig11_sim(&dse_workloads::all(), Scale::Profile);
     let hmean = dse_bench::harmonic_mean(rows.iter().map(|r| *r.total.last().unwrap()));
     benches.push(BenchValue {

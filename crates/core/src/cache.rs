@@ -76,6 +76,10 @@ pub struct PhaseOutcome {
     pub outcome: CacheOutcome,
     /// Wall time this requester spent obtaining the artifact.
     pub wall: Duration,
+    /// Offset of this phase's start from the store's creation
+    /// ([`ArtifactStore::epoch`]) — places the phase on a trace timeline
+    /// (chrome-trace export of pipeline spans next to runtime events).
+    pub at: Duration,
 }
 
 /// The per-request trace of phase outcomes, appended to by the pipeline.
@@ -162,6 +166,8 @@ pub struct ArtifactStore {
     inner: Mutex<Inner>,
     ready_cv: Condvar,
     capacity: usize,
+    /// Timeline origin for [`PhaseOutcome::at`] offsets.
+    epoch: Instant,
 }
 
 impl ArtifactStore {
@@ -179,7 +185,14 @@ impl ArtifactStore {
             }),
             ready_cv: Condvar::new(),
             capacity: capacity.max(1),
+            epoch: Instant::now(),
         }
+    }
+
+    /// The instant [`PhaseOutcome::at`] offsets are measured from (store
+    /// creation).
+    pub fn epoch(&self) -> Instant {
+        self.epoch
     }
 
     /// A store with the default capacity.
@@ -232,6 +245,7 @@ impl ArtifactStore {
             Vacant,
         }
         let started = Instant::now();
+        let at = started.saturating_duration_since(self.epoch);
         let mut waited = false;
         let mut st = self.inner.lock().unwrap();
         loop {
@@ -260,6 +274,7 @@ impl ArtifactStore {
                         key,
                         outcome,
                         wall: started.elapsed(),
+                        at,
                     });
                     return Ok(v
                         .downcast::<T>()
@@ -300,6 +315,7 @@ impl ArtifactStore {
                                 key,
                                 outcome: CacheOutcome::Miss,
                                 wall: started.elapsed(),
+                                at,
                             });
                             return Ok(v);
                         }
@@ -350,6 +366,7 @@ impl ArtifactStore {
             cache_entries: st.ready_count() as u64,
             cache_capacity: self.capacity as u64,
             phases,
+            ..ServerStats::default()
         }
     }
 }

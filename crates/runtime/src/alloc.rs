@@ -27,10 +27,12 @@
 //! scavenges) is exposed via [`Heap::contention`] and flows into
 //! `RunReport`/`dse-telemetry` metrics.
 
+use crate::tracebuf::{EventKind, TraceEvent, HEAP_TID};
 use std::cell::Cell;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, RwLock};
+use std::time::Instant;
 
 /// Alignment of every heap allocation.
 pub const HEAP_ALIGN: u64 = 16;
@@ -239,6 +241,20 @@ pub struct Heap {
     cache_misses: AtomicU64,
     backend_locks: AtomicU64,
     scavenges: AtomicU64,
+    /// Whether slow-path tracing is armed (checked with one relaxed load
+    /// before touching `trace`, so disabled runs never take the lock).
+    trace_on: AtomicBool,
+    /// Slow-path trace state: refill/scavenge events buffered until the VM
+    /// drains them at run end. Only touched on backend paths that already
+    /// serialize on a lock.
+    trace: Mutex<Option<HeapTraceState>>,
+}
+
+/// Buffered allocator slow-path events (see [`Heap::enable_trace`]).
+#[derive(Debug)]
+struct HeapTraceState {
+    epoch: Instant,
+    events: Vec<TraceEvent>,
 }
 
 impl Heap {
@@ -277,7 +293,49 @@ impl Heap {
             cache_misses: AtomicU64::new(0),
             backend_locks: AtomicU64::new(0),
             scavenges: AtomicU64::new(0),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         }
+    }
+
+    /// Arms slow-path event tracing on the timeline starting at `epoch`
+    /// (the VM's trace-sink epoch, so allocator events line up with the
+    /// rest of the trace).
+    pub fn enable_trace(&self, epoch: Instant) {
+        *self.trace.lock().unwrap() = Some(HeapTraceState {
+            epoch,
+            events: Vec::new(),
+        });
+        self.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Takes every buffered slow-path event (empty when tracing is off).
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        match self.trace.lock().unwrap().as_mut() {
+            Some(st) => std::mem::take(&mut st.events),
+            None => Vec::new(),
+        }
+    }
+
+    /// Start timestamp for a slow-path span, when tracing is armed.
+    fn trace_start(&self) -> Option<Instant> {
+        self.trace_on.load(Ordering::Acquire).then(Instant::now)
+    }
+
+    /// Buffers one slow-path event spanning `t0`..now.
+    fn trace_event(&self, kind: EventKind, t0: Instant, a: u64, b: u64) {
+        let mut g = self.trace.lock().unwrap();
+        let Some(st) = g.as_mut() else { return };
+        let ts_ns = t0.duration_since(st.epoch).as_nanos() as u64;
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        st.events.push(TraceEvent {
+            ts_ns,
+            dur_ns: if kind.is_span() { dur_ns } else { 0 },
+            a,
+            b,
+            tid: HEAP_TID,
+            kind,
+        });
     }
 
     /// Start of the heap region (for address classification).
@@ -351,16 +409,22 @@ impl Heap {
     /// Pulls up to a batch of class-`c` blocks from the backend (bins
     /// first, then a contiguous carve) under one lock acquisition.
     fn refill(&self, c: usize, out: &mut Vec<u64>) {
+        let t0 = self.trace_start();
         self.backend_locks.fetch_add(1, Ordering::Relaxed);
-        let mut bk = self.backend.lock().unwrap();
-        while out.len() < REFILL_BATCH {
-            match bk.bins[c].pop() {
-                Some(b) => out.push(b),
-                None => break,
+        {
+            let mut bk = self.backend.lock().unwrap();
+            while out.len() < REFILL_BATCH {
+                match bk.bins[c].pop() {
+                    Some(b) => out.push(b),
+                    None => break,
+                }
+            }
+            if out.is_empty() {
+                bk.carve_batch(CLASS_SIZES[c], REFILL_BATCH, out);
             }
         }
-        if out.is_empty() {
-            bk.carve_batch(CLASS_SIZES[c], REFILL_BATCH, out);
+        if let Some(t0) = t0 {
+            self.trace_event(EventKind::Refill, t0, c as u64, out.len() as u64);
         }
     }
 
@@ -380,6 +444,7 @@ impl Heap {
     /// Called before declaring out-of-memory so that freed-but-cached
     /// blocks can merge back into large contiguous ranges.
     fn scavenge(&self) {
+        let t0 = self.trace_start();
         self.scavenges.fetch_add(1, Ordering::Relaxed);
         let mut drained: Vec<(u64, u64)> = Vec::new();
         for fs in &self.fronts {
@@ -398,6 +463,10 @@ impl Heap {
         }
         for (b, s) in drained {
             bk.insert_free(b, s);
+        }
+        drop(bk);
+        if let Some(t0) = t0 {
+            self.trace_event(EventKind::Scavenge, t0, 0, 0);
         }
     }
 

@@ -29,11 +29,13 @@
 
 use crate::observer::{NullObserver, Observer};
 use crate::pool::{DoallSchedule, ExecBackend, LoopDispatch, StealQueue};
+use crate::tracebuf::{EventKind, TraceEvent};
 use crate::vm::{Frame, LoopSync, ThreadCtx, Vm, VmError};
 use dse_ir::loops::ParMode;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Marker in abort-induced errors, so a worker's real trap is preferred
 /// over the "I was told to stop" errors of its peers.
@@ -81,6 +83,20 @@ impl Vm {
         }
 
         let n = self.config.nthreads;
+        // Wall time per dynamic loop entry, attributed by the master
+        // (profiling only; `Instant::now` is off the disabled path).
+        let wall_t0 = ctx.prof.is_some().then(Instant::now);
+        if let (Some(sink), true) = (self.trace_sink(), ctx.trace.is_some()) {
+            let ev = TraceEvent {
+                ts_ns: sink.now_ns(),
+                dur_ns: 0,
+                a: id as u64,
+                b: n as u64,
+                tid: ctx.tid,
+                kind: EventKind::Dispatch,
+            };
+            ctx.emit(ev);
+        }
         let queues =
             if mode == ParMode::DoAll && self.config.doall_schedule == DoallSchedule::Stealing {
                 StealQueue::split(lo, hi, n)
@@ -128,10 +144,55 @@ impl Vm {
                 });
             }
         }
+        if let (Some(t0), Some(p)) = (wall_t0, ctx.prof.as_deref_mut()) {
+            let prev = p.enter_loop(id);
+            p.add_wall(t0.elapsed().as_nanos() as u64);
+            p.exit_loop(prev);
+        }
         let first_err = d.err.lock().unwrap().take();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
+        }
+    }
+
+    /// Emits one worker's participation span for a loop (and a trap
+    /// instant if the worker itself trapped — abort-induced bailouts of
+    /// its peers carry the `u32::MAX` sentinel pc and are skipped).
+    fn trace_loop_span(
+        &self,
+        ctx: &mut ThreadCtx,
+        loop_id: u32,
+        t0: Option<u64>,
+        err: Option<&VmError>,
+    ) {
+        let Some(sink) = self.trace_sink() else {
+            return;
+        };
+        let now = sink.now_ns();
+        if let Some(t0) = t0 {
+            let ev = TraceEvent {
+                ts_ns: t0,
+                dur_ns: now.saturating_sub(t0),
+                a: loop_id as u64,
+                b: 0,
+                tid: ctx.tid,
+                kind: EventKind::LoopRun,
+            };
+            ctx.emit(ev);
+        }
+        if let Some(e) = err {
+            if e.pc != u32::MAX {
+                let ev = TraceEvent {
+                    ts_ns: now,
+                    dur_ns: 0,
+                    a: e.pc as u64,
+                    b: loop_id as u64,
+                    tid: ctx.tid,
+                    kind: EventKind::Trap,
+                };
+                ctx.emit(ev);
+            }
         }
     }
 
@@ -157,6 +218,12 @@ impl Vm {
         let was_in_parallel = ctx.in_parallel;
         ctx.in_parallel = true;
         ctx.sync_stack.push((id, Arc::clone(sync)));
+        let prof_prev = ctx.prof.as_deref_mut().map(|p| p.enter_loop(id));
+        let wall_t0 = ctx.prof.is_some().then(Instant::now);
+        let span_t0 = match (self.trace_sink(), &ctx.trace) {
+            (Some(sink), Some(_)) => Some(sink.now_ns()),
+            _ => None,
+        };
         let mut obs = NullObserver;
         let mut result = Ok(());
         for i in lo..hi {
@@ -167,6 +234,9 @@ impl Vm {
             ctx.post_mark = None;
             let r = self.exec_region(ctx, body, &mut obs);
             ctx.iter_stack.pop();
+            if let Some(p) = ctx.prof.as_deref_mut() {
+                p.record_iter(ctx.counters.work - start.work);
+            }
             if record {
                 let end = ctx.counters.work;
                 let wait = ctx.wait_mark.unwrap_or(end).clamp(start.work, end);
@@ -197,6 +267,13 @@ impl Vm {
                 .or_default()
                 .push(costs);
         }
+        if let Some(prev) = prof_prev {
+            let wall = wall_t0.expect("profiling measured wall").elapsed();
+            let p = ctx.prof.as_deref_mut().expect("profiler armed");
+            p.add_wall(wall.as_nanos() as u64);
+            p.exit_loop(prev);
+        }
+        self.trace_loop_span(ctx, id, span_t0, result.as_ref().err());
         ctx.sync_stack.pop();
         ctx.in_parallel = was_in_parallel;
         self.commit_private_copies(ctx);
@@ -208,7 +285,19 @@ impl Vm {
     fn master_share(&self, ctx: &mut ThreadCtx, d: &LoopDispatch) {
         ctx.in_parallel = true;
         ctx.sync_stack.push((d.id, Arc::clone(&d.sync)));
+        let prof_prev = ctx.prof.as_deref_mut().map(|p| p.enter_loop(d.id));
+        let span_t0 = match (self.trace_sink(), &ctx.trace) {
+            (Some(sink), Some(_)) => Some(sink.now_ns()),
+            _ => None,
+        };
         let r = self.worker_loop(ctx, d, 0);
+        if let Some(prev) = prof_prev {
+            ctx.prof
+                .as_deref_mut()
+                .expect("profiler armed")
+                .exit_loop(prev);
+        }
+        self.trace_loop_span(ctx, d.id, span_t0, r.as_ref().err());
         ctx.sync_stack.pop();
         ctx.in_parallel = false;
         self.commit_private_copies(ctx);
@@ -222,11 +311,27 @@ impl Vm {
     /// counters to the lock-free per-worker slot.
     fn worker_share(&self, wctx: &mut ThreadCtx, d: &LoopDispatch, wid: u32) {
         wctx.reset_for_dispatch(d.frame_base);
+        self.arm_instruments(wctx);
         wctx.sync_stack.push((d.id, Arc::clone(&d.sync)));
+        let prof_prev = wctx.prof.as_deref_mut().map(|p| p.enter_loop(d.id));
+        let span_t0 = match (self.trace_sink(), &wctx.trace) {
+            (Some(sink), Some(_)) => Some(sink.now_ns()),
+            _ => None,
+        };
         let r = self.worker_loop(wctx, d, wid);
+        if let Some(prev) = prof_prev {
+            wctx.prof
+                .as_deref_mut()
+                .expect("profiler armed")
+                .exit_loop(prev);
+        }
+        self.trace_loop_span(wctx, d.id, span_t0, r.as_ref().err());
         wctx.sync_stack.pop();
         self.commit_private_copies(wctx);
         self.flush_worker_counters(wid, wctx);
+        // Ring drain and profile merge ride the same once-per-dispatch
+        // boundary as the counter flush.
+        self.drain_instruments(wctx);
         if let Err(e) = r {
             record_error(&d.err, e);
         }
@@ -271,8 +376,12 @@ impl Vm {
                 return Err(VmError::new(u32::MAX as usize, ABORTED));
             }
             ctx.iter_stack.push(i);
+            let w0 = ctx.counters.work;
             let step = self.exec_region(ctx, d.body, &mut obs);
             ctx.iter_stack.pop();
+            if let Some(p) = ctx.prof.as_deref_mut() {
+                p.record_iter(ctx.counters.work - w0);
+            }
             step?;
         }
         Ok(())
@@ -297,10 +406,22 @@ impl Vm {
             }
             let mut stole = false;
             for off in 1..nq {
-                let victim = &d.queues[(wid as usize + off) % nq];
+                let victim_idx = (wid as usize + off) % nq;
+                let victim = &d.queues[victim_idx];
                 if let Some((s, e)) = victim.steal_half() {
                     if let Some(pool) = self.pool() {
                         pool.counters.steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let (Some(sink), true) = (self.trace_sink(), ctx.trace.is_some()) {
+                        let ev = TraceEvent {
+                            ts_ns: sink.now_ns(),
+                            dur_ns: 0,
+                            a: d.id as u64,
+                            b: victim_idx as u64,
+                            tid: ctx.tid,
+                            kind: EventKind::Steal,
+                        };
+                        ctx.emit(ev);
                     }
                     own.install(s, e);
                     stole = true;
@@ -338,11 +459,15 @@ impl Vm {
             }
             ctx.iter_stack.push(i);
             ctx.posted = false;
+            let w0 = ctx.counters.work;
             let step = self.exec_region(ctx, d.body, &mut obs);
             if step.is_ok() {
                 self.post_iteration(ctx, &d.sync, i);
             }
             ctx.iter_stack.pop();
+            if let Some(p) = ctx.prof.as_deref_mut() {
+                p.record_iter(ctx.counters.work - w0);
+            }
             step?;
         }
     }

@@ -25,6 +25,12 @@
 //!   access, commit at loop end.
 //! * [`observer`] — hooks the dependence profiler uses to watch serial
 //!   runs.
+//! * [`tracebuf`] — always-compiled-in, off-by-default event tracing:
+//!   per-worker ring buffers of fixed-size binary events (dispatch,
+//!   steal, park/wake, loop spans, DOACROSS wait/post, allocator slow
+//!   paths), drained into one sink at dispatch end.
+//! * [`prof`] — the attributing opcode profiler: retired instructions per
+//!   (loop id, opcode class) and per-iteration cost histograms.
 //!
 //! ```
 //! use dse_runtime::{Vm, VmConfig};
@@ -45,12 +51,16 @@ pub mod mem;
 pub mod observer;
 pub mod pool;
 pub mod privatize;
+pub mod prof;
 pub mod taskpool;
+pub mod tracebuf;
 pub mod vm;
 
 pub use alloc::{Allocation, Heap, HeapContention};
 pub use mem::{FirstFitHeap, SharedMem};
 pub use observer::{NullObserver, Observer};
 pub use pool::{DoallSchedule, ExecBackend, PoolStats};
+pub use prof::{class_of, LoopProfile, OpClass, Pow2Hist, CLASS_NAMES, NCLASS, SERIAL_LOOP};
 pub use taskpool::{TaskPool, TaskPoolStats};
+pub use tracebuf::{EventBuf, EventKind, TraceEvent, TraceSink, HEAP_TID};
 pub use vm::{Counters, RunReport, ThreadCtx, Value, Vm, VmConfig, VmError};

@@ -30,6 +30,7 @@
 //! Dispatch/steal/park/wakeup counts are recorded in [`PoolStats`] and
 //! flow into `RunReport` → `dse-telemetry` → `dsec --metrics`.
 
+use crate::tracebuf::{EventKind, TraceEvent};
 use crate::vm::{LoopSync, ThreadCtx, VmError};
 use dse_ir::loops::ParMode;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -323,6 +324,12 @@ pub(crate) fn worker_entry(vm: &crate::vm::Vm, wid: u32, mut seen_epoch: u64) {
     let pool = vm.pool().expect("worker_entry without a pool");
     pool.counters.spawned.fetch_add(1, Ordering::Relaxed);
     loop {
+        // Park/wake tracing pushes straight to the shared sink: this is
+        // the idle path (the worker is blocked either side of it), and the
+        // worker's ring lives inside its context, which is locked only
+        // while executing a dispatch.
+        let sink = vm.trace_sink();
+        let mut park_t0 = None;
         let job = {
             let mut st = pool.state.lock().unwrap();
             loop {
@@ -333,12 +340,36 @@ pub(crate) fn worker_entry(vm: &crate::vm::Vm, wid: u32, mut seen_epoch: u64) {
                     break;
                 }
                 pool.counters.parks.fetch_add(1, Ordering::Relaxed);
+                if let (Some(sink), None) = (sink, park_t0) {
+                    park_t0 = Some(sink.now_ns());
+                }
                 st = pool.work_cv.wait(st).unwrap();
             }
             seen_epoch = st.epoch;
             Arc::clone(st.job.as_ref().expect("job published with its epoch"))
         };
         pool.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = sink {
+            let now = sink.now_ns();
+            if let Some(t0) = park_t0 {
+                sink.push(TraceEvent {
+                    ts_ns: t0,
+                    dur_ns: now.saturating_sub(t0),
+                    a: 0,
+                    b: 0,
+                    tid: wid,
+                    kind: EventKind::Park,
+                });
+            }
+            sink.push(TraceEvent {
+                ts_ns: now,
+                dur_ns: 0,
+                a: job.id as u64,
+                b: 0,
+                tid: wid,
+                kind: EventKind::Wake,
+            });
+        }
         vm.run_dispatch_worker(wid, &job);
         let mut st = pool.state.lock().unwrap();
         st.remaining -= 1;

@@ -23,6 +23,7 @@ struct Queue {
     closed: bool,
     submitted: u64,
     completed: u64,
+    queued_peak: u64,
 }
 
 struct Shared {
@@ -39,6 +40,11 @@ pub struct TaskPoolStats {
     pub submitted: u64,
     /// Tasks that finished running (panicked tasks count too).
     pub completed: u64,
+    /// Tasks waiting in the queue right now.
+    pub queued: u64,
+    /// High-water mark of the queue depth (tasks that had to wait behind
+    /// a busy pool — the daemon's saturation signal).
+    pub queued_peak: u64,
 }
 
 /// A fixed-size pool of worker threads executing boxed closures in FIFO
@@ -60,6 +66,7 @@ impl TaskPool {
                 closed: false,
                 submitted: 0,
                 completed: 0,
+                queued_peak: 0,
             }),
             available: Condvar::new(),
         });
@@ -85,6 +92,7 @@ impl TaskPool {
         assert!(!q.closed, "submit on a closed TaskPool");
         q.submitted += 1;
         q.tasks.push_back(Box::new(task));
+        q.queued_peak = q.queued_peak.max(q.tasks.len() as u64);
         drop(q);
         self.shared.available.notify_one();
     }
@@ -96,6 +104,8 @@ impl TaskPool {
             workers: self.workers.len() as u64,
             submitted: q.submitted,
             completed: q.completed,
+            queued: q.tasks.len() as u64,
+            queued_peak: q.queued_peak,
         }
     }
 
@@ -162,6 +172,30 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 5050);
         let s = pool.stats();
         assert_eq!((s.workers, s.submitted, s.completed), (4, 100, 100));
+        assert_eq!(s.queued, 0);
+    }
+
+    #[test]
+    fn queue_depth_peak_tracks_backlog() {
+        // One worker held busy while more tasks queue behind it.
+        let pool = TaskPool::new(1);
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let gate = Arc::new(Mutex::new(rx));
+        let g = Arc::clone(&gate);
+        pool.submit(move || {
+            let _ = g.lock().unwrap().recv();
+        });
+        for _ in 0..5 {
+            pool.submit(|| {});
+        }
+        // The blocker may or may not have been picked up yet, but the five
+        // followers are all waiting.
+        assert!(pool.stats().queued_peak >= 5);
+        tx.send(()).unwrap();
+        pool.wait_idle();
+        let s = pool.stats();
+        assert_eq!((s.submitted, s.completed, s.queued), (6, 6, 0));
+        assert!(s.queued_peak >= 5);
     }
 
     #[test]

@@ -10,6 +10,8 @@ use crate::mem::{sign_extend, Heap, SharedMem};
 use crate::observer::Observer;
 use crate::pool::{DoallSchedule, ExecBackend, PoolState, PoolStats};
 use crate::privatize::PrivCopy;
+use crate::prof::{class_of, LoopProf, LoopProfile, ProfState};
+use crate::tracebuf::{EventBuf, EventKind, TraceEvent, TraceSink};
 use dse_ir::bytecode::*;
 use dse_ir::sites::{AccessKind, NO_SITE};
 use std::collections::HashMap;
@@ -184,6 +186,17 @@ pub struct VmConfig {
     /// DOALL iteration division: work stealing (default) or the static
     /// one-chunk-per-worker split (the imbalance baseline).
     pub doall_schedule: DoallSchedule,
+    /// Record runtime trace events (dispatch/steal/park/wake, loop spans,
+    /// DOACROSS wait/post, allocator slow paths) into per-worker ring
+    /// buffers. Always compiled in, off by default; see
+    /// [`crate::tracebuf`].
+    pub trace: bool,
+    /// Capacity of each worker's trace ring (events). A full ring
+    /// overwrites its oldest event and counts the drop.
+    pub trace_capacity: usize,
+    /// Attribute every retired instruction to (loop id, opcode class) and
+    /// record per-iteration cost histograms; see [`crate::prof`].
+    pub opcode_profile: bool,
 }
 
 impl Default for VmConfig {
@@ -199,6 +212,9 @@ impl Default for VmConfig {
             record_iteration_costs: false,
             exec_backend: ExecBackend::Pool,
             doall_schedule: DoallSchedule::Stealing,
+            trace: false,
+            trace_capacity: 8192,
+            opcode_profile: false,
         }
     }
 }
@@ -286,6 +302,11 @@ pub struct ThreadCtx {
     pub(crate) priv_map: HashMap<u64, PrivCopy>,
     /// This thread's cost counters.
     pub counters: Counters,
+    /// Trace event ring (present iff tracing is on for this run).
+    pub(crate) trace: Option<EventBuf>,
+    /// Opcode profiler state (present iff profiling is on). Boxed so the
+    /// common disabled case is one null check on the dispatch path.
+    pub(crate) prof: Option<Box<ProfState>>,
 }
 
 impl ThreadCtx {
@@ -306,6 +327,16 @@ impl ThreadCtx {
             in_parallel: false,
             priv_map: HashMap::new(),
             counters: Counters::default(),
+            trace: None,
+            prof: None,
+        }
+    }
+
+    /// Records a trace event if tracing is enabled on this context.
+    #[inline]
+    pub(crate) fn emit(&mut self, ev: TraceEvent) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.push(ev);
         }
     }
 
@@ -392,6 +423,12 @@ pub struct Vm {
     /// Per loop id: one cost vector per dynamic loop entry (recorded when
     /// [`VmConfig::record_iteration_costs`] is set).
     pub(crate) iter_trace: Mutex<HashMap<u32, Vec<Vec<IterCost>>>>,
+    /// Trace event sink (present iff [`VmConfig::trace`]); workers drain
+    /// their rings here once per dispatch.
+    trace: Option<TraceSink>,
+    /// Merged opcode profiles (present iff [`VmConfig::opcode_profile`]);
+    /// threads flush their local maps here once per dispatch.
+    prof: Option<Mutex<HashMap<u32, LoopProf>>>,
 }
 
 impl Vm {
@@ -427,6 +464,11 @@ impl Vm {
         let nthreads = config.nthreads as usize;
         let pool = (config.nthreads > 1 && config.exec_backend == ExecBackend::Pool)
             .then(|| PoolState::new(config.nthreads, stacks_base, config.stack_bytes));
+        let trace = config.trace.then(TraceSink::new);
+        if let Some(sink) = &trace {
+            heap.enable_trace(sink.epoch());
+        }
+        let prof = config.opcode_profile.then(|| Mutex::new(HashMap::new()));
         Ok(Vm {
             program,
             config,
@@ -439,12 +481,49 @@ impl Vm {
             per_thread: (0..nthreads).map(|_| AtomicCounters::default()).collect(),
             pool,
             iter_trace: Mutex::new(HashMap::new()),
+            trace,
+            prof,
         })
     }
 
     /// The executor pool state, when this run is pool-backed.
     pub(crate) fn pool(&self) -> Option<&PoolState> {
         self.pool.as_ref()
+    }
+
+    /// The trace sink, when tracing is enabled.
+    pub(crate) fn trace_sink(&self) -> Option<&TraceSink> {
+        self.trace.as_ref()
+    }
+
+    /// The instant trace timestamps are measured from (`Vm::new`), when
+    /// tracing is enabled — lets drivers align the runtime trace with
+    /// spans measured on other epochs (e.g. pipeline phases).
+    pub fn trace_epoch(&self) -> Option<std::time::Instant> {
+        self.trace.as_ref().map(TraceSink::epoch)
+    }
+
+    /// Gives `ctx` its trace ring and profiler state if the respective
+    /// flags are on and it does not have them yet (contexts are created in
+    /// several places that do not see the config).
+    pub(crate) fn arm_instruments(&self, ctx: &mut ThreadCtx) {
+        if self.trace.is_some() && ctx.trace.is_none() {
+            ctx.trace = Some(EventBuf::new(self.config.trace_capacity));
+        }
+        if self.prof.is_some() && ctx.prof.is_none() {
+            ctx.prof = Some(Box::new(ProfState::new()));
+        }
+    }
+
+    /// Drains `ctx`'s trace ring into the sink and its profile map into
+    /// the merged map — once per dispatch, next to the counter flush.
+    pub(crate) fn drain_instruments(&self, ctx: &mut ThreadCtx) {
+        if let (Some(sink), Some(buf)) = (&self.trace, ctx.trace.as_mut()) {
+            sink.absorb(buf);
+        }
+        if let (Some(map), Some(p)) = (&self.prof, ctx.prof.as_deref_mut()) {
+            p.flush_into(&mut map.lock().unwrap());
+        }
     }
 
     /// Adds a worker's dispatch-local counter deltas into its lock-free
@@ -496,6 +575,7 @@ impl Vm {
         // magazine cache stays hot across every loop of the run.
         crate::alloc::pin_front_shard(0);
         let mut ctx = ThreadCtx::new(0, self.stack_base_of(0), self.config.stack_bytes);
+        self.arm_instruments(&mut ctx);
         let main = self.program.main;
         let entry = self.program.func(main).entry;
         let fsize = self.program.func(main).frame_size as u64;
@@ -525,7 +605,16 @@ impl Vm {
                 })
             }
             None => this.exec(&mut ctx, entry, obs),
-        }?;
+        };
+        // Drain the master's instruments (and the allocator's slow-path
+        // events) even when the run trapped, so partial traces survive.
+        self.drain_instruments(&mut ctx);
+        if let Some(sink) = &self.trace {
+            for ev in self.heap.take_trace() {
+                sink.push(ev);
+            }
+        }
+        let ret = ret?;
         let mut per_thread: Vec<Counters> = self
             .per_thread
             .iter()
@@ -551,6 +640,44 @@ impl Vm {
     /// one vector of iteration costs per dynamic entry of the loop.
     pub fn iteration_costs(&self) -> HashMap<u32, Vec<Vec<IterCost>>> {
         self.iter_trace.lock().unwrap().clone()
+    }
+
+    /// Takes the run's trace: events sorted by start time, plus the total
+    /// count of events lost to ring overwrites. Empty when
+    /// [`VmConfig::trace`] was off. Call after [`Vm::run`].
+    pub fn take_trace(&self) -> (Vec<TraceEvent>, u64) {
+        match &self.trace {
+            Some(sink) => sink.take(),
+            None => (Vec::new(), 0),
+        }
+    }
+
+    /// The merged opcode profile, hottest loop (by wall time, then by
+    /// retired instructions) first. Empty when
+    /// [`VmConfig::opcode_profile`] was off. Call after [`Vm::run`].
+    pub fn opcode_profile(&self) -> Vec<LoopProfile> {
+        let Some(map) = &self.prof else {
+            return Vec::new();
+        };
+        let map = map.lock().unwrap();
+        let mut out: Vec<LoopProfile> = map
+            .iter()
+            .map(|(&loop_id, p)| LoopProfile {
+                loop_id,
+                wall_ns: p.wall_ns,
+                iters: p.iters,
+                class_counts: p.class_counts,
+                iter_hist: p.iter_hist.clone(),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (b.wall_ns, b.total_instructions(), a.loop_id).cmp(&(
+                a.wall_ns,
+                a.total_instructions(),
+                b.loop_id,
+            ))
+        });
+        out
     }
 
     /// Integer outputs produced via `out_long`.
@@ -612,6 +739,11 @@ impl Vm {
                 trap!("instruction budget exceeded");
             }
             let instr = code[pc];
+            // Attributing profiler: one null check when disabled, one
+            // array increment on thread-local state when enabled.
+            if let Some(p) = ctx.prof.as_deref_mut() {
+                p.tick(class_of(&instr));
+            }
             match instr {
                 Instr::PushI(v) => {
                     ctx.ops.push(Value::I(v));
@@ -928,9 +1060,14 @@ impl Vm {
                         Some(&i) => i,
                         None => trap!("Wait outside iteration"),
                     };
-                    let sync = match ctx.sync_stack.last() {
-                        Some((_, s)) => Arc::clone(s),
+                    let (loop_id, sync) = match ctx.sync_stack.last() {
+                        Some((id, s)) => (*id, Arc::clone(s)),
                         None => trap!("Wait outside parallel loop"),
+                    };
+                    // Trace the whole wait as one span (not per spin).
+                    let t0 = match (&self.trace, &ctx.trace) {
+                        (Some(sink), Some(_)) => Some(sink.now_ns()),
+                        _ => None,
                     };
                     let mut backoff = Backoff::new();
                     while sync.done.load(std::sync::atomic::Ordering::Acquire) < my {
@@ -938,6 +1075,17 @@ impl Vm {
                             trap!("aborted while waiting (another worker trapped)");
                         }
                         backoff.step(&mut ctx.counters);
+                    }
+                    if let (Some(t0), Some(sink)) = (t0, &self.trace) {
+                        let ev = TraceEvent {
+                            ts_ns: t0,
+                            dur_ns: sink.now_ns().saturating_sub(t0),
+                            a: loop_id as u64,
+                            b: my as u64,
+                            tid: ctx.tid,
+                            kind: EventKind::WaitSpan,
+                        };
+                        ctx.emit(ev);
                     }
                     pc += 1;
                 }
@@ -950,11 +1098,22 @@ impl Vm {
                         Some(&i) => i,
                         None => trap!("Post outside iteration"),
                     };
-                    let sync = match ctx.sync_stack.last() {
-                        Some((_, s)) => Arc::clone(s),
+                    let (loop_id, sync) = match ctx.sync_stack.last() {
+                        Some((id, s)) => (*id, Arc::clone(s)),
                         None => trap!("Post outside parallel loop"),
                     };
                     self.post_iteration(ctx, &sync, my);
+                    if let (Some(sink), true) = (&self.trace, ctx.trace.is_some()) {
+                        let ev = TraceEvent {
+                            ts_ns: sink.now_ns(),
+                            dur_ns: 0,
+                            a: loop_id as u64,
+                            b: my as u64,
+                            tid: ctx.tid,
+                            kind: EventKind::Post,
+                        };
+                        ctx.emit(ev);
+                    }
                     pc += 1;
                 }
                 Instr::Localize { site: _ } => {

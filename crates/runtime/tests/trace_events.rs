@@ -1,0 +1,224 @@
+//! Integration tests for the runtime tracing and profiling instruments:
+//! event capture across DOALL and DOACROSS dispatches, ring overflow
+//! accounting under a tiny capacity, the off-by-default contract, and the
+//! attributing opcode profiler.
+
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::loops::ParMode;
+use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
+use dse_runtime::{EventKind, Value, Vm, VmConfig, HEAP_TID, SERIAL_LOOP};
+
+/// Compiles `src` with every candidate loop parallelized in `mode`.
+fn compile_parallel(src: &str, mode: ParMode) -> CompiledProgram {
+    let ast = dse_lang::compile_to_ast(src).expect("frontend");
+    let cands = dse_ir::loops::find_candidate_loops(&ast).expect("candidates");
+    let mut opts = LowerOptions {
+        mode: LowerMode::Parallel,
+        ..Default::default()
+    };
+    for c in &cands {
+        opts.par.insert(
+            c.label.clone(),
+            ParLoopSpec {
+                mode,
+                sync_window: (mode == ParMode::DoAcross).then_some((0, 0)),
+            },
+        );
+    }
+    dse_ir::lower_program(&ast, &opts).expect("lowering")
+}
+
+fn src(iters: i64) -> String {
+    format!(
+        "int main() {{
+            int *a; a = malloc({n} * sizeof(int));
+            #pragma candidate work
+            for (int i = 0; i < {n}; i++) {{ a[i] = a[i] + i; }}
+            int s; s = 0;
+            for (int i = 0; i < {n}; i++) {{ s += a[i]; }}
+            free(a);
+            return s % 1000; }}",
+        n = iters
+    )
+}
+
+/// A traced DOALL run captures the dispatch, per-worker loop spans and
+/// pool lifecycle events, all with sane payloads: timestamps sorted,
+/// worker ids within the pool (or the allocator pseudo-id), loop ids
+/// pointing into the compiled program.
+#[test]
+fn doall_trace_captures_dispatch_and_loop_spans() {
+    let compiled = compile_parallel(&src(200), ParMode::DoAll);
+    let nloops = compiled.loops.len();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            trace: true,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
+    vm.run().expect("run");
+    let (events, dropped) = vm.take_trace();
+    assert_eq!(dropped, 0, "default capacity never overflows this workload");
+    assert!(!events.is_empty());
+
+    let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+    assert!(count(EventKind::Dispatch) >= 1, "the loop was dispatched");
+    assert!(
+        count(EventKind::LoopRun) >= 1,
+        "at least the master recorded a loop span"
+    );
+    assert!(count(EventKind::Park) >= 1, "workers park before dispatch");
+
+    for w in events.windows(2) {
+        assert!(w[0].ts_ns <= w[1].ts_ns, "take_trace sorts by start time");
+    }
+    for e in &events {
+        assert!(e.tid < 4 || e.tid == HEAP_TID, "worker id in range: {e:?}");
+        if matches!(e.kind, EventKind::Dispatch | EventKind::LoopRun) {
+            assert!(
+                (e.a as usize) < nloops,
+                "loop id points into the program: {e:?}"
+            );
+        }
+        if !e.kind.is_span() {
+            assert_eq!(e.dur_ns, 0, "instant events carry no duration: {e:?}");
+        }
+    }
+}
+
+/// A traced DOACROSS run records the cross-iteration ordering traffic:
+/// every iteration past the first posts, and waits pair with posts on the
+/// same loop.
+#[test]
+fn doacross_trace_records_wait_and_post() {
+    let chain = "int main() {
+        int *a; a = malloc(128 * sizeof(int));
+        a[0] = 1;
+        #pragma candidate chain
+        for (int i = 1; i < 128; i++) { a[i] = a[i - 1] + 1; }
+        int last; last = a[127];
+        free(a);
+        return last; }";
+    let compiled = compile_parallel(chain, ParMode::DoAcross);
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            trace: true,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
+    let report = vm.run().expect("run");
+    assert_eq!(report.return_value, Some(Value::I(128)));
+    let (events, _) = vm.take_trace();
+    let posts: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Post)
+        .collect();
+    assert_eq!(posts.len(), 127, "one post per iteration in 1..128");
+    let waits = events
+        .iter()
+        .filter(|e| e.kind == EventKind::WaitSpan)
+        .count();
+    assert!(waits >= 1, "the ordered chain forces at least one wait");
+    for p in &posts {
+        assert!(p.b >= 1 && p.b < 128, "posted iteration in range: {p:?}");
+    }
+}
+
+/// With a tiny per-worker ring, a post-heavy DOACROSS loop overflows:
+/// `take_trace` reports the overwrites and the surviving events are the
+/// most recent window, still time-sorted.
+#[test]
+fn tiny_ring_reports_overflow_drops() {
+    let chain = "int main() {
+        int *a; a = malloc(256 * sizeof(int));
+        a[0] = 1;
+        #pragma candidate chain
+        for (int i = 1; i < 256; i++) { a[i] = a[i - 1] + 1; }
+        int last; last = a[255];
+        free(a);
+        return last; }";
+    let compiled = compile_parallel(chain, ParMode::DoAcross);
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 2,
+            trace: true,
+            trace_capacity: 4,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
+    vm.run().expect("run");
+    let (events, dropped) = vm.take_trace();
+    assert!(
+        dropped > 0,
+        "255 ordered iterations through 4-slot rings must overwrite"
+    );
+    assert!(!events.is_empty(), "the most recent window survives");
+    for w in events.windows(2) {
+        assert!(w[0].ts_ns <= w[1].ts_ns);
+    }
+}
+
+/// Tracing and profiling are off by default: the same workload yields an
+/// empty trace and an empty profile, and a second traced `run` on one VM
+/// starts from a drained sink.
+#[test]
+fn instruments_are_off_by_default() {
+    let compiled = compile_parallel(&src(64), ParMode::DoAll);
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
+    vm.run().expect("run");
+    let (events, dropped) = vm.take_trace();
+    assert!(events.is_empty());
+    assert_eq!(dropped, 0);
+    assert!(vm.opcode_profile().is_empty());
+}
+
+/// The opcode profiler attributes the hot loop's instructions to its loop
+/// id with a per-iteration cost histogram covering every iteration.
+#[test]
+fn opcode_profile_attributes_hot_loop() {
+    let compiled = compile_parallel(&src(200), ParMode::DoAll);
+    let nloops = compiled.loops.len();
+    let mut vm = Vm::new(
+        compiled,
+        VmConfig {
+            nthreads: 4,
+            opcode_profile: true,
+            ..Default::default()
+        },
+    )
+    .expect("vm");
+    vm.run().expect("run");
+    let profiles = vm.opcode_profile();
+    assert!(!profiles.is_empty());
+    let work = profiles
+        .iter()
+        .find(|p| p.loop_id != SERIAL_LOOP && (p.loop_id as usize) < nloops)
+        .expect("the parallel loop appears in the profile");
+    assert!(work.total_instructions() > 0);
+    assert_eq!(
+        work.iter_hist.count(),
+        200,
+        "one histogram sample per iteration"
+    );
+    assert!(work.iter_hist.percentile(0.5) > 0);
+    let serial = profiles
+        .iter()
+        .find(|p| p.loop_id == SERIAL_LOOP)
+        .expect("straight-line code is attributed to the serial bucket");
+    assert!(serial.total_instructions() > 0);
+}

@@ -16,12 +16,18 @@
 //!   concurrency is a fixed pool of worker threads, orthogonal to the
 //!   per-`Vm` loop pool a `run` request spins up internally.
 //! * **Shared telemetry.** Each response carries its per-phase cache
-//!   outcomes; `--telemetry` streams one JSONL line per request, and the
-//!   `stats` command (or the end-of-batch summary) reports the cumulative
-//!   [`dse_telemetry::ServerStats`].
+//!   outcomes; `--telemetry` streams one JSONL line per request (through
+//!   a size-capped [`rotate::RotatingWriter`], so an always-on daemon's
+//!   log stays bounded), and the `stats` command (or the end-of-batch
+//!   summary) reports the cumulative [`dse_telemetry::ServerStats`] —
+//!   including end-to-end, queue-wait and per-phase latency histograms.
+//!   The `metrics` command and `--metrics-addr` serve the same numbers as
+//!   a Prometheus-style text exposition.
 
 pub mod protocol;
+pub mod rotate;
 pub mod server;
 
 pub use protocol::{Cmd, PhaseLine, Request, Response};
+pub use rotate::RotatingWriter;
 pub use server::{Server, ServerConfig};

@@ -32,6 +32,9 @@ pub enum Cmd {
     Check,
     /// Report cumulative [`ServerStats`].
     Stats,
+    /// Report the Prometheus-style text exposition (counters, gauges and
+    /// latency summaries) in the response's `metrics` field.
+    Metrics,
     /// Stop accepting requests and shut the daemon down.
     Shutdown,
 }
@@ -44,6 +47,7 @@ impl Cmd {
             Cmd::Compile => "compile",
             Cmd::Check => "check",
             Cmd::Stats => "stats",
+            Cmd::Metrics => "metrics",
             Cmd::Shutdown => "shutdown",
         }
     }
@@ -55,6 +59,7 @@ impl Cmd {
             "compile" => Some(Cmd::Compile),
             "check" => Some(Cmd::Check),
             "stats" => Some(Cmd::Stats),
+            "metrics" => Some(Cmd::Metrics),
             "shutdown" => Some(Cmd::Shutdown),
             _ => None,
         }
@@ -232,6 +237,8 @@ pub struct Response {
     pub phases: Vec<PhaseLine>,
     /// Cumulative stats (`stats` command only).
     pub stats: Option<ServerStats>,
+    /// Prometheus-style text exposition (`metrics` command only).
+    pub metrics: Option<String>,
 }
 
 impl Response {
@@ -298,6 +305,13 @@ impl Response {
                     None => Json::Null,
                 },
             ),
+            (
+                "metrics",
+                match &self.metrics {
+                    Some(m) => Json::Str(m.clone()),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -343,6 +357,11 @@ impl Response {
         if let Some(s) = j.get("stats").filter(|s| !matches!(s, Json::Null)) {
             r.stats = Some(server_from_json(s).map_err(|e| e.to_string())?);
         }
+        r.metrics = j
+            .get("metrics")
+            .filter(|m| !matches!(m, Json::Null))
+            .and_then(Json::as_str)
+            .map(str::to_string);
         Ok(r)
     }
 }
@@ -425,6 +444,7 @@ mod tests {
                 ns: 123,
             }],
             stats: None,
+            metrics: None,
         };
         let back = Response::from_json(&r.to_json()).unwrap();
         assert_eq!(back.id, "7");

@@ -1,0 +1,164 @@
+//! Size-capped rotation for the daemon's per-request telemetry JSONL.
+//!
+//! An always-on daemon appending one line per request grows its telemetry
+//! file without bound. [`RotatingWriter`] caps it: once the active file
+//! would exceed `max_bytes`, it is renamed to `<path>.1` (shifting
+//! `<path>.1` → `<path>.2` and so on) and a fresh file is started. Only
+//! the newest `keep` rotated files are retained; the oldest is deleted.
+//! Total disk use is therefore bounded by roughly
+//! `(keep + 1) * max_bytes` plus one line of slack.
+//!
+//! Rotation happens on line boundaries (each `write` call is assumed to
+//! be one JSONL line, which is how the server's telemetry sink writes),
+//! so no file ever ends mid-record.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// A [`Write`] implementation over `<path>` that rotates by size.
+pub struct RotatingWriter {
+    path: PathBuf,
+    file: File,
+    written: u64,
+    max_bytes: u64,
+    keep: usize,
+}
+
+impl RotatingWriter {
+    /// Opens `<path>` for appending (created if absent), rotating once the
+    /// file exceeds `max_bytes` and keeping the newest `keep` rotated
+    /// files. `max_bytes` below 1 KiB is clamped up so a single long line
+    /// cannot force a rotation per write; `keep` 0 means rotated files are
+    /// deleted immediately (only the active file survives).
+    pub fn open(
+        path: impl Into<PathBuf>,
+        max_bytes: u64,
+        keep: usize,
+    ) -> io::Result<RotatingWriter> {
+        let path = path.into();
+        let file = File::options().create(true).append(true).open(&path)?;
+        let written = file.metadata()?.len();
+        Ok(RotatingWriter {
+            path,
+            file,
+            written,
+            max_bytes: max_bytes.max(1024),
+            keep,
+        })
+    }
+
+    /// Bytes written to the active file so far (resets on rotation).
+    pub fn active_len(&self) -> u64 {
+        self.written
+    }
+
+    fn rotated_name(&self, n: usize) -> PathBuf {
+        let mut name = self.path.as_os_str().to_os_string();
+        name.push(format!(".{n}"));
+        PathBuf::from(name)
+    }
+
+    /// Shifts `<path>.i` → `<path>.(i+1)`, drops the oldest, renames the
+    /// active file to `<path>.1`, and reopens a fresh active file.
+    fn rotate(&mut self) -> io::Result<()> {
+        self.file.flush()?;
+        if self.keep == 0 {
+            let _ = std::fs::remove_file(&self.path);
+        } else {
+            let _ = std::fs::remove_file(self.rotated_name(self.keep));
+            for n in (1..self.keep).rev() {
+                let _ = std::fs::rename(self.rotated_name(n), self.rotated_name(n + 1));
+            }
+            std::fs::rename(&self.path, self.rotated_name(1))?;
+        }
+        self.file = File::options().create(true).append(true).open(&self.path)?;
+        self.written = 0;
+        Ok(())
+    }
+}
+
+impl Write for RotatingWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // Rotate *before* the write that would overflow, so the active
+        // file stays under the cap except when one line alone exceeds it.
+        if self.written > 0 && self.written + buf.len() as u64 > self.max_bytes {
+            self.rotate()?;
+        }
+        let n = self.file.write(buf)?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dse-rotate-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn rotates_on_line_boundaries_and_keeps_n() {
+        let dir = tmpdir("keep");
+        let path = dir.join("telemetry.jsonl");
+        let mut w = RotatingWriter::open(&path, 1024, 2).unwrap();
+        let line = format!("{{\"x\":\"{}\"}}\n", "y".repeat(400));
+        for _ in 0..10 {
+            w.write_all(line.as_bytes()).unwrap();
+        }
+        w.flush().unwrap();
+        // 2 lines fit under 1024; 10 lines = 5 files, but only the active
+        // one plus 2 rotations survive.
+        assert!(path.exists());
+        assert!(dir.join("telemetry.jsonl.1").exists());
+        assert!(dir.join("telemetry.jsonl.2").exists());
+        assert!(!dir.join("telemetry.jsonl.3").exists());
+        // Every surviving file ends on a line boundary and stays capped.
+        for name in ["telemetry.jsonl", "telemetry.jsonl.1", "telemetry.jsonl.2"] {
+            let text = std::fs::read_to_string(dir.join(name)).unwrap();
+            assert!(text.ends_with('\n'), "{name} ends mid-record");
+            assert!(text.len() as u64 <= 1024, "{name} exceeds the cap");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_to_existing_file_across_reopens() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("t.jsonl");
+        {
+            let mut w = RotatingWriter::open(&path, 4096, 1).unwrap();
+            w.write_all(b"{\"a\":1}\n").unwrap();
+        }
+        let mut w = RotatingWriter::open(&path, 4096, 1).unwrap();
+        assert_eq!(w.active_len(), 8);
+        w.write_all(b"{\"b\":2}\n").unwrap();
+        w.flush().unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap().lines().count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keep_zero_discards_rotated_files() {
+        let dir = tmpdir("zero");
+        let path = dir.join("t.jsonl");
+        let mut w = RotatingWriter::open(&path, 1024, 0).unwrap();
+        let line = format!("{{\"x\":\"{}\"}}\n", "y".repeat(600));
+        for _ in 0..4 {
+            w.write_all(line.as_bytes()).unwrap();
+        }
+        w.flush().unwrap();
+        assert!(path.exists());
+        assert!(!dir.join("t.jsonl.1").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -5,7 +5,8 @@
 use crate::protocol::{Cmd, PhaseLine, Request, Response};
 use dse_core::{ArtifactStore, Pipeline, Trace};
 use dse_runtime::{TaskPool, Vm, VmConfig};
-use dse_telemetry::{Json, ServerStats};
+use dse_telemetry::{Json, LatencyStats, LogHistogram, ServerStats};
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -29,13 +30,25 @@ impl Default for ServerConfig {
     }
 }
 
+/// Latency histograms the daemon accumulates, one lock around all three
+/// (recording is a few O(1) bucket increments per request, far off the
+/// request's own critical path).
+#[derive(Default)]
+struct Latency {
+    e2e: LogHistogram,
+    queue: LogHistogram,
+    phases: BTreeMap<String, LogHistogram>,
+}
+
 /// The shared daemon state: one artifact store, one task pool, cumulative
-/// counters, the shutdown flag, and the optional telemetry sink.
+/// counters, latency histograms, the shutdown flag, and the optional
+/// telemetry sink.
 pub struct Server {
     store: ArtifactStore,
     pool: TaskPool,
     requests: AtomicU64,
     failures: AtomicU64,
+    latency: Mutex<Latency>,
     shutdown: AtomicBool,
     telemetry: Option<Mutex<Box<dyn Write + Send>>>,
 }
@@ -48,6 +61,7 @@ impl Server {
             pool: TaskPool::new(config.workers),
             requests: AtomicU64::new(0),
             failures: AtomicU64::new(0),
+            latency: Mutex::new(Latency::default()),
             shutdown: AtomicBool::new(false),
             telemetry: None,
         }
@@ -69,12 +83,30 @@ impl Server {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Cumulative stats: store counters plus request totals.
+    /// Cumulative stats: store counters, request totals, latency
+    /// histograms and task-pool counters.
     pub fn stats(&self) -> ServerStats {
         let mut s = self.store.stats();
         s.requests = self.requests.load(Ordering::SeqCst);
         s.failures = self.failures.load(Ordering::SeqCst);
+        let lat = self.latency.lock().unwrap();
+        s.latency = LatencyStats {
+            e2e: lat.e2e.clone(),
+            queue: lat.queue.clone(),
+            phases: lat
+                .phases
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        };
+        drop(lat);
+        s.taskpool = self.pool.stats();
         s
+    }
+
+    /// The Prometheus-style text exposition of [`Server::stats`].
+    pub fn prometheus_text(&self) -> String {
+        dse_telemetry::prometheus_text(&self.stats())
     }
 
     /// Executes one request to completion and returns its response. Safe
@@ -87,6 +119,12 @@ impl Server {
                 id: req.id.clone(),
                 ok: true,
                 stats: Some(self.stats()),
+                ..Response::default()
+            },
+            Cmd::Metrics => Response {
+                id: req.id.clone(),
+                ok: true,
+                metrics: Some(self.prometheus_text()),
                 ..Response::default()
             },
             Cmd::Shutdown => {
@@ -102,8 +140,18 @@ impl Server {
         if !resp.ok {
             self.failures.fetch_add(1, Ordering::SeqCst);
         }
+        self.record_latency(&resp, started);
         self.emit_telemetry(req, &resp, started);
         resp
+    }
+
+    /// Folds one finished request into the latency histograms.
+    fn record_latency(&self, resp: &Response, started: Instant) {
+        let mut lat = self.latency.lock().unwrap();
+        lat.e2e.record(started.elapsed().as_nanos() as u64);
+        for p in &resp.phases {
+            lat.phases.entry(p.phase.clone()).or_default().record(p.ns);
+        }
     }
 
     /// The compile/check/run path: source → cached pipeline → verifier →
@@ -262,7 +310,14 @@ impl Server {
     /// hung client.
     fn submit(self: &Arc<Self>, req: Request, out: mpsc::Sender<Response>) {
         let server = Arc::clone(self);
+        let queued_at = Instant::now();
         self.pool.submit(move || {
+            server
+                .latency
+                .lock()
+                .unwrap()
+                .queue
+                .record(queued_at.elapsed().as_nanos() as u64);
             let id = req.id.clone();
             let resp =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| server.handle(&req)))

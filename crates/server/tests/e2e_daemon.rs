@@ -155,6 +155,148 @@ fn batch_eight_concurrent_mixed_requests() {
     let _ = std::fs::remove_file(&telemetry);
 }
 
+/// A hundred-plus-request batch populates the latency histograms: the
+/// stats payload reports nonzero p50/p90/p99 over every request, and the
+/// `--metrics-addr` HTTP endpoint serves matching Prometheus quantile
+/// lines while the daemon is live.
+#[test]
+fn latency_histograms_cover_hundred_requests() {
+    use std::io::Read as _;
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dsed"))
+        .args(["--batch", "--workers", "8", "--metrics-addr", "127.0.0.1:0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dsed");
+
+    // The daemon announces the resolved (ephemeral) metrics address on
+    // stderr before serving.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    let metrics_addr = loop {
+        let mut line = String::new();
+        assert!(
+            stderr.read_line(&mut line).unwrap() > 0,
+            "stderr closed before the metrics line"
+        );
+        if let Some(rest) = line.trim().strip_prefix("dsed: metrics on http://") {
+            break rest.trim_end_matches("/metrics").to_string();
+        }
+    };
+
+    let mut stdin = child.stdin.take().expect("stdin");
+    let mut stdout = BufReader::new(child.stdout.take().expect("stdout"));
+    const N: usize = 120;
+    for i in 0..N {
+        let prog = if i % 2 == 0 { PROG_SUM } else { PROG_FILL };
+        writeln!(stdin, "{}", req(&format!("r{i}"), "run", prog, 2)).unwrap();
+    }
+    let mut line = String::new();
+    for _ in 0..N {
+        line.clear();
+        assert!(
+            stdout.read_line(&mut line).unwrap() > 0,
+            "stdout closed early"
+        );
+        let r = parse_response(&line);
+        assert!(r.ok, "request `{}` failed: {:?}", r.id, r.error);
+    }
+
+    // Every run is answered; scrape the live HTTP endpoint.
+    let mut conn = TcpStream::connect(&metrics_addr).expect("connect metrics");
+    write!(conn, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    conn.flush().unwrap();
+    let mut http = String::new();
+    conn.read_to_string(&mut http).unwrap();
+    assert!(http.starts_with("HTTP/1.0 200 OK"), "bad response: {http}");
+    let body = http.split("\r\n\r\n").nth(1).expect("http body");
+    let total: f64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("dsed_requests_total ")?.trim().parse().ok())
+        .expect("request counter in exposition");
+    assert!(total >= N as f64, "counter covers the batch: {total}");
+    for series in [
+        "dsed_request_latency_seconds{quantile=\"0.5\"}",
+        "dsed_request_latency_seconds{quantile=\"0.99\"}",
+        "dsed_queue_wait_seconds{quantile=\"0.9\"}",
+        "dsed_request_latency_seconds_count",
+    ] {
+        assert!(body.contains(series), "missing `{series}` in:\n{body}");
+    }
+
+    // The protocol view of the same histograms: `stats` carries the raw
+    // buckets, `metrics` the same text as HTTP.
+    writeln!(
+        stdin,
+        "{}",
+        Json::obj(vec![
+            ("id", Json::Str("st".into())),
+            ("cmd", Json::Str("stats".into())),
+        ])
+    )
+    .unwrap();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    let st = parse_response(&line);
+    assert!(st.ok, "stats failed: {:?}", st.error);
+    let stats = st.stats.expect("stats payload");
+    assert!(stats.requests >= N as u64);
+    let lat = &stats.latency;
+    assert!(
+        lat.e2e.count() >= N as u64,
+        "every request recorded end-to-end: {}",
+        lat.e2e.count()
+    );
+    let (p50, p90, p99) = (
+        lat.e2e.percentile(0.5),
+        lat.e2e.percentile(0.9),
+        lat.e2e.percentile(0.99),
+    );
+    assert!(p50 > 0, "p50 nonzero");
+    assert!(
+        p50 <= p90 && p90 <= p99,
+        "quantiles ordered: {p50} {p90} {p99}"
+    );
+    assert!(
+        lat.queue.count() >= N as u64,
+        "every request waited in (possibly empty) queue"
+    );
+    assert!(!lat.phases.is_empty(), "per-phase histograms recorded");
+    assert!(
+        lat.phases.iter().all(|(_, h)| h.count() > 0),
+        "no empty phase histogram is exported"
+    );
+    // Satellite counters: the task pool saw the whole batch.
+    assert!(stats.taskpool.submitted >= N as u64);
+    assert!(
+        stats.taskpool.queued_peak >= 1,
+        "the batch outran 8 workers"
+    );
+
+    writeln!(
+        stdin,
+        "{}",
+        Json::obj(vec![
+            ("id", Json::Str("m".into())),
+            ("cmd", Json::Str("metrics".into())),
+        ])
+    )
+    .unwrap();
+    line.clear();
+    stdout.read_line(&mut line).unwrap();
+    let m = parse_response(&line);
+    assert!(m.ok);
+    let text = m.metrics.expect("metrics text in protocol response");
+    assert!(text.contains("dsed_request_latency_seconds_count"));
+    assert!(text.contains("dsed_taskpool_submitted_total"));
+
+    drop(stdin);
+    let out = child.wait_with_output().expect("dsed exit");
+    assert!(out.status.success(), "dsed failed: {out:?}");
+}
+
 fn wait_for_socket(path: &std::path::Path, child: &mut Child) {
     let deadline = Instant::now() + Duration::from_secs(30);
     while !path.exists() {

@@ -14,21 +14,32 @@
 //! * [`trace`] — [`trace::TraceObserver`], a [`dse_runtime::Observer`]
 //!   that streams every sited access, candidate-loop event and heap event
 //!   as one JSON object per line (JSONL).
+//! * [`hist`] — [`hist::LogHistogram`], HDR-style log-bucketed latency
+//!   histograms (exact below 16, 16 sub-buckets per octave above) used by
+//!   the daemon's per-request/per-phase/queue-wait latency tracking.
+//! * [`chrome`] — exporters for the runtime trace ring
+//!   ([`dse_runtime::TraceEvent`]): Chrome trace-event JSON (one pid per
+//!   worker, Perfetto-loadable) and folded-stack flamegraph text.
 //!
 //! The serialization format is documented in `DESIGN.md` ("Observability")
 //! and is stable enough to diff across runs: object keys are emitted in a
 //! fixed order and all times are integer nanoseconds.
 
+pub mod chrome;
 pub mod hash;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod phase;
 pub mod trace;
 
+pub use chrome::{chrome_trace, flamegraph_folded, PipelineSpan};
 pub use hash::{ContentHash, ContentHasher};
+pub use hist::LogHistogram;
 pub use json::Json;
 pub use metrics::{
-    ExpansionStats, LintStats, LoopStat, PhaseCacheStat, RunMetrics, ServerStats, VmStats,
+    prometheus_text, ExpansionStats, LatencyStats, LintStats, LoopStat, PhaseCacheStat, RunMetrics,
+    ServerStats, VmStats,
 };
 pub use phase::{PhaseSpan, PhaseTimer};
 pub use trace::TraceObserver;

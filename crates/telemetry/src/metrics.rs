@@ -6,10 +6,11 @@
 //! via [`RunMetrics::to_json`]; [`RunMetrics::from_json`] reconstructs it
 //! for tooling and tests.
 
+use crate::hist::LogHistogram;
 use crate::json::Json;
 use crate::phase::PhaseSpan;
 use dse_runtime::vm::{Counters, RunReport};
-use dse_runtime::{HeapContention, PoolStats};
+use dse_runtime::{HeapContention, PoolStats, TaskPoolStats};
 
 /// Profile-time stats for one candidate loop.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +89,20 @@ pub struct PhaseCacheStat {
     pub evictions: u64,
 }
 
+/// Daemon latency distributions, all in nanoseconds: end-to-end per
+/// request, queue wait (submit to worker pickup), and per-pipeline-phase
+/// wall time. Empty histograms for documents written before the daemon
+/// recorded latency.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// End-to-end request handling time.
+    pub e2e: LogHistogram,
+    /// Time a request spent queued behind the task pool.
+    pub queue: LogHistogram,
+    /// Wall time per pipeline phase, keyed by phase name (sorted).
+    pub phases: Vec<(String, LogHistogram)>,
+}
+
 /// Compile-service counters: requests served and per-phase artifact-cache
 /// behavior. Produced by `dsed` (and by standalone `dsec`, whose
 /// in-process pipeline shares the same cache machinery).
@@ -103,6 +118,10 @@ pub struct ServerStats {
     pub cache_capacity: u64,
     /// Per-phase hit/miss/dedup/eviction counters.
     pub phases: Vec<PhaseCacheStat>,
+    /// Latency histograms; empty for pre-histogram documents.
+    pub latency: LatencyStats,
+    /// Request-level task-pool counters; zero for pre-daemon documents.
+    pub taskpool: TaskPoolStats,
 }
 
 impl ServerStats {
@@ -171,6 +190,90 @@ pub struct RunMetrics {
     pub server: Option<ServerStats>,
 }
 
+/// Serializes daemon latency histograms.
+pub fn latency_to_json(l: &LatencyStats) -> Json {
+    Json::obj(vec![
+        ("e2e", l.e2e.to_json()),
+        ("queue", l.queue.to_json()),
+        (
+            "phases",
+            Json::Arr(
+                l.phases
+                    .iter()
+                    .map(|(name, h)| Json::Arr(vec![Json::Str(name.clone()), h.to_json()]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parses [`latency_to_json`] output.
+///
+/// # Errors
+///
+/// Returns a message when a field is missing or malformed.
+pub fn latency_from_json(v: &Json) -> Result<LatencyStats, String> {
+    let hist = |name: &str| -> Result<LogHistogram, String> {
+        LogHistogram::from_json(
+            v.get(name)
+                .ok_or_else(|| format!("latency missing '{name}'"))?,
+        )
+        .ok_or_else(|| format!("latency '{name}' malformed"))
+    };
+    let phases = v
+        .get("phases")
+        .and_then(Json::as_arr)
+        .ok_or("latency missing array 'phases'")?
+        .iter()
+        .map(|p| {
+            let pair = p.as_arr().ok_or("latency phase entry not a pair")?;
+            if pair.len() != 2 {
+                return Err("latency phase entry not a pair".to_string());
+            }
+            let name = pair[0].as_str().ok_or("latency phase name not a string")?;
+            let h = LogHistogram::from_json(&pair[1]).ok_or("latency phase histogram malformed")?;
+            Ok((name.to_string(), h))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(LatencyStats {
+        e2e: hist("e2e")?,
+        queue: hist("queue")?,
+        phases,
+    })
+}
+
+/// Serializes request-level task-pool counters.
+pub fn taskpool_to_json(t: &TaskPoolStats) -> Json {
+    Json::obj(vec![
+        ("workers", Json::Int(t.workers as i64)),
+        ("submitted", Json::Int(t.submitted as i64)),
+        ("completed", Json::Int(t.completed as i64)),
+        ("queued", Json::Int(t.queued as i64)),
+        ("queued_peak", Json::Int(t.queued_peak as i64)),
+    ])
+}
+
+/// Parses [`taskpool_to_json`] output.
+///
+/// # Errors
+///
+/// Returns the name of the first missing or mistyped field.
+pub fn taskpool_from_json(v: &Json) -> Result<TaskPoolStats, String> {
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_i64)
+            .map(|n| n.max(0) as u64)
+            .ok_or_else(|| format!("taskpool stats missing integer field '{name}'"))
+    };
+    Ok(TaskPoolStats {
+        workers: field("workers")?,
+        submitted: field("submitted")?,
+        completed: field("completed")?,
+        queued: field("queued")?,
+        queued_peak: field("queued_peak")?,
+    })
+}
+
 /// Serializes compile-service cache counters.
 pub fn server_to_json(s: &ServerStats) -> Json {
     Json::obj(vec![
@@ -195,6 +298,8 @@ pub fn server_to_json(s: &ServerStats) -> Json {
                     .collect(),
             ),
         ),
+        ("latency", latency_to_json(&s.latency)),
+        ("taskpool", taskpool_to_json(&s.taskpool)),
     ])
 }
 
@@ -235,13 +340,141 @@ pub fn server_from_json(v: &Json) -> Result<ServerStats, String> {
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
+    // Both blocks postdate the daemon; older documents parse with empty
+    // histograms and zeroed pool counters.
+    let latency = match v.get("latency") {
+        None | Some(Json::Null) => LatencyStats::default(),
+        Some(l) => latency_from_json(l)?,
+    };
+    let taskpool = match v.get("taskpool") {
+        None | Some(Json::Null) => TaskPoolStats::default(),
+        Some(t) => taskpool_from_json(t)?,
+    };
     Ok(ServerStats {
         requests: field("requests")?,
         failures: field("failures")?,
         cache_entries: field("cache_entries")?,
         cache_capacity: field("cache_capacity")?,
         phases,
+        latency,
+        taskpool,
     })
+}
+
+/// Renders [`ServerStats`] as a Prometheus-style text exposition:
+/// counters, gauges, and latency summaries (seconds) with p50/p90/p99
+/// quantiles, served by `dsed --metrics-addr` and the `metrics` request.
+pub fn prometheus_text(s: &ServerStats) -> String {
+    use std::fmt::Write as _;
+    fn scalar(out: &mut String, kind: &str, name: &str, help: &str, v: u64) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    fn summary(out: &mut String, name: &str, help: &str, labels: &str, h: &LogHistogram) {
+        let secs = |ns: u64| ns as f64 / 1e9;
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} summary");
+        let sep = if labels.is_empty() { "" } else { "," };
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            let _ = writeln!(
+                out,
+                "{name}{{{labels}{sep}quantile=\"{label}\"}} {}",
+                secs(h.percentile(q))
+            );
+        }
+        let _ = writeln!(out, "{name}_sum{{{labels}}} {}", secs(h.sum()));
+        let _ = writeln!(out, "{name}_count{{{labels}}} {}", h.count());
+    }
+    let mut out = String::new();
+    for (name, help, v) in [
+        ("dsed_requests_total", "Requests served.", s.requests),
+        ("dsed_failures_total", "Requests that failed.", s.failures),
+        (
+            "dsed_taskpool_submitted_total",
+            "Tasks accepted by the request pool.",
+            s.taskpool.submitted,
+        ),
+        (
+            "dsed_taskpool_completed_total",
+            "Tasks the request pool finished.",
+            s.taskpool.completed,
+        ),
+    ] {
+        scalar(&mut out, "counter", name, help, v);
+    }
+    for (name, help, v) in [
+        (
+            "dsed_cache_entries",
+            "Ready artifacts resident in the store.",
+            s.cache_entries,
+        ),
+        (
+            "dsed_cache_capacity",
+            "Artifact-store LRU capacity.",
+            s.cache_capacity,
+        ),
+        (
+            "dsed_taskpool_workers",
+            "Request-pool worker threads.",
+            s.taskpool.workers,
+        ),
+        (
+            "dsed_taskpool_queued",
+            "Tasks waiting in the request queue.",
+            s.taskpool.queued,
+        ),
+        (
+            "dsed_taskpool_queued_peak",
+            "High-water mark of the request queue depth.",
+            s.taskpool.queued_peak,
+        ),
+    ] {
+        scalar(&mut out, "gauge", name, help, v);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP dsed_phase_cache_total Artifact-cache outcomes per phase."
+    );
+    let _ = writeln!(out, "# TYPE dsed_phase_cache_total counter");
+    for p in &s.phases {
+        for (outcome, v) in [
+            ("hit", p.hits),
+            ("miss", p.misses),
+            ("dedup", p.dedups),
+            ("eviction", p.evictions),
+        ] {
+            let _ = writeln!(
+                out,
+                "dsed_phase_cache_total{{phase=\"{}\",outcome=\"{outcome}\"}} {v}",
+                p.phase
+            );
+        }
+    }
+    summary(
+        &mut out,
+        "dsed_request_latency_seconds",
+        "End-to-end request handling time.",
+        "",
+        &s.latency.e2e,
+    );
+    summary(
+        &mut out,
+        "dsed_queue_wait_seconds",
+        "Time requests spent queued behind the task pool.",
+        "",
+        &s.latency.queue,
+    );
+    for (phase, h) in &s.latency.phases {
+        summary(
+            &mut out,
+            "dsed_phase_latency_seconds",
+            "Wall time per pipeline phase.",
+            &format!("phase=\"{phase}\""),
+            h,
+        );
+    }
+    out
 }
 
 /// Serializes Figure-12 counters as a flat object.
@@ -650,6 +883,24 @@ mod tests {
                         evictions: 3,
                     },
                 ],
+                latency: {
+                    let mut l = LatencyStats::default();
+                    for v in [1_000, 2_000, 1_000_000] {
+                        l.e2e.record(v);
+                    }
+                    l.queue.record(500);
+                    let mut parse = LogHistogram::new();
+                    parse.record(10_000);
+                    l.phases = vec![("parse".into(), parse)];
+                    l
+                },
+                taskpool: TaskPoolStats {
+                    workers: 4,
+                    submitted: 12,
+                    completed: 12,
+                    queued: 0,
+                    queued_peak: 3,
+                },
             }),
         }
     }
@@ -742,6 +993,31 @@ mod tests {
         let parsed = RunMetrics::from_json(&Json::parse(&format!("{head}}}")).unwrap()).unwrap();
         m.server = None;
         assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn latency_and_taskpool_default_when_absent() {
+        // A server block written before latency tracking existed parses
+        // with empty histograms and zeroed pool counters.
+        let mut s = sample().server.unwrap();
+        let text = server_to_json(&s).to_string();
+        let (head, _) = text.rsplit_once(",\"latency\":").unwrap();
+        let parsed = server_from_json(&Json::parse(&format!("{head}}}")).unwrap()).unwrap();
+        s.latency = LatencyStats::default();
+        s.taskpool = TaskPoolStats::default();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn prometheus_text_renders_quantiles() {
+        let s = sample().server.unwrap();
+        let text = prometheus_text(&s);
+        assert!(text.contains("dsed_requests_total 12"));
+        assert!(text.contains("dsed_taskpool_queued_peak 3"));
+        assert!(text.contains("dsed_phase_cache_total{phase=\"parse\",outcome=\"hit\"} 10"));
+        assert!(text.contains("dsed_request_latency_seconds{quantile=\"0.5\"}"));
+        assert!(text.contains("dsed_request_latency_seconds_count{} 3"));
+        assert!(text.contains("dsed_phase_latency_seconds{phase=\"parse\",quantile=\"0.99\"}"));
     }
 
     #[test]

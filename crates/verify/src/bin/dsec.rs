@@ -2,12 +2,14 @@
 //!
 //! ```text
 //! dsec <program.cee> [--threads N] [--opt none|noconst|full] [--baseline]
-//!      [--emit source|report|ddg|bytecode|trace] [--run] [--serial]
-//!      [--timing] [--metrics <path|->] [--in <ints,comma,separated>]
-//!      [--daemon <socket>]
+//!      [--emit source|report|ddg|bytecode|trace|chrome-trace|flamegraph]
+//!      [--run] [--serial] [--timing] [--metrics <path|->]
+//!      [--in <ints,comma,separated>] [--daemon <socket>]
 //! dsec check <program.cee> [--strict] [--json] [--threads N]
 //!      [--opt none|noconst|full] [--in <ints,comma,separated>]
 //!      [--daemon <socket>]
+//! dsec profile <program.cee> [--threads N] [--opt none|noconst|full]
+//!      [--in <ints,comma,separated>]
 //! ```
 //!
 //! Examples:
@@ -19,9 +21,12 @@
 //! dsec prog.cee --run --serial                # reference run
 //! dsec prog.cee --run --timing --metrics -    # telemetry JSON on stdout
 //! dsec prog.cee --emit trace > trace.jsonl    # serial execution as JSONL
+//! dsec prog.cee --emit chrome-trace > t.json  # Perfetto-loadable timeline
+//! dsec prog.cee --emit flamegraph > t.folded  # folded flamegraph stacks
 //! dsec prog.cee --run --daemon /tmp/dsed.sock # execute via a dsed daemon
 //! dsec check prog.cee                         # soundness lints, text
 //! dsec check prog.cee --strict --json         # CI gate, machine-readable
+//! dsec profile prog.cee --threads 8           # per-loop opcode hot table
 //! ```
 //!
 //! `dsec check` runs the privatization-soundness verifier (see DESIGN.md,
@@ -39,7 +44,14 @@
 //! (see DESIGN.md, "Observability") to a file, or to stdout with `-`.
 //! `--emit trace` executes the *serial* program under a trace observer and
 //! streams each sited access, loop event and heap event as one JSON object
-//! per line on stdout.
+//! per line on stdout. `--emit chrome-trace` and `--emit flamegraph`
+//! execute the *transformed* program with the runtime trace ring enabled
+//! (see DESIGN.md, "Tracing & profiling") and print a Chrome trace-event
+//! JSON document (pipeline phases and runtime events on one timeline) or
+//! folded flamegraph stacks. `dsec profile` runs the transformed program
+//! under the attributing opcode profiler and prints a hot-loop table:
+//! wall time, iterations, instruction-class mix and per-iteration cost
+//! quantiles per loop.
 //!
 //! Every drive runs through the content-addressed pipeline
 //! ([`dse_core::Pipeline`]): phases are computed once per process and
@@ -86,10 +98,13 @@ enum Fail {
 fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
-         [--baseline] [--emit source|report|ddg|bytecode|trace] [--run] [--serial] \
+         [--baseline] [--emit source|report|ddg|bytecode|trace|chrome-trace|flamegraph] \
+         [--run] [--serial] \
          [--timing] [--metrics <path|->] [--in 1,2,3] [--daemon <socket>]\n\
          \x20      dsec check <program.cee> [--strict] [--json] [--threads N] \
-         [--opt none|noconst|full] [--in 1,2,3] [--daemon <socket>]"
+         [--opt none|noconst|full] [--in 1,2,3] [--daemon <socket>]\n\
+         \x20      dsec profile <program.cee> [--threads N] \
+         [--opt none|noconst|full] [--in 1,2,3]"
     );
     std::process::exit(EXIT_USAGE as i32)
 }
@@ -147,7 +162,13 @@ fn parse_opts(args: &[String]) -> Opts {
                 let what = args.next().unwrap_or_else(|| usage()).clone();
                 if !matches!(
                     what.as_str(),
-                    "source" | "report" | "ddg" | "bytecode" | "trace"
+                    "source"
+                        | "report"
+                        | "ddg"
+                        | "bytecode"
+                        | "trace"
+                        | "chrome-trace"
+                        | "flamegraph"
                 ) {
                     eprintln!("dsec: unknown --emit `{what}`");
                     std::process::exit(EXIT_USAGE as i32);
@@ -178,6 +199,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("check") {
         return check_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("profile") {
+        return profile_main(&args[1..]);
     }
     let o = parse_opts(&args);
     let result = match &o.daemon {
@@ -353,9 +377,12 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     let needs_transform = (o.run && !o.serial)
         || o.timing
         || o.metrics.is_some()
-        || o.emit
-            .iter()
-            .any(|e| matches!(e.as_str(), "report" | "source" | "bytecode"));
+        || o.emit.iter().any(|e| {
+            matches!(
+                e.as_str(),
+                "report" | "source" | "bytecode" | "chrome-trace" | "flamegraph"
+            )
+        });
     let transformed: Option<Arc<TransformArt>> = if needs_transform {
         Some(
             pipeline
@@ -436,6 +463,42 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                     .expect("transform computed above")
                     .transformed;
                 print!("{}", dse_ir::disasm::disassemble(&t.parallel));
+            }
+            "chrome-trace" | "flamegraph" => {
+                let t = &transformed
+                    .as_ref()
+                    .expect("transform computed above")
+                    .transformed;
+                let mut vm = Vm::new(
+                    t.parallel.clone(),
+                    VmConfig {
+                        nthreads: o.threads,
+                        inputs_int: o.inputs.clone(),
+                        trace: true,
+                        ..Default::default()
+                    },
+                )
+                .map_err(|e| Fail::Other(e.to_string()))?;
+                vm.run().map_err(|e| Fail::Other(e.to_string()))?;
+                let (mut events, dropped) = vm.take_trace();
+                if emit == "flamegraph" {
+                    print!("{}", dse_telemetry::flamegraph_folded(&events));
+                    eprintln!("[flamegraph: {} events]", events.len());
+                } else {
+                    // VM timestamps are measured from `Vm::new`; shift them
+                    // onto the store's epoch so pipeline phase spans and
+                    // runtime events share one timeline.
+                    let shift = vm
+                        .trace_epoch()
+                        .map(|e| e.saturating_duration_since(store.epoch()).as_nanos() as u64)
+                        .unwrap_or(0);
+                    for ev in &mut events {
+                        ev.ts_ns += shift;
+                    }
+                    let spans = pipeline_spans(&trace);
+                    println!("{}", dse_telemetry::chrome_trace(&events, &spans, dropped));
+                    eprintln!("[chrome-trace: {} events, {dropped} dropped]", events.len());
+                }
             }
             "trace" => {
                 // The observer sees what the profiler sees: a serial
@@ -551,6 +614,157 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     }
 
     Ok(exit)
+}
+
+/// Pipeline phase outcomes in the chrome exporter's neutral span form,
+/// named `phase (outcome)` and placed at their store-epoch offsets.
+fn pipeline_spans(trace: &Trace) -> Vec<dse_telemetry::PipelineSpan> {
+    trace
+        .iter()
+        .map(|p| dse_telemetry::PipelineSpan {
+            name: format!("{} ({})", p.phase, p.outcome.as_str()),
+            ts_ns: p.at.as_nanos() as u64,
+            dur_ns: p.wall.as_nanos() as u64,
+        })
+        .collect()
+}
+
+/// `dsec profile <file>`: run the transformed program under the
+/// attributing opcode profiler and print the hot-loop table.
+fn profile_main(args: &[String]) -> ExitCode {
+    let mut path = String::new();
+    let mut threads: u32 = 4;
+    let mut opt = OptLevel::Full;
+    let mut inputs: Vec<i64> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--opt" => opt = parse_opt_level(it.next().map(String::as_str)),
+            "--in" => inputs = parse_inputs(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
+            _ => usage(),
+        }
+    }
+    if path.is_empty() {
+        usage();
+    }
+    match profile_drive(&path, threads, opt, inputs) {
+        Ok(code) => code,
+        Err(Fail::Io(msg)) => {
+            eprintln!("dsec: {msg}");
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(Fail::Other(msg)) => {
+            eprintln!("dsec: {msg}");
+            ExitCode::from(EXIT_DIAG)
+        }
+    }
+}
+
+fn profile_drive(
+    path: &str,
+    threads: u32,
+    opt: OptLevel,
+    inputs: Vec<i64>,
+) -> Result<ExitCode, Fail> {
+    let source = std::fs::read_to_string(path).map_err(|e| Fail::Io(format!("{path}: {e}")))?;
+    let cfg = VmConfig {
+        inputs_int: inputs.clone(),
+        ..Default::default()
+    };
+    let store = ArtifactStore::new();
+    let pipeline = Pipeline::new(&store);
+    let mut trace = Trace::new();
+    let art = pipeline
+        .analyze(&source, &cfg, &mut trace)
+        .map_err(|e| Fail::Other(e.to_string()))?;
+    let t = pipeline
+        .transform(&art, opt, threads, false, &mut trace)
+        .map_err(|e| Fail::Other(e.to_string()))?;
+    verify_transform(&store, &art.analysis, &t, path, &mut trace)?;
+    let prog = &t.transformed.parallel;
+    let mut vm = Vm::new(
+        prog.clone(),
+        VmConfig {
+            nthreads: threads,
+            inputs_int: inputs,
+            opcode_profile: true,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| Fail::Other(e.to_string()))?;
+    vm.run().map_err(|e| Fail::Other(e.to_string()))?;
+    print!("{}", render_profile(&vm.opcode_profile(), prog));
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The hot-loop table: one row per loop (the VM pre-sorts by wall time,
+/// then instructions), with the class mix and iteration-cost quantiles.
+fn render_profile(
+    profiles: &[dse_runtime::LoopProfile],
+    prog: &dse_ir::bytecode::CompiledProgram,
+) -> String {
+    use dse_runtime::{CLASS_NAMES, SERIAL_LOOP};
+    let total: u64 = profiles.iter().map(|p| p.total_instructions()).sum();
+    let mut out = format!(
+        "{:<16} {:>9} {:>10} {:>12} {:>6} {:>7} {:>7} {:>7}  top classes\n",
+        "loop", "wall ms", "iters", "instr", "%", "p50", "p90", "p99"
+    );
+    for p in profiles {
+        let name = if p.loop_id == SERIAL_LOOP {
+            "(serial)".to_string()
+        } else {
+            prog.loops
+                .get(p.loop_id as usize)
+                .map(|l| format!("`{}`", l.label))
+                .unwrap_or_else(|| format!("loop {}", p.loop_id))
+        };
+        let instr = p.total_instructions();
+        let pct = if total == 0 {
+            0.0
+        } else {
+            100.0 * instr as f64 / total as f64
+        };
+        let mut classes: Vec<(usize, u64)> = p
+            .class_counts
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        classes.sort_by_key(|c| std::cmp::Reverse(c.1));
+        let mix = classes
+            .iter()
+            .take(3)
+            .map(|&(i, c)| {
+                format!(
+                    "{} {:.0}%",
+                    CLASS_NAMES[i],
+                    100.0 * c as f64 / instr.max(1) as f64
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "{:<16} {:>9.3} {:>10} {:>12} {:>5.1}% {:>7} {:>7} {:>7}  {mix}\n",
+            name,
+            p.wall_ns as f64 / 1e6,
+            p.iters,
+            instr,
+            pct,
+            p.iter_hist.percentile(0.5),
+            p.iter_hist.percentile(0.9),
+            p.iter_hist.percentile(0.99),
+        ));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
