@@ -14,7 +14,7 @@ use dse_bench::harness;
 use dse_ir::bytecode::CompiledProgram;
 use dse_ir::loops::ParMode;
 use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
-use dse_runtime::{DoallSchedule, ExecBackend, Vm, VmConfig};
+use dse_runtime::{DoallSchedule, ThreadMode, Vm, VmConfig};
 
 const NTHREADS: u32 = 8;
 
@@ -71,12 +71,12 @@ fn compile_parallel(src: &str) -> CompiledProgram {
 
 /// Lean arena so `Vm::new` cost stays off the timed path (the VM is built
 /// once per case and `run` repeatedly — both programs free everything).
-fn config(backend: ExecBackend, schedule: DoallSchedule) -> VmConfig {
+fn config(backend: ThreadMode, schedule: DoallSchedule) -> VmConfig {
     VmConfig {
         mem_bytes: 16 << 20,
         stack_bytes: 256 << 10,
         nthreads: NTHREADS,
-        exec_backend: backend,
+        thread_mode: backend,
         doall_schedule: schedule,
         ..Default::default()
     }
@@ -85,7 +85,7 @@ fn config(backend: ExecBackend, schedule: DoallSchedule) -> VmConfig {
 /// Modeled makespan of the skew loop under `schedule`: the maximum
 /// per-worker instruction count of one run (finish time on ideal cores).
 fn skew_makespan(compiled: &CompiledProgram, schedule: DoallSchedule) -> u64 {
-    let mut vm = Vm::new(compiled.clone(), config(ExecBackend::Pool, schedule)).expect("vm");
+    let mut vm = Vm::new(compiled.clone(), config(ThreadMode::Pool, schedule)).expect("vm");
     let report = vm.run().expect("run");
     report.per_thread.iter().map(|c| c.work).max().unwrap_or(0)
 }
@@ -97,7 +97,7 @@ fn main() {
     let compiled = compile_parallel(DISPATCH_SRC);
     let mut vm_pool = Vm::new(
         compiled.clone(),
-        config(ExecBackend::Pool, DoallSchedule::Stealing),
+        config(ThreadMode::Pool, DoallSchedule::Stealing),
     )
     .expect("vm");
     let pool = group.bench("back_to_back_200/pool", || {
@@ -105,7 +105,7 @@ fn main() {
     });
     let mut vm_spawn = Vm::new(
         compiled,
-        config(ExecBackend::SpawnPerLoop, DoallSchedule::Stealing),
+        config(ThreadMode::SpawnPerLoop, DoallSchedule::Stealing),
     )
     .expect("vm");
     let spawn = group.bench("back_to_back_200/spawn_per_loop", || {
@@ -122,7 +122,7 @@ fn main() {
         ("stealing", DoallSchedule::Stealing),
         ("static", DoallSchedule::Static),
     ] {
-        let mut vm = Vm::new(skew.clone(), config(ExecBackend::Pool, schedule)).expect("vm");
+        let mut vm = Vm::new(skew.clone(), config(ThreadMode::Pool, schedule)).expect("vm");
         group.bench(&format!("skew_512/{label}"), || {
             vm.run().expect("run");
         });

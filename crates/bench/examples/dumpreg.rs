@@ -1,0 +1,36 @@
+//! Side-by-side dump of a program's stack bytecode and its register
+//! translation — the quickest way to see what the stack→register
+//! translator, scalar promotion, and the coalescer did to a kernel:
+//!
+//! ```text
+//! cargo run -p dse-bench --example dumpreg -- examples/scratch.cee
+//! ```
+//!
+//! Each register instruction is annotated with the stack pc it originated
+//! from, so site attribution and trap pcs can be cross-checked by eye.
+
+use dse_ir::lower::LowerOptions;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .expect("usage: dumpreg <program.cee>");
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let ast = dse_lang::compile_to_ast(&src).unwrap_or_else(|e| panic!("frontend: {e}"));
+    let compiled = dse_ir::lower_program(&ast, &LowerOptions::default())
+        .unwrap_or_else(|e| panic!("lowering: {e}"));
+    let rp = dse_ir::regcode::translate(&compiled).unwrap_or_else(|e| panic!("translate: {e}"));
+
+    println!("-- stack ({} instrs) --", compiled.code.len());
+    for (i, ins) in compiled.code.iter().enumerate() {
+        println!("{i:>4}  {ins:?}");
+    }
+    println!("-- reg ({} instrs) --", rp.code.len());
+    for (i, ins) in rp.code.iter().enumerate() {
+        println!("{i:>4} (pc {:>3})  {ins}", rp.origin_pc(i));
+    }
+    let mut entries: Vec<_> = rp.entry_map.iter().collect();
+    entries.sort();
+    println!("entries (stack pc -> reg pc): {entries:?}");
+    println!("window registers: {}", rp.frame_regs);
+}

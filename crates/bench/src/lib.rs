@@ -92,7 +92,16 @@ pub fn table4(workloads: &[Workload]) -> Vec<Table4Row> {
         .iter()
         .map(|w| {
             let analysis = analyze(w);
-            let (_, report, _) = timed_run(&analysis.serial, w, Scale::Profile, 1);
+            // `in_loops` is counted by the profiler over the stack encoding
+            // (profiling always pins the reference backend), so the
+            // whole-program denominator must retire the same encoding no
+            // matter what DSE_EXEC_BACKEND says — the register backend
+            // retires far fewer instructions for the same program.
+            let mut cfg = w.vm_config(Scale::Profile);
+            cfg.nthreads = 1;
+            cfg.backend = dse_runtime::BackendKind::Stack;
+            let mut vm = Vm::new(analysis.serial.clone(), cfg).expect("vm");
+            let report = vm.run().unwrap_or_else(|e| panic!("{} run: {e}", w.name));
             let in_loops: u64 = analysis.profile.loops.iter().map(|l| l.instructions).sum();
             let mode = analysis.classifications[0].mode;
             Table4Row {

@@ -1,7 +1,8 @@
 //! The content-addressed artifact store.
 //!
 //! Every pipeline phase (parse, lower, profile, classify, plan, xform,
-//! verify) produces an artifact keyed by a [`ContentHash`] of its inputs:
+//! reglower, verify) produces an artifact keyed by a [`ContentHash`] of
+//! its inputs:
 //! the source text, the relevant options, and the *content* hashes of its
 //! upstream artifacts. Keying lower by the hash of the printed AST (rather
 //! than by the source hash) gives the cache early cutoff: a comment or
@@ -22,19 +23,32 @@
 //!   evicted.
 //!
 //! Failed computations are not cached: the marker is removed, waiters are
-//! woken, and the first of them becomes the new computer.
+//! woken, and the first of them becomes the new computer. *Panicking*
+//! computations get the same treatment through a drop guard — the marker
+//! must not leak, or every later request for that key would park forever
+//! on a computation nobody is running. For the same reason the store
+//! recovers poisoned locks instead of unwrapping: one panicking request on
+//! a shared daemon store must not turn every subsequent request into a
+//! `PoisonError` panic.
 
 use dse_telemetry::hash::ContentHash;
 use dse_telemetry::{PhaseCacheStat, ServerStats};
 use std::any::Any;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 /// Canonical phase ordering for stats reporting.
-pub const PHASES: [&str; 7] = [
-    "parse", "lower", "profile", "classify", "plan", "xform", "verify",
+pub const PHASES: [&str; 8] = [
+    "parse", "lower", "profile", "classify", "plan", "xform", "reglower", "verify",
 ];
+
+/// Locks `m`, recovering the data if a previous holder panicked. The
+/// store's invariants hold between mutations (the map is only ever
+/// observed with the lock held), so a poisoned lock is safe to clear.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// How one phase of one request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -207,7 +221,7 @@ impl ArtifactStore {
 
     /// Number of ready artifacts currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().ready_count()
+        lock_clean(&self.inner).ready_count()
     }
 
     /// True when no ready artifacts are resident.
@@ -247,7 +261,7 @@ impl ArtifactStore {
         let started = Instant::now();
         let at = started.saturating_duration_since(self.epoch);
         let mut waited = false;
-        let mut st = self.inner.lock().unwrap();
+        let mut st = lock_clean(&self.inner);
         loop {
             let found = match st.map.get(&key) {
                 Some(e) => match &e.slot {
@@ -282,7 +296,10 @@ impl ArtifactStore {
                 }
                 Found::InFlight => {
                     waited = true;
-                    st = self.ready_cv.wait(st).unwrap();
+                    st = self
+                        .ready_cv
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                 }
                 Found::Vacant => {
                     st.tick += 1;
@@ -297,8 +314,17 @@ impl ArtifactStore {
                     );
                     st.counter(phase).misses += 1;
                     drop(st);
+                    // If `compute` panics, the guard removes the in-flight
+                    // marker and wakes waiters on unwind; otherwise the
+                    // publish/remove below owns the slot.
+                    let mut guard = InFlightGuard {
+                        store: self,
+                        key,
+                        armed: true,
+                    };
                     let result = compute();
-                    let mut st = self.inner.lock().unwrap();
+                    guard.armed = false;
+                    let mut st = lock_clean(&self.inner);
                     match result {
                         Ok(v) => {
                             let v: Arc<T> = Arc::new(v);
@@ -334,7 +360,7 @@ impl ArtifactStore {
     /// Snapshot of the per-phase cache counters, in canonical phase order
     /// (unknown phases appended alphabetically).
     pub fn stats(&self) -> ServerStats {
-        let st = self.inner.lock().unwrap();
+        let st = lock_clean(&self.inner);
         let mut phases: Vec<PhaseCacheStat> = Vec::new();
         let mut push = |name: &str, c: &PhaseCounters| {
             phases.push(PhaseCacheStat {
@@ -374,6 +400,33 @@ impl ArtifactStore {
 impl Default for ArtifactStore {
     fn default() -> Self {
         ArtifactStore::new()
+    }
+}
+
+/// Removes a key's in-flight marker on unwind (see `get_or_compute`).
+struct InFlightGuard<'a> {
+    store: &'a ArtifactStore,
+    key: ContentHash,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut st = lock_clean(&self.store.inner);
+        if matches!(
+            st.map.get(&self.key),
+            Some(Entry {
+                slot: Slot::InFlight,
+                ..
+            })
+        ) {
+            st.map.remove(&self.key);
+        }
+        drop(st);
+        self.store.ready_cv.notify_all();
     }
 }
 
@@ -475,6 +528,63 @@ mod tests {
             })
             .unwrap();
         assert_eq!(trace[0].outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn panicking_compute_leaves_the_store_usable() {
+        let store = ArtifactStore::new();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut trace = Trace::new();
+            let _: Arc<u32> = store
+                .get_or_compute("xform", key(3), &mut trace, || -> Result<u32, String> {
+                    panic!("lowering bug")
+                })
+                .unwrap();
+        }));
+        assert!(r.is_err());
+        // The in-flight marker is gone and the (possibly poisoned) lock is
+        // recovered: the next request computes fresh instead of parking
+        // forever or dying with a PoisonError.
+        let mut trace = Trace::new();
+        let v: Arc<u32> = store
+            .get_or_compute("xform", key(3), &mut trace, || Ok::<_, String>(11))
+            .unwrap();
+        assert_eq!(*v, 11);
+        assert_eq!(trace[0].outcome, CacheOutcome::Miss);
+        assert_eq!(store.stats().phases[0].misses, 2);
+    }
+
+    #[test]
+    fn waiters_survive_a_panicking_computer() {
+        let store = Arc::new(ArtifactStore::new());
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let computer = {
+            let store = Arc::clone(&store);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut trace = Trace::new();
+                    let _: Arc<u32> = store
+                        .get_or_compute("verify", key(4), &mut trace, || -> Result<u32, String> {
+                            gate.store(true, std::sync::atomic::Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            panic!("worker trapped")
+                        })
+                        .unwrap();
+                }));
+            })
+        };
+        while !gate.load(std::sync::atomic::Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        // This request parks on the in-flight marker; the guard must wake
+        // it when the computer unwinds, and it then computes fresh.
+        let mut trace = Trace::new();
+        let v: Arc<u32> = store
+            .get_or_compute("verify", key(4), &mut trace, || Ok::<_, String>(5))
+            .unwrap();
+        assert_eq!(*v, 5);
+        computer.join().unwrap();
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod xform;
 
 pub use cache::{ArtifactStore, CacheOutcome, PhaseOutcome, Trace};
 pub use classify::{classify_loop, AccessBreakdown, LoopClassification, SiteClass};
-pub use phases::{AnalysisArt, Pipeline, TransformArt};
+pub use phases::{AnalysisArt, Pipeline, RegArt, TransformArt};
 pub use plan::{build_plan, ExpansionPlan, LayoutMode, OptLevel, PlanError, PlanInputs};
 pub use xform::{expand_program, ExpansionReport, XformError, XformResult};
 
@@ -97,6 +97,7 @@ from_err!(dse_lang::LangError);
 from_err!(dse_ir::lower::LowerError);
 from_err!(dse_ir::loops::CandidateError);
 from_err!(dse_runtime::VmError);
+from_err!(dse_ir::RegLowerError);
 from_err!(PlanError);
 from_err!(XformError);
 

@@ -14,6 +14,7 @@
 //! classify key = H("classify", ast, code, prof)   prof_hash   = H(canonical DDG summary)
 //! plan     key = H("plan", classify_key, opt, threads, baseline)
 //! xform    key = H("xform", plan_key)
+//! reglower key = H("reglower", code fingerprint)  (register-backend runs)
 //! verify   key = H("verify", xform_key)           (dse-verify adds this layer)
 //! ```
 //!
@@ -85,8 +86,13 @@ pub fn lower_phase(program: &Program) -> Result<(CompiledProgram, PhaseSpan), Ds
 /// Propagates VM errors.
 pub fn profile_phase(
     serial: CompiledProgram,
-    profile_config: VmConfig,
+    mut profile_config: VmConfig,
 ) -> Result<(ProfileResult, PhaseSpan), DseError> {
+    // Profiles are measured on the reference stack encoding: per-loop
+    // instruction counts feed classification and the simulator, and they
+    // must not shift when `DSE_EXEC_BACKEND=reg` runs the same pipeline
+    // (register fusion retires fewer, fatter instructions).
+    profile_config.backend = dse_runtime::BackendKind::Stack;
     let mut timer = PhaseTimer::new();
     let (profile, _vm) = timer.time("profile", || {
         dse_depprof::profile_program(serial, profile_config)
@@ -242,6 +248,16 @@ pub struct TransformArt {
     pub key: ContentHash,
 }
 
+/// The reglower artifact: the register translation of one compiled
+/// program (serial or transformed), shareable across every VM that
+/// executes it.
+pub struct RegArt {
+    /// The translated register module.
+    pub reg: Arc<dse_ir::RegProgram>,
+    /// The phase's original timing span.
+    pub span: PhaseSpan,
+}
+
 /// Drives the phase functions through a shared [`ArtifactStore`]. Requests
 /// for identical content collapse onto one computation; edits only re-run
 /// the phases downstream of the change.
@@ -340,6 +356,38 @@ impl<'a> Pipeline<'a> {
                     key: classify_key,
                 })
             })
+    }
+
+    /// Stack→register translation of `program` through the cache, keyed
+    /// by the program's content fingerprint — one artifact per distinct
+    /// program, shared by the serial original and every transformed
+    /// variant that hashes equal, and reused across daemon requests when
+    /// the register backend executes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`dse_ir::RegLowerError`] (hand-constructed bytecode
+    /// whose stack discipline cannot be proven; lowered programs never
+    /// fail).
+    pub fn reglower(
+        &self,
+        program: &CompiledProgram,
+        trace: &mut Trace,
+    ) -> Result<Arc<RegArt>, DseError> {
+        let key = ContentHasher::new("reglower")
+            .hash(code_fingerprint(program))
+            .finish();
+        self.store.get_or_compute("reglower", key, trace, || {
+            let mut timer = PhaseTimer::new();
+            let reg = timer.time("reglower", || dse_ir::regcode::translate(program))?;
+            timer.stat("reg_instructions", reg.code.len() as i64);
+            timer.stat("frame_regs", reg.frame_regs as i64);
+            timer.stat("entries", reg.entry_map.len() as i64);
+            Ok::<_, DseError>(RegArt {
+                reg: Arc::new(reg),
+                span: timer.into_spans().remove(0),
+            })
+        })
     }
 
     /// plan → xform through the cache, on top of a cached analysis.

@@ -211,13 +211,19 @@ impl ProfileResult {
 /// carry `LoopMark`s) by running it to completion under the profiler.
 /// Returns the profile and the VM (for output inspection).
 ///
+/// Profiling always runs the reference stack backend, whatever the caller's
+/// config says: dependence edges are defined over the reference access
+/// stream, and the register backend's scalar promotion elides exactly the
+/// frame loads/stores the profiler needs to see.
+///
 /// # Errors
 ///
 /// Propagates VM construction/run errors.
 pub fn profile_program(
     compiled: CompiledProgram,
-    config: VmConfig,
+    mut config: VmConfig,
 ) -> Result<(ProfileResult, Vm), VmError> {
+    config.backend = dse_runtime::BackendKind::Stack;
     let mut vm = Vm::new(compiled, config)?;
     let mut profiler = Profiler::new(vm.program(), vm.layout());
     vm.run_with_observer(&mut profiler)?;

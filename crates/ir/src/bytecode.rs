@@ -310,6 +310,10 @@ pub struct FuncInfo {
     pub params: Vec<(u32, ParamKind)>,
     /// Return shape.
     pub ret: RetKind,
+    /// True when the scalar return value is a float (meaningless for
+    /// `RetKind::Void`). The register translator needs the callee's result
+    /// type to type the caller's destination register.
+    pub ret_float: bool,
 }
 
 /// A zero-initialized-by-default global with optional constant words.
@@ -434,6 +438,7 @@ mod tests {
             frame_size: 0,
             params: vec![],
             ret: RetKind::Void,
+            ret_float: false,
         });
         p.loops.push(LoopCode {
             label: "hot".into(),

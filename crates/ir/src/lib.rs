@@ -21,9 +21,11 @@ pub mod bytecode;
 pub mod disasm;
 pub mod loops;
 pub mod lower;
+pub mod regcode;
 pub mod sites;
 
 pub use bytecode::{CompiledProgram, Instr};
 pub use loops::{CandidateLoop, ParMode};
 pub use lower::{lower_program, LowerError, LowerMode, LowerOptions, ParLoopSpec};
+pub use regcode::{RInstr, RegLowerError, RegProgram};
 pub use sites::{AccessKind, SiteId, SiteInfo, SiteTable, NO_SITE};

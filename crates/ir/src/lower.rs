@@ -369,6 +369,7 @@ impl<'a> Lowerer<'a> {
             frame_size: self.frame.size,
             params,
             ret,
+            ret_float: f.ret_ty != Type::Void && f.ret_ty.is_float(),
         });
         self.lower_block(&f.body)?;
         // Implicit return for control paths falling off the end.

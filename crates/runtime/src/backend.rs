@@ -1,0 +1,133 @@
+//! Execution backends: how a [`Vm`] turns a compiled program into effects.
+//!
+//! The stack interpreter in [`crate::vm`] is the *reference* backend — it
+//! executes the stack bytecode the lowering emits, and every observable
+//! behaviour (outputs, traps, Figure-12 counters, site attribution) is
+//! defined by it. The register backend executes the same program through
+//! the register translation in [`dse_ir::regcode`], with threaded dispatch
+//! over a flat per-thread register file; it must be observationally
+//! equivalent (the differential suite in `crates/workloads` enforces
+//! this), differing only in raw loop throughput.
+//!
+//! Both the master (`Vm::run`) and every pool worker dispatch through
+//! [`Vm::exec`], which forwards to the configured backend — so one flag
+//! switches the encoding for serial code, inlined loops, and all parallel
+//! schedules at once.
+
+use crate::observer::Observer;
+use crate::vm::{ThreadCtx, Value, Vm, VmError};
+use dse_ir::RegProgram;
+use std::sync::Arc;
+
+/// Which execution backend a [`crate::VmConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The reference stack interpreter.
+    #[default]
+    Stack,
+    /// The register interpreter with threaded dispatch.
+    Reg,
+}
+
+impl BackendKind {
+    /// Parses a backend name as accepted by `--exec-backend`.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "stack" => Some(BackendKind::Stack),
+            "reg" | "register" => Some(BackendKind::Reg),
+            _ => None,
+        }
+    }
+
+    /// The default backend: `DSE_EXEC_BACKEND` if set to a valid name
+    /// (`stack`/`reg`), else [`BackendKind::Stack`]. Lets CI run the whole
+    /// suite under the register backend without threading a flag through
+    /// every test.
+    pub fn from_env() -> BackendKind {
+        match std::env::var("DSE_EXEC_BACKEND") {
+            Ok(s) => BackendKind::parse(&s).unwrap_or(BackendKind::Stack),
+            Err(_) => BackendKind::Stack,
+        }
+    }
+
+    /// The `--exec-backend` spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Stack => "stack",
+            BackendKind::Reg => "reg",
+        }
+    }
+}
+
+/// An execution engine for one [`Vm`]. `entry` is always a *stack*
+/// bytecode pc (function entry or outlined region entry) — backends with
+/// their own encoding map it through their entry table, so the executor
+/// and scheduler never need to know which encoding runs.
+pub(crate) trait ExecBackend: Send + Sync {
+    /// The `--exec-backend` spelling of this backend.
+    #[allow(dead_code)]
+    fn name(&self) -> &'static str;
+
+    /// Executes from stack pc `entry` until the current sentinel frame
+    /// returns; the semantics contract is [`Vm::exec_stack`]'s.
+    fn exec(
+        &self,
+        vm: &Vm,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<Option<Value>, VmError>;
+}
+
+/// The reference backend: the stack interpreter in [`crate::vm`].
+pub(crate) struct StackBackend;
+
+impl ExecBackend for StackBackend {
+    fn name(&self) -> &'static str {
+        "stack"
+    }
+
+    fn exec(
+        &self,
+        vm: &Vm,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<Option<Value>, VmError> {
+        vm.exec_stack(ctx, entry, obs)
+    }
+}
+
+/// The register backend: threaded dispatch over the translated
+/// [`RegProgram`] (see [`crate::regvm`]).
+pub(crate) struct RegBackend {
+    prog: Arc<RegProgram>,
+}
+
+impl RegBackend {
+    pub(crate) fn new(prog: Arc<RegProgram>) -> RegBackend {
+        RegBackend { prog }
+    }
+}
+
+impl ExecBackend for RegBackend {
+    fn name(&self) -> &'static str {
+        "reg"
+    }
+
+    fn exec(
+        &self,
+        vm: &Vm,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<Option<Value>, VmError> {
+        let Some(&rentry) = self.prog.entry_map.get(&entry) else {
+            return Err(VmError::new(
+                entry as usize,
+                format!("no register translation for entry pc {entry}"),
+            ));
+        };
+        vm.exec_reg(&self.prog, ctx, rentry, obs)
+    }
+}

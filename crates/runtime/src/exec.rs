@@ -13,7 +13,7 @@
 //!   automatic end-of-iteration post) enforce cross-iteration ordering.
 //!
 //! Worker threads come from the persistent pool `Vm::run` keeps parked
-//! between loops ([`crate::pool::ExecBackend::Pool`], the default) or are
+//! between loops ([`crate::pool::ThreadMode::Pool`], the default) or are
 //! spawned fresh per loop (`SpawnPerLoop`, the seed behavior retained as
 //! the dispatch-latency baseline).
 //!
@@ -28,9 +28,9 @@
 //! experiments of Figure 9 run transformed code serially.
 
 use crate::observer::{NullObserver, Observer};
-use crate::pool::{DoallSchedule, ExecBackend, LoopDispatch, StealQueue};
+use crate::pool::{DoallSchedule, LoopDispatch, StealQueue, ThreadMode};
 use crate::tracebuf::{EventKind, TraceEvent};
-use crate::vm::{Frame, LoopSync, ThreadCtx, Vm, VmError};
+use crate::vm::{lock_clean, Frame, LoopSync, ThreadCtx, Vm, VmError};
 use dse_ir::loops::ParMode;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -53,7 +53,7 @@ fn chunk_size(total: i64, n: u32) -> i64 {
 }
 
 fn record_error(slot: &Mutex<Option<VmError>>, e: VmError) {
-    let mut g = slot.lock().unwrap();
+    let mut g = lock_clean(slot);
     match &*g {
         None => *g = Some(e),
         Some(prev) if prev.msg.contains(ABORTED) && !e.msg.contains(ABORTED) => *g = Some(e),
@@ -117,12 +117,12 @@ impl Vm {
             err: Mutex::new(None),
         });
 
-        let pool = match self.config.exec_backend {
+        let pool = match self.config.thread_mode {
             // The pool is open for the duration of `Vm::run`; a `ParLoop`
             // reaching here outside a run (or under the baseline backend)
             // falls back to per-loop spawning.
-            ExecBackend::Pool => self.pool().filter(|p| p.is_open()),
-            ExecBackend::SpawnPerLoop => None,
+            ThreadMode::Pool => self.pool().filter(|p| p.is_open()),
+            ThreadMode::SpawnPerLoop => None,
         };
         match pool {
             Some(pool) => {
@@ -149,7 +149,7 @@ impl Vm {
             p.add_wall(t0.elapsed().as_nanos() as u64);
             p.exit_loop(prev);
         }
-        let first_err = d.err.lock().unwrap().take();
+        let first_err = lock_clean(&d.err).take();
         match first_err {
             Some(e) => Err(e),
             None => Ok(()),
@@ -260,9 +260,7 @@ impl Vm {
         if record {
             // One vector per dynamic entry, partial on error (matching the
             // iterations that actually ran).
-            self.iter_trace
-                .lock()
-                .unwrap()
+            lock_clean(&self.iter_trace)
                 .entry(id)
                 .or_default()
                 .push(costs);
@@ -483,6 +481,7 @@ impl Vm {
             ret_pc: None,
             saved_base: ctx.frame_base,
             saved_sp: ctx.sp,
+            saved_rbase: ctx.reg_base,
         });
         let v = self.exec(ctx, entry, obs)?;
         debug_assert!(v.is_none(), "loop body regions return no value");

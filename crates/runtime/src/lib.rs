@@ -46,20 +46,23 @@
 //! ```
 
 pub mod alloc;
+pub mod backend;
 pub mod exec;
 pub mod mem;
 pub mod observer;
 pub mod pool;
 pub mod privatize;
 pub mod prof;
+pub mod regvm;
 pub mod taskpool;
 pub mod tracebuf;
 pub mod vm;
 
 pub use alloc::{Allocation, Heap, HeapContention};
+pub use backend::BackendKind;
 pub use mem::{FirstFitHeap, SharedMem};
 pub use observer::{NullObserver, Observer};
-pub use pool::{DoallSchedule, ExecBackend, PoolStats};
+pub use pool::{DoallSchedule, PoolStats, ThreadMode};
 pub use prof::{class_of, LoopProfile, OpClass, Pow2Hist, CLASS_NAMES, NCLASS, SERIAL_LOOP};
 pub use taskpool::{TaskPool, TaskPoolStats};
 pub use tracebuf::{EventBuf, EventKind, TraceEvent, TraceSink, HEAP_TID};

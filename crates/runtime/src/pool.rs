@@ -48,7 +48,7 @@ pub enum DoallSchedule {
 
 /// How parallel loops acquire their worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecBackend {
+pub enum ThreadMode {
     /// Persistent pool: threads spawned once per run, parked between
     /// loops (the default).
     Pool,

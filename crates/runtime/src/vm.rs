@@ -6,9 +6,10 @@
 //! loop regions are driven by the executor in [`crate::exec`].
 
 use crate::alloc::HeapContention;
+use crate::backend::{BackendKind, ExecBackend, RegBackend, StackBackend};
 use crate::mem::{sign_extend, Heap, SharedMem};
 use crate::observer::Observer;
-use crate::pool::{DoallSchedule, ExecBackend, PoolState, PoolStats};
+use crate::pool::{DoallSchedule, PoolState, PoolStats, ThreadMode};
 use crate::privatize::PrivCopy;
 use crate::prof::{class_of, LoopProf, LoopProfile, ProfState};
 use crate::tracebuf::{EventBuf, EventKind, TraceEvent, TraceSink};
@@ -30,26 +31,44 @@ pub enum Value {
 }
 
 impl Value {
-    /// The integer payload.
+    /// The integer payload, or `None` if the value is a float.
     ///
-    /// # Panics
-    ///
-    /// Panics if the value is a float (indicates a lowering bug; the VM
-    /// traps before this can be reached from user programs).
-    pub fn as_i(self) -> i64 {
+    /// Int/float confusion indicates a lowering bug; the VM surfaces it as
+    /// a *trap* (`type confusion`), never a panic — a bad request must not
+    /// take down a long-running `dsed` worker or poison the VM's mutexes.
+    pub fn as_i(self) -> Option<i64> {
         match self {
-            Value::I(v) => v,
-            Value::F(v) => panic!("expected integer value, got float {v}"),
+            Value::I(v) => Some(v),
+            Value::F(_) => None,
         }
     }
 
-    /// The float payload (see [`Value::as_i`] for panics).
-    pub fn as_f(self) -> f64 {
+    /// The float payload, or `None` if the value is an integer (see
+    /// [`Value::as_i`]).
+    pub fn as_f(self) -> Option<f64> {
         match self {
-            Value::F(v) => v,
-            Value::I(v) => panic!("expected float value, got integer {v}"),
+            Value::F(v) => Some(v),
+            Value::I(_) => None,
         }
     }
+
+    /// The raw bit pattern of the payload (the register backend's untagged
+    /// representation: floats as IEEE bits, integers as two's complement).
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::I(v) => v as u64,
+            Value::F(v) => v.to_bits(),
+        }
+    }
+}
+
+/// Locks a mutex, recovering the data if a previous holder panicked. All
+/// VM-owned locks guard plain data (output vectors, maps) whose invariants
+/// hold between mutations, so a poisoned lock is safe to clear — and a
+/// panicking worker must not make every later request on a shared `Vm` or
+/// daemon fail with a `PoisonError`.
+pub(crate) fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// Per-thread cost counters, in the categories of the paper's Figure 12.
@@ -182,7 +201,13 @@ pub struct VmConfig {
     pub record_iteration_costs: bool,
     /// Worker-thread acquisition: persistent pool (default) or fresh
     /// scoped threads per loop (the dispatch-latency baseline).
-    pub exec_backend: ExecBackend,
+    pub thread_mode: ThreadMode,
+    /// Instruction encoding/interpreter the run executes with: the
+    /// reference stack interpreter or the register backend with threaded
+    /// dispatch (see [`crate::backend`]). Defaults from the
+    /// `DSE_EXEC_BACKEND` environment variable (`stack`/`reg`), falling
+    /// back to `Stack`.
+    pub backend: BackendKind,
     /// DOALL iteration division: work stealing (default) or the static
     /// one-chunk-per-worker split (the imbalance baseline).
     pub doall_schedule: DoallSchedule,
@@ -210,7 +235,8 @@ impl Default for VmConfig {
             max_instructions: u64::MAX,
             priv_commit: true,
             record_iteration_costs: false,
-            exec_backend: ExecBackend::Pool,
+            thread_mode: ThreadMode::Pool,
+            backend: BackendKind::from_env(),
             doall_schedule: DoallSchedule::Stealing,
             trace: false,
             trace_capacity: 8192,
@@ -272,10 +298,14 @@ impl Backoff {
 }
 
 pub(crate) struct Frame {
-    /// Return pc; `None` marks a region/toplevel sentinel.
+    /// Return pc (stack or register pc, per the executing backend); `None`
+    /// marks a region/toplevel sentinel.
     pub ret_pc: Option<u32>,
     pub saved_base: u64,
     pub saved_sp: u64,
+    /// Caller's register-window base (register backend only; the stack
+    /// backend stores the current base and never reads it back).
+    pub saved_rbase: usize,
 }
 
 /// Per-thread execution state.
@@ -307,6 +337,12 @@ pub struct ThreadCtx {
     /// Opcode profiler state (present iff profiling is on). Boxed so the
     /// common disabled case is one null check on the dispatch path.
     pub(crate) prof: Option<Box<ProfState>>,
+    /// Register file for the register backend (empty under the stack
+    /// backend). Grows monotonically; iteration frames reuse it without
+    /// clearing.
+    pub(crate) regs: Vec<u64>,
+    /// Base of the current register window in `regs`.
+    pub(crate) reg_base: usize,
 }
 
 impl ThreadCtx {
@@ -329,6 +365,8 @@ impl ThreadCtx {
             counters: Counters::default(),
             trace: None,
             prof: None,
+            regs: Vec::new(),
+            reg_base: 0,
         }
     }
 
@@ -358,6 +396,7 @@ impl ThreadCtx {
         self.post_mark = None;
         self.posted = false;
         self.in_parallel = true;
+        self.reg_base = 0;
         debug_assert!(self.priv_map.is_empty(), "private copies leaked a loop");
     }
 }
@@ -429,6 +468,10 @@ pub struct Vm {
     /// Merged opcode profiles (present iff [`VmConfig::opcode_profile`]);
     /// threads flush their local maps here once per dispatch.
     prof: Option<Mutex<HashMap<u32, LoopProf>>>,
+    /// The execution backend every thread dispatches through (stack
+    /// reference interpreter, or register interpreter with threaded
+    /// dispatch).
+    backend: Arc<dyn ExecBackend>,
 }
 
 impl Vm {
@@ -440,7 +483,47 @@ impl Vm {
     ///
     /// Returns a [`VmError`] if the memory is too small for the layout.
     pub fn new(program: CompiledProgram, config: VmConfig) -> Result<Vm, VmError> {
+        Vm::build(program, config, None)
+    }
+
+    /// Like [`Vm::new`], but executes with the register backend using an
+    /// already-translated `reg` module (e.g. from the pipeline's cached
+    /// `reglower` phase) instead of translating here. Forces
+    /// [`VmConfig::backend`] to [`BackendKind::Reg`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VmError`] if the memory is too small for the layout.
+    pub fn with_reg(
+        program: CompiledProgram,
+        reg: Arc<dse_ir::RegProgram>,
+        mut config: VmConfig,
+    ) -> Result<Vm, VmError> {
+        config.backend = BackendKind::Reg;
+        Vm::build(program, config, Some(reg))
+    }
+
+    fn build(
+        program: CompiledProgram,
+        config: VmConfig,
+        reg: Option<Arc<dse_ir::RegProgram>>,
+    ) -> Result<Vm, VmError> {
         assert!(config.nthreads >= 1, "nthreads must be at least 1");
+        let backend: Arc<dyn ExecBackend> = match config.backend {
+            BackendKind::Stack => Arc::new(StackBackend),
+            BackendKind::Reg => {
+                let rp = match reg {
+                    Some(rp) => rp,
+                    None => Arc::new(dse_ir::regcode::translate(&program).map_err(|e| {
+                        VmError::new(
+                            e.pc as usize,
+                            format!("register lowering failed: {}", e.msg),
+                        )
+                    })?),
+                };
+                Arc::new(RegBackend::new(rp))
+            }
+        };
         let globals_end = GLOBAL_BASE + program.globals_size;
         let stacks_base = dse_lang::types::round_up(globals_end, 4096);
         let heap_base = stacks_base + config.nthreads as u64 * config.stack_bytes;
@@ -462,7 +545,7 @@ impl Vm {
             }
         }
         let nthreads = config.nthreads as usize;
-        let pool = (config.nthreads > 1 && config.exec_backend == ExecBackend::Pool)
+        let pool = (config.nthreads > 1 && config.thread_mode == ThreadMode::Pool)
             .then(|| PoolState::new(config.nthreads, stacks_base, config.stack_bytes));
         let trace = config.trace.then(TraceSink::new);
         if let Some(sink) = &trace {
@@ -483,7 +566,13 @@ impl Vm {
             iter_trace: Mutex::new(HashMap::new()),
             trace,
             prof,
+            backend,
         })
+    }
+
+    /// Which execution backend this VM dispatches through.
+    pub fn backend_kind(&self) -> BackendKind {
+        self.config.backend
     }
 
     /// The executor pool state, when this run is pool-backed.
@@ -522,7 +611,7 @@ impl Vm {
             sink.absorb(buf);
         }
         if let (Some(map), Some(p)) = (&self.prof, ctx.prof.as_deref_mut()) {
-            p.flush_into(&mut map.lock().unwrap());
+            p.flush_into(&mut lock_clean(map));
         }
     }
 
@@ -583,6 +672,7 @@ impl Vm {
             ret_pc: None,
             saved_base: ctx.frame_base,
             saved_sp: ctx.sp,
+            saved_rbase: ctx.reg_base,
         });
         ctx.frame_base = ctx.sp;
         ctx.sp += fsize;
@@ -639,7 +729,7 @@ impl Vm {
     /// [`VmConfig::record_iteration_costs`]: for each candidate loop id,
     /// one vector of iteration costs per dynamic entry of the loop.
     pub fn iteration_costs(&self) -> HashMap<u32, Vec<Vec<IterCost>>> {
-        self.iter_trace.lock().unwrap().clone()
+        lock_clean(&self.iter_trace).clone()
     }
 
     /// Takes the run's trace: events sorted by start time, plus the total
@@ -659,7 +749,7 @@ impl Vm {
         let Some(map) = &self.prof else {
             return Vec::new();
         };
-        let map = map.lock().unwrap();
+        let map = lock_clean(map);
         let mut out: Vec<LoopProfile> = map
             .iter()
             .map(|(&loop_id, p)| LoopProfile {
@@ -682,23 +772,37 @@ impl Vm {
 
     /// Integer outputs produced via `out_long`.
     pub fn outputs_int(&self) -> Vec<i64> {
-        self.outputs_int.lock().unwrap().clone()
+        lock_clean(&self.outputs_int).clone()
     }
 
     /// Float outputs produced via `out_float`.
     pub fn outputs_float(&self) -> Vec<f64> {
-        self.outputs_float.lock().unwrap().clone()
+        lock_clean(&self.outputs_float).clone()
     }
 
     /// Console text produced via `print_long`/`print_float`.
     pub fn console(&self) -> String {
-        self.console.lock().unwrap().clone()
+        lock_clean(&self.console).clone()
     }
 
-    /// Executes bytecode starting at `entry` until the current sentinel
-    /// frame returns. Returns `main`-style return value if one is on the
-    /// operand stack.
+    /// Executes code starting at stack-bytecode pc `entry` until the
+    /// current sentinel frame returns, dispatching through the configured
+    /// [`ExecBackend`]. Returns the `main`-style return value if one is
+    /// produced.
     pub(crate) fn exec(
+        &self,
+        ctx: &mut ThreadCtx,
+        entry: u32,
+        obs: &mut dyn Observer,
+    ) -> Result<Option<Value>, VmError> {
+        // No Arc::clone here: this runs once per loop iteration, and a
+        // refcount bump is a contended atomic RMW across all workers.
+        self.backend.exec(self, ctx, entry, obs)
+    }
+
+    /// The reference stack interpreter: executes stack bytecode starting
+    /// at `entry` until the current sentinel frame returns.
+    pub(crate) fn exec_stack(
         &self,
         ctx: &mut ThreadCtx,
         entry: u32,
@@ -1008,6 +1112,7 @@ impl Vm {
                         ret_pc: Some(pc as u32 + 1),
                         saved_base: ctx.frame_base,
                         saved_sp: ctx.sp,
+                        saved_rbase: ctx.reg_base,
                     });
                     ctx.frame_base = new_base;
                     ctx.sp = new_sp;
@@ -1147,7 +1252,7 @@ impl Vm {
         ctx.posted = true;
     }
 
-    fn call_builtin(
+    pub(crate) fn call_builtin(
         &self,
         b: Builtin,
         ctx: &mut ThreadCtx,
@@ -1335,21 +1440,21 @@ impl Vm {
             }
             Builtin::OutLong => {
                 let v = pop_i!();
-                self.outputs_int.lock().unwrap().push(v);
+                lock_clean(&self.outputs_int).push(v);
             }
             Builtin::OutFloat => {
                 let v = pop_f!();
-                self.outputs_float.lock().unwrap().push(v);
+                lock_clean(&self.outputs_float).push(v);
             }
             Builtin::PrintLong => {
                 let v = pop_i!();
                 use std::fmt::Write as _;
-                let _ = writeln!(self.console.lock().unwrap(), "{v}");
+                let _ = writeln!(lock_clean(&self.console), "{v}");
             }
             Builtin::PrintFloat => {
                 let v = pop_f!();
                 use std::fmt::Write as _;
-                let _ = writeln!(self.console.lock().unwrap(), "{v}");
+                let _ = writeln!(lock_clean(&self.console), "{v}");
             }
             Builtin::Fsqrt => {
                 let v = pop_f!();
@@ -1387,7 +1492,7 @@ impl Vm {
     }
 }
 
-fn cmp_result(op: CmpOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn cmp_result(op: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match op {
         CmpOp::Eq => ord == Equal,

@@ -1,0 +1,157 @@
+//! Regression tests for the execution-backend split: type-confused
+//! bytecode must *trap*, not panic, and a trapped run must leave the VM
+//! usable (outputs readable, reruns possible) under both backends.
+
+use dse_ir::bytecode::Instr;
+use dse_ir::lower::LowerOptions;
+use dse_runtime::{BackendKind, Vm, VmConfig};
+
+fn compile(src: &str) -> dse_ir::bytecode::CompiledProgram {
+    let ast = dse_lang::compile_to_ast(src).expect("frontend");
+    dse_ir::lower_program(&ast, &LowerOptions::default()).expect("lowering")
+}
+
+fn cfg(backend: BackendKind) -> VmConfig {
+    VmConfig {
+        backend,
+        ..Default::default()
+    }
+}
+
+/// A sound lowering never emits this shape; it models a lowering bug (or a
+/// hostile daemon request): an integer add whose left operand is a float.
+fn type_confused_program() -> dse_ir::bytecode::CompiledProgram {
+    let mut prog = compile("int main() { return 1 + 2; }");
+    let pc = prog
+        .code
+        .iter()
+        .position(|i| matches!(i, Instr::PushI(1)))
+        .expect("PushI(1) in reference encoding");
+    prog.code[pc] = Instr::PushF(1.5);
+    prog
+}
+
+#[test]
+fn type_confused_bytecode_traps_on_stack_backend() {
+    let mut vm = Vm::new(type_confused_program(), cfg(BackendKind::Stack)).expect("vm");
+    let err = vm.run().expect_err("must trap, not panic");
+    assert!(
+        err.to_string().contains("type confusion"),
+        "wrong trap: {err}"
+    );
+}
+
+#[test]
+fn type_confused_bytecode_is_rejected_by_register_lowering() {
+    // The register translator types every stack slot; a float flowing into
+    // an integer op is a join/operand mismatch, reported as a construction
+    // error — never a panic inside the daemon.
+    let err = Vm::new(type_confused_program(), cfg(BackendKind::Reg))
+        .err()
+        .expect("register lowering must reject type-confused bytecode");
+    assert!(
+        err.to_string().contains("register lowering failed"),
+        "wrong error: {err}"
+    );
+}
+
+#[test]
+fn type_confused_store_traps_on_stack_backend() {
+    // Store a float through an int-typed store: `is_float: false` with a
+    // float on top of the operand stack.
+    let mut prog = compile("int main() { int x = 7; return x; }");
+    let pc = prog
+        .code
+        .iter()
+        .position(|i| matches!(i, Instr::PushI(7)))
+        .expect("PushI(7) in reference encoding");
+    prog.code[pc] = Instr::PushF(7.0);
+    let mut vm = Vm::new(prog, cfg(BackendKind::Stack)).expect("vm");
+    let err = vm.run().expect_err("must trap, not panic");
+    assert!(
+        err.to_string().contains("type confusion"),
+        "wrong trap: {err}"
+    );
+}
+
+#[test]
+fn trapped_run_leaves_vm_usable() {
+    // The program emits output, then traps. Partial outputs must stay
+    // readable (the accessors recover poisoned locks) and a rerun must
+    // reach the same trap instead of wedging or panicking.
+    let src = r#"
+        int main() {
+            int z = in_long(0);
+            out_long(41);
+            print_long(99);
+            return 5 / z;
+        }
+    "#;
+    for backend in [BackendKind::Stack, BackendKind::Reg] {
+        let mut config = cfg(backend);
+        config.inputs_int = vec![0];
+        let mut vm = Vm::new(compile(src), config).expect("vm");
+        let err = vm.run().expect_err("division by zero must trap");
+        assert!(
+            err.to_string().contains("division by zero"),
+            "{:?}: wrong trap: {err}",
+            backend
+        );
+        assert_eq!(vm.outputs_int(), vec![41], "{backend:?}");
+        assert!(vm.console().contains("99"), "{backend:?}");
+        let again = vm.run().expect_err("rerun must trap identically");
+        assert_eq!(err.to_string(), again.to_string(), "{backend:?}");
+        // Outputs accumulate across runs; the second one appended too.
+        assert_eq!(vm.outputs_int(), vec![41, 41], "{backend:?}");
+    }
+}
+
+#[test]
+fn both_backends_report_the_same_trap_pc() {
+    // Register traps are mapped back through the origin table, so a trap
+    // reports the *stack* pc regardless of backend — the daemon's error
+    // messages (and site attribution) stay backend-independent.
+    let src = r#"
+        int main() {
+            return in_long(0) / in_long(1);
+        }
+    "#;
+    let mut errs = Vec::new();
+    for backend in [BackendKind::Stack, BackendKind::Reg] {
+        let mut config = cfg(backend);
+        config.inputs_int = vec![i64::MIN, -1];
+        let mut vm = Vm::new(compile(src), config).expect("vm");
+        errs.push(vm.run().expect_err("overflow must trap").to_string());
+    }
+    assert_eq!(errs[0], errs[1]);
+}
+
+#[test]
+fn env_selects_the_register_backend() {
+    assert_eq!(BackendKind::parse("reg"), Some(BackendKind::Reg));
+    assert_eq!(BackendKind::parse("register"), Some(BackendKind::Reg));
+    assert_eq!(BackendKind::parse("stack"), Some(BackendKind::Stack));
+    assert_eq!(BackendKind::parse("asm"), None);
+}
+
+#[test]
+fn register_backend_matches_stack_on_a_recursive_workload() {
+    let src = r#"
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            out_long(fib(20));
+            return 0;
+        }
+    "#;
+    let mut outs = Vec::new();
+    for backend in [BackendKind::Stack, BackendKind::Reg] {
+        let mut vm = Vm::new(compile(src), cfg(backend)).expect("vm");
+        vm.run().expect("run");
+        outs.push(vm.outputs_int());
+    }
+    assert_eq!(outs[0], vec![6765]);
+    assert_eq!(outs[0], outs[1]);
+}

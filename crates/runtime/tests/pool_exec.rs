@@ -6,7 +6,7 @@
 use dse_ir::bytecode::CompiledProgram;
 use dse_ir::loops::ParMode;
 use dse_ir::lower::{LowerMode, LowerOptions, ParLoopSpec};
-use dse_runtime::{DoallSchedule, ExecBackend, RunReport, Value, Vm, VmConfig};
+use dse_runtime::{DoallSchedule, RunReport, ThreadMode, Value, Vm, VmConfig};
 
 /// Compiles `src` with every candidate loop parallelized in `mode`.
 fn compile_parallel(src: &str, mode: ParMode) -> CompiledProgram {
@@ -71,12 +71,12 @@ fn awkward_ranges_execute_exactly_once() {
         let src = coverage_src(iters);
         for &(mode, schedule) in cases {
             let compiled = compile_parallel(&src, mode);
-            for backend in [ExecBackend::Pool, ExecBackend::SpawnPerLoop] {
+            for backend in [ThreadMode::Pool, ThreadMode::SpawnPerLoop] {
                 let (bad, report) = run_compiled(
                     compiled.clone(),
                     VmConfig {
                         nthreads: 8,
-                        exec_backend: backend,
+                        thread_mode: backend,
                         doall_schedule: schedule,
                         ..Default::default()
                     },
@@ -85,7 +85,7 @@ fn awkward_ranges_execute_exactly_once() {
                     bad, 0,
                     "coverage violated: {iters} iters, {mode:?}/{schedule:?}/{backend:?}"
                 );
-                if backend == ExecBackend::SpawnPerLoop {
+                if backend == ThreadMode::SpawnPerLoop {
                     assert_eq!(report.pool.workers, 0, "baseline backend has no pool");
                     assert_eq!(report.pool.dispatches, 0);
                 }

@@ -17,6 +17,7 @@
 //! a daemon-side path (`path`); inline wins when both are present.
 
 use dse_core::{CacheOutcome, OptLevel, PhaseOutcome, Trace};
+use dse_runtime::BackendKind;
 use dse_telemetry::metrics::{server_from_json, server_to_json};
 use dse_telemetry::{Json, ServerStats};
 
@@ -89,6 +90,9 @@ pub struct Request {
     pub strict: bool,
     /// Integer inputs (profiling and execution).
     pub inputs: Vec<i64>,
+    /// Execution backend for `run` (`"stack"` or `"reg"` on the wire;
+    /// absent means stack).
+    pub exec_backend: BackendKind,
 }
 
 impl Request {
@@ -105,6 +109,7 @@ impl Request {
             serial: false,
             strict: false,
             inputs: Vec::new(),
+            exec_backend: BackendKind::Stack,
         }
     }
 
@@ -125,6 +130,7 @@ impl Request {
         pairs.push(("baseline", Json::Bool(self.baseline)));
         pairs.push(("serial", Json::Bool(self.serial)));
         pairs.push(("strict", Json::Bool(self.strict)));
+        pairs.push(("exec_backend", Json::Str(self.exec_backend.name().into())));
         pairs.push((
             "in",
             Json::Arr(self.inputs.iter().map(|&n| Json::Int(n)).collect()),
@@ -153,6 +159,10 @@ impl Request {
         r.baseline = j.get("baseline").and_then(Json::as_bool).unwrap_or(false);
         r.serial = j.get("serial").and_then(Json::as_bool).unwrap_or(false);
         r.strict = j.get("strict").and_then(Json::as_bool).unwrap_or(false);
+        if let Some(b) = j.get("exec_backend").and_then(Json::as_str) {
+            r.exec_backend =
+                BackendKind::parse(b).ok_or_else(|| format!("unknown exec_backend `{b}`"))?;
+        }
         if let Some(arr) = j.get("in").and_then(Json::as_arr) {
             r.inputs = arr.iter().filter_map(Json::as_i64).collect();
         }

@@ -243,14 +243,26 @@ impl Server {
                 Some(t) => (t.transformed.parallel.clone(), req.threads),
                 None => (art.analysis.serial.clone(), 1),
             };
-            let run = Vm::new(
-                compiled,
-                VmConfig {
-                    nthreads,
-                    inputs_int: req.inputs.clone(),
-                    ..Default::default()
-                },
-            )
+            let run_cfg = VmConfig {
+                nthreads,
+                inputs_int: req.inputs.clone(),
+                backend: req.exec_backend,
+                ..Default::default()
+            };
+            // The register lowering is one more cached phase: a daemon
+            // serving the same program repeatedly translates it once, and
+            // a lowering bug surfaces as a failed response — never a
+            // daemon panic.
+            let run = match req.exec_backend {
+                dse_runtime::BackendKind::Stack => Vm::new(compiled, run_cfg),
+                dse_runtime::BackendKind::Reg => pipeline
+                    .reglower(&compiled, &mut trace)
+                    .map_err(|e| dse_runtime::VmError {
+                        pc: 0,
+                        msg: e.to_string(),
+                    })
+                    .and_then(|r| Vm::with_reg(compiled, std::sync::Arc::clone(&r.reg), run_cfg)),
+            }
             .and_then(|mut vm| vm.run().map(|report| (vm, report)));
             match run {
                 Ok((vm, report)) => {

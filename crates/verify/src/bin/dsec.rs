@@ -61,7 +61,7 @@
 //! where the same cache is shared across *processes and requests*.
 
 use dse_core::{Analysis, ArtifactStore, OptLevel, Pipeline, Trace, TransformArt};
-use dse_runtime::{Vm, VmConfig};
+use dse_runtime::{BackendKind, Vm, VmConfig};
 use dse_telemetry::{Json, LintStats, RunMetrics, TraceObserver};
 use dse_verify::diag::Severity;
 use std::io::Write;
@@ -85,6 +85,7 @@ struct Opts {
     metrics: Option<String>,
     inputs: Vec<i64>,
     daemon: Option<String>,
+    backend: BackendKind,
 }
 
 /// A drive failure, split by which exit code it maps to.
@@ -99,12 +100,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
          [--baseline] [--emit source|report|ddg|bytecode|trace|chrome-trace|flamegraph] \
-         [--run] [--serial] \
+         [--run] [--serial] [--exec-backend stack|reg] \
          [--timing] [--metrics <path|->] [--in 1,2,3] [--daemon <socket>]\n\
          \x20      dsec check <program.cee> [--strict] [--json] [--threads N] \
          [--opt none|noconst|full] [--in 1,2,3] [--daemon <socket>]\n\
          \x20      dsec profile <program.cee> [--threads N] \
-         [--opt none|noconst|full] [--in 1,2,3]"
+         [--opt none|noconst|full] [--exec-backend stack|reg] [--in 1,2,3]"
     );
     std::process::exit(EXIT_USAGE as i32)
 }
@@ -146,6 +147,8 @@ fn parse_opts(args: &[String]) -> Opts {
         metrics: None,
         inputs: Vec::new(),
         daemon: None,
+        // `--exec-backend` overrides; otherwise DSE_EXEC_BACKEND decides.
+        backend: BackendKind::from_env(),
     };
     let mut args = args.iter();
     while let Some(a) = args.next() {
@@ -183,6 +186,12 @@ fn parse_opts(args: &[String]) -> Opts {
             "--timing" => o.timing = true,
             "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage()).clone()),
             "--in" => o.inputs = parse_inputs(args.next().unwrap_or_else(|| usage())),
+            "--exec-backend" => {
+                o.backend = args
+                    .next()
+                    .and_then(|s| BackendKind::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
             "--daemon" => o.daemon = Some(args.next().unwrap_or_else(|| usage()).clone()),
             "--help" | "-h" => usage(),
             other if o.path.is_empty() && !other.starts_with('-') => o.path = other.to_string(),
@@ -356,6 +365,29 @@ fn verify_transform(
     Ok(stats)
 }
 
+/// Builds a VM honoring the requested execution backend. The register
+/// lowering runs as a cached pipeline phase ("reglower"), so repeated
+/// drives of the same bytecode share one translation.
+fn make_vm(
+    pipeline: &Pipeline,
+    backend: BackendKind,
+    compiled: dse_ir::bytecode::CompiledProgram,
+    mut config: VmConfig,
+    trace: &mut Trace,
+) -> Result<Vm, Fail> {
+    config.backend = backend;
+    match backend {
+        BackendKind::Stack => Vm::new(compiled, config),
+        BackendKind::Reg => {
+            let art = pipeline
+                .reglower(&compiled, trace)
+                .map_err(|e| Fail::Other(e.to_string()))?;
+            Vm::with_reg(compiled, Arc::clone(&art.reg), config)
+        }
+    }
+    .map_err(|e| Fail::Other(e.to_string()))
+}
+
 fn drive(o: &Opts) -> Result<ExitCode, Fail> {
     let source =
         std::fs::read_to_string(&o.path).map_err(|e| Fail::Io(format!("{}: {e}", o.path)))?;
@@ -469,7 +501,9 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                     .as_ref()
                     .expect("transform computed above")
                     .transformed;
-                let mut vm = Vm::new(
+                let mut vm = make_vm(
+                    &pipeline,
+                    o.backend,
                     t.parallel.clone(),
                     VmConfig {
                         nthreads: o.threads,
@@ -477,8 +511,8 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                         trace: true,
                         ..Default::default()
                     },
-                )
-                .map_err(|e| Fail::Other(e.to_string()))?;
+                    &mut trace,
+                )?;
                 vm.run().map_err(|e| Fail::Other(e.to_string()))?;
                 let (mut events, dropped) = vm.take_trace();
                 if emit == "flamegraph" {
@@ -531,15 +565,17 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                 .clone()
         };
         let n = if o.serial { 1 } else { o.threads };
-        let mut vm = Vm::new(
+        let mut vm = make_vm(
+            &pipeline,
+            o.backend,
             compiled,
             VmConfig {
                 nthreads: n,
                 inputs_int: o.inputs.clone(),
                 ..Default::default()
             },
-        )
-        .map_err(|e| Fail::Other(e.to_string()))?;
+            &mut trace,
+        )?;
         let report = vm.run().map_err(|e| Fail::Other(e.to_string()))?;
         print!("{}", vm.console());
         let outs = vm.outputs_int();
@@ -636,6 +672,7 @@ fn profile_main(args: &[String]) -> ExitCode {
     let mut threads: u32 = 4;
     let mut opt = OptLevel::Full;
     let mut inputs: Vec<i64> = Vec::new();
+    let mut backend = BackendKind::from_env();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -647,6 +684,12 @@ fn profile_main(args: &[String]) -> ExitCode {
             }
             "--opt" => opt = parse_opt_level(it.next().map(String::as_str)),
             "--in" => inputs = parse_inputs(it.next().unwrap_or_else(|| usage())),
+            "--exec-backend" => {
+                backend = it
+                    .next()
+                    .and_then(|s| BackendKind::parse(s))
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
             _ => usage(),
@@ -655,7 +698,7 @@ fn profile_main(args: &[String]) -> ExitCode {
     if path.is_empty() {
         usage();
     }
-    match profile_drive(&path, threads, opt, inputs) {
+    match profile_drive(&path, threads, opt, inputs, backend) {
         Ok(code) => code,
         Err(Fail::Io(msg)) => {
             eprintln!("dsec: {msg}");
@@ -673,6 +716,7 @@ fn profile_drive(
     threads: u32,
     opt: OptLevel,
     inputs: Vec<i64>,
+    backend: BackendKind,
 ) -> Result<ExitCode, Fail> {
     let source = std::fs::read_to_string(path).map_err(|e| Fail::Io(format!("{path}: {e}")))?;
     let cfg = VmConfig {
@@ -690,7 +734,9 @@ fn profile_drive(
         .map_err(|e| Fail::Other(e.to_string()))?;
     verify_transform(&store, &art.analysis, &t, path, &mut trace)?;
     let prog = &t.transformed.parallel;
-    let mut vm = Vm::new(
+    let mut vm = make_vm(
+        &pipeline,
+        backend,
         prog.clone(),
         VmConfig {
             nthreads: threads,
@@ -698,8 +744,8 @@ fn profile_drive(
             opcode_profile: true,
             ..Default::default()
         },
-    )
-    .map_err(|e| Fail::Other(e.to_string()))?;
+        &mut trace,
+    )?;
     vm.run().map_err(|e| Fail::Other(e.to_string()))?;
     print!("{}", render_profile(&vm.opcode_profile(), prog));
     Ok(ExitCode::SUCCESS)
@@ -795,6 +841,7 @@ fn daemon_drive(o: &Opts, sock: &str) -> Result<ExitCode, Fail> {
         ("opt", Json::Str(opt_name(o.opt).into())),
         ("baseline", Json::Bool(o.baseline)),
         ("serial", Json::Bool(o.serial)),
+        ("exec_backend", Json::Str(o.backend.name().into())),
         (
             "in",
             Json::Arr(o.inputs.iter().map(|&n| Json::Int(n)).collect()),

@@ -1,0 +1,130 @@
+//! Differential suite: the register backend must be observationally
+//! indistinguishable from the stack reference backend. Every `.cee`
+//! fixture and every benchmark model runs under both backends — serial
+//! and transformed — and all observable state must match exactly:
+//! outputs, console, return value, trap message, and the Figure-12
+//! counter classes that are defined independently of the instruction
+//! encoding (`work` and wait spins/yields legitimately differ — fusion
+//! compresses the register encoding, and spin counts are scheduling
+//! noise).
+
+use dse_core::{Analysis, OptLevel};
+use dse_ir::bytecode::CompiledProgram;
+use dse_runtime::{BackendKind, Vm, VmConfig};
+use dse_workloads::{all, Scale};
+
+#[derive(Debug, PartialEq)]
+struct Observed {
+    return_value: String,
+    trap: Option<String>,
+    outputs_int: Vec<i64>,
+    outputs_float: Vec<f64>,
+    console: String,
+    sync_ops: u64,
+    localize_calls: u64,
+    localize_copied_bytes: u64,
+    private_direct: u64,
+}
+
+fn observe(compiled: &CompiledProgram, mut cfg: VmConfig, backend: BackendKind) -> Observed {
+    cfg.backend = backend;
+    let mut vm = Vm::new(compiled.clone(), cfg)
+        .unwrap_or_else(|e| panic!("{backend:?}: construction failed: {e}"));
+    let res = vm.run();
+    let (return_value, trap, counters) = match res {
+        Ok(report) => (format!("{:?}", report.return_value), None, report.counters),
+        Err(e) => (String::new(), Some(e.to_string()), Default::default()),
+    };
+    Observed {
+        return_value,
+        trap,
+        outputs_int: vm.outputs_int(),
+        outputs_float: vm.outputs_float(),
+        console: vm.console(),
+        sync_ops: counters.sync_ops,
+        localize_calls: counters.localize_calls,
+        localize_copied_bytes: counters.localize_copied_bytes,
+        private_direct: counters.private_direct,
+    }
+}
+
+fn assert_backends_agree(label: &str, compiled: &CompiledProgram, cfg: VmConfig) {
+    let stack = observe(compiled, cfg.clone(), BackendKind::Stack);
+    let reg = observe(compiled, cfg, BackendKind::Reg);
+    assert_eq!(stack, reg, "{label}: backends diverge");
+}
+
+#[test]
+fn cee_fixtures_agree_across_backends() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).expect("examples dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("cee") {
+            continue;
+        }
+        seen += 1;
+        let src = std::fs::read_to_string(&path).expect("fixture");
+        let ast =
+            dse_lang::compile_to_ast(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let compiled = dse_ir::lower_program(&ast, &Default::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // Fixtures that read host inputs get a small deterministic set;
+        // ones that don't simply ignore it.
+        let cfg = VmConfig {
+            inputs_int: vec![7, 3, 11, 5],
+            ..Default::default()
+        };
+        assert_backends_agree(&path.display().to_string(), &compiled, cfg);
+    }
+    assert!(seen >= 2, "expected at least two .cee fixtures, saw {seen}");
+}
+
+#[test]
+fn serial_workloads_agree_across_backends() {
+    for w in all() {
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut cfg = w.vm_config(Scale::Profile);
+        cfg.nthreads = 1;
+        assert_backends_agree(&format!("{} serial", w.name), &analysis.serial, cfg);
+    }
+}
+
+#[test]
+fn transformed_workloads_agree_across_backends() {
+    for w in all() {
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let t = analysis
+            .transform(OptLevel::Full, 4)
+            .unwrap_or_else(|e| panic!("{} transform: {e}", w.name));
+        let mut cfg = w.vm_config(Scale::Profile);
+        cfg.nthreads = 4;
+        assert_backends_agree(&format!("{} full-opt n=4", w.name), &t.parallel, cfg);
+    }
+}
+
+#[test]
+fn baseline_workloads_agree_across_backends() {
+    // The runtime-privatization baseline exercises `Localize` — the one
+    // opcode class the transformed programs don't emit.
+    for w in all() {
+        let analysis = Analysis::from_source(w.source, w.vm_config(Scale::Profile))
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let b = analysis
+            .baseline_parallel(4)
+            .unwrap_or_else(|e| panic!("{} baseline: {e}", w.name));
+        let mut cfg = w.vm_config(Scale::Profile);
+        cfg.nthreads = 4;
+        let mut stack = observe(&b.parallel, cfg.clone(), BackendKind::Stack);
+        let mut reg = observe(&b.parallel, cfg, BackendKind::Reg);
+        // Copy-in bytes count per-*worker* first touches; with the
+        // work-stealing pool, chunk-to-worker assignment is scheduling
+        // noise, so this counter varies run-to-run on a single backend
+        // (verified empirically). Calls stay deterministic and compare.
+        stack.localize_copied_bytes = 0;
+        reg.localize_copied_bytes = 0;
+        assert_eq!(stack, reg, "{} baseline n=4: backends diverge", w.name);
+    }
+}

@@ -103,6 +103,9 @@ fn loops_dominate_runtime_where_paper_says_so() {
         let analysis = analyze(&w);
         let mut cfg = w.vm_config(Scale::Profile);
         cfg.nthreads = 1;
+        // `profile.loops` instruction counts come from the stack-pinned
+        // profiling phase; measure `total` in the same encoding.
+        cfg.backend = dse_runtime::BackendKind::Stack;
         let mut vm = Vm::new(analysis.serial.clone(), cfg).unwrap();
         let total = vm.run().unwrap().counters.work;
         let in_loops: u64 = analysis.profile.loops.iter().map(|l| l.instructions).sum();
@@ -123,6 +126,11 @@ fn expansion_overhead_is_modest_with_optimizations() {
         let analysis = analyze(&w);
         let mut cfg = w.vm_config(Scale::Profile);
         cfg.nthreads = 1;
+        // Overhead ratios are defined in reference-encoding instruction
+        // counts; register fusion compresses base and transformed code by
+        // different factors, so the ratios only mean Figure 9 under the
+        // stack backend.
+        cfg.backend = dse_runtime::BackendKind::Stack;
         let base = {
             let mut vm = Vm::new(analysis.serial.clone(), cfg.clone()).unwrap();
             vm.run().unwrap().counters.work
