@@ -28,10 +28,10 @@ use std::time::Instant;
 /// Document schema identifier; bump on incompatible layout changes.
 const SCHEMA: &str = "dse-bench-trajectory-v1";
 /// The PR this binary's numbers belong to.
-const PR: i64 = 9;
-const DEFAULT_OUT: &str = "BENCH_009.json";
+const PR: i64 = 10;
+const DEFAULT_OUT: &str = "BENCH_010.json";
 /// The previous PR's document, used for the tracing-off overhead gate.
-const PREV_OUT: &str = "BENCH_008.json";
+const PREV_OUT: &str = "BENCH_009.json";
 /// Tracing compiled in but disabled may cost at most this much relative
 /// to the previous PR's recorded dispatch bench. The two numbers come
 /// from different sessions of the same host, and the dispatch bench
@@ -44,6 +44,13 @@ const TRACE_OFF_BUDGET: f64 = 1.15;
 /// Minimum stack-vs-register speedup each hot kernel must show from PR 9
 /// on — the register backend has to earn its keep.
 const REG_SPEEDUP_FLOOR: f64 = 3.0;
+/// Maximum cost of a cold `DSE010`–`DSE015` backend verification relative
+/// to the cold compile pipeline it gates (PR 10 on): the static proof must
+/// stay a rounding error next to the compile it certifies.
+const REGVERIFY_OVERHEAD_BUDGET: f64 = 0.05;
+/// Minimum `regverify` cache-hit ratio a warm daemon must sustain (PR 10
+/// on): re-verifying an unchanged translation is a wasted proof.
+const REGVERIFY_WARM_HIT_FLOOR: f64 = 0.9;
 
 fn samples() -> usize {
     std::env::var("DSE_BENCH_SAMPLES")
@@ -471,6 +478,30 @@ fn validate(text: &str) -> Result<usize, String> {
             }
         }
     }
+    if pr >= 10 {
+        let bench_value = |name: &str| {
+            benches
+                .iter()
+                .find(|b| b.get("name").and_then(Json::as_str) == Some(name))
+                .and_then(|b| b.get("value").and_then(Json::as_f64))
+        };
+        let overhead = bench_value("regverify_overhead_ratio")
+            .ok_or("PR >= 10 must record 'regverify_overhead_ratio'")?;
+        if overhead > REGVERIFY_OVERHEAD_BUDGET {
+            return Err(format!(
+                "cold backend verification costs {overhead:.4} of the cold pipeline, \
+                 over the {REGVERIFY_OVERHEAD_BUDGET} budget"
+            ));
+        }
+        let hit_ratio = bench_value("regverify_warm_hit_ratio")
+            .ok_or("PR >= 10 must record 'regverify_warm_hit_ratio'")?;
+        if hit_ratio < REGVERIFY_WARM_HIT_FLOOR {
+            return Err(format!(
+                "warm regverify hit ratio {hit_ratio:.4} is below the \
+                 {REGVERIFY_WARM_HIT_FLOOR} floor"
+            ));
+        }
+    }
     Ok(benches.len())
 }
 
@@ -499,7 +530,7 @@ fn main() -> ExitCode {
     let mut benches = Vec::new();
 
     // Allocator churn, 8 contending threads: sharded heap vs first-fit.
-    eprintln!("[1/7] alloc churn ({CHURN_THREADS} threads)...");
+    eprintln!("[1/8] alloc churn ({CHURN_THREADS} threads)...");
     let sharded = median_secs(|| {
         let h = Heap::new(0, ARENA);
         churn_mt(&|seed, ops| {
@@ -528,7 +559,7 @@ fn main() -> ExitCode {
     });
 
     // Back-to-back dispatch latency: persistent pool vs spawn-per-loop.
-    eprintln!("[2/7] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
+    eprintln!("[2/8] dispatch latency (200 back-to-back loops, {NTHREADS} threads)...");
     let compiled = compile_parallel(DISPATCH_SRC);
     let mut vm_pool = Vm::new(
         compiled.clone(),
@@ -569,7 +600,7 @@ fn main() -> ExitCode {
 
     // Steal imbalance: modeled makespan (ideal-core finish time) of the
     // skewed workload, static / stealing.
-    eprintln!("[3/7] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
+    eprintln!("[3/8] steal imbalance (skewed DOALL, {NTHREADS} threads)...");
     let skew = compile_parallel(SKEW_SRC);
     let steal_span = skew_makespan(&skew, DoallSchedule::Stealing);
     let static_span = skew_makespan(&skew, DoallSchedule::Static);
@@ -586,7 +617,7 @@ fn main() -> ExitCode {
 
     // The dsed daemon: cold vs warm request latency, throughput at 8
     // concurrent clients, and the warm cache-hit ratio.
-    eprintln!("[4/7] daemon latency and throughput ({DAEMON_CLIENTS} clients)...");
+    eprintln!("[4/8] daemon latency and throughput ({DAEMON_CLIENTS} clients)...");
     let cold = daemon_cold_secs();
     let server = std::sync::Arc::new(dse_server::Server::new(&dse_server::ServerConfig::default()));
     // Prime the cache, then measure steady state.
@@ -634,7 +665,7 @@ fn main() -> ExitCode {
     // Tracing overhead on the dispatch bench: instruments compiled in but
     // off (this PR's hot path) vs the pre-instrumentation PR 7 number,
     // and the cost of actually turning tracing + profiling on.
-    eprintln!("[5/7] tracing overhead (dispatch_200, {NTHREADS} threads)...");
+    eprintln!("[5/8] tracing overhead (dispatch_200, {NTHREADS} threads)...");
     let trace_off_ms = pool * 1e3;
     let compiled = compile_parallel(DISPATCH_SRC);
     let mut vm_traced = Vm::new(
@@ -699,7 +730,7 @@ fn main() -> ExitCode {
     // Register-backend raw loop throughput: hot serial kernels, stack
     // reference encoding vs fused threaded-dispatch register code.
     eprintln!(
-        "[6/7] register backend loop throughput ({} kernels)...",
+        "[6/8] register backend loop throughput ({} kernels)...",
         REG_KERNELS.len()
     );
     for (name, src) in REG_KERNELS {
@@ -734,9 +765,54 @@ fn main() -> ExitCode {
         });
     }
 
+    // Backend verification (DSE010-DSE015): the cold proof's cost relative
+    // to the cold compile pipeline it gates, and the daemon's `regverify`
+    // cache-hit ratio once warm — re-verifying an unchanged translation
+    // would waste the whole point of keying the proof on the artifact.
+    eprintln!("[7/8] backend verification gate (cold cost, warm hit ratio)...");
+    let compiled = compile_parallel(DAEMON_SRC);
+    let rp = dse_ir::regcode::translate(&compiled).expect("reglower");
+    let verify = median_secs(|| {
+        let report = dse_verify::check_backend(&compiled, &rp);
+        assert_eq!(
+            report.count(dse_verify::diag::Severity::Error),
+            0,
+            "bench program must verify clean"
+        );
+    });
+    benches.push(BenchValue {
+        name: "regverify_cold_ms",
+        unit: "ms",
+        value: verify * 1e3,
+    });
+    benches.push(BenchValue {
+        name: "regverify_overhead_ratio",
+        unit: "ratio",
+        value: verify / cold,
+    });
+    let server = dse_server::Server::new(&dse_server::ServerConfig::default());
+    const REGVERIFY_REQS: usize = 20;
+    for i in 0..REGVERIFY_REQS {
+        let mut req = daemon_request(&format!("rv{i}"), dse_server::Cmd::Run, DAEMON_SRC);
+        req.exec_backend = BackendKind::Reg;
+        let resp = server.handle(&req);
+        assert!(resp.ok, "register-backend run failed: {:?}", resp.error);
+    }
+    let stats = server.stats();
+    let rv = stats
+        .phases
+        .iter()
+        .find(|p| p.phase == "regverify")
+        .expect("daemon records the regverify phase");
+    benches.push(BenchValue {
+        name: "regverify_warm_hit_ratio",
+        unit: "ratio",
+        value: (rv.hits + rv.dedups) as f64 / (rv.hits + rv.dedups + rv.misses).max(1) as f64,
+    });
+
     // Figure 11 (simulated): harmonic-mean total speedup on 8 cores over
     // the full workload suite.
-    eprintln!("[7/7] figure speedups (simulated, 8 cores)...");
+    eprintln!("[8/8] figure speedups (simulated, 8 cores)...");
     let rows = dse_bench::fig11_sim(&dse_workloads::all(), Scale::Profile);
     let hmean = dse_bench::harmonic_mean(rows.iter().map(|r| *r.total.last().unwrap()));
     benches.push(BenchValue {

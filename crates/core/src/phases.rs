@@ -16,6 +16,7 @@
 //! xform    key = H("xform", plan_key)
 //! reglower key = H("reglower", code fingerprint)  (register-backend runs)
 //! verify   key = H("verify", xform_key)           (dse-verify adds this layer)
+//! regverify key = H("regverify", reglower_key)    (backend verification, dse-verify)
 //! ```
 //!
 //! Downstream keys chain through *content* hashes of the upstream
@@ -256,6 +257,9 @@ pub struct RegArt {
     pub reg: Arc<dse_ir::RegProgram>,
     /// The phase's original timing span.
     pub span: PhaseSpan,
+    /// The reglower phase's content key; the backend-verification phase
+    /// (`regverify`, in `dse-verify`) chains its own key through this.
+    pub key: ContentHash,
 }
 
 /// Drives the phase functions through a shared [`ArtifactStore`]. Requests
@@ -386,6 +390,7 @@ impl<'a> Pipeline<'a> {
             Ok::<_, DseError>(RegArt {
                 reg: Arc::new(reg),
                 span: timer.into_spans().remove(0),
+                key,
             })
         })
     }

@@ -61,11 +61,12 @@
 //! backend.
 
 use crate::bytecode::{
-    Builtin, CmpOp, CompiledProgram, FBinOp, IBinOp, Instr, LoopEvent, Pc, RetKind,
+    Builtin, CmpOp, CompiledProgram, FBinOp, FuncInfo, IBinOp, Instr, LoopEvent, Pc, RetKind,
 };
 use crate::sites::{SiteId, NO_SITE};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A register index within the current window (operand-stack depth of the
 /// value in the reference encoding).
@@ -265,7 +266,7 @@ impl fmt::Display for RInstr {
 
 /// A register-translated program, executable by the runtime's register
 /// backend alongside the [`CompiledProgram`] it was derived from.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct RegProgram {
     /// All register instructions; regions are contiguous ranges.
     pub code: Vec<RInstr>,
@@ -277,12 +278,44 @@ pub struct RegProgram {
     /// Upper bound of registers any single window needs; callers grow the
     /// register file to `window_base + frame_regs` at frame entry.
     pub frame_regs: u32,
+    /// The scalar-promotion decisions this translation was emitted under.
+    /// `dse-verify` checks the code against this declared intent *and*
+    /// re-derives the plan from the stack flow to prove the intent itself
+    /// was legal.
+    pub promo: PromotionPlan,
+    /// Set once a static backend verification (DSE010–DSE015) has passed
+    /// over this exact program; the register VM can refuse unverified code
+    /// under `--strict`.
+    verified: AtomicBool,
+}
+
+impl Clone for RegProgram {
+    fn clone(&self) -> RegProgram {
+        RegProgram {
+            code: self.code.clone(),
+            entry_map: self.entry_map.clone(),
+            origin: self.origin.clone(),
+            frame_regs: self.frame_regs,
+            promo: self.promo.clone(),
+            verified: AtomicBool::new(self.verified.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl RegProgram {
     /// The stack pc a register pc was translated from.
     pub fn origin_pc(&self, reg_pc: usize) -> Pc {
         self.origin.get(reg_pc).copied().unwrap_or(reg_pc as Pc)
+    }
+
+    /// Records that a static backend verification passed over this program.
+    pub fn mark_verified(&self) {
+        self.verified.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`RegProgram::mark_verified`] has been called.
+    pub fn is_verified(&self) -> bool {
+        self.verified.load(Ordering::Relaxed)
     }
 }
 
@@ -341,8 +374,10 @@ pub fn builtin_sig(b: Builtin) -> (&'static [bool], Option<bool>) {
 
 /// Static type of one operand-stack slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Ty {
+pub enum Ty {
+    /// 64-bit integer (also addresses and booleans).
     I,
+    /// 64-bit float.
     F,
 }
 
@@ -353,9 +388,11 @@ enum Ty {
 /// frame slot whose address is only ever the direct target of a
 /// `Load`/`Store` can live in a register for the whole function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Slot {
-    ty: Ty,
-    addr_of: Option<u32>,
+pub struct Slot {
+    /// Static type of the value in the slot.
+    pub ty: Ty,
+    /// Frame offset this slot is provably the address of, if any.
+    pub addr_of: Option<u32>,
 }
 
 impl Slot {
@@ -367,16 +404,95 @@ impl Slot {
 type State = Vec<Slot>;
 
 /// `owner[pc]` before any seeded entry's dataflow reaches it.
-const NO_OWNER: u32 = u32::MAX;
+pub const NO_OWNER: u32 = u32::MAX;
 
 /// Width/type signature of the frame accesses seen at one offset.
 /// `shape` collapses to `None` when two accesses disagree (a union-like
 /// reuse of the slot), which disqualifies the offset from promotion;
 /// `max_width` keeps growing either way so overlap checks stay sound.
-#[derive(Clone, Copy)]
-struct AccessShape {
-    shape: Option<(u8, bool)>,
-    max_width: u8,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessShape {
+    /// `(width, is_float)` when every access agrees, `None` otherwise.
+    pub shape: Option<(u8, bool)>,
+    /// Widest access observed, kept for overlap checks even when the
+    /// shape collapsed.
+    pub max_width: u8,
+}
+
+/// The fixed point of the constant-depth/type/provenance dataflow over a
+/// stack program: the invariant base the register translator emits under,
+/// exposed so `dse-verify` can independently re-derive and check it.
+#[derive(Debug, Clone)]
+pub struct StackFlow {
+    /// Per stack pc: `None` when no seeded entry reaches it, otherwise the
+    /// static operand stack (bottom → top).
+    pub states: Vec<Option<Vec<Slot>>>,
+    /// The seeded entry whose dataflow reached each pc: function index, or
+    /// `funcs.len() + i` for the `i`-th outlined parallel body (see
+    /// [`StackFlow::body_loops`]). [`NO_OWNER`] when unreachable.
+    pub owner: Vec<u32>,
+    /// Per owner: scalar promotion is disabled for the region (parallel
+    /// body, aliasing address producers, or a leaked frame address).
+    pub no_promote: Vec<bool>,
+    /// (owner, offset) pairs whose provenance was lost at a control-flow
+    /// join; such offsets never promote.
+    pub demoted: HashSet<(u32, u32)>,
+    /// (owner, offset) → the shape of its direct frame accesses.
+    pub accesses: HashMap<(u32, u32), AccessShape>,
+    /// Loop indices (into `prog.loops`) of the outlined parallel bodies, in
+    /// owner order after the functions.
+    pub body_loops: Vec<u32>,
+}
+
+impl StackFlow {
+    /// Number of seeded regions (functions + outlined parallel bodies).
+    pub fn n_owners(&self) -> usize {
+        self.no_promote.len()
+    }
+
+    /// The function whose frame an owner's direct accesses target: the
+    /// function itself, or the enclosing function of an outlined body.
+    pub fn owner_func<'p>(&self, prog: &'p CompiledProgram, owner: u32) -> Option<&'p FuncInfo> {
+        let nf = prog.funcs.len();
+        if (owner as usize) < nf {
+            return prog.funcs.get(owner as usize);
+        }
+        let li = *self.body_loops.get(owner as usize - nf)?;
+        prog.funcs.get(prog.loops.get(li as usize)?.func as usize)
+    }
+
+    /// Display name for an owner (function name, or ``body of `label`​``).
+    pub fn owner_name(&self, prog: &CompiledProgram, owner: u32) -> String {
+        let nf = prog.funcs.len();
+        if (owner as usize) < nf {
+            return prog.funcs[owner as usize].name.clone();
+        }
+        match self
+            .body_loops
+            .get(owner as usize - nf)
+            .and_then(|&li| prog.loops.get(li as usize))
+        {
+            Some(l) => format!("body of `{}`", l.label),
+            None => format!("owner#{owner}"),
+        }
+    }
+}
+
+/// Scalar-promotion decisions for one translation. Derivable from the
+/// [`StackFlow`] alone via [`promotion_plan`], and recorded on the emitted
+/// [`RegProgram`] so a verifier can check the code against the declared
+/// intent and the intent against the flow.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PromotionPlan {
+    /// Per-owner operand-depth high-water mark: owner `o`'s promoted
+    /// registers start at `maxd[o]`.
+    pub maxd: Vec<u32>,
+    /// (owner, frame offset) → (dedicated register, width, is_float).
+    pub promoted: HashMap<(u32, u32), (Reg, u8, bool)>,
+    /// Per-owner spill list sorted by offset: (register, offset, width,
+    /// is_float) — the exact sequence spilled before and reloaded after
+    /// every call in the region, and loaded in the function prologue.
+    pub spills: Vec<Vec<(Reg, u32, u8, bool)>>,
 }
 
 struct Flow<'p> {
@@ -690,16 +806,126 @@ impl<'p> Flow<'p> {
     }
 }
 
-/// Translates a compiled stack program to register form.
+/// Runs the constant-depth/type/provenance dataflow over a stack program
+/// to its fixed point, seeded with the empty stack at every function entry
+/// and outlined parallel-body entry.
+///
+/// This is the queryable form of the invariant [`translate`] builds on:
+/// the stack verifier re-runs it to prove the depth discipline, and the
+/// translation validator uses its per-pc states and owner map to line
+/// stack blocks up with their register translations.
 ///
 /// # Errors
 ///
-/// Returns a [`RegLowerError`] when the input's operand-stack discipline
-/// cannot be statically proven (see module docs); programs produced by
-/// [`crate::lower_program`] always translate.
+/// Returns a [`RegLowerError`] when the operand-stack discipline cannot be
+/// statically proven: a depth or type mismatch at a control-flow join, an
+/// underflow, an ill-typed operand, control flow past the end of the code,
+/// or a return with more than one operand on the stack.
+pub fn analyze_stack(prog: &CompiledProgram) -> Result<StackFlow, RegLowerError> {
+    let n = prog.code.len();
+    let body_loops: Vec<u32> = prog
+        .loops
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.mode.is_some())
+        .map(|(i, _)| i as u32)
+        .collect();
+    let n_owners = prog.funcs.len() + body_loops.len();
+    let mut flow = Flow {
+        prog,
+        states: vec![None; n],
+        owner: vec![NO_OWNER; n],
+        work: Vec::new(),
+        no_promote: vec![false; n_owners],
+        demoted: HashSet::new(),
+        accesses: HashMap::new(),
+    };
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        flow.seed(f.entry, fi as u32)?;
+    }
+    for (bi, &li) in body_loops.iter().enumerate() {
+        let o = (prog.funcs.len() + bi) as u32;
+        // Outlined parallel bodies run per-iteration on worker threads
+        // against a shared frame; they never promote.
+        flow.no_promote[o as usize] = true;
+        flow.seed(prog.loops[li as usize].body_entry, o)?;
+    }
+    while let Some(pc) = flow.work.pop() {
+        flow.step(pc)?;
+    }
+    Ok(StackFlow {
+        states: flow.states,
+        owner: flow.owner,
+        no_promote: flow.no_promote,
+        demoted: flow.demoted,
+        accesses: flow.accesses,
+        body_loops,
+    })
+}
+
+/// Derives the scalar-promotion decisions from a [`StackFlow`]: a frame
+/// offset is promoted to a dedicated register of its function's window
+/// when every observation is a direct scalar load/store of one consistent
+/// shape, its provenance survives every join, it lies inside the declared
+/// frame, and it overlaps no other direct frame access of the region.
+///
+/// [`translate`] emits under exactly this plan; the verifier re-derives it
+/// to prove a [`RegProgram::promo`] is justified.
+pub fn promotion_plan(prog: &CompiledProgram, flow: &StackFlow) -> PromotionPlan {
+    let n_owners = flow.n_owners();
+    let mut maxd = vec![0u32; n_owners];
+    for (i, st) in flow.states.iter().enumerate() {
+        if let (Some(st), o) = (st, flow.owner[i]) {
+            if o != NO_OWNER {
+                maxd[o as usize] = maxd[o as usize].max(st.len() as u32);
+            }
+        }
+    }
+    let mut promoted: HashMap<(u32, u32), (Reg, u8, bool)> = HashMap::new();
+    let mut spills: Vec<Vec<(Reg, u32, u8, bool)>> = vec![Vec::new(); n_owners];
+    for (fi, f) in prog.funcs.iter().enumerate() {
+        let o = fi as u32;
+        if flow.no_promote[fi] {
+            continue;
+        }
+        let mut cands: Vec<(u32, u8, bool)> = flow
+            .accesses
+            .iter()
+            .filter(|((ow, _), _)| *ow == o)
+            .filter_map(|(&(_, off), a)| {
+                let (w, isf) = a.shape?;
+                let scalar_ok = w == 8 || (!isf && matches!(w, 1 | 2 | 4));
+                let in_frame = off
+                    .checked_add(w as u32)
+                    .is_some_and(|end| end <= f.frame_size);
+                let clean = !flow.demoted.contains(&(o, off));
+                let disjoint = flow.accesses.iter().all(|(&(ow2, off2), a2)| {
+                    ow2 != o
+                        || off2 == off
+                        || off2 >= off + w as u32
+                        || off >= off2 + a2.max_width as u32
+                });
+                (scalar_ok && in_frame && clean && disjoint).then_some((off, w, isf))
+            })
+            .collect();
+        cands.sort_unstable();
+        let base = maxd[fi];
+        for (idx, &(off, w, isf)) in cands.iter().enumerate() {
+            let reg = (base as usize + idx) as Reg;
+            promoted.insert((o, off), (reg, w, isf));
+            spills[fi].push((reg, off, w, isf));
+        }
+    }
+    PromotionPlan {
+        maxd,
+        promoted,
+        spills,
+    }
+}
+
 /// Calls `f` for every register an instruction overwrites (in-place
 /// updates included).
-fn for_each_dst(ins: &RInstr, f: &mut impl FnMut(Reg)) {
+pub fn for_each_dst(ins: &RInstr, f: &mut impl FnMut(Reg)) {
     match *ins {
         RInstr::LdcI { d, .. }
         | RInstr::LdcF { d, .. }
@@ -759,7 +985,7 @@ fn for_each_dst(ins: &RInstr, f: &mut impl FnMut(Reg)) {
 
 /// Calls `f` for every register an instruction reads (in-place operands
 /// and call-convention argument ranges included).
-fn for_each_src(ins: &RInstr, prog: &CompiledProgram, f: &mut impl FnMut(Reg)) {
+pub fn for_each_src(ins: &RInstr, prog: &CompiledProgram, f: &mut impl FnMut(Reg)) {
     match *ins {
         RInstr::Mov { s, .. } => f(s),
         RInstr::TidSpanScaled { d, .. }
@@ -880,7 +1106,7 @@ fn rewrite_srcs(ins: &mut RInstr, m: impl Fn(Reg) -> Reg) {
 
 /// Pure register writes (no memory, no traps, no observer events) that the
 /// coalescer may delete outright when the destination is provably dead.
-fn pure_dst(ins: &RInstr) -> Option<Reg> {
+pub fn pure_dst(ins: &RInstr) -> Option<Reg> {
     match *ins {
         RInstr::LdcI { d, .. }
         | RInstr::LdcF { d, .. }
@@ -1181,98 +1407,35 @@ fn coalesce(
     }
 }
 
+/// Translates a compiled stack program to register form.
+///
+/// # Errors
+///
+/// Returns a [`RegLowerError`] when the input's operand-stack discipline
+/// cannot be statically proven (see [`analyze_stack`]); programs produced
+/// by [`crate::lower_program`] always translate.
 pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
     let code = &prog.code;
     let n = code.len();
-    let body_entries: Vec<Pc> = prog
-        .loops
-        .iter()
-        .filter(|l| l.mode.is_some())
-        .map(|l| l.body_entry)
-        .collect();
-    let n_owners = prog.funcs.len() + body_entries.len();
-    let mut flow = Flow {
-        prog,
-        states: vec![None; n],
-        owner: vec![NO_OWNER; n],
-        work: Vec::new(),
-        no_promote: vec![false; n_owners],
-        demoted: HashSet::new(),
-        accesses: HashMap::new(),
-    };
-    for (fi, f) in prog.funcs.iter().enumerate() {
-        flow.seed(f.entry, fi as u32)?;
-    }
-    for (bi, &entry) in body_entries.iter().enumerate() {
-        let o = (prog.funcs.len() + bi) as u32;
-        // Outlined parallel bodies run per-iteration on worker threads
-        // against a shared frame; they never promote.
-        flow.no_promote[o as usize] = true;
-        flow.seed(entry, o)?;
-    }
-    while let Some(pc) = flow.work.pop() {
-        flow.step(pc)?;
-    }
-    let states = flow.states;
-    let owner = flow.owner;
+    let flow = analyze_stack(prog)?;
+    let n_owners = flow.n_owners();
+    let states = &flow.states;
+    let owner = &flow.owner;
 
     // -- scalar promotion decisions ---------------------------------------
     //
-    // A frame offset is promoted to a dedicated register of its function's
-    // window when every observation of it is a direct scalar Load/Store of
-    // one consistent shape, its address provenance survives every join, it
-    // lies inside the declared frame, and it overlaps no other direct
-    // frame access of the region. The register is loaded from frame memory
-    // once at function entry (zeroed locals read 0, parameters read their
-    // argument), spilled/reloaded around calls (callee register windows
-    // overlap the caller's), and written back never — memory behind a
-    // promoted slot is dead by construction.
-    let mut maxd = vec![0usize; n_owners];
-    for (i, st) in states.iter().enumerate() {
-        if let (Some(st), o) = (st, owner[i]) {
-            if o != NO_OWNER {
-                maxd[o as usize] = maxd[o as usize].max(st.len());
-            }
-        }
-    }
-    // Per-owner promoted slots: off → (register, width, is_float).
-    let mut promoted: HashMap<(u32, u32), (Reg, u8, bool)> = HashMap::new();
-    // Per-owner spill list (sorted by offset) for call boundaries.
-    let mut spills: Vec<Vec<(Reg, u32, u8, bool)>> = vec![Vec::new(); n_owners];
+    // See `promotion_plan`. The promoted register is loaded from frame
+    // memory once at function entry (zeroed locals read 0, parameters read
+    // their argument), spilled/reloaded around calls (callee register
+    // windows overlap the caller's), and written back never — memory
+    // behind a promoted slot is dead by construction.
+    let plan = promotion_plan(prog, &flow);
+    let maxd: Vec<usize> = plan.maxd.iter().map(|&m| m as usize).collect();
+    let promoted = &plan.promoted;
+    let spills = &plan.spills;
     // Function entry pc → prologue loads.
     let mut prologue: HashMap<usize, Vec<(Reg, u32, u8, bool)>> = HashMap::new();
     for (fi, f) in prog.funcs.iter().enumerate() {
-        let o = fi as u32;
-        if flow.no_promote[fi] {
-            continue;
-        }
-        let mut cands: Vec<(u32, u8, bool)> = flow
-            .accesses
-            .iter()
-            .filter(|((ow, _), _)| *ow == o)
-            .filter_map(|(&(_, off), a)| {
-                let (w, isf) = a.shape?;
-                let scalar_ok = w == 8 || (!isf && matches!(w, 1 | 2 | 4));
-                let in_frame = off
-                    .checked_add(w as u32)
-                    .is_some_and(|end| end <= f.frame_size);
-                let clean = !flow.demoted.contains(&(o, off));
-                let disjoint = flow.accesses.iter().all(|(&(ow2, off2), a2)| {
-                    ow2 != o
-                        || off2 == off
-                        || off2 >= off + w as u32
-                        || off >= off2 + a2.max_width as u32
-                });
-                (scalar_ok && in_frame && clean && disjoint).then_some((off, w, isf))
-            })
-            .collect();
-        cands.sort_unstable();
-        let base = maxd[fi] as u32;
-        for (idx, &(off, w, isf)) in cands.iter().enumerate() {
-            let reg = (base as usize + idx) as Reg;
-            promoted.insert((o, off), (reg, w, isf));
-            spills[fi].push((reg, off, w, isf));
-        }
         if !spills[fi].is_empty() {
             prologue.insert(f.entry as usize, spills[fi].clone());
         }
@@ -1299,8 +1462,16 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
     let mut out: Vec<RInstr> = Vec::with_capacity(n);
     let mut origin: Vec<Pc> = Vec::with_capacity(n);
     let mut regpc: Vec<u32> = vec![u32::MAX; n + 1];
-    // (emitted index, stack target) pairs patched after layout is known.
-    let mut patches: Vec<(usize, Pc)> = Vec::new();
+    // Branch-resolution pcs: where a *branch* to a stack pc lands. This
+    // differs from `regpc` only at function entries with a promotion
+    // prologue — calls must run the prologue loads, but a branch back to
+    // the entry (a loop headed at the first statement) must NOT re-run
+    // them, or promoted registers would be clobbered from stale frame
+    // memory.
+    let mut regpc_branch: Vec<u32> = vec![u32::MAX; n + 1];
+    // (emitted index, stack target, lands_on_prologue) patched after
+    // layout is known; only calls land on the prologue.
+    let mut patches: Vec<(usize, Pc, bool)> = Vec::new();
     let consumable = |j: usize| j < n && states[j].is_some() && !target[j];
     let branch_of = |ins: &Instr| match *ins {
         Instr::JumpIfZ(t) => Some((t, false)),
@@ -1315,6 +1486,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
     while i < n {
         regpc[i] = out.len() as u32;
         let Some(st) = &states[i] else {
+            regpc_branch[i] = out.len() as u32;
             out.push(RInstr::Unreachable);
             origin.push(i as Pc);
             i += 1;
@@ -1343,6 +1515,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
                 });
             }
         }
+        regpc_branch[i] = out.len() as u32;
         let mut consumed = 0usize;
         match code[i] {
             Instr::PushI(v) => match (
@@ -1351,7 +1524,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
             ) {
                 (Some(Instr::ICmp(op)), Some(j)) if branch_of(&j).is_some() => {
                     let (t, on_true) = branch_of(&j).expect("checked");
-                    patches.push((out.len(), t));
+                    patches.push((out.len(), t, false));
                     emit!(RInstr::JumpICmpImm {
                         op,
                         l: d - 1,
@@ -1383,7 +1556,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
             },
             Instr::ICmp(op) if consumable(i + 1) && branch_of(&code[i + 1]).is_some() => {
                 let (t, on_true) = branch_of(&code[i + 1]).expect("checked");
-                patches.push((out.len(), t));
+                patches.push((out.len(), t, false));
                 emit!(RInstr::JumpICmp {
                     op,
                     l: d - 2,
@@ -1395,7 +1568,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
             }
             Instr::FCmp(op) if consumable(i + 1) && branch_of(&code[i + 1]).is_some() => {
                 let (t, on_true) = branch_of(&code[i + 1]).expect("checked");
-                patches.push((out.len(), t));
+                patches.push((out.len(), t, false));
                 emit!(RInstr::JumpFCmp {
                     op,
                     l: d - 2,
@@ -1578,15 +1751,15 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
             Instr::F2I => emit!(RInstr::F2I { d: d - 1 }),
             Instr::SextTrunc(w) => emit!(RInstr::Sext { d: d - 1, w }),
             Instr::Jump(t) => {
-                patches.push((out.len(), t));
+                patches.push((out.len(), t, false));
                 emit!(RInstr::Jump { t: 0 });
             }
             Instr::JumpIfZ(t) => {
-                patches.push((out.len(), t));
+                patches.push((out.len(), t, false));
                 emit!(RInstr::JumpIfZ { s: d - 1, t: 0 });
             }
             Instr::JumpIfNZ(t) => {
-                patches.push((out.len(), t));
+                patches.push((out.len(), t, false));
                 emit!(RInstr::JumpIfNZ { s: d - 1, t: 0 });
             }
             Instr::Call(fi) => {
@@ -1608,7 +1781,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
                     });
                 }
                 let nargs = prog.func(fi).params.len() as u16;
-                patches.push((out.len(), prog.func(fi).entry));
+                patches.push((out.len(), prog.func(fi).entry, true));
                 emit!(RInstr::Call {
                     target: 0,
                     fi,
@@ -1659,6 +1832,7 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
         // targets, so this mapping is only cosmetic).
         for k in 1..=consumed {
             regpc[i + k] = regpc[i];
+            regpc_branch[i + k] = regpc_branch[i];
         }
         if out.len() as u32 > regpc[i] {
             last_emit_pc = i;
@@ -1668,11 +1842,19 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
     // A branch/entry may reference `n` (one past the end) only via fallthrough
     // of a trailing instruction; keep the pc space total either way.
     regpc[n] = out.len() as u32;
+    regpc_branch[n] = out.len() as u32;
     out.push(RInstr::Unreachable);
     origin.push(n as Pc);
 
-    for (idx, stack_t) in patches {
-        let rt = regpc[stack_t as usize];
+    for (idx, stack_t, is_call) in patches {
+        // Branches to a function entry must skip the promoted-slot prologue:
+        // the loads there re-read frame memory that is stale once the slot
+        // lives in its register. Only calls enter through the prologue.
+        let rt = if is_call {
+            regpc[stack_t as usize]
+        } else {
+            regpc_branch[stack_t as usize]
+        };
         debug_assert_ne!(rt, u32::MAX, "branch into untranslated pc");
         match &mut out[idx] {
             RInstr::Jump { t }
@@ -1700,8 +1882,8 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
         &mut origin,
         &mut regpc,
         prog,
-        &states,
-        &owner,
+        states,
+        owner,
         &maxd,
         &n_promoted,
         (max_window + 4) as usize,
@@ -1721,6 +1903,8 @@ pub fn translate(prog: &CompiledProgram) -> Result<RegProgram, RegLowerError> {
         entry_map,
         origin,
         frame_regs: max_window + 4,
+        promo: plan,
+        verified: AtomicBool::new(false),
     })
 }
 
@@ -1915,6 +2099,73 @@ mod tests {
             .code
             .iter()
             .any(|i| matches!(i, RInstr::JumpICmpImm { .. })));
+    }
+
+    #[test]
+    fn branch_to_entry_skips_promoted_prologue() {
+        // The loop is headed at the function's first pc, so the back edge
+        // targets the entry itself. It must resolve past the promoted-slot
+        // prologue: re-running those frame loads would resurrect stale
+        // memory and (here) never observe the decrement.
+        let p = framed_func(
+            8,
+            vec![
+                Instr::FrameAddr(0), // loop head == function entry
+                Instr::Load {
+                    width: 8,
+                    is_float: false,
+                    site: 1,
+                },
+                Instr::PushI(0),
+                Instr::ICmp(CmpOp::Gt),
+                Instr::JumpIfZ(12),
+                Instr::FrameAddr(0),
+                Instr::FrameAddr(0),
+                Instr::Load {
+                    width: 8,
+                    is_float: false,
+                    site: 2,
+                },
+                Instr::PushI(2),
+                Instr::IBin(IBinOp::Sub),
+                Instr::Store {
+                    width: 8,
+                    is_float: false,
+                    site: 3,
+                },
+                Instr::Jump(0), // back edge to the entry pc
+                Instr::FrameAddr(0),
+                Instr::Load {
+                    width: 8,
+                    is_float: false,
+                    site: 4,
+                },
+                Instr::Ret,
+            ],
+        );
+        let rp = translate(&p).expect("translates");
+        // The slot promotes, so the entry carries a prologue load.
+        assert!(
+            matches!(rp.code[rp.entry_map[&0] as usize], RInstr::LdFrame { site, .. } if site == NO_SITE),
+            "entry begins with the prologue load: {:?}",
+            rp.code
+        );
+        for ins in &rp.code {
+            let t = match *ins {
+                RInstr::Jump { t }
+                | RInstr::JumpIfZ { t, .. }
+                | RInstr::JumpIfNZ { t, .. }
+                | RInstr::JumpICmp { t, .. }
+                | RInstr::JumpICmpImm { t, .. }
+                | RInstr::JumpFCmp { t, .. } => t,
+                _ => continue,
+            };
+            assert!(
+                !matches!(rp.code[t as usize], RInstr::LdFrame { site, .. } if site == NO_SITE),
+                "branch lands on a prologue load: {:?}",
+                rp.code
+            );
+        }
     }
 
     #[test]

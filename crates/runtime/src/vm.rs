@@ -222,6 +222,12 @@ pub struct VmConfig {
     /// Attribute every retired instruction to (loop id, opcode class) and
     /// record per-iteration cost histograms; see [`crate::prof`].
     pub opcode_profile: bool,
+    /// Refuse to execute a register translation that has not been marked
+    /// verified by the backend verifier (`dse-verify`'s `DSE010`–`DSE015`
+    /// passes). Only meaningful with [`VmConfig::backend`] `Reg` and a
+    /// pre-translated module; translations made by the VM itself have no
+    /// verification channel and are rejected outright under strict.
+    pub strict: bool,
 }
 
 impl Default for VmConfig {
@@ -241,6 +247,7 @@ impl Default for VmConfig {
             trace: false,
             trace_capacity: 8192,
             opcode_profile: false,
+            strict: false,
         }
     }
 }
@@ -521,6 +528,15 @@ impl Vm {
                         )
                     })?),
                 };
+                if config.strict && !rp.is_verified() {
+                    return Err(VmError::new(
+                        0,
+                        "DSE010-DSE015: register translation is not verified; run it \
+                         through the backend verifier (`dsec check --backend`) before \
+                         executing under --strict"
+                            .to_string(),
+                    ));
+                }
                 Arc::new(RegBackend::new(rp))
             }
         };

@@ -247,12 +247,14 @@ impl Server {
                 nthreads,
                 inputs_int: req.inputs.clone(),
                 backend: req.exec_backend,
+                strict: req.strict,
                 ..Default::default()
             };
             // The register lowering is one more cached phase: a daemon
             // serving the same program repeatedly translates it once, and
             // a lowering bug surfaces as a failed response — never a
-            // daemon panic.
+            // daemon panic. Every translation is gated through the cached
+            // `regverify` phase (DSE010–DSE015) before execution.
             let run = match req.exec_backend {
                 dse_runtime::BackendKind::Stack => Vm::new(compiled, run_cfg),
                 dse_runtime::BackendKind::Reg => pipeline
@@ -261,7 +263,25 @@ impl Server {
                         pc: 0,
                         msg: e.to_string(),
                     })
-                    .and_then(|r| Vm::with_reg(compiled, std::sync::Arc::clone(&r.reg), run_cfg)),
+                    .and_then(|r| {
+                        let report = dse_verify::check_backend_cached(
+                            &self.store,
+                            &compiled,
+                            &r,
+                            &mut trace,
+                        );
+                        let errors = report.count(dse_verify::diag::Severity::Error);
+                        if errors > 0 {
+                            return Err(dse_runtime::VmError {
+                                pc: 0,
+                                msg: format!(
+                                    "register translation failed verification with \
+                                     {errors} error(s) (DSE010-DSE015)"
+                                ),
+                            });
+                        }
+                        Vm::with_reg(compiled, std::sync::Arc::clone(&r.reg), run_cfg)
+                    }),
             }
             .and_then(|mut vm| vm.run().map(|report| (vm, report)));
             match run {

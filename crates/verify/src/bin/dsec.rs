@@ -5,7 +5,7 @@
 //!      [--emit source|report|ddg|bytecode|trace|chrome-trace|flamegraph]
 //!      [--run] [--serial] [--timing] [--metrics <path|->]
 //!      [--in <ints,comma,separated>] [--daemon <socket>]
-//! dsec check <program.cee> [--strict] [--json] [--threads N]
+//! dsec check <program.cee> [--strict] [--json] [--backend] [--threads N]
 //!      [--opt none|noconst|full] [--in <ints,comma,separated>]
 //!      [--daemon <socket>]
 //! dsec profile <program.cee> [--threads N] [--opt none|noconst|full]
@@ -35,6 +35,14 @@
 //! the transformed output against the Table 1–3 invariants. The same
 //! verifier runs automatically before `--emit source|report|bytecode`,
 //! `--run` and `--metrics`; error-severity findings abort the drive.
+//! `dsec check --backend` additionally verifies both executable encodings
+//! (see DESIGN.md, "Backend verification"): stack-bytecode discipline and
+//! bounds (`DSE010`/`DSE011`), register window/def-use/spill safety
+//! (`DSE012`/`DSE013`), and symbolic stack-vs-register translation
+//! validation (`DSE014`/`DSE015`). The same verification gates every
+//! register-backend execution automatically (cached as the `regverify`
+//! phase); `--run --exec-backend reg --strict` makes the VM itself refuse
+//! any translation the verifier has not marked clean.
 //!
 //! Exit codes: `0` clean; `1` verifier errors (or warnings under
 //! `--strict`), compile or runtime failures; `2` usage or I/O errors.
@@ -86,6 +94,7 @@ struct Opts {
     inputs: Vec<i64>,
     daemon: Option<String>,
     backend: BackendKind,
+    strict: bool,
 }
 
 /// A drive failure, split by which exit code it maps to.
@@ -100,12 +109,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: dsec <program.cee> [--threads N] [--opt none|noconst|full] \
          [--baseline] [--emit source|report|ddg|bytecode|trace|chrome-trace|flamegraph] \
-         [--run] [--serial] [--exec-backend stack|reg] \
+         [--run] [--serial] [--exec-backend stack|reg] [--strict] \
          [--timing] [--metrics <path|->] [--in 1,2,3] [--daemon <socket>]\n\
-         \x20      dsec check <program.cee> [--strict] [--json] [--threads N] \
+         \x20      dsec check <program.cee> [--strict] [--json] [--backend] [--threads N] \
          [--opt none|noconst|full] [--in 1,2,3] [--daemon <socket>]\n\
          \x20      dsec profile <program.cee> [--threads N] \
-         [--opt none|noconst|full] [--exec-backend stack|reg] [--in 1,2,3]"
+         [--opt none|noconst|full] [--in 1,2,3]"
     );
     std::process::exit(EXIT_USAGE as i32)
 }
@@ -149,6 +158,7 @@ fn parse_opts(args: &[String]) -> Opts {
         daemon: None,
         // `--exec-backend` overrides; otherwise DSE_EXEC_BACKEND decides.
         backend: BackendKind::from_env(),
+        strict: false,
     };
     let mut args = args.iter();
     while let Some(a) = args.next() {
@@ -183,6 +193,7 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--run" => o.run = true,
             "--serial" => o.serial = true,
+            "--strict" => o.strict = true,
             "--timing" => o.timing = true,
             "--metrics" => o.metrics = Some(args.next().unwrap_or_else(|| usage()).clone()),
             "--in" => o.inputs = parse_inputs(args.next().unwrap_or_else(|| usage())),
@@ -235,6 +246,8 @@ fn check_main(args: &[String]) -> ExitCode {
     let mut path = String::new();
     let mut strict = false;
     let mut json = false;
+    let mut backend = false;
+    let mut sabotage: Option<dse_verify::sabotage::Kind> = None;
     let mut threads: u32 = 4;
     let mut opt = OptLevel::Full;
     let mut inputs: Vec<i64> = Vec::new();
@@ -244,6 +257,16 @@ fn check_main(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--strict" => strict = true,
             "--json" => json = true,
+            "--backend" => backend = true,
+            // Undocumented: seed one known miscompile before verifying, so
+            // CI's mutation-smoke step can prove the checkers fire.
+            "--sabotage" => {
+                let kind = it.next().unwrap_or_else(|| usage());
+                sabotage = Some(dse_verify::sabotage::Kind::parse(kind).unwrap_or_else(|| {
+                    eprintln!("dsec: unknown --sabotage kind `{kind}`");
+                    std::process::exit(EXIT_USAGE as i32)
+                }));
+            }
             "--threads" => {
                 threads = it
                     .next()
@@ -260,6 +283,17 @@ fn check_main(args: &[String]) -> ExitCode {
     }
     if path.is_empty() {
         usage();
+    }
+    if sabotage.is_some() && !backend {
+        eprintln!("dsec: --sabotage requires --backend");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if backend && daemon.is_some() {
+        eprintln!(
+            "dsec: --backend runs standalone; the daemon verifies translations \
+             automatically on every register-backend run"
+        );
+        return ExitCode::from(EXIT_USAGE);
     }
     let source = match std::fs::read_to_string(&path) {
         Ok(s) => s,
@@ -317,10 +351,64 @@ fn check_main(args: &[String]) -> ExitCode {
     // Pass 2 checks the transform's output, so the check transforms too.
     // A transform failure still reports pass 1 before failing.
     let transformed = pipeline.transform(&art, opt, threads, false, &mut trace);
-    let report = match &transformed {
+    let mut report = match &transformed {
         Ok(t) => (*dse_verify::check_cached(&store, &art.analysis, t, &mut trace)).clone(),
         Err(_) => dse_verify::check_all(&art.analysis, None),
     };
+    if backend {
+        match sabotage {
+            None => {
+                // Verify both executable encodings of both programs, through
+                // the cached `regverify` phase like the implicit run gate.
+                let mut progs = vec![art.analysis.serial.clone()];
+                if let Ok(t) = &transformed {
+                    progs.push(t.transformed.parallel.clone());
+                }
+                for prog in &progs {
+                    match pipeline.reglower(prog, &mut trace) {
+                        Ok(regart) => report.extend(
+                            (*dse_verify::check_backend_cached(&store, prog, &regart, &mut trace))
+                                .clone(),
+                        ),
+                        Err(e) => {
+                            eprintln!("dsec: register lowering failed: {e}");
+                            return ExitCode::from(EXIT_DIAG);
+                        }
+                    }
+                }
+            }
+            Some(kind) => {
+                let prog = art.analysis.serial.clone();
+                let sab = if kind.is_stack() {
+                    let mut p = prog.clone();
+                    let hit = dse_verify::sabotage::sabotage_stack(&mut p, kind);
+                    hit.then(|| dse_verify::check_stack(&p))
+                } else {
+                    match dse_ir::regcode::translate(&prog) {
+                        Ok(mut rp) => {
+                            let hit = dse_verify::sabotage::sabotage_reg(&prog, &mut rp, kind);
+                            hit.then(|| dse_verify::check_backend(&prog, &rp))
+                        }
+                        Err(e) => {
+                            eprintln!("dsec: register lowering failed: {e}");
+                            return ExitCode::from(EXIT_DIAG);
+                        }
+                    }
+                };
+                match sab {
+                    Some(r) => report.extend(r),
+                    None => {
+                        eprintln!(
+                            "dsec: program offers no site for sabotage `{}`",
+                            kind.name()
+                        );
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+        }
+        report.sort();
+    }
     if json {
         println!("{}", report.to_json());
     } else {
@@ -367,8 +455,11 @@ fn verify_transform(
 
 /// Builds a VM honoring the requested execution backend. The register
 /// lowering runs as a cached pipeline phase ("reglower"), so repeated
-/// drives of the same bytecode share one translation.
+/// drives of the same bytecode share one translation — and every
+/// translation is gated through the cached `regverify` phase
+/// (`DSE010`–`DSE015`) before a VM may execute it.
 fn make_vm(
+    store: &ArtifactStore,
     pipeline: &Pipeline,
     backend: BackendKind,
     compiled: dse_ir::bytecode::CompiledProgram,
@@ -382,6 +473,17 @@ fn make_vm(
             let art = pipeline
                 .reglower(&compiled, trace)
                 .map_err(|e| Fail::Other(e.to_string()))?;
+            let report = dse_verify::check_backend_cached(store, &compiled, &art, trace);
+            if report.count(Severity::Error) > 0 {
+                for d in &report.diagnostics {
+                    eprintln!("dsec: {}", d.render());
+                }
+                return Err(Fail::Other(format!(
+                    "register translation failed verification with {} error(s) \
+                     (DSE010-DSE015); refusing to execute it",
+                    report.count(Severity::Error)
+                )));
+            }
             Vm::with_reg(compiled, Arc::clone(&art.reg), config)
         }
     }
@@ -502,6 +604,7 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                     .expect("transform computed above")
                     .transformed;
                 let mut vm = make_vm(
+                    &store,
                     &pipeline,
                     o.backend,
                     t.parallel.clone(),
@@ -509,6 +612,7 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
                         nthreads: o.threads,
                         inputs_int: o.inputs.clone(),
                         trace: true,
+                        strict: o.strict,
                         ..Default::default()
                     },
                     &mut trace,
@@ -566,12 +670,14 @@ fn drive(o: &Opts) -> Result<ExitCode, Fail> {
         };
         let n = if o.serial { 1 } else { o.threads };
         let mut vm = make_vm(
+            &store,
             &pipeline,
             o.backend,
             compiled,
             VmConfig {
                 nthreads: n,
                 inputs_int: o.inputs.clone(),
+                strict: o.strict,
                 ..Default::default()
             },
             &mut trace,
@@ -672,7 +778,7 @@ fn profile_main(args: &[String]) -> ExitCode {
     let mut threads: u32 = 4;
     let mut opt = OptLevel::Full;
     let mut inputs: Vec<i64> = Vec::new();
-    let mut backend = BackendKind::from_env();
+    let mut explicit_backend: Option<BackendKind> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -685,10 +791,11 @@ fn profile_main(args: &[String]) -> ExitCode {
             "--opt" => opt = parse_opt_level(it.next().map(String::as_str)),
             "--in" => inputs = parse_inputs(it.next().unwrap_or_else(|| usage())),
             "--exec-backend" => {
-                backend = it
-                    .next()
-                    .and_then(|s| BackendKind::parse(s))
-                    .unwrap_or_else(|| usage())
+                explicit_backend = Some(
+                    it.next()
+                        .and_then(|s| BackendKind::parse(s))
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--help" | "-h" => usage(),
             other if path.is_empty() && !other.starts_with('-') => path = other.to_string(),
@@ -698,6 +805,36 @@ fn profile_main(args: &[String]) -> ExitCode {
     if path.is_empty() {
         usage();
     }
+    // The opcode profiler attributes per stack opcode; the register
+    // backend's fused super-instructions would skew the table (DSE009).
+    // An explicit request is a usage error; the ambient environment
+    // default is overridden with a warning so `DSE_EXEC_BACKEND=reg`
+    // sweeps still profile meaningfully.
+    let backend = match explicit_backend {
+        Some(BackendKind::Reg) => {
+            eprintln!(
+                "dsec: error[DSE009]: {}",
+                dse_verify::diag::Code::ProfileBackendMismatch.summary()
+            );
+            eprintln!(
+                "dsec: hint: fused register super-instructions skew per-opcode \
+                 attribution; drop `--exec-backend reg` to profile on the stack \
+                 (reference) encoding"
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+        Some(b) => b,
+        None => match BackendKind::from_env() {
+            BackendKind::Reg => {
+                eprintln!(
+                    "dsec: warning[DSE009]: DSE_EXEC_BACKEND=reg ignored for \
+                     profiling; pinning to the stack backend"
+                );
+                BackendKind::Stack
+            }
+            b => b,
+        },
+    };
     match profile_drive(&path, threads, opt, inputs, backend) {
         Ok(code) => code,
         Err(Fail::Io(msg)) => {
@@ -735,6 +872,7 @@ fn profile_drive(
     verify_transform(&store, &art.analysis, &t, path, &mut trace)?;
     let prog = &t.transformed.parallel;
     let mut vm = make_vm(
+        &store,
         &pipeline,
         backend,
         prog.clone(),

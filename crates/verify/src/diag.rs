@@ -41,6 +41,35 @@ pub enum Code {
     /// A candidate loop executed zero iterations during profiling, so its
     /// classification is vacuous.
     ZeroIterationProfile,
+    /// The opcode profiler was asked to run under the register backend,
+    /// whose fused super-instructions would skew the per-opcode table;
+    /// profiles are only meaningful on the stack (reference) encoding.
+    ProfileBackendMismatch,
+    /// The stack bytecode violates the constant-depth discipline the
+    /// register translation assumes: a depth or type mismatch at a
+    /// control-flow join, an operand-stack underflow, or a return with
+    /// residual operands.
+    StackDiscipline,
+    /// A stack instruction references something out of bounds: a jump past
+    /// the end of the code, a call to a missing function, or a direct
+    /// frame access outside the owning function's declared frame.
+    StackBounds,
+    /// A register instruction touches a register at or beyond the declared
+    /// window size (`frame_regs`), or jumps outside the register code.
+    RegWindowBounds,
+    /// A register is read on some path before any instruction defines it,
+    /// or a call site's promoted-slot spill/reload sequence is broken.
+    RegDefUse,
+    /// Symbolic execution of a stack block and its register translation
+    /// reached different abstract states: diverging register/slot values,
+    /// promoted values out of sync with frame memory, mismatched effect
+    /// sequences, or a promotion the stack flow does not justify.
+    TranslationDivergence,
+    /// A precision case of translation validation: a narrow promoted store
+    /// missing its sign-extension canonicalization, or scalar promotion
+    /// inside an outlined parallel body whose frame is shared across
+    /// threads.
+    TranslationPrecision,
 }
 
 impl Code {
@@ -55,6 +84,13 @@ impl Code {
             Code::SyncWindowViolation => "DSE006",
             Code::ClassificationConflict => "DSE007",
             Code::ZeroIterationProfile => "DSE008",
+            Code::ProfileBackendMismatch => "DSE009",
+            Code::StackDiscipline => "DSE010",
+            Code::StackBounds => "DSE011",
+            Code::RegWindowBounds => "DSE012",
+            Code::RegDefUse => "DSE013",
+            Code::TranslationDivergence => "DSE014",
+            Code::TranslationPrecision => "DSE015",
         }
     }
 
@@ -71,6 +107,15 @@ impl Code {
             Code::SyncWindowViolation => "DOACROSS sync window violation",
             Code::ClassificationConflict => "conflicting classifications for one site",
             Code::ZeroIterationProfile => "candidate loop never iterated in profile",
+            Code::ProfileBackendMismatch => "opcode profiling requires the stack backend",
+            Code::StackDiscipline => "operand-stack discipline violation",
+            Code::StackBounds => "stack bytecode jump, call, or frame access out of bounds",
+            Code::RegWindowBounds => "register outside the declared window",
+            Code::RegDefUse => "register read before definition or broken spill pairing",
+            Code::TranslationDivergence => "stack and register translations diverge",
+            Code::TranslationPrecision => {
+                "narrow-store canonicalization or parallel-body promotion violation"
+            }
         }
     }
 
@@ -85,6 +130,14 @@ impl Code {
             | Code::SyncWindowViolation
             | Code::ClassificationConflict => Severity::Error,
             Code::ZeroIterationProfile => Severity::Warning,
+            // Backend-verification findings are miscompiles, never advisory.
+            Code::ProfileBackendMismatch
+            | Code::StackDiscipline
+            | Code::StackBounds
+            | Code::RegWindowBounds
+            | Code::RegDefUse
+            | Code::TranslationDivergence
+            | Code::TranslationPrecision => Severity::Error,
         }
     }
 }

@@ -19,18 +19,32 @@
 //!    severities, and spans; reports render as text or JSON and roll up
 //!    counts for telemetry. The `dsec check` subcommand (and the implicit
 //!    pre-transform check in `dsec --transform`/`--run`) is built on it.
+//! 4. **Backend verification ([`stackcheck`], [`regcheck`], [`xlatecheck`],
+//!    `DSE010`–`DSE015`)** — static proofs over both executable encodings:
+//!    the stack bytecode's constant-depth discipline and bounds, the
+//!    register translation's window/def-use/spill safety, and a symbolic
+//!    translation validator proving the two backends equivalent block by
+//!    block. Runs via `dsec check --backend`, and automatically (cached, as
+//!    the `regverify` phase) after every `reglower`. [`sabotage`] seeds
+//!    known miscompiles to prove each checker actually fires.
 
 pub mod diag;
 pub mod invariants;
+pub mod regcheck;
+pub mod sabotage;
+pub mod stackcheck;
 pub mod staticdep;
 pub mod walk;
+pub mod xlatecheck;
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use dse_core::cache::Trace;
-use dse_core::phases::TransformArt;
+use dse_core::phases::{RegArt, TransformArt};
 use dse_core::{Analysis, ArtifactStore, SiteClass, Transformed};
+use dse_ir::bytecode::CompiledProgram;
+use dse_ir::RegProgram;
 use dse_lang::ast::NO_EID;
 use dse_telemetry::ContentHasher;
 
@@ -86,6 +100,60 @@ pub fn check_cached(
             Ok::<_, std::convert::Infallible>(check_all(analysis, Some(&xform.transformed)))
         })
         .unwrap_or_else(|e| match e {})
+}
+
+/// Backend pass over the stack bytecode alone (`DSE010`/`DSE011`): the
+/// constant-depth discipline and structural bounds the register translation
+/// assumes. Useful before a `reglower` exists.
+pub fn check_stack(prog: &CompiledProgram) -> Report {
+    let mut report = Report::default();
+    stackcheck::check(prog, &mut report);
+    report.sort();
+    report
+}
+
+/// Full backend verification (`DSE010`–`DSE015`): the stack checks, then —
+/// only if they pass, so downstream passes can index freely — the register
+/// window/def-use/spill checks, then — only if *those* pass — the symbolic
+/// translation validator. The cascade means a seeded miscompile surfaces as
+/// exactly the code of the first checker able to see it.
+pub fn check_backend(prog: &CompiledProgram, rp: &RegProgram) -> Report {
+    let mut report = Report::default();
+    if stackcheck::check(prog, &mut report) {
+        // stackcheck proved the flow converges; unwrap is safe.
+        let flow = dse_ir::analyze_stack(prog).expect("stackcheck proved discipline");
+        if regcheck::check(prog, rp, &flow, &mut report) {
+            xlatecheck::check(prog, rp, &flow, &mut report);
+        }
+    }
+    report.sort();
+    report
+}
+
+/// [`check_backend`] through the artifact store: backend verification is
+/// the pipeline's ninth cached phase, keyed `H("regverify", reglower_key)`.
+/// The reglower key fingerprints the stack code, so any program change
+/// re-verifies and any repeat (daemon warm path, `--threads` sweeps)
+/// reuses the stored report. A clean report marks the translation verified
+/// — on cache hits too, since a warm `RegArt` may be a fresh allocation
+/// whose flag was never set — which the register VM's `--strict` mode
+/// checks before accepting code.
+pub fn check_backend_cached(
+    store: &ArtifactStore,
+    prog: &CompiledProgram,
+    regart: &RegArt,
+    trace: &mut Trace,
+) -> Arc<Report> {
+    let key = ContentHasher::new("regverify").hash(regart.key).finish();
+    let report = store
+        .get_or_compute("regverify", key, trace, || {
+            Ok::<_, std::convert::Infallible>(check_backend(prog, &regart.reg))
+        })
+        .unwrap_or_else(|e| match e {});
+    if report.count(diag::Severity::Error) == 0 {
+        regart.reg.mark_verified();
+    }
+    report
 }
 
 /// `DSE007`: the same source access must not be classified thread-private

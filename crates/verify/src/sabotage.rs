@@ -1,0 +1,187 @@
+//! Seeded miscompile injection for exercising the backend verifier.
+//!
+//! Each [`Kind`] applies one small, targeted mutation to an otherwise
+//! correct program — the classic translation-validation smoke test: if the
+//! checker family cannot catch a *known* miscompile, its proofs are
+//! worthless. Every kind maps to exactly one lint code, and the cascade in
+//! [`crate::check_backend`] (structural before flow, bounds before
+//! dataflow, register checks before translation validation) guarantees the
+//! mutation surfaces as that code and no earlier one.
+//!
+//! Used by the `backend_sabotage` test suite and exposed through the hidden
+//! `dsec check --backend --sabotage <kind>` flag so CI's mutation-smoke
+//! step can drive it end to end.
+
+use dse_ir::bytecode::{CompiledProgram, Instr};
+use dse_ir::sites::NO_SITE;
+use dse_ir::{for_each_dst, for_each_src, RInstr, RegProgram};
+
+use crate::diag::Code;
+
+/// One seeded miscompile. `expected_code` names the checker that must fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Flip a push into a drop so paths reach a join at different depths.
+    StackDepth,
+    /// Retarget a stack jump past the end of the code.
+    BadJump,
+    /// Shrink the declared register window below the highest register used.
+    ShrinkWindow,
+    /// Overwrite the spill preceding a call, leaving the reload to
+    /// resurrect a stale promoted value.
+    DropSpill,
+    /// Swap the operands of an integer binop.
+    SwapReg,
+    /// Replace a promoted narrow store's sign-extension with a no-op move.
+    SkipSext,
+}
+
+/// All kinds, in lint-code order — the CI mutation-smoke step iterates this.
+pub const ALL: [Kind; 6] = [
+    Kind::StackDepth,
+    Kind::BadJump,
+    Kind::ShrinkWindow,
+    Kind::DropSpill,
+    Kind::SwapReg,
+    Kind::SkipSext,
+];
+
+impl Kind {
+    /// The command-line spelling (`--sabotage <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kind::StackDepth => "stack-depth",
+            Kind::BadJump => "bad-jump",
+            Kind::ShrinkWindow => "shrink-window",
+            Kind::DropSpill => "drop-spill",
+            Kind::SwapReg => "swap-reg",
+            Kind::SkipSext => "skip-sext",
+        }
+    }
+
+    /// Parses the command-line spelling.
+    pub fn parse(s: &str) -> Option<Kind> {
+        ALL.into_iter().find(|k| k.name() == s)
+    }
+
+    /// The one lint code this mutation must surface as.
+    pub fn expected_code(self) -> Code {
+        match self {
+            Kind::StackDepth => Code::StackDiscipline,
+            Kind::BadJump => Code::StackBounds,
+            Kind::ShrinkWindow => Code::RegWindowBounds,
+            Kind::DropSpill => Code::RegDefUse,
+            Kind::SwapReg => Code::TranslationDivergence,
+            Kind::SkipSext => Code::TranslationPrecision,
+        }
+    }
+
+    /// True when the mutation applies to the stack program (before
+    /// translation) rather than the register translation.
+    pub fn is_stack(self) -> bool {
+        matches!(self, Kind::StackDepth | Kind::BadJump)
+    }
+}
+
+/// Applies a stack-side mutation in place. Returns `false` when the program
+/// offers no site for this kind (e.g. no jump to retarget).
+pub fn sabotage_stack(prog: &mut CompiledProgram, kind: Kind) -> bool {
+    let n = prog.code.len() as u32;
+    match kind {
+        Kind::StackDepth => {
+            // Net +1 becomes net -1: some join or terminator sees the skew.
+            for ins in prog.code.iter_mut() {
+                if matches!(ins, Instr::PushI(_)) {
+                    *ins = Instr::Drop;
+                    return true;
+                }
+            }
+            false
+        }
+        Kind::BadJump => {
+            for ins in prog.code.iter_mut() {
+                match ins {
+                    Instr::Jump(t) | Instr::JumpIfZ(t) | Instr::JumpIfNZ(t) => {
+                        *t = n + 16;
+                        return true;
+                    }
+                    _ => {}
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Applies a register-side mutation in place. Returns `false` when the
+/// translation offers no site for this kind (e.g. no promoted narrow store
+/// to break). `prog` is the stack program the translation came from (needed
+/// to enumerate call-argument source registers).
+pub fn sabotage_reg(prog: &CompiledProgram, rp: &mut RegProgram, kind: Kind) -> bool {
+    match kind {
+        Kind::ShrinkWindow => {
+            // frame_regs carries slack above the deepest live register, so
+            // a naive -1 would go unnoticed; clamp to the highest register
+            // any instruction actually touches.
+            let mut max_used: Option<u16> = None;
+            for ins in &rp.code {
+                let mut note = |r: u16| max_used = Some(max_used.map_or(r, |m| m.max(r)));
+                for_each_dst(ins, &mut note);
+                for_each_src(ins, prog, &mut note);
+            }
+            match max_used {
+                Some(m) => {
+                    rp.frame_regs = m as u32;
+                    true
+                }
+                None => false,
+            }
+        }
+        Kind::DropSpill => {
+            // A spill is the StFrame immediately before a Call; overwrite
+            // it so the paired reload restores a stale value.
+            for pc in 1..rp.code.len() {
+                if matches!(rp.code[pc], RInstr::Call { .. })
+                    && matches!(rp.code[pc - 1], RInstr::StFrame { site: NO_SITE, .. })
+                {
+                    rp.code[pc - 1] = RInstr::Mov { d: 0, s: 0 };
+                    return true;
+                }
+            }
+            false
+        }
+        Kind::SwapReg => {
+            for ins in rp.code.iter_mut() {
+                if let RInstr::IBin { l, r, .. } = ins {
+                    if l != r {
+                        std::mem::swap(l, r);
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        Kind::SkipSext => {
+            // Only the Sext instructions canonicalizing a promoted narrow
+            // store feed the DSE015 path; collect the promoted registers
+            // first and break the first Sext aimed at one of them.
+            let sregs: Vec<u16> = rp
+                .promo
+                .promoted
+                .values()
+                .map(|&(sreg, _, _)| sreg)
+                .collect();
+            for ins in rp.code.iter_mut() {
+                if let RInstr::Sext { d, w } = *ins {
+                    if w < 8 && sregs.contains(&d) {
+                        *ins = RInstr::Mov { d, s: d };
+                        return true;
+                    }
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
